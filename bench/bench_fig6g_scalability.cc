@@ -1,0 +1,72 @@
+// Reproduces Figure 6 (G): average operation latency as the data volume
+// grows, for a write-only workload and for the mixed (YCSB-A + deletes)
+// workload, on RocksDB vs Lethe.
+//
+// Paper shape: both engines scale identically; Lethe's write latency is
+// 0.1-3% higher (eager merging) while its mixed latency is 0.5-4% lower
+// (better read path); latency grows with data size for mixed workloads.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lethe {
+namespace bench {
+namespace {
+
+constexpr uint64_t kMicrosPerOp = 200;
+
+double RunOne(uint64_t ops, double dth_fraction, bool mixed) {
+  auto bed = MakeBed(static_cast<uint64_t>(ops * kMicrosPerOp * dth_fraction));
+  workload::Spec spec;
+  spec.num_user_ops = ops;
+  spec.value_size = 104;
+  spec.delete_key_mode = workload::DeleteKeyMode::kTimestamp;
+  if (mixed) {
+    spec.update_fraction = 0.23;
+    spec.point_lookup_fraction = 0.25;
+    spec.point_delete_fraction = 0.04;
+    spec.fresh_insert_fraction = 0.48;
+  } else {
+    spec.update_fraction = 0.46;
+    spec.point_lookup_fraction = 0.0;
+    spec.point_delete_fraction = 0.04;
+    spec.fresh_insert_fraction = 0.50;
+  }
+
+  workload::Generator gen(spec);
+  workload::RunnerOptions runner_options;
+  runner_options.clock = bed->clock.get();
+  runner_options.micros_per_op = kMicrosPerOp;
+  workload::Runner runner(bed->db.get(), runner_options);
+  workload::RunnerStats stats;
+
+  SystemClock wall;
+  uint64_t start = wall.NowMicros();
+  CheckOk(runner.Run(&gen, &stats), "run");
+  uint64_t elapsed = wall.NowMicros() - start;
+  return static_cast<double>(elapsed) / ops * 1000.0;  // ns per op
+}
+
+void Run() {
+  printf("# Figure 6 (G): avg latency vs data size (write-only and mixed)\n");
+  printf("data_bytes,write_rocksdb_ns,write_lethe_ns,mixed_rocksdb_ns,"
+         "mixed_lethe_ns\n");
+  for (uint64_t ops : {20000ull, 40000ull, 80000ull, 160000ull}) {
+    double wr = RunOne(ops, 0.0, false);
+    double wl = RunOne(ops, 0.25, false);
+    double mr = RunOne(ops, 0.0, true);
+    double ml = RunOne(ops, 0.25, true);
+    printf("%llu,%.0f,%.0f,%.0f,%.0f\n",
+           static_cast<unsigned long long>(ops * 128), wr, wl, mr, ml);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lethe
+
+int main() {
+  lethe::bench::Run();
+  return 0;
+}

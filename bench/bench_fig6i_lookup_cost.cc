@@ -1,0 +1,76 @@
+// Reproduces Figure 6 (I): average point-lookup I/O cost (pages read per
+// lookup) as a function of the delete-tile granularity h, for lookups on
+// existing keys (non-zero result) and on absent keys (zero result).
+//
+// Paper shape: both costs grow roughly linearly in h (each of the h pages
+// of the candidate tile carries an FPR-probability extra I/O; non-zero
+// lookups pay 1 + h·FPR, zero-result pay h·FPR·L); h = 1 matches RocksDB.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lethe {
+namespace bench {
+namespace {
+
+constexpr uint64_t kEntries = 100000;
+constexpr uint64_t kLookups = 30000;
+
+void Run() {
+  printf("# Figure 6 (I): lookup I/Os vs delete-tile granularity h\n");
+  printf("h,nonzero_ios_per_lookup,zero_ios_per_lookup,bloom_fp_rate\n");
+  for (uint32_t h : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto bed = MakeBed(/*dth=*/0, h);
+    std::string value(104, 'v');
+    for (uint64_t i = 0; i < kEntries; i++) {
+      CheckOk(
+          bed->db->Put(WriteOptions(),
+                       workload::EncodeKey(0x9e3779b97f4a7c15ull * (i + 1)),
+                       i, value),
+          "put");
+    }
+    CheckOk(bed->db->Flush(), "flush");
+
+    Random rnd(17);
+    const Statistics& stats = bed->db->stats();
+
+    uint64_t pages_before = stats.point_lookup_pages_read.load();
+    for (uint64_t i = 0; i < kLookups; i++) {
+      uint64_t idx = rnd.Uniform(kEntries) + 1;
+      std::string v;
+      bed->db->Get(ReadOptions(),
+                   workload::EncodeKey(0x9e3779b97f4a7c15ull * idx), &v)
+          .ok();
+    }
+    double nonzero =
+        static_cast<double>(stats.point_lookup_pages_read.load() -
+                            pages_before) /
+        kLookups;
+
+    pages_before = stats.point_lookup_pages_read.load();
+    for (uint64_t i = 0; i < kLookups; i++) {
+      std::string v;
+      bed->db->Get(ReadOptions(), workload::EncodeKey(rnd.Next() | 1), &v)
+          .ok();
+    }
+    double zero = static_cast<double>(stats.point_lookup_pages_read.load() -
+                                      pages_before) /
+                  kLookups;
+    double fp_rate =
+        stats.bloom_probes.load() == 0
+            ? 0
+            : static_cast<double>(stats.bloom_false_positives.load()) /
+                  stats.bloom_probes.load();
+    printf("%u,%.3f,%.4f,%.4f\n", h, nonzero, zero, fp_rate);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lethe
+
+int main() {
+  lethe::bench::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Figure 6 (L): the effect of correlation between the sort key
+// and the delete key. With no correlation (timestamp delete keys, random
+// sort keys), growing h sharply reduces secondary-range-delete cost at the
+// expense of range-query cost. With perfect correlation (delete key ==
+// sort key), the weave is a no-op: every layout behaves like h = 1 and the
+// classic layout is optimal.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace lethe {
+namespace bench {
+namespace {
+
+constexpr uint64_t kEntries = 60000;
+constexpr uint64_t kScans = 2000;
+constexpr uint64_t kScanLength = 32;
+
+struct Row {
+  double full_drop_pct;       // of qualifying pages
+  double scan_pages_per_op;   // short-range-query cost
+};
+
+Row RunOne(uint32_t h, bool correlated) {
+  auto bed = MakeBed(/*dth=*/0, h);
+  std::string value(104, 'v');
+  for (uint64_t i = 0; i < kEntries; i++) {
+    uint64_t sort_key = 0x9e3779b97f4a7c15ull * (i + 1);
+    uint64_t delete_key = correlated ? sort_key : i;
+    CheckOk(bed->db->Put(WriteOptions(), workload::EncodeKey(sort_key),
+                         delete_key, value),
+            "put");
+  }
+  CheckOk(bed->db->CompactUntilQuiescent(), "compact");
+  {
+    std::string v;  // warm table cache
+    bed->db->Get(ReadOptions(), workload::EncodeKey(1), &v).ok();
+  }
+
+  // Short range scans on the sort key.
+  uint64_t reads_before = bed->PagesRead();
+  Random rnd(41);
+  for (uint64_t i = 0; i < kScans; i++) {
+    auto it = bed->db->NewIterator(ReadOptions());
+    uint64_t remaining = kScanLength;
+    for (it->Seek(workload::EncodeKey(rnd.Next())); it->Valid() && remaining;
+         it->Next()) {
+      remaining--;
+    }
+  }
+  double scan_pages =
+      static_cast<double>(bed->PagesRead() - reads_before) / kScans;
+
+  // One secondary range delete of 10% of the delete-key domain.
+  uint64_t lo, hi;
+  if (correlated) {
+    lo = 0;
+    hi = UINT64_MAX / 10;
+  } else {
+    lo = 0;
+    hi = kEntries / 10;
+  }
+  CheckOk(bed->db->SecondaryRangeDelete(WriteOptions(), lo, hi), "srd");
+  uint64_t full = bed->db->stats().full_page_drops.load();
+  uint64_t partial = bed->db->stats().partial_page_drops.load();
+
+  Row row;
+  double denom = static_cast<double>(full + partial);
+  row.full_drop_pct = denom == 0 ? 0 : 100.0 * full / denom;
+  row.scan_pages_per_op = scan_pages;
+  return row;
+}
+
+void Run() {
+  printf("# Figure 6 (L): sort-key / delete-key correlation effects\n");
+  printf("correlation,h,full_drop_pct,scan_pages_per_query\n");
+  for (uint32_t h : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    Row row = RunOne(h, /*correlated=*/false);
+    printf("none,%u,%.1f,%.2f\n", h, row.full_drop_pct,
+           row.scan_pages_per_op);
+  }
+  for (uint32_t h : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    Row row = RunOne(h, /*correlated=*/true);
+    printf("1.0,%u,%.1f,%.2f\n", h, row.full_drop_pct,
+           row.scan_pages_per_op);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lethe
+
+int main() {
+  lethe::bench::Run();
+  return 0;
+}

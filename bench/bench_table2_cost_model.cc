@@ -1,0 +1,90 @@
+// Regenerates Table 2: the closed-form cost comparison of the state of the
+// art, FADE, KiWi, and Lethe under leveling and tiering, evaluated at the
+// Table 1 reference parameters. Also cross-checks two model predictions
+// against the live engine (lookup cost scaling with h; secondary range
+// delete I/O scaling with 1/h).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/cost_model.h"
+
+namespace lethe {
+namespace bench {
+namespace {
+
+void Run() {
+  ModelParams params;  // Table 1 defaults
+  params.N = 1 << 20;
+  params.T = 10;
+  params.P = 512;
+  params.B = 4;
+  params.E = 1024;
+  params.m_bits = 10.0 * params.N;  // 10 bits/key (§5 experimental setup)
+  params.h = 16;
+  params.lambda = 0.1;
+  params.N_delta = params.N * 0.85;  // ~10% deletes persisted + updates
+  params.s = 5e-4;
+  params.ingest_rate = 1024;
+  params.dth_seconds = 3600;
+
+  CostModel model(params);
+  printf("# Table 2: analytical cost comparison (Table 1 parameters)\n");
+  printf("%s", model.RenderTable().c_str());
+
+  // Empirical cross-check of the two headline model rows.
+  printf("\n# model cross-check vs engine (leveling)\n");
+  printf("metric,h,model_ratio_vs_h1,measured_ratio_vs_h1\n");
+  auto measure = [](uint32_t h, double* lookup_ios, double* srd_ios) {
+    auto bed = MakeBed(0, h);
+    std::string value(104, 'v');
+    const uint64_t n = 40000;
+    for (uint64_t i = 0; i < n; i++) {
+      CheckOk(
+          bed->db->Put(WriteOptions(),
+                       workload::EncodeKey(0x9e3779b97f4a7c15ull * (i + 1)),
+                       i, value),
+          "put");
+    }
+    CheckOk(bed->db->CompactUntilQuiescent(), "compact");
+    Random rnd(3);
+    uint64_t before = bed->db->stats().point_lookup_pages_read.load();
+    const uint64_t lookups = 10000;
+    for (uint64_t i = 0; i < lookups; i++) {
+      std::string v;
+      bed->db->Get(ReadOptions(), workload::EncodeKey(rnd.Next() | 1), &v)
+          .ok();
+    }
+    *lookup_ios = static_cast<double>(
+                      bed->db->stats().point_lookup_pages_read.load() -
+                      before) /
+                  lookups;
+    // A 25% prefix delete: full drops require tiles to weave, so the 1/h
+    // scaling shows (a 100% delete is trivially full-droppable at any h).
+    uint64_t io_before = bed->PagesRead() + bed->PagesWritten();
+    CheckOk(bed->db->SecondaryRangeDelete(WriteOptions(), 0, n / 4), "srd");
+    *srd_ios =
+        static_cast<double>(bed->PagesRead() + bed->PagesWritten() -
+                            io_before);
+  };
+
+  double lookup_h1, srd_h1;
+  measure(1, &lookup_h1, &srd_h1);
+  for (uint32_t h : {4u, 16u}) {
+    double lookup_h, srd_h;
+    measure(h, &lookup_h, &srd_h);
+    printf("zero_lookup_ios,%u,%.1f,%.1f\n", h, static_cast<double>(h),
+           lookup_h1 == 0 ? 0 : lookup_h / lookup_h1);
+    printf("secondary_range_delete_ios,%u,%.3f,%.3f\n", h, 1.0 / h,
+           srd_h1 == 0 ? 0 : srd_h / srd_h1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lethe
+
+int main() {
+  lethe::bench::Run();
+  return 0;
+}

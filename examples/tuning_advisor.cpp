@@ -1,0 +1,54 @@
+// Walks through Lethe's tuning model (§4.2.6 / §4.3): given a workload mix
+// and tree shape, compute the optimal delete-tile granularity h from Eq. 3
+// and show the cost curve from Eq. 1. Reproduces the paper's worked
+// example: a 400 GB database with 4 KB pages, 50M point queries and 10K
+// short range scans per secondary range delete gives h ≈ 102.
+//
+//   ./tuning_advisor
+
+#include <cstdio>
+
+#include "src/core/lethe.h"
+
+int main() {
+  // The paper's §4.3 example.
+  lethe::WorkloadMix mix;
+  mix.f_point_query = 5e7;           // 50M point queries...
+  mix.f_short_range_query = 1e4;     // ...10K short scans...
+  mix.f_secondary_range_delete = 1;  // ...per secondary range delete
+
+  lethe::TreeShape shape;
+  shape.total_entries = 400.0 * (1ull << 30) / 4096.0;  // pages in 400GB
+  shape.entries_per_page = 1;  // model N/B directly as the page count
+  shape.levels = 8;
+  shape.false_positive_rate = 0.02;
+
+  double bound = lethe::OptimalDeleteTileBound(mix, shape);
+  printf("paper example (400GB, 4KB pages, FPR=0.02):\n");
+  printf("  Eq.3 optimal h bound : %.0f   (paper: ~102)\n", bound);
+  printf("  chosen power-of-two h: %u\n\n",
+         lethe::ChooseDeleteTileGranularity(mix, shape, 1 << 20));
+
+  // Cost curve: how the per-mix I/O cost moves with h (Eq. 1).
+  printf("h,workload_cost_page_ios\n");
+  for (double h : {1.0, 2.0, 8.0, 32.0, bound, 4 * bound, 16 * bound}) {
+    printf("%.0f,%.3e\n", h, lethe::WorkloadCost(mix, shape, h));
+  }
+
+  // Sensitivity: the optimal h scales with the relative frequency of
+  // secondary range deletes (Eq. 3's denominator).
+  printf("\nsecondary_deletes_per_50M_lookups,optimal_h\n");
+  for (double srd : {0.1, 1.0, 10.0, 100.0}) {
+    lethe::WorkloadMix scaled = mix;
+    scaled.f_secondary_range_delete = srd;
+    printf("%.1f,%.0f\n", srd,
+           lethe::OptimalDeleteTileBound(scaled, shape));
+  }
+
+  // And with no secondary deletes, the classic layout wins outright.
+  lethe::WorkloadMix no_srd = mix;
+  no_srd.f_secondary_range_delete = 0;
+  printf("\nwith no secondary range deletes: h = %.0f (classic layout)\n",
+         lethe::OptimalDeleteTileBound(no_srd, shape));
+  return 0;
+}

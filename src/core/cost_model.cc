@@ -1,0 +1,160 @@
+#include "src/core/cost_model.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace lethe {
+
+double CostModel::Levels(double n) const {
+  double buffer_entries = params_.P * params_.B;
+  if (n <= buffer_entries) {
+    return 1;
+  }
+  return std::ceil(std::log(n / buffer_entries) / std::log(params_.T));
+}
+
+double CostModel::FalsePositiveRate(double n) const {
+  static const double kLn2Sq = 0.4804530139182014;  // ln(2)^2
+  return std::exp(-params_.m_bits / n * kLn2Sq);
+}
+
+double CostModel::EntriesInTree(ModelVariant v) const {
+  return UsesFade(v) ? params_.EffectiveNDelta() : params_.N;
+}
+
+double CostModel::SpaceAmpNoDeletes(ModelPolicy p) const {
+  return p == ModelPolicy::kLeveling ? 1.0 / params_.T : params_.T;
+}
+
+double CostModel::SpaceAmpWithDeletes(ModelVariant v, ModelPolicy p) const {
+  if (UsesFade(v)) {
+    // Timely persistence restores the no-delete bounds (Table 2 ▲ cells).
+    return SpaceAmpNoDeletes(p);
+  }
+  if (p == ModelPolicy::kLeveling) {
+    // O(((1-λ)·N + 1) / (λ·T)) normalized per unique entry: a λ-sized
+    // tombstone can hold (1-λ)/λ bytes of invalidated data per T.
+    return (1.0 - params_.lambda) / (params_.lambda * params_.T);
+  }
+  // Tiering: O(N / (1-λ)) worst case — report the amplification factor
+  // 1/(1-λ) scaled by T tiers of overlap.
+  return params_.T / (1.0 - params_.lambda);
+}
+
+double CostModel::WriteAmp(ModelVariant v, ModelPolicy p) const {
+  double n = EntriesInTree(v);
+  double levels = Levels(n);
+  // Leveling: each entry is rewritten ~T/2 times per level; tiering: once.
+  return p == ModelPolicy::kLeveling ? levels * params_.T / 2.0 : levels;
+}
+
+double CostModel::DeletePersistenceLatencySeconds(ModelVariant v,
+                                                  ModelPolicy p) const {
+  if (UsesFade(v)) {
+    return params_.dth_seconds;
+  }
+  double levels = Levels(params_.N);
+  double exponent = p == ModelPolicy::kLeveling ? levels - 1 : levels;
+  return std::pow(params_.T, exponent) * params_.P * params_.B /
+         params_.ingest_rate;
+}
+
+double CostModel::ZeroResultPointLookupIos(ModelVariant v,
+                                           ModelPolicy p) const {
+  double n = EntriesInTree(v);
+  double fpr = FalsePositiveRate(n);
+  double per_run = UsesKiwi(v) ? fpr * params_.h : fpr;
+  double runs = p == ModelPolicy::kLeveling ? Levels(n)
+                                            : Levels(n) * params_.T;
+  return per_run * runs;
+}
+
+double CostModel::NonZeroPointLookupIos(ModelVariant v, ModelPolicy p) const {
+  return 1.0 + ZeroResultPointLookupIos(v, p);
+}
+
+double CostModel::ShortRangeLookupIos(ModelVariant v, ModelPolicy p) const {
+  double n = EntriesInTree(v);
+  double levels = Levels(n);
+  double runs = p == ModelPolicy::kLeveling ? levels : levels * params_.T;
+  return UsesKiwi(v) ? runs * params_.h : runs;
+}
+
+double CostModel::LongRangeLookupIos(ModelVariant v, ModelPolicy p) const {
+  double n = EntriesInTree(v);
+  double pages = params_.s * n / params_.B;
+  return p == ModelPolicy::kLeveling ? pages : pages * params_.T;
+}
+
+double CostModel::InsertCostIos(ModelVariant v, ModelPolicy p) const {
+  double n = EntriesInTree(v);
+  double levels = Levels(n);
+  return p == ModelPolicy::kLeveling ? levels * params_.T / params_.B
+                                     : levels / params_.B;
+}
+
+double CostModel::SecondaryRangeDeleteIos(ModelVariant v,
+                                          ModelPolicy p) const {
+  (void)p;  // identical for both policies (Table 2)
+  double n = EntriesInTree(v);
+  double pages = n / params_.B;
+  return UsesKiwi(v) ? pages / params_.h : pages;
+}
+
+double CostModel::MainMemoryFootprintBytes(ModelVariant v) const {
+  double n = EntriesInTree(v);
+  double filter_bytes = params_.m_bits / 8.0;
+  double pages = n / params_.B;
+  if (UsesKiwi(v)) {
+    // Sort-key fences per delete tile + delete-key fences per page
+    // (§4.2.3 memory overhead formula).
+    return filter_bytes + pages / params_.h * params_.key_bytes +
+           pages * params_.delete_key_bytes;
+  }
+  // State of the art: sort-key fence pointers per page.
+  return filter_bytes + pages * params_.key_bytes;
+}
+
+std::string CostModel::RenderTable() const {
+  struct Row {
+    const char* name;
+    double (CostModel::*fn)(ModelVariant, ModelPolicy) const;
+  };
+  static const Row kRows[] = {
+      {"space_amp_with_deletes", &CostModel::SpaceAmpWithDeletes},
+      {"write_amp", &CostModel::WriteAmp},
+      {"delete_persistence_s", &CostModel::DeletePersistenceLatencySeconds},
+      {"zero_lookup_ios", &CostModel::ZeroResultPointLookupIos},
+      {"nonzero_lookup_ios", &CostModel::NonZeroPointLookupIos},
+      {"short_range_ios", &CostModel::ShortRangeLookupIos},
+      {"long_range_ios", &CostModel::LongRangeLookupIos},
+      {"insert_ios", &CostModel::InsertCostIos},
+      {"secondary_range_delete_ios", &CostModel::SecondaryRangeDeleteIos},
+  };
+  static const ModelVariant kVariants[] = {
+      ModelVariant::kStateOfArt, ModelVariant::kFade, ModelVariant::kKiwi,
+      ModelVariant::kLethe};
+
+  std::ostringstream out;
+  for (auto policy : {ModelPolicy::kLeveling, ModelPolicy::kTiering}) {
+    out << (policy == ModelPolicy::kLeveling ? "== leveling ==\n"
+                                             : "== tiering ==\n");
+    out << "metric,SoA,FADE,KiWi,Lethe\n";
+    for (const Row& row : kRows) {
+      out << row.name;
+      for (size_t i = 0; i < 4; i++) {
+        out << "," << (this->*row.fn)(kVariants[i], policy);
+      }
+      out << "\n";
+    }
+    out << "memory_bytes";
+    for (size_t i = 0; i < 4; i++) {
+      out << "," << MainMemoryFootprintBytes(kVariants[i]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lethe

@@ -1,0 +1,77 @@
+#ifndef LETHE_CORE_COST_MODEL_H_
+#define LETHE_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lethe {
+
+/// The modeling parameters of Table 1.
+struct ModelParams {
+  double N = 1 << 20;      // entries inserted (incl. tombstones)
+  double T = 10;           // size ratio
+  double P = 512;          // buffer size in pages
+  double B = 4;            // entries per page
+  double E = 1024;         // bytes per entry
+  double m_bits = 8e7;     // memory for Bloom filters, bits (10 MB)
+  double h = 16;           // pages per delete tile
+  double lambda = 0.1;     // tombstone size / entry size
+  double N_delta = 0;      // entries after timely delete persistence (0 → N)
+  double s = 1e-3;         // long-range-lookup selectivity
+  double ingest_rate = 1024;  // I, unique entries per second
+  double dth_seconds = 3600;  // delete persistence threshold
+  double key_bytes = 16;      // sizeof(S)
+  double delete_key_bytes = 8;  // sizeof(D)
+
+  double EffectiveNDelta() const { return N_delta > 0 ? N_delta : N; }
+};
+
+enum class ModelVariant { kStateOfArt, kFade, kKiwi, kLethe };
+enum class ModelPolicy { kLeveling, kTiering };
+
+/// Closed-form cost model reproducing every row of Table 2. FADE rows use
+/// N_delta (the tree size once deletes persist timely); KiWi rows carry the
+/// h factor on point/short-range reads and the 1/h factor on secondary range
+/// deletes; Lethe composes both.
+class CostModel {
+ public:
+  explicit CostModel(const ModelParams& params) : params_(params) {}
+
+  /// L: number of disk levels needed for n entries.
+  double Levels(double n) const;
+
+  /// Bloom filter false positive rate for n entries sharing m_bits.
+  double FalsePositiveRate(double n) const;
+
+  double EntriesInTree(ModelVariant v) const;
+  double SpaceAmpNoDeletes(ModelPolicy p) const;
+  double SpaceAmpWithDeletes(ModelVariant v, ModelPolicy p) const;
+  double WriteAmp(ModelVariant v, ModelPolicy p) const;
+  double DeletePersistenceLatencySeconds(ModelVariant v, ModelPolicy p) const;
+  double ZeroResultPointLookupIos(ModelVariant v, ModelPolicy p) const;
+  double NonZeroPointLookupIos(ModelVariant v, ModelPolicy p) const;
+  double ShortRangeLookupIos(ModelVariant v, ModelPolicy p) const;
+  double LongRangeLookupIos(ModelVariant v, ModelPolicy p) const;
+  double InsertCostIos(ModelVariant v, ModelPolicy p) const;
+  double SecondaryRangeDeleteIos(ModelVariant v, ModelPolicy p) const;
+  double MainMemoryFootprintBytes(ModelVariant v) const;
+
+  const ModelParams& params() const { return params_; }
+
+  /// Renders the full Table 2 grid as text (benches print this).
+  std::string RenderTable() const;
+
+ private:
+  bool UsesFade(ModelVariant v) const {
+    return v == ModelVariant::kFade || v == ModelVariant::kLethe;
+  }
+  bool UsesKiwi(ModelVariant v) const {
+    return v == ModelVariant::kKiwi || v == ModelVariant::kLethe;
+  }
+
+  ModelParams params_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_CORE_COST_MODEL_H_

@@ -1,0 +1,162 @@
+#ifndef LETHE_CORE_DB_H_
+#define LETHE_CORE_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/core/statistics.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace lethe {
+
+/// User-facing forward iterator over live key-value pairs (tombstones and
+/// superseded versions are filtered out).
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+  /// Secondary delete key of the current entry.
+  virtual uint64_t delete_key() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+/// Point-in-time description of the tree used by benches and tests: one row
+/// per level with file/entry/tombstone counts and the oldest tombstone age.
+struct LevelSnapshot {
+  int level = 0;
+  uint64_t num_files = 0;
+  uint64_t num_runs = 0;
+  uint64_t num_entries = 0;
+  uint64_t num_point_tombstones = 0;
+  uint64_t num_range_tombstones = 0;
+  uint64_t bytes = 0;
+  uint64_t oldest_tombstone_age_micros = 0;
+};
+
+/// One result of a secondary range lookup (query on the delete key).
+struct SecondaryHit {
+  std::string key;
+  std::string value;
+  uint64_t delete_key = 0;
+};
+
+/// Per-file tombstone-age sample for the Fig 6E style distribution.
+struct TombstoneAgeSample {
+  int level = 0;
+  uint64_t age_micros = 0;        // age of file's oldest tombstone
+  uint64_t num_point_tombstones = 0;
+};
+
+/// Lethe: an LSM-tree key-value engine with delete-aware compaction (FADE)
+/// and the Key Weaving Storage Layout (KiWi) for secondary range deletes.
+///
+/// Every entry carries two keys: the *sort key* (bytes, primary access path)
+/// and a 64-bit *delete key* (e.g. a timestamp) on which
+/// SecondaryRangeDelete operates. With Options defaults the engine behaves
+/// like a state-of-the-art leveled LSM (the paper's RocksDB baseline);
+/// setting Options::delete_persistence_threshold_micros enables FADE, and
+/// Options::table.pages_per_tile > 1 enables KiWi delete tiles.
+class DB {
+ public:
+  /// Opens (or creates) the database at `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* db);
+
+  virtual ~DB() = default;
+
+  DB() = default;
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  /// Inserts or updates `key` with the given delete key and value.
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     uint64_t delete_key, const Slice& value) = 0;
+
+  /// Point delete on the sort key (inserts a tombstone).
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+
+  /// Range delete on the sort key: logically deletes [begin_key, end_key).
+  virtual Status RangeDelete(const WriteOptions& options,
+                             const Slice& begin_key,
+                             const Slice& end_key) = 0;
+
+  /// Secondary range delete (KiWi): physically and immediately removes every
+  /// entry whose delete key lies in [delete_key_begin, delete_key_end),
+  /// dropping fully-covered pages without reading them. Not
+  /// snapshot-isolated: iterators opened earlier may observe the deletion.
+  virtual Status SecondaryRangeDelete(const WriteOptions& options,
+                                      uint64_t delete_key_begin,
+                                      uint64_t delete_key_end) = 0;
+
+  /// Point lookup. Returns NotFound if absent or deleted.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  /// Like Get, additionally returning the entry's delete key.
+  virtual Status GetWithDeleteKey(const ReadOptions& options, const Slice& key,
+                                  std::string* value,
+                                  uint64_t* delete_key) = 0;
+
+  virtual std::unique_ptr<Iterator> NewIterator(const ReadOptions& options) = 0;
+
+  /// Secondary range lookup (§4.2.5): returns the live entries whose delete
+  /// key lies in [delete_key_begin, delete_key_end), sorted by sort key.
+  /// KiWi's delete fence pointers prune the page reads to tiles/pages
+  /// overlapping the range; candidates are then verified against the
+  /// primary read path (a superseded version must not surface). The classic
+  /// layout (h = 1) degenerates to scanning every page that overlaps the
+  /// range — typically the whole tree.
+  virtual Status SecondaryRangeLookup(const ReadOptions& options,
+                                      uint64_t delete_key_begin,
+                                      uint64_t delete_key_end,
+                                      std::vector<SecondaryHit>* hits) = 0;
+
+  /// Forces the memtable to disk (no-op when empty).
+  virtual Status Flush() = 0;
+
+  /// Runs compactions until no trigger (saturation or TTL) fires. With FADE
+  /// enabled this persists every tombstone whose TTL has expired.
+  virtual Status CompactUntilQuiescent() = 0;
+
+  /// Full-tree compaction: merges everything into the bottommost level,
+  /// persisting all deletes — the expensive state-of-the-art fallback the
+  /// paper argues against (§3.1.3). Provided for baseline experiments.
+  virtual Status CompactAll() = 0;
+
+  /// Engine counters (monotonic).
+  virtual const Statistics& stats() const = 0;
+
+  /// Per-level structure snapshot.
+  virtual std::vector<LevelSnapshot> GetLevelSnapshots() = 0;
+
+  /// Per-file tombstone ages (Fig 6E).
+  virtual std::vector<TombstoneAgeSample> GetTombstoneAges() = 0;
+
+  /// Space amplification per the paper's definition (§3.2.1):
+  /// (csize(N) - csize(U)) / csize(U) over entry counts, where U counts
+  /// unique live user keys. Performs a full scan.
+  virtual Status ComputeSpaceAmplification(double* samp) = 0;
+
+  /// Total live entries currently in the tree (metadata-based, no I/O).
+  virtual uint64_t ApproximateEntryCount() const = 0;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_CORE_DB_H_

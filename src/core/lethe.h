@@ -1,0 +1,25 @@
+#ifndef LETHE_CORE_LETHE_H_
+#define LETHE_CORE_LETHE_H_
+
+/// Umbrella header: everything a library user needs.
+///
+///   #include "src/core/lethe.h"
+///
+///   lethe::Options options;
+///   options.delete_persistence_threshold_micros = ...;  // enable FADE
+///   options.table.pages_per_tile = 8;                   // enable KiWi
+///   std::unique_ptr<lethe::DB> db;
+///   lethe::DB::Open(options, "/path/to/db", &db);
+
+#include "src/core/cost_model.h"
+#include "src/core/db.h"
+#include "src/core/options.h"
+#include "src/core/statistics.h"
+#include "src/core/tuner.h"
+#include "src/env/env.h"
+#include "src/env/io_counting_env.h"
+#include "src/util/clock.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+#endif  // LETHE_CORE_LETHE_H_

@@ -1,0 +1,107 @@
+#ifndef LETHE_CORE_OPTIONS_H_
+#define LETHE_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/env/env.h"
+#include "src/format/table_options.h"
+#include "src/util/clock.h"
+
+namespace lethe {
+
+/// Merging policy (§2): leveling keeps at most one sorted run per level and
+/// greedily merges; tiering accumulates T runs per level before merging them
+/// all into the next level.
+enum class CompactionStyle {
+  kLeveling,
+  kTiering,
+};
+
+/// FADE's three compaction modes (§4.1.4). The trigger is implicit: a TTL
+/// expiry always takes precedence over saturation when FADE is enabled.
+///   kMinOverlap     — saturation-driven trigger, overlap-driven selection
+///                     (SO): the state-of-the-art baseline, optimizes write
+///                     amplification.
+///   kMaxTombstones  — saturation-driven trigger, delete-driven selection
+///                     (SD): picks the file with the highest estimated
+///                     invalidation count b, optimizes space amplification.
+/// The delete-driven trigger + delete-driven selection (DD) engages
+/// automatically for TTL-expired files when delete_persistence_threshold is
+/// set.
+enum class FilePickingPolicy {
+  kMinOverlap,
+  kMaxTombstones,
+};
+
+/// All engine configuration. Defaults mirror the paper's Table 1 / §5 setup
+/// where practical (T = 10, 10 bloom bits/key, 1 MB buffer).
+struct Options {
+  /// Storage substrate. Defaults to the process-wide POSIX env; tests and
+  /// benches inject MemEnv/IoCountingEnv.
+  Env* env = nullptr;  // nullptr → Env::Default()
+
+  /// Time source for FADE tombstone ages. nullptr → SystemClock.
+  Clock* clock = nullptr;
+
+  /// Create the database directory if missing.
+  bool create_if_missing = true;
+
+  /// M: write buffer (memtable) capacity in bytes. Paper default 1 MB.
+  uint64_t write_buffer_bytes = 1ull << 20;
+
+  /// T: size ratio between adjacent levels.
+  uint32_t size_ratio = 10;
+
+  /// Target size for files emitted by flushes and compactions; the unit of
+  /// partial compaction.
+  uint64_t target_file_bytes = 1ull << 20;
+
+  /// Physical layout: page size, B (entries/page), h (pages per delete
+  /// tile), bloom bits.
+  TableOptions table;
+
+  CompactionStyle compaction_style = CompactionStyle::kLeveling;
+  FilePickingPolicy file_picking = FilePickingPolicy::kMinOverlap;
+
+  /// Dth in clock micros. 0 disables FADE's TTL machinery (unbounded delete
+  /// persistence latency — the state-of-the-art behaviour).
+  uint64_t delete_persistence_threshold_micros = 0;
+
+  /// FADE's blind-delete guard (§4.1.5): probe Bloom filters before
+  /// inserting a point tombstone and skip tombstones for keys that are
+  /// definitely absent.
+  bool filter_blind_deletes = false;
+
+  /// Write-ahead logging. The paper's experiments run with the WAL disabled;
+  /// recovery tests enable it.
+  bool enable_wal = true;
+  bool sync_wal = false;
+
+  /// Safety valve for pathological configs.
+  int max_levels = 16;
+
+  /// Returns a copy with env/clock defaults resolved.
+  Options WithDefaults() const;
+
+  /// Validates invariants (nonzero sizes, sane ratios).
+  Status Validate() const;
+
+  bool fade_enabled() const {
+    return delete_persistence_threshold_micros > 0;
+  }
+};
+
+/// Per-write knobs.
+struct WriteOptions {
+  bool sync = false;
+};
+
+/// Per-read knobs.
+struct ReadOptions {
+  bool verify_checksums = true;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_CORE_OPTIONS_H_

@@ -1,0 +1,67 @@
+#include "src/core/statistics.h"
+
+#include <sstream>
+
+namespace lethe {
+
+namespace {
+void Copy(std::atomic<uint64_t>& dst, const std::atomic<uint64_t>& src) {
+  dst.store(src.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+}  // namespace
+
+void Statistics::CopyFrom(const Statistics& other) {
+  Copy(user_puts, other.user_puts);
+  Copy(user_bytes_written, other.user_bytes_written);
+  Copy(user_deletes, other.user_deletes);
+  Copy(user_range_deletes, other.user_range_deletes);
+  Copy(blind_deletes_avoided, other.blind_deletes_avoided);
+  Copy(flushes, other.flushes);
+  Copy(flush_bytes_written, other.flush_bytes_written);
+  Copy(compactions, other.compactions);
+  Copy(compactions_saturation_triggered,
+       other.compactions_saturation_triggered);
+  Copy(compactions_ttl_triggered, other.compactions_ttl_triggered);
+  Copy(compaction_bytes_read, other.compaction_bytes_read);
+  Copy(compaction_bytes_written, other.compaction_bytes_written);
+  Copy(compaction_entries_in, other.compaction_entries_in);
+  Copy(compaction_entries_out, other.compaction_entries_out);
+  Copy(trivial_moves, other.trivial_moves);
+  Copy(tombstones_written, other.tombstones_written);
+  Copy(tombstones_dropped, other.tombstones_dropped);
+  Copy(invalid_entries_purged, other.invalid_entries_purged);
+  Copy(point_lookups, other.point_lookups);
+  Copy(point_lookup_pages_read, other.point_lookup_pages_read);
+  Copy(range_lookups, other.range_lookups);
+  Copy(range_lookup_pages_read, other.range_lookup_pages_read);
+  Copy(bloom_probes, other.bloom_probes);
+  Copy(bloom_negatives, other.bloom_negatives);
+  Copy(bloom_false_positives, other.bloom_false_positives);
+  Copy(hash_computations, other.hash_computations);
+  Copy(secondary_range_deletes, other.secondary_range_deletes);
+  Copy(full_page_drops, other.full_page_drops);
+  Copy(partial_page_drops, other.partial_page_drops);
+  Copy(pages_scanned_for_srd, other.pages_scanned_for_srd);
+  Copy(entries_purged_by_srd, other.entries_purged_by_srd);
+}
+
+std::string Statistics::ToString() const {
+  std::ostringstream out;
+  out << "puts=" << user_puts.load() << " deletes=" << user_deletes.load()
+      << " range_deletes=" << user_range_deletes.load()
+      << " flushes=" << flushes.load()
+      << " compactions=" << compactions.load() << " (saturation="
+      << compactions_saturation_triggered.load()
+      << ", ttl=" << compactions_ttl_triggered.load() << ")"
+      << " compaction_bytes_written=" << compaction_bytes_written.load()
+      << " tombstones_dropped=" << tombstones_dropped.load()
+      << " point_lookups=" << point_lookups.load()
+      << " lookup_pages=" << point_lookup_pages_read.load()
+      << " bloom_probes=" << bloom_probes.load()
+      << " bloom_fp=" << bloom_false_positives.load()
+      << " full_page_drops=" << full_page_drops.load()
+      << " partial_page_drops=" << partial_page_drops.load();
+  return out.str();
+}
+
+}  // namespace lethe

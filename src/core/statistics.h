@@ -1,0 +1,81 @@
+#ifndef LETHE_CORE_STATISTICS_H_
+#define LETHE_CORE_STATISTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lethe {
+
+/// Engine-wide event counters. Every metric the paper's evaluation reports is
+/// derivable from these plus the IoStats of the underlying env:
+///   - #compactions and bytes compacted (Fig 6B, 6C, 6F)
+///   - lookup I/Os and Bloom behaviour (Fig 6D, 6I, 6K)
+///   - hash computations (Fig 6K's CPU cost)
+///   - full vs partial page drops for secondary range deletes (Fig 6H, 6L)
+///   - tombstone flow for delete-persistence accounting (Fig 6E)
+/// All counters are monotonically increasing and thread-safe.
+struct Statistics {
+  // Write path.
+  std::atomic<uint64_t> user_puts{0};
+  std::atomic<uint64_t> user_bytes_written{0};  // key+value payload bytes
+  std::atomic<uint64_t> user_deletes{0};
+  std::atomic<uint64_t> user_range_deletes{0};
+  std::atomic<uint64_t> blind_deletes_avoided{0};
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> flush_bytes_written{0};
+
+  // Compactions.
+  std::atomic<uint64_t> compactions{0};
+  std::atomic<uint64_t> compactions_saturation_triggered{0};
+  std::atomic<uint64_t> compactions_ttl_triggered{0};
+  std::atomic<uint64_t> compaction_bytes_read{0};
+  std::atomic<uint64_t> compaction_bytes_written{0};
+  std::atomic<uint64_t> compaction_entries_in{0};
+  std::atomic<uint64_t> compaction_entries_out{0};
+  std::atomic<uint64_t> trivial_moves{0};
+
+  // Tombstone lifecycle.
+  std::atomic<uint64_t> tombstones_written{0};   // flushed into L1+
+  std::atomic<uint64_t> tombstones_dropped{0};   // persisted at last level
+  std::atomic<uint64_t> invalid_entries_purged{0};
+
+  // Read path.
+  std::atomic<uint64_t> point_lookups{0};
+  std::atomic<uint64_t> point_lookup_pages_read{0};
+  std::atomic<uint64_t> range_lookups{0};
+  std::atomic<uint64_t> range_lookup_pages_read{0};
+  std::atomic<uint64_t> bloom_probes{0};
+  std::atomic<uint64_t> bloom_negatives{0};
+  std::atomic<uint64_t> bloom_false_positives{0};
+  std::atomic<uint64_t> hash_computations{0};
+
+  // Secondary range deletes (KiWi).
+  std::atomic<uint64_t> secondary_range_deletes{0};
+  std::atomic<uint64_t> full_page_drops{0};
+  std::atomic<uint64_t> partial_page_drops{0};
+  std::atomic<uint64_t> pages_scanned_for_srd{0};
+  std::atomic<uint64_t> entries_purged_by_srd{0};
+
+  void Reset() {
+    *this = Statistics();
+  }
+
+  Statistics() = default;
+  Statistics(const Statistics& other) { CopyFrom(other); }
+  Statistics& operator=(const Statistics& other) {
+    if (this != &other) {
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  void CopyFrom(const Statistics& other);
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_CORE_STATISTICS_H_

@@ -1,0 +1,32 @@
+#include "src/env/env.h"
+
+namespace lethe {
+
+Status WriteStringToFile(Env* env, const Slice& data,
+                         const std::string& fname) {
+  std::unique_ptr<WritableFile> file;
+  LETHE_RETURN_IF_ERROR(env->NewWritableFile(fname, &file));
+  LETHE_RETURN_IF_ERROR(file->Append(data));
+  LETHE_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+Status ReadFileToString(Env* env, const std::string& fname,
+                        std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  LETHE_RETURN_IF_ERROR(env->NewSequentialFile(fname, &file));
+  static const size_t kBufferSize = 8192;
+  std::string scratch(kBufferSize, '\0');
+  while (true) {
+    Slice fragment;
+    LETHE_RETURN_IF_ERROR(file->Read(kBufferSize, &fragment, scratch.data()));
+    if (fragment.empty()) {
+      break;
+    }
+    data->append(fragment.data(), fragment.size());
+  }
+  return Status::OK();
+}
+
+}  // namespace lethe

@@ -1,0 +1,194 @@
+#include "src/env/io_counting_env.h"
+
+namespace lethe {
+
+namespace {
+constexpr uint64_t kNoFailure = UINT64_MAX;
+}  // namespace
+
+class CountingWritableFile final : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> target,
+                       IoCountingEnv* env)
+      : target_(std::move(target)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    if (env_->ShouldFailWrite()) {
+      return Status::IOError("injected write failure");
+    }
+    Status s = target_->Append(data);
+    if (s.ok()) {
+      env_->stats_.bytes_written.fetch_add(data.size(),
+                                           std::memory_order_relaxed);
+      env_->stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+      env_->stats_.pages_written.fetch_add(env_->PagesFor(data.size()),
+                                           std::memory_order_relaxed);
+    }
+    return s;
+  }
+  Status Flush() override { return target_->Flush(); }
+  Status Sync() override { return target_->Sync(); }
+  Status Close() override { return target_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> target_;
+  IoCountingEnv* env_;
+};
+
+class CountingRandomWriteFile final : public RandomWriteFile {
+ public:
+  CountingRandomWriteFile(std::unique_ptr<RandomWriteFile> target,
+                          IoCountingEnv* env)
+      : target_(std::move(target)), env_(env) {}
+
+  Status WriteAt(uint64_t offset, const Slice& data) override {
+    if (env_->ShouldFailWrite()) {
+      return Status::IOError("injected write failure");
+    }
+    Status s = target_->WriteAt(offset, data);
+    if (s.ok()) {
+      env_->stats_.bytes_written.fetch_add(data.size(),
+                                           std::memory_order_relaxed);
+      env_->stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+      env_->stats_.pages_written.fetch_add(env_->PagesFor(data.size()),
+                                           std::memory_order_relaxed);
+    }
+    return s;
+  }
+  Status Sync() override { return target_->Sync(); }
+  Status Close() override { return target_->Close(); }
+
+ private:
+  std::unique_ptr<RandomWriteFile> target_;
+  IoCountingEnv* env_;
+};
+
+class CountingRandomAccessFile final : public RandomAccessFile {
+ public:
+  CountingRandomAccessFile(std::unique_ptr<RandomAccessFile> target,
+                           IoCountingEnv* env)
+      : target_(std::move(target)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = target_->Read(offset, n, result, scratch);
+    if (s.ok()) {
+      env_->stats_.bytes_read.fetch_add(result->size(),
+                                        std::memory_order_relaxed);
+      env_->stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+      env_->stats_.pages_read.fetch_add(env_->PagesFor(result->size()),
+                                        std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  uint64_t Size() const override { return target_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> target_;
+  IoCountingEnv* env_;
+};
+
+class CountingSequentialFile final : public SequentialFile {
+ public:
+  CountingSequentialFile(std::unique_ptr<SequentialFile> target,
+                         IoCountingEnv* env)
+      : target_(std::move(target)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = target_->Read(n, result, scratch);
+    if (s.ok()) {
+      env_->stats_.bytes_read.fetch_add(result->size(),
+                                        std::memory_order_relaxed);
+      env_->stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+      env_->stats_.pages_read.fetch_add(env_->PagesFor(result->size()),
+                                        std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  Status Skip(uint64_t n) override { return target_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> target_;
+  IoCountingEnv* env_;
+};
+
+bool IoCountingEnv::ShouldFailWrite() {
+  uint64_t current = writes_until_failure_.load(std::memory_order_relaxed);
+  while (current != kNoFailure) {
+    if (current == 0) {
+      return true;
+    }
+    if (writes_until_failure_.compare_exchange_weak(
+            current, current - 1, std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  return false;
+}
+
+Status IoCountingEnv::NewWritableFile(const std::string& fname,
+                                      std::unique_ptr<WritableFile>* result) {
+  std::unique_ptr<WritableFile> file;
+  LETHE_RETURN_IF_ERROR(target_->NewWritableFile(fname, &file));
+  stats_.files_created.fetch_add(1, std::memory_order_relaxed);
+  *result = std::make_unique<CountingWritableFile>(std::move(file), this);
+  return Status::OK();
+}
+
+Status IoCountingEnv::NewRandomWriteFile(
+    const std::string& fname, std::unique_ptr<RandomWriteFile>* result) {
+  std::unique_ptr<RandomWriteFile> file;
+  LETHE_RETURN_IF_ERROR(target_->NewRandomWriteFile(fname, &file));
+  *result = std::make_unique<CountingRandomWriteFile>(std::move(file), this);
+  return Status::OK();
+}
+
+Status IoCountingEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> file;
+  LETHE_RETURN_IF_ERROR(target_->NewRandomAccessFile(fname, &file));
+  *result = std::make_unique<CountingRandomAccessFile>(std::move(file), this);
+  return Status::OK();
+}
+
+Status IoCountingEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> file;
+  LETHE_RETURN_IF_ERROR(target_->NewSequentialFile(fname, &file));
+  *result = std::make_unique<CountingSequentialFile>(std::move(file), this);
+  return Status::OK();
+}
+
+bool IoCountingEnv::FileExists(const std::string& fname) {
+  return target_->FileExists(fname);
+}
+
+Status IoCountingEnv::RemoveFile(const std::string& fname) {
+  Status s = target_->RemoveFile(fname);
+  if (s.ok()) {
+    stats_.files_removed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Status IoCountingEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  return target_->GetFileSize(fname, size);
+}
+
+Status IoCountingEnv::RenameFile(const std::string& src,
+                                 const std::string& target) {
+  return target_->RenameFile(src, target);
+}
+
+Status IoCountingEnv::CreateDirIfMissing(const std::string& dirname) {
+  return target_->CreateDirIfMissing(dirname);
+}
+
+Status IoCountingEnv::GetChildren(const std::string& dirname,
+                                  std::vector<std::string>* result) {
+  return target_->GetChildren(dirname, result);
+}
+
+}  // namespace lethe

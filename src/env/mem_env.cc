@@ -1,0 +1,234 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/env/env.h"
+
+namespace lethe {
+
+namespace {
+
+/// Contents of one in-memory file. Shared between open handles so that a
+/// reader opened before an overwrite keeps seeing the old bytes (files in
+/// the engine are immutable once written, so in practice this does not
+/// matter, but it keeps the semantics clean).
+struct FileState {
+  std::mutex mu;
+  std::string contents;
+};
+
+using FileSystem = std::map<std::string, std::shared_ptr<FileState>>;
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    file_->contents.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<FileState> file_;
+};
+
+class MemRandomWriteFile final : public RandomWriteFile {
+ public:
+  explicit MemRandomWriteFile(std::shared_ptr<FileState> file)
+      : file_(std::move(file)) {}
+
+  Status WriteAt(uint64_t offset, const Slice& data) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    std::string& contents = file_->contents;
+    if (offset + data.size() > contents.size()) {
+      contents.resize(offset + data.size(), '\0');
+    }
+    memcpy(contents.data() + offset, data.data(), data.size());
+    return Status::OK();
+  }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<FileState> file_;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<FileState> file)
+      : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    const std::string& contents = file_->contents;
+    if (offset >= contents.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = contents.size() - offset;
+    size_t to_read = std::min(n, avail);
+    memcpy(scratch, contents.data() + offset, to_read);
+    *result = Slice(scratch, to_read);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    return file_->contents.size();
+  }
+
+ private:
+  mutable std::shared_ptr<FileState> file_;
+};
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(std::shared_ptr<FileState> file)
+      : file_(std::move(file)), pos_(0) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    const std::string& contents = file_->contents;
+    if (pos_ >= contents.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t to_read = std::min(n, contents.size() - pos_);
+    memcpy(scratch, contents.data() + pos_, to_read);
+    *result = Slice(scratch, to_read);
+    pos_ += to_read;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FileState> file_;
+  size_t pos_;
+};
+
+class MemEnv final : public Env {
+ public:
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto state = std::make_shared<FileState>();
+    files_[fname] = state;  // truncate semantics
+    *result = std::make_unique<MemWritableFile>(std::move(state));
+    return Status::OK();
+  }
+
+  Status NewRandomWriteFile(
+      const std::string& fname,
+      std::unique_ptr<RandomWriteFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname);
+    }
+    *result = std::make_unique<MemRandomWriteFile>(it->second);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname);
+    }
+    *result = std::make_unique<MemRandomAccessFile>(it->second);
+    return Status::OK();
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname);
+    }
+    *result = std::make_unique<MemSequentialFile>(it->second);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::NotFound(fname);
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) {
+      return Status::NotFound(fname);
+    }
+    std::lock_guard<std::mutex> file_lock(it->second->mu);
+    *size = it->second->contents.size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) {
+      return Status::NotFound(src);
+    }
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string&) override {
+    return Status::OK();  // directories are implicit in the flat namespace
+  }
+
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    std::string prefix = dirname;
+    if (!prefix.empty() && prefix.back() != '/') {
+      prefix += '/';
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, state] : files_) {
+      if (name.size() > prefix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) {
+          result->push_back(rest);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::mutex mu_;
+  FileSystem files_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace lethe

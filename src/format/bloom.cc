@@ -1,0 +1,88 @@
+#include "src/format/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/hash.h"
+
+namespace lethe {
+
+namespace {
+
+// Filter layout: [bit array][1 byte k]. An empty filter (no keys) is encoded
+// as a single 0 byte and matches nothing.
+constexpr uint64_t kBloomSeed = 0xbf58476d1ce4e5b9ull;
+
+inline void DoubleHash(uint64_t h, uint32_t k, uint32_t bits,
+                       bool set_bits, char* array, bool* may_match) {
+  uint64_t delta = (h >> 33) | (h << 31);  // rotate to get second hash
+  for (uint32_t i = 0; i < k; i++) {
+    uint32_t bit_pos = static_cast<uint32_t>(h % bits);
+    if (set_bits) {
+      array[bit_pos / 8] |= static_cast<char>(1 << (bit_pos % 8));
+    } else {
+      if ((array[bit_pos / 8] & (1 << (bit_pos % 8))) == 0) {
+        *may_match = false;
+        return;
+      }
+    }
+    h += delta;
+  }
+}
+
+}  // namespace
+
+uint32_t BloomFilter::NumProbes(uint32_t bits_per_key) {
+  // k = bits_per_key * ln(2), clamped to [1, 30].
+  uint32_t k = static_cast<uint32_t>(bits_per_key * 0.69314718056);
+  return std::clamp<uint32_t>(k, 1, 30);
+}
+
+BloomFilterBuilder::BloomFilterBuilder(uint32_t bits_per_key)
+    : bits_per_key_(bits_per_key) {}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(MurmurHash64(key.data(), key.size(), kBloomSeed));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  std::string result;
+  if (hashes_.empty()) {
+    result.push_back('\0');
+    return result;
+  }
+  uint32_t bits =
+      static_cast<uint32_t>(hashes_.size()) * bits_per_key_;
+  bits = std::max<uint32_t>(bits, 64);
+  uint32_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  result.resize(bytes, '\0');
+  uint32_t k = BloomFilter::NumProbes(bits_per_key_);
+  bool unused = true;
+  for (uint64_t h : hashes_) {
+    DoubleHash(h, k, bits, /*set_bits=*/true, result.data(), &unused);
+  }
+  result.push_back(static_cast<char>(k));
+  hashes_.clear();
+  return result;
+}
+
+bool BloomFilter::KeyMayMatch(const Slice& key) const {
+  if (data_.size() < 2) {
+    return false;  // empty filter: page has no entries
+  }
+  const size_t bytes = data_.size() - 1;
+  const uint32_t bits = static_cast<uint32_t>(bytes * 8);
+  const uint32_t k = static_cast<unsigned char>(data_[data_.size() - 1]);
+  if (k == 0 || k > 30) {
+    return true;  // treat unparseable filters as match-all for safety
+  }
+  uint64_t h = MurmurHash64(key.data(), key.size(), kBloomSeed);
+  bool may_match = true;
+  DoubleHash(h, k, bits, /*set_bits=*/false,
+             const_cast<char*>(data_.data()), &may_match);
+  return may_match;
+}
+
+}  // namespace lethe

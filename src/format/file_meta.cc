@@ -1,0 +1,87 @@
+#include "src/format/file_meta.h"
+
+#include "src/util/coding.h"
+
+namespace lethe {
+
+void EncodeFileMeta(const FileMeta& meta, std::string* dst) {
+  PutVarint64(dst, meta.file_number);
+  PutVarint64(dst, meta.file_size);
+  PutVarint64(dst, meta.run_id);
+  PutVarint64(dst, meta.num_entries);
+  PutVarint64(dst, meta.num_point_tombstones);
+  PutVarint64(dst, meta.num_range_tombstones);
+  PutLengthPrefixedSlice(dst, meta.smallest_key);
+  PutLengthPrefixedSlice(dst, meta.largest_key);
+  PutFixed64(dst, meta.min_delete_key);
+  PutFixed64(dst, meta.max_delete_key);
+  PutFixed64(dst, meta.smallest_seq);
+  PutFixed64(dst, meta.largest_seq);
+  PutFixed64(dst, meta.oldest_tombstone_time);
+  PutVarint32(dst, meta.num_pages);
+  PutVarint32(dst, meta.dropped_page_count);
+  PutLengthPrefixedSlice(
+      dst, Slice(reinterpret_cast<const char*>(meta.dropped_pages.data()),
+                 meta.dropped_pages.size()));
+  PutVarint32(dst, static_cast<uint32_t>(meta.page_live_entries.size()));
+  for (uint32_t v : meta.page_live_entries) {
+    PutVarint32(dst, v);
+  }
+  PutVarint32(dst, static_cast<uint32_t>(meta.page_live_tombstones.size()));
+  for (uint32_t v : meta.page_live_tombstones) {
+    PutVarint32(dst, v);
+  }
+}
+
+Status DecodeFileMeta(Slice* input, FileMeta* meta) {
+  Slice smallest, largest;
+  if (!GetVarint64(input, &meta->file_number) ||
+      !GetVarint64(input, &meta->file_size) ||
+      !GetVarint64(input, &meta->run_id) ||
+      !GetVarint64(input, &meta->num_entries) ||
+      !GetVarint64(input, &meta->num_point_tombstones) ||
+      !GetVarint64(input, &meta->num_range_tombstones) ||
+      !GetLengthPrefixedSlice(input, &smallest) ||
+      !GetLengthPrefixedSlice(input, &largest) ||
+      !GetFixed64(input, &meta->min_delete_key) ||
+      !GetFixed64(input, &meta->max_delete_key) ||
+      !GetFixed64(input, &meta->smallest_seq) ||
+      !GetFixed64(input, &meta->largest_seq) ||
+      !GetFixed64(input, &meta->oldest_tombstone_time)) {
+    return Status::Corruption("malformed FileMeta");
+  }
+  Slice bitmap;
+  if (!GetVarint32(input, &meta->num_pages) ||
+      !GetVarint32(input, &meta->dropped_page_count) ||
+      !GetLengthPrefixedSlice(input, &bitmap)) {
+    return Status::Corruption("malformed FileMeta page bitmap");
+  }
+  meta->smallest_key = smallest.ToString();
+  meta->largest_key = largest.ToString();
+  meta->dropped_pages.assign(
+      reinterpret_cast<const uint8_t*>(bitmap.data()),
+      reinterpret_cast<const uint8_t*>(bitmap.data()) + bitmap.size());
+
+  uint32_t count;
+  if (!GetVarint32(input, &count)) {
+    return Status::Corruption("malformed FileMeta page counts");
+  }
+  meta->page_live_entries.resize(count);
+  for (uint32_t i = 0; i < count; i++) {
+    if (!GetVarint32(input, &meta->page_live_entries[i])) {
+      return Status::Corruption("malformed FileMeta page entry counts");
+    }
+  }
+  if (!GetVarint32(input, &count)) {
+    return Status::Corruption("malformed FileMeta page tombstone counts");
+  }
+  meta->page_live_tombstones.resize(count);
+  for (uint32_t i = 0; i < count; i++) {
+    if (!GetVarint32(input, &meta->page_live_tombstones[i])) {
+      return Status::Corruption("malformed FileMeta tombstone counts");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lethe

@@ -1,0 +1,38 @@
+#ifndef LETHE_FORMAT_ITERATOR_H_
+#define LETHE_FORMAT_ITERATOR_H_
+
+#include "src/format/entry.h"
+#include "src/util/status.h"
+
+namespace lethe {
+
+/// Internal iterator over entries in internal-key order (sort key ascending,
+/// sequence number descending). Produced by memtables, SSTables, and the
+/// merging iterator; consumed by compactions and user-facing scans.
+///
+/// The entry returned by entry() remains valid only until the next mutating
+/// call (Next/Seek/SeekToFirst).
+class InternalIterator {
+ public:
+  virtual ~InternalIterator() = default;
+
+  InternalIterator() = default;
+  InternalIterator(const InternalIterator&) = delete;
+  InternalIterator& operator=(const InternalIterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+
+  /// Positions at the first entry whose user key is >= target (any seq).
+  virtual void Seek(const Slice& target) = 0;
+
+  virtual void Next() = 0;
+  virtual const ParsedEntry& entry() const = 0;
+
+  /// Non-OK if the iterator encountered corruption or I/O errors.
+  virtual Status status() const = 0;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_FORMAT_ITERATOR_H_

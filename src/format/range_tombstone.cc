@@ -1,0 +1,84 @@
+#include "src/format/range_tombstone.h"
+
+#include <algorithm>
+
+#include "src/util/coding.h"
+
+namespace lethe {
+
+void EncodeRangeTombstones(const std::vector<RangeTombstone>& tombstones,
+                           std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(tombstones.size()));
+  for (const RangeTombstone& t : tombstones) {
+    PutLengthPrefixedSlice(dst, t.begin_key);
+    PutLengthPrefixedSlice(dst, t.end_key);
+    PutFixed64(dst, t.seq);
+    PutFixed64(dst, t.time);
+  }
+}
+
+Status DecodeRangeTombstones(Slice input,
+                             std::vector<RangeTombstone>* tombstones) {
+  tombstones->clear();
+  uint32_t count;
+  if (!GetVarint32(&input, &count)) {
+    return Status::Corruption("range tombstone block: bad count");
+  }
+  tombstones->reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    RangeTombstone t;
+    Slice begin, end;
+    if (!GetLengthPrefixedSlice(&input, &begin) ||
+        !GetLengthPrefixedSlice(&input, &end) ||
+        !GetFixed64(&input, &t.seq) || !GetFixed64(&input, &t.time)) {
+      return Status::Corruption("range tombstone block: truncated");
+    }
+    t.begin_key = begin.ToString();
+    t.end_key = end.ToString();
+    tombstones->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+void RangeTombstoneSet::Add(const RangeTombstone& tombstone) {
+  auto it = std::lower_bound(
+      tombstones_.begin(), tombstones_.end(), tombstone,
+      [](const RangeTombstone& a, const RangeTombstone& b) {
+        return Slice(a.begin_key).compare(Slice(b.begin_key)) < 0;
+      });
+  tombstones_.insert(it, tombstone);
+}
+
+void RangeTombstoneSet::AddAll(const std::vector<RangeTombstone>& tombstones) {
+  for (const RangeTombstone& t : tombstones) {
+    Add(t);
+  }
+}
+
+bool RangeTombstoneSet::Covers(const Slice& user_key,
+                               SequenceNumber seq) const {
+  for (const RangeTombstone& t : tombstones_) {
+    if (Slice(t.begin_key).compare(user_key) > 0) {
+      break;  // sorted by begin; no later tombstone can contain user_key
+    }
+    if (t.Contains(user_key) && t.seq > seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SequenceNumber RangeTombstoneSet::MaxCoverSeq(const Slice& user_key) const {
+  SequenceNumber max_seq = 0;
+  for (const RangeTombstone& t : tombstones_) {
+    if (Slice(t.begin_key).compare(user_key) > 0) {
+      break;
+    }
+    if (t.Contains(user_key)) {
+      max_seq = std::max(max_seq, t.seq);
+    }
+  }
+  return max_seq;
+}
+
+}  // namespace lethe

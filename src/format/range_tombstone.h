@@ -1,0 +1,61 @@
+#ifndef LETHE_FORMAT_RANGE_TOMBSTONE_H_
+#define LETHE_FORMAT_RANGE_TOMBSTONE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/format/entry.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace lethe {
+
+/// A range delete on the sort key: logically deletes every key in
+/// [begin_key, end_key) with sequence number < seq. Stored in a dedicated
+/// per-file block (not inline with data pages), matching the RocksDB
+/// DeleteRange design the paper builds on. `time` records when the tombstone
+/// entered the memtable, which FADE uses for exact range-tombstone ages.
+struct RangeTombstone {
+  std::string begin_key;
+  std::string end_key;
+  SequenceNumber seq = 0;
+  uint64_t time = 0;
+
+  bool Contains(const Slice& user_key) const {
+    return Slice(begin_key).compare(user_key) <= 0 &&
+           user_key.compare(Slice(end_key)) < 0;
+  }
+};
+
+/// Serializes a list of range tombstones into a block.
+void EncodeRangeTombstones(const std::vector<RangeTombstone>& tombstones,
+                           std::string* dst);
+Status DecodeRangeTombstones(Slice input,
+                             std::vector<RangeTombstone>* tombstones);
+
+/// In-memory set of range tombstones consulted by reads and compactions.
+/// Keeps tombstones sorted by begin key; Covers() answers "is (key, seq)
+/// logically deleted by any tombstone in this set".
+class RangeTombstoneSet {
+ public:
+  void Add(const RangeTombstone& tombstone);
+  void AddAll(const std::vector<RangeTombstone>& tombstones);
+
+  bool empty() const { return tombstones_.empty(); }
+  size_t size() const { return tombstones_.size(); }
+  const std::vector<RangeTombstone>& tombstones() const { return tombstones_; }
+
+  /// True if some tombstone with seq > `seq` contains `user_key`.
+  bool Covers(const Slice& user_key, SequenceNumber seq) const;
+
+  /// Highest tombstone seq covering `user_key`, or 0 if none.
+  SequenceNumber MaxCoverSeq(const Slice& user_key) const;
+
+ private:
+  std::vector<RangeTombstone> tombstones_;  // sorted by begin_key
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_FORMAT_RANGE_TOMBSTONE_H_

@@ -1,0 +1,246 @@
+#include "src/format/sstable_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/format/page.h"
+#include "src/format/sstable_format.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace lethe {
+
+SSTableBuilder::SSTableBuilder(const TableOptions& options, WritableFile* file)
+    : options_(options), file_(file) {
+  assert(options_.entries_per_page > 0);
+  assert(options_.pages_per_tile > 0);
+  tile_buffer_.reserve(static_cast<size_t>(options_.entries_per_page) *
+                       options_.pages_per_tile);
+}
+
+void SSTableBuilder::Add(const ParsedEntry& entry) {
+  if (!status_.ok()) {
+    return;
+  }
+  PendingEntry pending;
+  pending.user_key = entry.user_key.ToString();
+  pending.delete_key = entry.delete_key;
+  pending.seq = entry.seq;
+  pending.type = entry.type;
+  pending.value = entry.value.ToString();
+  tile_buffer_.push_back(std::move(pending));
+
+  if (props_.num_entries == 0) {
+    props_.smallest_key = entry.user_key.ToString();
+  }
+  props_.largest_key = entry.user_key.ToString();
+  props_.num_entries++;
+  if (entry.IsTombstone()) {
+    props_.num_point_tombstones++;
+    props_.oldest_point_tombstone_seq =
+        std::min(props_.oldest_point_tombstone_seq, entry.seq);
+  }
+  props_.min_delete_key = std::min(props_.min_delete_key, entry.delete_key);
+  props_.max_delete_key = std::max(props_.max_delete_key, entry.delete_key);
+  props_.smallest_seq = std::min(props_.smallest_seq, entry.seq);
+  props_.largest_seq = std::max(props_.largest_seq, entry.seq);
+
+  const size_t tile_capacity =
+      static_cast<size_t>(options_.entries_per_page) * options_.pages_per_tile;
+  if (tile_buffer_.size() >= tile_capacity) {
+    status_ = FlushTile();
+  }
+}
+
+void SSTableBuilder::AddRangeTombstone(const RangeTombstone& tombstone) {
+  range_tombstones_.push_back(tombstone);
+  props_.num_range_tombstones++;
+  props_.oldest_range_tombstone_time =
+      std::min(props_.oldest_range_tombstone_time, tombstone.time);
+}
+
+uint64_t SSTableBuilder::EstimatedSize() const {
+  return data_bytes_written_ +
+         (tile_buffer_.size() / options_.entries_per_page + 1) *
+             options_.page_size_bytes;
+}
+
+Status SSTableBuilder::FlushTile() {
+  if (tile_buffer_.empty()) {
+    return Status::OK();
+  }
+  // The key weave: order the tile's entries by delete key, then cut into
+  // pages of at most B entries (fewer when large values exhaust the page's
+  // byte budget first). Consecutive pages thereby partition the tile's
+  // delete-key domain. Stable sort keeps the (rare) equal-delete-key
+  // entries in sort-key order.
+  std::vector<const PendingEntry*> by_delete_key;
+  by_delete_key.reserve(tile_buffer_.size());
+  for (const PendingEntry& e : tile_buffer_) {
+    by_delete_key.push_back(&e);
+  }
+  std::stable_sort(by_delete_key.begin(), by_delete_key.end(),
+                   [](const PendingEntry* a, const PendingEntry* b) {
+                     return a->delete_key < b->delete_key;
+                   });
+
+  // Byte budget per page: header (4) + entries + checksum (4).
+  const uint64_t byte_budget = options_.page_size_bytes - 8;
+  const uint32_t b = options_.entries_per_page;
+  const uint32_t pages_before = props_.num_pages;
+
+  std::vector<const PendingEntry*> page_entries;
+  uint64_t page_bytes = 0;
+  for (const PendingEntry* e : by_delete_key) {
+    ParsedEntry probe;
+    probe.user_key = Slice(e->user_key);
+    probe.value = Slice(e->value);
+    uint64_t entry_bytes = EncodedEntrySize(probe);
+    if (entry_bytes > byte_budget) {
+      return Status::InvalidArgument(
+          "entry larger than a page: raise page_size_bytes");
+    }
+    if (!page_entries.empty() &&
+        (page_entries.size() >= b || page_bytes + entry_bytes > byte_budget)) {
+      LETHE_RETURN_IF_ERROR(WritePage(page_entries));
+      page_entries.clear();
+      page_bytes = 0;
+    }
+    page_entries.push_back(e);
+    page_bytes += entry_bytes;
+  }
+  if (!page_entries.empty()) {
+    LETHE_RETURN_IF_ERROR(WritePage(page_entries));
+  }
+
+  props_.num_tiles++;
+  tile_page_counts_.push_back(props_.num_pages - pages_before);
+  tile_buffer_.clear();
+  return Status::OK();
+}
+
+Status SSTableBuilder::WritePage(
+    std::vector<const PendingEntry*>& page_entries) {
+  // Entries within the page go back to sort-key order so in-page binary
+  // search on S works after a single page fetch (§4.2.1 "Page layout").
+  std::sort(page_entries.begin(), page_entries.end(),
+            [](const PendingEntry* a, const PendingEntry* b) {
+              int c = Slice(a->user_key).compare(Slice(b->user_key));
+              if (c != 0) {
+                return c < 0;
+              }
+              return a->seq > b->seq;
+            });
+
+  PageBuilder page_builder(options_.page_size_bytes,
+                           options_.entries_per_page);
+  BloomFilterBuilder bloom_builder(options_.bloom_bits_per_key);
+  PageMetaRecord meta;
+  meta.min_sort_key = page_entries.front()->user_key;
+  meta.max_sort_key = page_entries.back()->user_key;
+
+  for (const PendingEntry* e : page_entries) {
+    ParsedEntry parsed;
+    parsed.user_key = Slice(e->user_key);
+    parsed.delete_key = e->delete_key;
+    parsed.seq = e->seq;
+    parsed.type = e->type;
+    parsed.value = Slice(e->value);
+    if (!page_builder.Add(parsed)) {
+      return Status::InvalidArgument(
+          "entry does not fit in page: lower entries_per_page or raise "
+          "page_size_bytes");
+    }
+    bloom_builder.AddKey(parsed.user_key);
+    meta.min_delete_key = std::min(meta.min_delete_key, e->delete_key);
+    meta.max_delete_key = std::max(meta.max_delete_key, e->delete_key);
+    meta.num_entries++;
+    if (parsed.IsTombstone()) {
+      meta.num_tombstones++;
+    }
+  }
+
+  std::string page = page_builder.Finish();
+  LETHE_RETURN_IF_ERROR(file_->Append(page));
+  data_bytes_written_ += page.size();
+  meta.bloom = bloom_builder.Finish();
+  pages_.push_back(std::move(meta));
+  props_.num_pages++;
+  return Status::OK();
+}
+
+Status SSTableBuilder::Finish(TableProperties* props) {
+  LETHE_RETURN_IF_ERROR(status_);
+  LETHE_RETURN_IF_ERROR(FlushTile());
+
+  // Range tombstone block.
+  std::string rt_block;
+  EncodeRangeTombstones(range_tombstones_, &rt_block);
+
+  // Index block: tile structure (explicit per-tile page counts, since byte
+  // budgets can make a tile span more pages than h), then one record per
+  // page in file order.
+  std::string index_block;
+  PutVarint32(&index_block, props_.num_pages);
+  PutVarint32(&index_block, options_.pages_per_tile);
+  PutVarint32(&index_block, static_cast<uint32_t>(tile_page_counts_.size()));
+  for (uint32_t count : tile_page_counts_) {
+    PutVarint32(&index_block, count);
+  }
+  for (const PageMetaRecord& page : pages_) {
+    PutLengthPrefixedSlice(&index_block, page.min_sort_key);
+    PutLengthPrefixedSlice(&index_block, page.max_sort_key);
+    PutFixed64(&index_block, page.min_delete_key);
+    PutFixed64(&index_block, page.max_delete_key);
+    PutVarint32(&index_block, page.num_entries);
+    PutVarint32(&index_block, page.num_tombstones);
+    PutLengthPrefixedSlice(&index_block, page.bloom);
+  }
+
+  // Properties block.
+  std::string props_block;
+  PutVarint32(&props_block, props_.num_pages);
+  PutVarint32(&props_block, props_.num_tiles);
+  PutFixed64(&props_block, props_.num_entries);
+  PutFixed64(&props_block, props_.num_point_tombstones);
+  PutFixed64(&props_block, props_.num_range_tombstones);
+  PutLengthPrefixedSlice(&props_block, props_.smallest_key);
+  PutLengthPrefixedSlice(&props_block, props_.largest_key);
+  PutFixed64(&props_block, props_.min_delete_key);
+  PutFixed64(&props_block, props_.max_delete_key);
+  PutFixed64(&props_block, props_.smallest_seq);
+  PutFixed64(&props_block, props_.largest_seq);
+  PutFixed64(&props_block, props_.oldest_point_tombstone_seq);
+  PutFixed64(&props_block, props_.oldest_range_tombstone_time);
+
+  const uint64_t rt_offset = data_bytes_written_;
+  const uint64_t index_offset = rt_offset + rt_block.size();
+  const uint64_t props_offset = index_offset + index_block.size();
+
+  LETHE_RETURN_IF_ERROR(file_->Append(rt_block));
+  LETHE_RETURN_IF_ERROR(file_->Append(index_block));
+  LETHE_RETURN_IF_ERROR(file_->Append(props_block));
+
+  uint32_t crc = crc32c::Value(rt_block.data(), rt_block.size());
+  crc = crc32c::Extend(crc, index_block.data(), index_block.size());
+  crc = crc32c::Extend(crc, props_block.data(), props_block.size());
+
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed32(&footer, static_cast<uint32_t>(index_block.size()));
+  PutFixed64(&footer, rt_offset);
+  PutFixed32(&footer, static_cast<uint32_t>(rt_block.size()));
+  PutFixed64(&footer, props_offset);
+  PutFixed32(&footer, static_cast<uint32_t>(props_block.size()));
+  PutFixed32(&footer, crc32c::Mask(crc));
+  PutFixed64(&footer, kTableMagic);
+  assert(footer.size() == kFooterSize);
+  LETHE_RETURN_IF_ERROR(file_->Append(footer));
+  LETHE_RETURN_IF_ERROR(file_->Flush());
+
+  props_.file_size = props_offset + props_block.size() + footer.size();
+  *props = props_;
+  return Status::OK();
+}
+
+}  // namespace lethe

@@ -1,0 +1,21 @@
+#ifndef LETHE_FORMAT_SSTABLE_FORMAT_H_
+#define LETHE_FORMAT_SSTABLE_FORMAT_H_
+
+#include <cstdint>
+
+namespace lethe {
+
+// Shared constants of the SSTable footer, used by builder and reader.
+//
+// Footer layout (fixed kFooterSize bytes at the very end of the file):
+//   fixed64 index_offset  | fixed32 index_len
+//   fixed64 rt_offset     | fixed32 rt_len
+//   fixed64 props_offset  | fixed32 props_len
+//   fixed32 meta_crc (crc32c over index+rt+props blocks, masked)
+//   fixed64 magic
+constexpr uint64_t kTableMagic = 0x4c65746865544240ull;
+constexpr size_t kFooterSize = 8 + 4 + 8 + 4 + 8 + 4 + 4 + 8;
+
+}  // namespace lethe
+
+#endif  // LETHE_FORMAT_SSTABLE_FORMAT_H_

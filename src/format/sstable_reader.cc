@@ -1,0 +1,447 @@
+#include "src/format/sstable_reader.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/format/sstable_format.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace lethe {
+
+Status SSTableReader::Open(const TableOptions& options,
+                           std::unique_ptr<RandomAccessFile> file,
+                           uint64_t file_size,
+                           std::unique_ptr<SSTableReader>* reader) {
+  std::unique_ptr<SSTableReader> table(
+      new SSTableReader(options, std::move(file)));
+  LETHE_RETURN_IF_ERROR(table->Init(file_size));
+  *reader = std::move(table);
+  return Status::OK();
+}
+
+Status SSTableReader::Init(uint64_t file_size) {
+  if (file_size < kFooterSize) {
+    return Status::Corruption("table too small for footer");
+  }
+  char footer_scratch[kFooterSize];
+  Slice footer;
+  LETHE_RETURN_IF_ERROR(file_->Read(file_size - kFooterSize, kFooterSize,
+                                    &footer, footer_scratch));
+  if (footer.size() != kFooterSize) {
+    return Status::Corruption("short footer read");
+  }
+
+  uint64_t index_offset, rt_offset, props_offset, magic;
+  uint32_t index_len, rt_len, props_len, meta_crc;
+  Slice f = footer;
+  GetFixed64(&f, &index_offset);
+  GetFixed32(&f, &index_len);
+  GetFixed64(&f, &rt_offset);
+  GetFixed32(&f, &rt_len);
+  GetFixed64(&f, &props_offset);
+  GetFixed32(&f, &props_len);
+  GetFixed32(&f, &meta_crc);
+  GetFixed64(&f, &magic);
+  if (magic != kTableMagic) {
+    return Status::Corruption("bad table magic");
+  }
+
+  // All three metadata blocks are contiguous: [rt][index][props].
+  const uint64_t meta_begin = rt_offset;
+  const uint64_t meta_len =
+      static_cast<uint64_t>(rt_len) + index_len + props_len;
+  if (meta_begin + meta_len + kFooterSize != file_size) {
+    return Status::Corruption("table metadata geometry mismatch");
+  }
+  index_buffer_.resize(meta_len);
+  Slice meta;
+  LETHE_RETURN_IF_ERROR(
+      file_->Read(meta_begin, meta_len, &meta, index_buffer_.data()));
+  if (meta.size() != meta_len) {
+    return Status::Corruption("short metadata read");
+  }
+  if (meta.data() != index_buffer_.data()) {
+    memcpy(index_buffer_.data(), meta.data(), meta_len);
+  }
+  if (options_.verify_checksums) {
+    uint32_t actual = crc32c::Value(index_buffer_.data(), meta_len);
+    if (crc32c::Unmask(meta_crc) != actual) {
+      return Status::Corruption("table metadata checksum mismatch");
+    }
+  }
+
+  Slice rt_block(index_buffer_.data(), rt_len);
+  Slice index_block(index_buffer_.data() + rt_len, index_len);
+  // The props block duplicates builder-side counters already carried by
+  // FileMeta; it is retained on disk for tooling but not re-parsed here.
+
+  LETHE_RETURN_IF_ERROR(DecodeRangeTombstones(rt_block, &range_tombstones_));
+
+  uint32_t num_pages, num_tiles;
+  if (!GetVarint32(&index_block, &num_pages) ||
+      !GetVarint32(&index_block, &pages_per_tile_) || pages_per_tile_ == 0 ||
+      !GetVarint32(&index_block, &num_tiles)) {
+    return Status::Corruption("bad index header");
+  }
+  std::vector<uint32_t> tile_page_counts(num_tiles);
+  uint32_t total_tile_pages = 0;
+  for (uint32_t t = 0; t < num_tiles; t++) {
+    if (!GetVarint32(&index_block, &tile_page_counts[t])) {
+      return Status::Corruption("bad tile page count");
+    }
+    total_tile_pages += tile_page_counts[t];
+  }
+  if (total_tile_pages != num_pages) {
+    return Status::Corruption("tile page counts do not cover the file");
+  }
+  pages_.reserve(num_pages);
+  for (uint32_t i = 0; i < num_pages; i++) {
+    PageInfo page;
+    Slice min_key, max_key, bloom;
+    if (!GetLengthPrefixedSlice(&index_block, &min_key) ||
+        !GetLengthPrefixedSlice(&index_block, &max_key) ||
+        !GetFixed64(&index_block, &page.min_delete_key) ||
+        !GetFixed64(&index_block, &page.max_delete_key) ||
+        !GetVarint32(&index_block, &page.num_entries) ||
+        !GetVarint32(&index_block, &page.num_tombstones) ||
+        !GetLengthPrefixedSlice(&index_block, &bloom)) {
+      return Status::Corruption("bad index record");
+    }
+    page.min_sort_key = min_key;
+    page.max_sort_key = max_key;
+    page.bloom = bloom;
+    pages_.push_back(page);
+  }
+
+  // Materialize tiles from the explicit per-tile page counts.
+  uint32_t first = 0;
+  for (uint32_t t = 0; t < num_tiles; t++) {
+    if (tile_page_counts[t] == 0) {
+      continue;
+    }
+    TileInfo tile;
+    tile.first_page = first;
+    tile.page_count = tile_page_counts[t];
+    first += tile.page_count;
+    tile.min_sort_key = pages_[tile.first_page].min_sort_key;
+    tile.max_sort_key = pages_[tile.first_page].max_sort_key;
+    for (uint32_t p = tile.first_page + 1;
+         p < tile.first_page + tile.page_count; p++) {
+      if (pages_[p].min_sort_key.compare(tile.min_sort_key) < 0) {
+        tile.min_sort_key = pages_[p].min_sort_key;
+      }
+      if (pages_[p].max_sort_key.compare(tile.max_sort_key) > 0) {
+        tile.max_sort_key = pages_[p].max_sort_key;
+      }
+    }
+    tiles_.push_back(tile);
+  }
+  return Status::OK();
+}
+
+int SSTableReader::FindTile(const Slice& user_key) const {
+  // Tiles partition the sort-key space; binary search the first tile whose
+  // max fence is >= key, then confirm its min fence.
+  int lo = 0, hi = static_cast<int>(tiles_.size()) - 1, result = -1;
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (tiles_[mid].max_sort_key.compare(user_key) >= 0) {
+      result = mid;
+      hi = mid - 1;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (result < 0) {
+    return -1;
+  }
+  if (tiles_[result].min_sort_key.compare(user_key) > 0) {
+    return -1;
+  }
+  return result;
+}
+
+Status SSTableReader::ReadPage(uint32_t page_index,
+                               PageContents* contents) const {
+  const uint64_t page_size = options_.page_size_bytes;
+  std::unique_ptr<char[]> scratch(new char[page_size]);
+  Slice raw;
+  LETHE_RETURN_IF_ERROR(
+      file_->Read(PageOffset(page_index), page_size, &raw, scratch.get()));
+  return DecodePage(raw, page_size, options_.verify_checksums, contents);
+}
+
+Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
+                          Statistics* stats, bool* found,
+                          TableGetResult* result) const {
+  *found = false;
+  int tile_index = FindTile(user_key);
+  if (tile_index < 0) {
+    return Status::OK();
+  }
+  const TileInfo& tile = tiles_[tile_index];
+  for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
+       p++) {
+    if (meta != nullptr && meta->IsPageDropped(p)) {
+      continue;
+    }
+    const PageInfo& page = pages_[p];
+    if (page.min_sort_key.compare(user_key) > 0 ||
+        page.max_sort_key.compare(user_key) < 0) {
+      continue;
+    }
+    if (stats != nullptr) {
+      stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
+      stats->hash_computations.fetch_add(1, std::memory_order_relaxed);
+    }
+    BloomFilter filter(page.bloom);
+    if (!filter.KeyMayMatch(user_key)) {
+      if (stats != nullptr) {
+        stats->bloom_negatives.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    PageContents contents;
+    LETHE_RETURN_IF_ERROR(ReadPage(p, &contents));
+    if (stats != nullptr) {
+      stats->point_lookup_pages_read.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Binary search within the page; entries are sorted by sort key.
+    const auto& entries = contents.entries;
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), user_key,
+        [](const ParsedEntry& e, const Slice& k) {
+          return e.user_key.compare(k) < 0;
+        });
+    if (it != entries.end() && it->user_key == user_key) {
+      *found = true;
+      result->type = it->type;
+      result->seq = it->seq;
+      result->delete_key = it->delete_key;
+      result->value = it->value.ToString();
+      return Status::OK();
+    }
+    if (stats != nullptr) {
+      stats->bloom_false_positives.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+bool SSTableReader::KeyMayExist(const Slice& user_key, const FileMeta* meta,
+                                Statistics* stats) const {
+  int tile_index = FindTile(user_key);
+  if (tile_index < 0) {
+    return false;
+  }
+  const TileInfo& tile = tiles_[tile_index];
+  for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
+       p++) {
+    if (meta != nullptr && meta->IsPageDropped(p)) {
+      continue;
+    }
+    const PageInfo& page = pages_[p];
+    if (page.min_sort_key.compare(user_key) > 0 ||
+        page.max_sort_key.compare(user_key) < 0) {
+      continue;
+    }
+    if (stats != nullptr) {
+      stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
+      stats->hash_computations.fetch_add(1, std::memory_order_relaxed);
+    }
+    BloomFilter filter(page.bloom);
+    if (filter.KeyMayMatch(user_key)) {
+      return true;
+    }
+    if (stats != nullptr) {
+      stats->bloom_negatives.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return false;
+}
+
+void SSTableReader::PlanSecondaryRangeDelete(uint64_t lo, uint64_t hi,
+                                             const FileMeta* meta,
+                                             SecondaryDeletePlan* plan) const {
+  plan->full_drop_pages.clear();
+  plan->partial_pages.clear();
+  for (uint32_t p = 0; p < pages_.size(); p++) {
+    if (meta != nullptr && meta->IsPageDropped(p)) {
+      continue;
+    }
+    const PageInfo& page = pages_[p];
+    if (page.num_entries == 0) {
+      continue;
+    }
+    const bool overlaps = page.min_delete_key < hi && page.max_delete_key >= lo;
+    if (!overlaps) {
+      continue;
+    }
+    const bool fully_covered =
+        page.min_delete_key >= lo && page.max_delete_key < hi;
+    if (fully_covered) {
+      plan->full_drop_pages.push_back(p);
+    } else {
+      plan->partial_pages.push_back(p);
+    }
+  }
+}
+
+namespace {
+
+/// Iterator over one table, in internal-key order. Within the current
+/// delete tile, pages load *lazily*: a page is fetched only once the scan
+/// reaches its min-sort-key fence. For uncorrelated delete keys every page
+/// of a tile spans roughly the tile's whole key range, so all h pages load
+/// up front (the paper's h-factor on short scans); for sort/delete-key
+/// correlation ≈ 1 the pages' sort ranges are disjoint and load one at a
+/// time — delete tiles then cost the same as the classic layout (paper
+/// Fig 6L).
+class SSTableIterator final : public InternalIterator {
+ public:
+  SSTableIterator(const SSTableReader* table, const FileMeta* meta)
+      : table_(table), meta_(meta) {}
+
+  bool Valid() const override { return status_.ok() && current_ != nullptr; }
+
+  void SeekToFirst() override {
+    tile_index_ = -1;
+    AdvanceTile(nullptr);
+  }
+
+  void Seek(const Slice& target) override {
+    // First tile whose max fence >= target.
+    const auto& tiles = table_->tiles();
+    int lo = 0, hi = static_cast<int>(tiles.size()) - 1, result =
+        static_cast<int>(tiles.size());
+    while (lo <= hi) {
+      int mid = lo + (hi - lo) / 2;
+      if (tiles[mid].max_sort_key.compare(target) >= 0) {
+        result = mid;
+        hi = mid - 1;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    tile_index_ = result - 1;
+    AdvanceTile(&target);
+    // Per-tile lower bound; every tile after the first candidate holds only
+    // keys >= target (tiles partition the sort-key space in order).
+    while (Valid() && entry().user_key.compare(target) < 0) {
+      Next();
+    }
+  }
+
+  void Next() override {
+    PageCursor* cursor = current_;
+    cursor->pos++;
+    current_ = nullptr;
+    FindNext();
+    if (current_ == nullptr && status_.ok()) {
+      AdvanceTile(nullptr);
+    }
+  }
+
+  const ParsedEntry& entry() const override {
+    return current_->contents.entries[current_->pos];
+  }
+
+  Status status() const override { return status_; }
+
+ private:
+  struct PageCursor {
+    PageContents contents;
+    size_t pos = 0;
+  };
+
+  /// Moves to the next non-empty tile; `target` positions within it.
+  void AdvanceTile(const Slice* target) {
+    const auto& tiles = table_->tiles();
+    while (status_.ok()) {
+      tile_index_++;
+      loaded_.clear();
+      pending_.clear();
+      current_ = nullptr;
+      if (tile_index_ >= static_cast<int>(tiles.size())) {
+        return;  // exhausted
+      }
+      const TileInfo& tile = tiles[tile_index_];
+      for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
+           p++) {
+        if (meta_ != nullptr && meta_->IsPageDropped(p)) {
+          continue;
+        }
+        if (target != nullptr &&
+            table_->pages()[p].max_sort_key.compare(*target) < 0) {
+          continue;  // page entirely before the seek target: never load
+        }
+        pending_.push_back(p);
+      }
+      // Pages load in fence order.
+      std::sort(pending_.begin(), pending_.end(),
+                [this](uint32_t a, uint32_t b) {
+                  return table_->pages()[a].min_sort_key.compare(
+                             table_->pages()[b].min_sort_key) < 0;
+                });
+      FindNext();
+      if (current_ == nullptr) {
+        continue;  // fully dropped/empty tile
+      }
+      return;
+    }
+  }
+
+  /// Picks the smallest current entry across loaded pages, loading any
+  /// pending page whose fence could precede it.
+  void FindNext() {
+    while (status_.ok()) {
+      PageCursor* best = nullptr;
+      for (auto& cursor : loaded_) {
+        if (cursor->pos >= cursor->contents.entries.size()) {
+          continue;
+        }
+        if (best == nullptr ||
+            CompareInternal(cursor->contents.entries[cursor->pos],
+                            best->contents.entries[best->pos]) < 0) {
+          best = cursor.get();
+        }
+      }
+      bool must_load =
+          !pending_.empty() &&
+          (best == nullptr ||
+           table_->pages()[pending_.front()].min_sort_key.compare(
+               best->contents.entries[best->pos].user_key) <= 0);
+      if (!must_load) {
+        current_ = best;
+        return;
+      }
+      uint32_t page = pending_.front();
+      pending_.erase(pending_.begin());
+      auto cursor = std::make_unique<PageCursor>();
+      Status s = table_->ReadPage(page, &cursor->contents);
+      if (!s.ok()) {
+        status_ = s;
+        return;
+      }
+      loaded_.push_back(std::move(cursor));
+    }
+  }
+
+  const SSTableReader* table_;
+  const FileMeta* meta_;
+  Status status_;
+  int tile_index_ = -1;
+  std::vector<std::unique_ptr<PageCursor>> loaded_;
+  std::vector<uint32_t> pending_;  // pages not yet read, fence order
+  PageCursor* current_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<InternalIterator> SSTableReader::NewIterator(
+    const FileMeta* meta) const {
+  return std::make_unique<SSTableIterator>(this, meta);
+}
+
+}  // namespace lethe

@@ -1,0 +1,147 @@
+#ifndef LETHE_FORMAT_SSTABLE_READER_H_
+#define LETHE_FORMAT_SSTABLE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/statistics.h"
+#include "src/env/env.h"
+#include "src/format/bloom.h"
+#include "src/format/entry.h"
+#include "src/format/file_meta.h"
+#include "src/format/iterator.h"
+#include "src/format/page.h"
+#include "src/format/range_tombstone.h"
+#include "src/format/table_options.h"
+#include "src/util/status.h"
+
+namespace lethe {
+
+/// Decoded per-page index record. Sort-key fences may be conservatively wide
+/// after partial page drops (the on-disk index is immutable; see
+/// FileMeta::dropped_pages).
+struct PageInfo {
+  Slice min_sort_key;
+  Slice max_sort_key;
+  uint64_t min_delete_key = UINT64_MAX;
+  uint64_t max_delete_key = 0;
+  uint32_t num_entries = 0;
+  uint32_t num_tombstones = 0;
+  Slice bloom;
+};
+
+/// One delete tile: `page_count` consecutive pages starting at `first_page`,
+/// internally ordered by delete key. Tiles partition the file's sort-key
+/// space; `min/max_sort_key` are the tile-level fence pointers on S.
+struct TileInfo {
+  uint32_t first_page = 0;
+  uint32_t page_count = 0;
+  Slice min_sort_key;
+  Slice max_sort_key;
+};
+
+/// Result of a point lookup inside one table.
+struct TableGetResult {
+  ValueType type = ValueType::kValue;
+  SequenceNumber seq = 0;
+  uint64_t delete_key = 0;
+  std::string value;
+};
+
+/// Which pages a secondary range delete touches in this file: full drops are
+/// pages whose entire delete-key range falls inside [lo, hi) — they are
+/// dropped via metadata only; partials overlap the boundary and must be read
+/// and rewritten in place (0–1 per tile in the common case).
+struct SecondaryDeletePlan {
+  std::vector<uint32_t> full_drop_pages;
+  std::vector<uint32_t> partial_pages;
+};
+
+/// Read-side SSTable handle. Immutable and thread-safe after Open; the
+/// page-liveness bitmap lives in FileMeta (owned by the version) and is
+/// passed into each call so that one cached reader serves all versions.
+class SSTableReader {
+ public:
+  static Status Open(const TableOptions& options,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size,
+                     std::unique_ptr<SSTableReader>* reader);
+
+  SSTableReader(const SSTableReader&) = delete;
+  SSTableReader& operator=(const SSTableReader&) = delete;
+
+  uint32_t num_pages() const {
+    return static_cast<uint32_t>(pages_.size());
+  }
+  uint32_t num_tiles() const {
+    return static_cast<uint32_t>(tiles_.size());
+  }
+  const std::vector<PageInfo>& pages() const { return pages_; }
+  const std::vector<TileInfo>& tiles() const { return tiles_; }
+  const std::vector<RangeTombstone>& range_tombstones() const {
+    return range_tombstones_;
+  }
+  uint32_t pages_per_tile() const { return pages_per_tile_; }
+
+  /// Point lookup: locates the candidate tile via the sort-key fences, then
+  /// probes each live page's Bloom filter (one hash digest per probe) and
+  /// binary-searches fetched pages. Returns OK with *found=false if the key
+  /// is not in this table. `meta` supplies page liveness (may be nullptr).
+  Status Get(const Slice& user_key, const FileMeta* meta, Statistics* stats,
+             bool* found, TableGetResult* result) const;
+
+  /// Filter-only membership probe: fences + Bloom filters, no page I/O.
+  /// False means the key is definitely absent from this table. Used by
+  /// FADE's blind-delete guard (§4.1.5).
+  bool KeyMayExist(const Slice& user_key, const FileMeta* meta,
+                   Statistics* stats) const;
+
+  /// Reads and decodes one page (one page-sized I/O).
+  Status ReadPage(uint32_t page_index, PageContents* contents) const;
+
+  /// Computes which pages a secondary range delete over delete keys
+  /// [lo, hi) fully covers vs. partially overlaps. Metadata-only; performs
+  /// no I/O. Already-dropped pages are excluded.
+  void PlanSecondaryRangeDelete(uint64_t lo, uint64_t hi, const FileMeta* meta,
+                                SecondaryDeletePlan* plan) const;
+
+  /// Byte offset of a page within the file (pages are fixed-size).
+  uint64_t PageOffset(uint32_t page_index) const {
+    return static_cast<uint64_t>(page_index) * options_.page_size_bytes;
+  }
+
+  /// Iterator over all live entries in internal-key order. Reads one delete
+  /// tile at a time (h pages), sorting it back to sort-key order in memory —
+  /// compactions stream through files this way.
+  std::unique_ptr<InternalIterator> NewIterator(const FileMeta* meta) const;
+
+  const TableOptions& options() const { return options_; }
+
+ private:
+  SSTableReader(const TableOptions& options,
+                std::unique_ptr<RandomAccessFile> file)
+      : options_(options), file_(std::move(file)) {}
+
+  Status Init(uint64_t file_size);
+
+  /// Index of the unique tile whose fence range may contain `user_key`, or
+  /// -1 if none.
+  int FindTile(const Slice& user_key) const;
+
+  TableOptions options_;
+  std::unique_ptr<RandomAccessFile> file_;
+
+  std::string index_buffer_;  // backing store for PageInfo/TileInfo slices
+  std::vector<PageInfo> pages_;
+  std::vector<TileInfo> tiles_;
+  std::vector<RangeTombstone> range_tombstones_;
+  uint32_t pages_per_tile_ = 1;
+
+  friend class SSTableIterator;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_FORMAT_SSTABLE_READER_H_

@@ -1,0 +1,282 @@
+#include "src/lsm/compaction.h"
+
+#include <algorithm>
+
+#include "src/format/sstable_builder.h"
+
+namespace lethe {
+
+Status CollectFileInputs(VersionSet* versions,
+                         const std::vector<std::shared_ptr<FileMeta>>& files,
+                         std::vector<std::unique_ptr<InternalIterator>>* iters,
+                         std::vector<RangeTombstone>* rts,
+                         uint64_t* total_bytes) {
+  for (const auto& meta : files) {
+    std::shared_ptr<SSTableReader> table;
+    LETHE_RETURN_IF_ERROR(versions->table_cache()->GetTable(*meta, &table));
+    // The iterator must keep the reader alive; wrap it.
+    class OwningIterator final : public InternalIterator {
+     public:
+      OwningIterator(std::shared_ptr<SSTableReader> table,
+                     std::shared_ptr<FileMeta> meta)
+          : table_(std::move(table)),
+            meta_(std::move(meta)),
+            iter_(table_->NewIterator(meta_.get())) {}
+      bool Valid() const override { return iter_->Valid(); }
+      void SeekToFirst() override { iter_->SeekToFirst(); }
+      void Seek(const Slice& target) override { iter_->Seek(target); }
+      void Next() override { iter_->Next(); }
+      const ParsedEntry& entry() const override { return iter_->entry(); }
+      Status status() const override { return iter_->status(); }
+
+     private:
+      std::shared_ptr<SSTableReader> table_;
+      std::shared_ptr<FileMeta> meta_;
+      std::unique_ptr<InternalIterator> iter_;
+    };
+    iters->push_back(std::make_unique<OwningIterator>(table, meta));
+    for (const RangeTombstone& rt : table->range_tombstones()) {
+      rts->push_back(rt);
+    }
+    if (total_bytes != nullptr) {
+      *total_bytes += meta->file_size;
+    }
+  }
+  return Status::OK();
+}
+
+Status MergeExecutor::OpenOutput(std::unique_ptr<Output>* output,
+                                 std::optional<std::string> window_begin) {
+  auto out = std::make_unique<Output>();
+  out->file_number = versions_->NewFileNumber();
+  LETHE_RETURN_IF_ERROR(options_.env->NewWritableFile(
+      TableFileName(versions_->dbname(), out->file_number), &out->file));
+  out->builder =
+      std::make_unique<SSTableBuilder>(options_.table, out->file.get());
+  out->window_begin = std::move(window_begin);
+  *output = std::move(out);
+  return Status::OK();
+}
+
+Status MergeExecutor::FinishOutput(Output* output,
+                                   const std::vector<RangeTombstone>& rts,
+                                   std::optional<std::string> window_end,
+                                   const MergeConfig& config,
+                                   VersionEdit* edit) {
+  // Clip each surviving range tombstone to this output's window so the set
+  // of output files covers exactly the union of input tombstone ranges.
+  std::string min_piece_begin, max_piece_end;
+  bool has_piece = false;
+  if (!config.bottommost) {
+    for (const RangeTombstone& rt : rts) {
+      std::string begin = rt.begin_key;
+      if (output->window_begin &&
+          Slice(*output->window_begin).compare(Slice(begin)) > 0) {
+        begin = *output->window_begin;
+      }
+      std::string end = rt.end_key;
+      if (window_end && Slice(*window_end).compare(Slice(end)) < 0) {
+        end = *window_end;
+      }
+      if (Slice(begin).compare(Slice(end)) >= 0) {
+        continue;  // empty piece
+      }
+      RangeTombstone piece = rt;
+      piece.begin_key = begin;
+      piece.end_key = end;
+      output->builder->AddRangeTombstone(piece);
+      if (!has_piece || Slice(begin).compare(Slice(min_piece_begin)) < 0) {
+        min_piece_begin = begin;
+      }
+      if (!has_piece || Slice(end).compare(Slice(max_piece_end)) > 0) {
+        max_piece_end = end;
+      }
+      has_piece = true;
+    }
+  }
+
+  TableProperties props;
+  LETHE_RETURN_IF_ERROR(output->builder->Finish(&props));
+  LETHE_RETURN_IF_ERROR(output->file->Sync());
+  LETHE_RETURN_IF_ERROR(output->file->Close());
+
+  if (props.num_entries == 0 && props.num_range_tombstones == 0) {
+    // Nothing survived into this output; drop the empty file.
+    options_.env
+        ->RemoveFile(TableFileName(versions_->dbname(), output->file_number))
+        .ok();
+    return Status::OK();
+  }
+
+  FileMeta meta;
+  meta.file_number = output->file_number;
+  meta.file_size = props.file_size;
+  meta.run_id = config.output_run_id;
+  meta.num_entries = props.num_entries;
+  meta.num_point_tombstones = props.num_point_tombstones;
+  meta.num_range_tombstones = props.num_range_tombstones;
+  meta.smallest_key = props.smallest_key;
+  meta.largest_key = props.largest_key;
+  meta.min_delete_key = props.min_delete_key;
+  meta.max_delete_key = props.max_delete_key;
+  meta.smallest_seq = props.smallest_seq;
+  meta.largest_seq = props.largest_seq;
+  meta.num_pages = props.num_pages;
+
+  // Extend the file's advertised key range over its range-tombstone pieces
+  // so overlap queries and lookups route through this file (the exclusive
+  // piece end becomes an inclusive bound — conservative).
+  if (has_piece) {
+    if (props.num_entries == 0 ||
+        Slice(min_piece_begin).compare(Slice(meta.smallest_key)) < 0) {
+      meta.smallest_key = min_piece_begin;
+    }
+    if (props.num_entries == 0 ||
+        Slice(max_piece_end).compare(Slice(meta.largest_key)) > 0) {
+      meta.largest_key = max_piece_end;
+    }
+  }
+
+  // Resolve the oldest tombstone's insertion time: point tombstones via the
+  // seq→time checkpoint map (conservative floor), range tombstones exactly.
+  uint64_t oldest = kNoTombstoneTime;
+  if (props.num_point_tombstones > 0) {
+    oldest = versions_->TimeOfSeq(props.oldest_point_tombstone_seq);
+  }
+  if (props.num_range_tombstones > 0) {
+    oldest = std::min(oldest, props.oldest_range_tombstone_time);
+  }
+  meta.oldest_tombstone_time = oldest;
+
+  if (config.is_flush) {
+    stats_->flush_bytes_written.fetch_add(props.file_size,
+                                          std::memory_order_relaxed);
+  } else {
+    stats_->compaction_bytes_written.fetch_add(props.file_size,
+                                               std::memory_order_relaxed);
+  }
+  if (meta.HasTombstones()) {
+    stats_->tombstones_written.fetch_add(meta.num_point_tombstones,
+                                         std::memory_order_relaxed);
+  }
+
+  edit->added_files.emplace_back(config.output_level, std::move(meta));
+  return Status::OK();
+}
+
+Status MergeExecutor::Run(
+    InternalIterator* input,
+    const std::vector<RangeTombstone>& input_range_tombstones,
+    const MergeConfig& config, VersionEdit* edit) {
+  if (config.is_flush) {
+    stats_->flushes.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_->compactions.fetch_add(1, std::memory_order_relaxed);
+    if (config.trigger == CompactionPick::Trigger::kTtlExpiry) {
+      stats_->compactions_ttl_triggered.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    } else {
+      stats_->compactions_saturation_triggered.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    stats_->compaction_bytes_read.fetch_add(config.input_bytes,
+                                            std::memory_order_relaxed);
+  }
+
+  RangeTombstoneSet rt_set;
+  rt_set.AddAll(input_range_tombstones);
+
+  std::unique_ptr<Output> current;
+  std::unique_ptr<Output> pending;  // awaits its window-end boundary
+
+  std::string last_user_key;
+  bool has_last_key = false;
+  uint64_t entries_in = 0, entries_out = 0;
+  uint64_t invalid_purged = 0, tombstones_dropped = 0;
+
+  for (input->SeekToFirst(); input->Valid(); input->Next()) {
+    const ParsedEntry& entry = input->entry();
+    entries_in++;
+
+    bool drop = false;
+    if (has_last_key && entry.user_key == Slice(last_user_key)) {
+      // Older version of a key we already emitted or decided about.
+      drop = true;
+      invalid_purged++;
+    } else {
+      last_user_key = entry.user_key.ToString();
+      has_last_key = true;
+      if (rt_set.Covers(entry.user_key, entry.seq)) {
+        drop = true;
+        invalid_purged++;
+        if (entry.IsTombstone()) {
+          tombstones_dropped++;  // superseded by a newer range tombstone
+        }
+      } else if (entry.IsTombstone() && config.bottommost) {
+        // The tombstone reaches the last level: the delete is persistent.
+        drop = true;
+        tombstones_dropped++;
+      }
+    }
+    if (drop) {
+      continue;
+    }
+
+    if (current == nullptr) {
+      std::optional<std::string> window_begin;
+      if (pending != nullptr) {
+        // The first key of this new output closes the previous window.
+        window_begin = entry.user_key.ToString();
+        Output* done = pending.get();
+        LETHE_RETURN_IF_ERROR(
+            FinishOutput(done, input_range_tombstones, window_begin, config,
+                         edit));
+        pending.reset();
+      }
+      LETHE_RETURN_IF_ERROR(OpenOutput(&current, window_begin));
+      current->first_key = entry.user_key.ToString();
+    }
+    current->builder->Add(entry);
+    current->last_key = entry.user_key.ToString();
+    current->has_entries = true;
+    entries_out++;
+
+    if (current->builder->EstimatedSize() >= options_.target_file_bytes) {
+      pending = std::move(current);
+    }
+  }
+  LETHE_RETURN_IF_ERROR(input->status());
+
+  if (current != nullptr) {
+    LETHE_RETURN_IF_ERROR(FinishOutput(current.get(), input_range_tombstones,
+                                       std::nullopt, config, edit));
+  } else if (pending != nullptr) {
+    LETHE_RETURN_IF_ERROR(FinishOutput(pending.get(), input_range_tombstones,
+                                       std::nullopt, config, edit));
+  } else if (!input_range_tombstones.empty() && !config.bottommost) {
+    // No data survived but range tombstones must be carried forward in a
+    // tombstone-only file.
+    std::unique_ptr<Output> rt_only;
+    LETHE_RETURN_IF_ERROR(OpenOutput(&rt_only, std::nullopt));
+    LETHE_RETURN_IF_ERROR(FinishOutput(rt_only.get(), input_range_tombstones,
+                                       std::nullopt, config, edit));
+  }
+
+  if (config.bottommost) {
+    // Range tombstones attached to outputs were not persisted (skipped in
+    // FinishOutput); count them as persisted deletes.
+    stats_->tombstones_dropped.fetch_add(input_range_tombstones.size(),
+                                         std::memory_order_relaxed);
+  }
+  stats_->compaction_entries_in.fetch_add(entries_in,
+                                          std::memory_order_relaxed);
+  stats_->compaction_entries_out.fetch_add(entries_out,
+                                           std::memory_order_relaxed);
+  stats_->invalid_entries_purged.fetch_add(invalid_purged,
+                                           std::memory_order_relaxed);
+  stats_->tombstones_dropped.fetch_add(tombstones_dropped,
+                                       std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace lethe

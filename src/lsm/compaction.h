@@ -1,0 +1,95 @@
+#ifndef LETHE_LSM_COMPACTION_H_
+#define LETHE_LSM_COMPACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/core/statistics.h"
+#include "src/format/iterator.h"
+#include "src/format/range_tombstone.h"
+#include "src/format/sstable_builder.h"
+#include "src/lsm/compaction_picker.h"
+#include "src/lsm/version_edit.h"
+#include "src/lsm/version_set.h"
+
+namespace lethe {
+
+/// Parameters of one merge (flush or compaction).
+struct MergeConfig {
+  int output_level = 0;
+  uint64_t output_run_id = 0;
+
+  /// True when the merge reaches the bottom of the tree: tombstones (point
+  /// and range) have nothing left to invalidate and are discarded, making
+  /// the deletes persistent.
+  bool bottommost = false;
+
+  /// For statistics attribution.
+  bool is_flush = false;
+  CompactionPick::Trigger trigger = CompactionPick::Trigger::kNone;
+  uint64_t input_bytes = 0;
+  uint64_t input_files = 0;
+};
+
+/// Streams `input` (already k-way merged, internal-key order) into
+/// size-bounded output SSTables at config.output_level, applying the LSM
+/// consolidation rules:
+///   - older duplicate versions of a user key are dropped,
+///   - entries covered by a newer input range tombstone are dropped,
+///   - at the bottommost level, surviving tombstones are dropped too
+///     (this is the moment a delete becomes *persistent*),
+///   - surviving range tombstones are re-clipped to the output file
+///     boundaries so coverage is preserved without gaps or overlap.
+/// Emits added-file records into `edit`. The caller removes the inputs.
+class MergeExecutor {
+ public:
+  MergeExecutor(const Options& resolved_options, VersionSet* versions,
+                Statistics* stats)
+      : options_(resolved_options), versions_(versions), stats_(stats) {}
+
+  Status Run(InternalIterator* input,
+             const std::vector<RangeTombstone>& input_range_tombstones,
+             const MergeConfig& config, VersionEdit* edit);
+
+ private:
+  struct Output {
+    uint64_t file_number = 0;
+    std::unique_ptr<WritableFile> file;
+    std::unique_ptr<SSTableBuilder> builder;
+    std::optional<std::string> window_begin;  // nullopt = -infinity
+    std::string first_key;
+    std::string last_key;
+    bool has_entries = false;
+  };
+
+  Status OpenOutput(std::unique_ptr<Output>* output,
+                    std::optional<std::string> window_begin);
+
+  /// Attaches clipped range tombstones for the window
+  /// [output->window_begin, window_end), finalizes the table, and appends
+  /// the FileMeta to the edit. window_end == nullopt means +infinity.
+  Status FinishOutput(Output* output,
+                      const std::vector<RangeTombstone>& rts,
+                      std::optional<std::string> window_end,
+                      const MergeConfig& config, VersionEdit* edit);
+
+  Options options_;
+  VersionSet* versions_;
+  Statistics* stats_;
+};
+
+/// Convenience used by the DB: collects iterators + range tombstones of the
+/// given files (through the table cache).
+Status CollectFileInputs(VersionSet* versions,
+                         const std::vector<std::shared_ptr<FileMeta>>& files,
+                         std::vector<std::unique_ptr<InternalIterator>>* iters,
+                         std::vector<RangeTombstone>* rts,
+                         uint64_t* total_bytes);
+
+}  // namespace lethe
+
+#endif  // LETHE_LSM_COMPACTION_H_

@@ -1,0 +1,265 @@
+#include "src/lsm/compaction_picker.h"
+
+#include <algorithm>
+
+#include "src/lsm/ttl.h"
+
+namespace lethe {
+
+uint64_t KeyToU64(const Slice& key) { return KeyToU64At(key, 0); }
+
+uint64_t KeyToU64At(const Slice& key, size_t offset) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; i++) {
+    size_t pos = offset + i;
+    v = (v << 8) | (pos < key.size() ? static_cast<uint8_t>(key[pos]) : 0);
+  }
+  return v;
+}
+
+double RangeOverlapFraction(const Slice& smallest, const Slice& largest,
+                            const Slice& begin, const Slice& end) {
+  // Quick rejects on true byte order.
+  if (end.compare(smallest) <= 0 || begin.compare(largest) > 0) {
+    return 0.0;
+  }
+  // Interpolate past the common prefix of the file span, where the
+  // distinguishing bytes live (fixed-width encoded keys share long
+  // prefixes).
+  size_t prefix = 0;
+  while (prefix < smallest.size() && prefix < largest.size() &&
+         smallest[prefix] == largest[prefix]) {
+    prefix++;
+  }
+  uint64_t lo = KeyToU64At(smallest, prefix);
+  uint64_t hi = KeyToU64At(largest, prefix);
+  if (hi <= lo) {
+    return 1.0;  // span is a single point inside [begin, end)
+  }
+  // A clipped bound inside [smallest, largest] shares the prefix, so its
+  // interpolated value is comparable; bounds outside the span clamp.
+  uint64_t b = begin.compare(smallest) <= 0 ? lo : KeyToU64At(begin, prefix);
+  uint64_t e = end.compare(largest) > 0 ? hi : KeyToU64At(end, prefix);
+  uint64_t olo = std::max(lo, b);
+  uint64_t ohi = std::min(hi, e);
+  if (ohi <= olo) {
+    return 0.0;
+  }
+  return static_cast<double>(ohi - olo) / static_cast<double>(hi - lo);
+}
+
+uint64_t CompactionPicker::LevelCapacityBytes(int level) const {
+  uint64_t capacity = options_.write_buffer_bytes;
+  for (int i = 0; i <= level; i++) {
+    capacity *= options_.size_ratio;
+  }
+  return capacity;
+}
+
+double CompactionPicker::EstimateInvalidation(const Version& version,
+                                              const FileMeta& file) const {
+  double b = static_cast<double>(file.num_point_tombstones);
+  if (file.num_range_tombstones == 0) {
+    return b;
+  }
+  std::shared_ptr<SSTableReader> table;
+  if (!versions_->table_cache()->GetTable(file, &table).ok()) {
+    return b;
+  }
+  for (const RangeTombstone& rt : table->range_tombstones()) {
+    for (const auto& [level, other] : version.AllFiles()) {
+      if (other->num_entries == 0) {
+        continue;
+      }
+      double fraction =
+          RangeOverlapFraction(other->smallest_key, other->largest_key,
+                               rt.begin_key, rt.end_key);
+      b += fraction * static_cast<double>(other->num_entries);
+    }
+  }
+  return b;
+}
+
+std::vector<uint64_t> CompactionPicker::CumulativeTtls(
+    const Version& version) const {
+  // Slot i = disk level i; the cumulative thresholds are measured from the
+  // tombstone's *memtable insertion* time, so time spent in the buffer is
+  // automatically charged against the disk budget: a tombstone that flushes
+  // late simply expires sooner at the shallow levels and cascades down,
+  // still reaching the last level (threshold = Dth exactly) in time.
+  int num_disk_levels = std::max(version.DeepestNonEmptyLevel() + 1, 1);
+  return ComputeCumulativeTtls(options_.delete_persistence_threshold_micros,
+                               options_.size_ratio, num_disk_levels);
+}
+
+uint64_t CompactionPicker::BufferTtl(const Version& version) const {
+  (void)version;
+  if (!options_.fade_enabled()) {
+    return UINT64_MAX;
+  }
+  // Only an idle-buffer guard: normal fill-driven flushes happen orders of
+  // magnitude faster. Dth/2 leaves the disk cascade at least half the
+  // budget, and the cascade is immediate once the cumulative thresholds
+  // (measured from insertion) are exceeded.
+  return options_.delete_persistence_threshold_micros / 2;
+}
+
+uint64_t CompactionPicker::EarliestTtlExpiry(const Version& version) const {
+  if (!options_.fade_enabled()) {
+    return UINT64_MAX;
+  }
+  std::vector<uint64_t> ttls = CumulativeTtls(version);
+  uint64_t earliest = UINT64_MAX;
+  for (const auto& [level, file] : version.AllFiles()) {
+    if (!file->HasTombstones() ||
+        file->oldest_tombstone_time == kNoTombstoneTime) {
+      continue;
+    }
+    size_t slot = std::min<size_t>(level, ttls.size() - 1);
+    uint64_t expiry = file->oldest_tombstone_time + ttls[slot];
+    earliest = std::min(earliest, expiry);
+  }
+  return earliest;
+}
+
+CompactionPick CompactionPicker::PickTtlExpired(const Version& version,
+                                                uint64_t now) const {
+  CompactionPick pick;
+  if (!options_.fade_enabled()) {
+    return pick;
+  }
+  std::vector<uint64_t> ttls = CumulativeTtls(version);
+
+  // Smallest level with an expired file wins (paper: level ties go to the
+  // smallest level); within the level, the expired file with the oldest
+  // tombstone (DD's tie-break).
+  for (int level = 0; level < version.num_levels(); level++) {
+    std::shared_ptr<FileMeta> best;
+    for (const SortedRun& run : version.levels()[level]) {
+      for (const auto& file : run.files) {
+        if (!file->HasTombstones()) {
+          continue;
+        }
+        if (!TtlExpired(ttls, level, file->TombstoneAge(now))) {
+          continue;
+        }
+        if (best == nullptr ||
+            file->oldest_tombstone_time < best->oldest_tombstone_time) {
+          best = file;
+        }
+      }
+    }
+    if (best != nullptr) {
+      pick.trigger = CompactionPick::Trigger::kTtlExpiry;
+      pick.level = level;
+      if (options_.compaction_style == CompactionStyle::kTiering) {
+        // Tiering merges whole levels; pull in every file of the level.
+        for (const SortedRun& run : version.levels()[level]) {
+          for (const auto& file : run.files) {
+            pick.inputs.push_back(file);
+          }
+        }
+      } else {
+        pick.inputs.push_back(best);
+      }
+      return pick;
+    }
+  }
+  return pick;
+}
+
+uint64_t CompactionPicker::OverlapBytes(const Version& version, int level,
+                                        const FileMeta& file) const {
+  uint64_t total = 0;
+  for (const auto& other : version.OverlappingFiles(
+           level + 1, Slice(file.smallest_key), Slice(file.largest_key))) {
+    total += other->file_size;
+  }
+  return total;
+}
+
+CompactionPick CompactionPicker::PickSaturated(const Version& version) const {
+  CompactionPick pick;
+  for (int level = 0; level < version.num_levels(); level++) {
+    if (options_.compaction_style == CompactionStyle::kTiering) {
+      if (version.LevelRunCount(level) <
+          static_cast<int>(options_.size_ratio)) {
+        continue;
+      }
+      pick.trigger = CompactionPick::Trigger::kSaturation;
+      pick.level = level;
+      for (const SortedRun& run : version.levels()[level]) {
+        for (const auto& file : run.files) {
+          pick.inputs.push_back(file);
+        }
+      }
+      return pick;
+    }
+
+    if (version.LevelBytes(level) <= LevelCapacityBytes(level)) {
+      continue;
+    }
+    // Saturated. Select the file per policy. SD with no tombstones in the
+    // level degenerates to SO ("in the absence of deletes, Lethe performs
+    // compactions ... choosing files with minimal overlap" — §5.1).
+    bool use_delete_driven =
+        options_.file_picking == FilePickingPolicy::kMaxTombstones;
+    if (use_delete_driven) {
+      bool level_has_tombstones = false;
+      for (const SortedRun& run : version.levels()[level]) {
+        for (const auto& file : run.files) {
+          if (file->HasTombstones()) {
+            level_has_tombstones = true;
+          }
+        }
+      }
+      use_delete_driven = level_has_tombstones;
+    }
+
+    std::shared_ptr<FileMeta> best;
+    uint64_t best_overlap = UINT64_MAX;
+    double best_b = -1.0;
+    for (const SortedRun& run : version.levels()[level]) {
+      for (const auto& file : run.files) {
+        if (!use_delete_driven) {
+          uint64_t overlap = OverlapBytes(version, level, *file);
+          if (best == nullptr || overlap < best_overlap ||
+              (overlap == best_overlap &&
+               file->num_point_tombstones > best->num_point_tombstones)) {
+            best = file;
+            best_overlap = overlap;
+          }
+        } else {  // kMaxTombstones (SD)
+          double b = EstimateInvalidation(version, *file);
+          if (best == nullptr || b > best_b ||
+              (b == best_b &&
+               file->oldest_tombstone_time < best->oldest_tombstone_time)) {
+            best = file;
+            best_b = b;
+          }
+        }
+      }
+    }
+    if (best != nullptr) {
+      pick.trigger = CompactionPick::Trigger::kSaturation;
+      pick.level = level;
+      pick.inputs.push_back(best);
+      return pick;
+    }
+  }
+  return pick;
+}
+
+CompactionPick CompactionPicker::Pick(const Version& version,
+                                      uint64_t now) const {
+  // TTL expiry takes precedence over saturation (§4.1.4: "FADE triggers a
+  // compaction in a level that has at least one file with expired TTL
+  // regardless of its saturation").
+  CompactionPick pick = PickTtlExpired(version, now);
+  if (pick.valid()) {
+    return pick;
+  }
+  return PickSaturated(version);
+}
+
+}  // namespace lethe

@@ -1,0 +1,95 @@
+#ifndef LETHE_LSM_COMPACTION_PICKER_H_
+#define LETHE_LSM_COMPACTION_PICKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/lsm/version.h"
+#include "src/lsm/version_set.h"
+
+namespace lethe {
+
+/// What the picker decided to compact and why. Under leveling `inputs` holds
+/// one file from `level`; under tiering it holds every file of the level
+/// (all runs merge together).
+struct CompactionPick {
+  enum class Trigger { kNone, kSaturation, kTtlExpiry };
+
+  Trigger trigger = Trigger::kNone;
+  int level = -1;
+  std::vector<std::shared_ptr<FileMeta>> inputs;
+
+  bool valid() const { return trigger != Trigger::kNone; }
+};
+
+/// Implements the compaction trigger and file-selection policies of §4.1.4:
+///
+///   Trigger: a TTL-expired file always wins over saturation (DD); otherwise
+///   a level exceeding its capacity triggers (leveling: bytes vs M·T^(i+1);
+///   tiering: run count vs T). Level ties go to the smallest level, avoiding
+///   write stalls.
+///
+///   Selection: SO picks the file with minimal key-range overlap with the
+///   next level (tie → most tombstones); SD picks the file with the highest
+///   estimated invalidation count b = p_f + rd_f (tie → oldest tombstone);
+///   DD picks the expired file with the oldest tombstone.
+class CompactionPicker {
+ public:
+  CompactionPicker(const Options& resolved_options, VersionSet* versions)
+      : options_(resolved_options), versions_(versions) {}
+
+  CompactionPick Pick(const Version& version, uint64_t now) const;
+
+  /// Capacity of disk level `level` (0-based) in bytes: M · T^(level+1).
+  uint64_t LevelCapacityBytes(int level) const;
+
+  /// Earliest clock time at which some file's TTL expires, or UINT64_MAX if
+  /// FADE is off or no file holds tombstones. The write path compares this
+  /// against "now" as an O(1) trigger pre-check.
+  uint64_t EarliestTtlExpiry(const Version& version) const;
+
+  /// Idle-buffer flush guard (Dth/2): a memtable whose oldest tombstone is
+  /// older than this must flush so an idle database still meets the
+  /// persistence bound. UINT64_MAX when FADE is off.
+  uint64_t BufferTtl(const Version& version) const;
+
+  /// Cumulative expiry thresholds c_i per disk level (slot i = level i),
+  /// measured against tombstone age since memtable insertion; c_last = Dth.
+  std::vector<uint64_t> CumulativeTtls(const Version& version) const;
+
+  /// FADE's b estimate for `file`: exact point tombstone count plus the
+  /// estimated number of tree entries invalidated by the file's range
+  /// tombstones (interpolated over per-file key ranges — the "system-wide
+  /// histogram" stand-in of §4.1.3).
+  double EstimateInvalidation(const Version& version,
+                              const FileMeta& file) const;
+
+ private:
+  CompactionPick PickTtlExpired(const Version& version, uint64_t now) const;
+  CompactionPick PickSaturated(const Version& version) const;
+
+  /// Bytes of next-level files overlapping `file` (SO's objective).
+  uint64_t OverlapBytes(const Version& version, int level,
+                        const FileMeta& file) const;
+
+  Options options_;
+  VersionSet* versions_;
+};
+
+/// Interprets the first 8 bytes of a sort key as a big-endian integer, the
+/// key-space interpolation model used for range-tombstone selectivity
+/// estimates.
+uint64_t KeyToU64(const Slice& key);
+
+/// Same, starting at byte `offset` (used after common-prefix stripping).
+uint64_t KeyToU64At(const Slice& key, size_t offset);
+
+/// Estimated fraction of [smallest, largest] covered by [begin, end).
+double RangeOverlapFraction(const Slice& smallest, const Slice& largest,
+                            const Slice& begin, const Slice& end);
+
+}  // namespace lethe
+
+#endif  // LETHE_LSM_COMPACTION_PICKER_H_

@@ -1,0 +1,93 @@
+#ifndef LETHE_LSM_DB_IMPL_H_
+#define LETHE_LSM_DB_IMPL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/db.h"
+#include "src/core/options.h"
+#include "src/core/statistics.h"
+#include "src/lsm/compaction.h"
+#include "src/lsm/compaction_picker.h"
+#include "src/lsm/version_set.h"
+#include "src/memtable/memtable.h"
+#include "src/memtable/wal.h"
+
+namespace lethe {
+
+/// The engine proper. Single-writer / multi-reader: a mutex serializes all
+/// mutations (writes, flushes, compactions run inline — the paper's
+/// experiments give compactions priority over writes); readers briefly take
+/// the mutex to snapshot {memtable, version} pointers and then proceed
+/// lock-free on immutable state.
+class DBImpl final : public DB {
+ public:
+  DBImpl(const Options& options, std::string name);
+  ~DBImpl() override;
+
+  /// Recovers MANIFEST + WAL. Must be called once before use.
+  Status Init();
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             uint64_t delete_key, const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status RangeDelete(const WriteOptions& options, const Slice& begin_key,
+                     const Slice& end_key) override;
+  Status SecondaryRangeDelete(const WriteOptions& options,
+                              uint64_t delete_key_begin,
+                              uint64_t delete_key_end) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Status GetWithDeleteKey(const ReadOptions& options, const Slice& key,
+                          std::string* value, uint64_t* delete_key) override;
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& options) override;
+  Status SecondaryRangeLookup(const ReadOptions& options,
+                              uint64_t delete_key_begin,
+                              uint64_t delete_key_end,
+                              std::vector<SecondaryHit>* hits) override;
+  Status Flush() override;
+  Status CompactUntilQuiescent() override;
+  Status CompactAll() override;
+  const Statistics& stats() const override { return stats_; }
+  std::vector<LevelSnapshot> GetLevelSnapshots() override;
+  std::vector<TombstoneAgeSample> GetTombstoneAges() override;
+  Status ComputeSpaceAmplification(double* samp) override;
+  uint64_t ApproximateEntryCount() const override;
+
+ private:
+  Status WriteLocked(WalRecord::Kind kind, const Slice& key,
+                     const Slice& end_key, uint64_t delete_key,
+                     const Slice& value);
+  Status FlushMemTableLocked();
+  Status MaybeCompactLocked();
+  Status CompactOnceLocked(const CompactionPick& pick, bool* did_work);
+  void RefreshTriggerStateLocked();
+  Status RotateWalLocked(VersionEdit* edit);
+  bool KeyMayExistLocked(const Slice& key);
+  Status ReplayWalLocked();
+
+  Options options_;  // resolved (env/clock non-null)
+  std::string dbname_;
+  Statistics stats_;
+
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<CompactionPicker> picker_;
+
+  std::mutex mu_;
+  std::shared_ptr<MemTable> mem_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_number_ = 0;
+  SequenceNumber mem_first_seq_ = 0;
+  uint64_t mem_first_time_ = 0;
+
+  // O(1) per-write trigger pre-checks, refreshed on version installs.
+  uint64_t earliest_ttl_expiry_ = UINT64_MAX;
+  uint64_t buffer_ttl_ = UINT64_MAX;  // FADE's d_0 for the memtable
+  bool saturation_pending_ = false;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_LSM_DB_IMPL_H_

@@ -1,0 +1,73 @@
+#include "src/lsm/merging_iterator.h"
+
+#include <algorithm>
+
+namespace lethe {
+
+namespace {
+
+class MergingIterator final : public InternalIterator {
+ public:
+  explicit MergingIterator(
+      std::vector<std::unique_ptr<InternalIterator>> children)
+      : children_(std::move(children)) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+  }
+
+  void Next() override {
+    current_->Next();
+    FindSmallest();
+  }
+
+  const ParsedEntry& entry() const override { return current_->entry(); }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) {
+        continue;
+      }
+      if (current_ == nullptr ||
+          CompareInternal(child->entry(), current_->entry()) < 0) {
+        current_ = child.get();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children_;
+  InternalIterator* current_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<InternalIterator> NewMergingIterator(
+    std::vector<std::unique_ptr<InternalIterator>> children) {
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+}  // namespace lethe

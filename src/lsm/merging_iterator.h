@@ -1,0 +1,20 @@
+#ifndef LETHE_LSM_MERGING_ITERATOR_H_
+#define LETHE_LSM_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/format/iterator.h"
+
+namespace lethe {
+
+/// K-way merge over child iterators in internal-key order (sort key
+/// ascending, sequence descending), so for a duplicated user key the most
+/// recent version surfaces first — the property flushes, compactions, and
+/// scans rely on for consolidation.
+std::unique_ptr<InternalIterator> NewMergingIterator(
+    std::vector<std::unique_ptr<InternalIterator>> children);
+
+}  // namespace lethe
+
+#endif  // LETHE_LSM_MERGING_ITERATOR_H_

@@ -1,0 +1,30 @@
+#ifndef LETHE_LSM_SECONDARY_DELETE_H_
+#define LETHE_LSM_SECONDARY_DELETE_H_
+
+#include <cstdint>
+
+#include "src/core/options.h"
+#include "src/core/statistics.h"
+#include "src/lsm/version.h"
+#include "src/lsm/version_edit.h"
+#include "src/lsm/version_set.h"
+
+namespace lethe {
+
+/// Executes a secondary range delete over delete keys [lo, hi) across every
+/// file of `version` (§4.2.2). For each affected file:
+///   - pages whose whole delete-key range falls inside [lo, hi) are *fully
+///     dropped*: a metadata-only bitmap flip, no read, no write;
+///   - boundary pages (0–1 per delete tile in the common case) are read,
+///     filtered, and rewritten in place (*partial page drops*);
+///   - a file whose live pages all vanish (and that carries no range
+///     tombstones) is removed outright.
+/// Appends the metadata replacements to `edit`; the caller applies it.
+Status ExecuteSecondaryRangeDelete(const Options& resolved_options,
+                                   VersionSet* versions, Statistics* stats,
+                                   const Version& version, uint64_t lo,
+                                   uint64_t hi, VersionEdit* edit);
+
+}  // namespace lethe
+
+#endif  // LETHE_LSM_SECONDARY_DELETE_H_

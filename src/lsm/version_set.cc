@@ -1,0 +1,242 @@
+#include "src/lsm/version_set.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace lethe {
+
+namespace {
+
+std::string NumberedFileName(const std::string& dbname, uint64_t number,
+                             const char* suffix) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "/%06" PRIu64 ".%s", number, suffix);
+  return dbname + buf;
+}
+
+}  // namespace
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return NumberedFileName(dbname, number, "sst");
+}
+
+std::string WalFileName(const std::string& dbname, uint64_t number) {
+  return NumberedFileName(dbname, number, "wal");
+}
+
+std::string ManifestFileName(const std::string& dbname, uint64_t number) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "/MANIFEST-%06" PRIu64, number);
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+Status TableCache::GetTable(const FileMeta& meta,
+                            std::shared_ptr<SSTableReader>* table) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(meta.file_number);
+    if (it != cache_.end()) {
+      *table = it->second;
+      return Status::OK();
+    }
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  LETHE_RETURN_IF_ERROR(env_->NewRandomAccessFile(
+      TableFileName(dbname_, meta.file_number), &file));
+  std::unique_ptr<SSTableReader> reader;
+  LETHE_RETURN_IF_ERROR(SSTableReader::Open(table_options_, std::move(file),
+                                            meta.file_size, &reader));
+  std::shared_ptr<SSTableReader> shared(std::move(reader));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[meta.file_number] = shared;
+  }
+  *table = std::move(shared);
+  return Status::OK();
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(file_number);
+}
+
+VersionSet::VersionSet(const Options& resolved_options, std::string dbname)
+    : options_(resolved_options),
+      dbname_(std::move(dbname)),
+      table_cache_(resolved_options.env, resolved_options.table, dbname_) {}
+
+Status VersionSet::Recover() {
+  Env* env = options_.env;
+  if (!env->FileExists(CurrentFileName(dbname_))) {
+    if (!options_.create_if_missing) {
+      return Status::NotFound("database does not exist: " + dbname_);
+    }
+    LETHE_RETURN_IF_ERROR(env->CreateDirIfMissing(dbname_));
+    return CreateFresh();
+  }
+
+  std::string manifest_name;
+  LETHE_RETURN_IF_ERROR(
+      ReadFileToString(env, CurrentFileName(dbname_), &manifest_name));
+  while (!manifest_name.empty() && manifest_name.back() == '\n') {
+    manifest_name.pop_back();
+  }
+
+  std::unique_ptr<SequentialFile> file;
+  LETHE_RETURN_IF_ERROR(
+      env->NewSequentialFile(dbname_ + "/" + manifest_name, &file));
+  RecordLogReader reader(std::move(file));
+
+  std::shared_ptr<const Version> version = std::make_shared<Version>();
+  std::string record;
+  Status read_status;
+  while (reader.ReadRecord(&record, &read_status)) {
+    VersionEdit edit;
+    LETHE_RETURN_IF_ERROR(edit.DecodeFrom(Slice(record)));
+    Status apply_status;
+    version = Version::Apply(version.get(), edit, &apply_status);
+    LETHE_RETURN_IF_ERROR(apply_status);
+    ApplyCounters(edit);
+    for (const auto& [seq, time] : edit.seq_time_checkpoints) {
+      seq_time_map_.emplace_back(seq, time);
+    }
+  }
+  LETHE_RETURN_IF_ERROR(read_status);
+  std::sort(seq_time_map_.begin(), seq_time_map_.end());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = version;
+  }
+  // Start a fresh manifest holding one snapshot record, so the log does not
+  // grow across restarts.
+  return WriteSnapshotManifest();
+}
+
+Status VersionSet::CreateFresh() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::make_shared<Version>();
+  }
+  return WriteSnapshotManifest();
+}
+
+Status VersionSet::WriteSnapshotManifest() {
+  Env* env = options_.env;
+  manifest_number_ = next_file_number_++;
+  std::string name = ManifestFileName(dbname_, manifest_number_);
+  std::unique_ptr<WritableFile> file;
+  LETHE_RETURN_IF_ERROR(env->NewWritableFile(name, &file));
+  manifest_ = std::make_unique<RecordLogWriter>(std::move(file),
+                                                /*sync_on_write=*/false);
+
+  VersionEdit snapshot;
+  std::shared_ptr<const Version> version = current();
+  for (int level = 0; level < version->num_levels(); level++) {
+    for (const SortedRun& run : version->levels()[level]) {
+      for (const auto& meta : run.files) {
+        snapshot.added_files.emplace_back(level, *meta);
+      }
+    }
+  }
+  snapshot.seq_time_checkpoints = seq_time_map_;
+  snapshot.next_file_number = next_file_number_;
+  snapshot.last_sequence = last_sequence_;
+  snapshot.wal_number = wal_number_;
+  snapshot.next_run_id = next_run_id_;
+
+  std::string payload;
+  snapshot.EncodeTo(&payload);
+  LETHE_RETURN_IF_ERROR(manifest_->AddRecord(payload));
+  LETHE_RETURN_IF_ERROR(manifest_->Sync());
+
+  // Point CURRENT at the new manifest via write + rename.
+  std::string tmp = dbname_ + "/CURRENT.tmp";
+  char buf[64];
+  snprintf(buf, sizeof(buf), "MANIFEST-%06" PRIu64 "\n", manifest_number_);
+  LETHE_RETURN_IF_ERROR(WriteStringToFile(env, buf, tmp));
+  return env->RenameFile(tmp, CurrentFileName(dbname_));
+}
+
+void VersionSet::ApplyCounters(const VersionEdit& edit) {
+  if (edit.next_file_number) {
+    next_file_number_ = std::max(next_file_number_, *edit.next_file_number);
+  }
+  if (edit.last_sequence) {
+    last_sequence_ = std::max(last_sequence_, *edit.last_sequence);
+  }
+  if (edit.wal_number) {
+    wal_number_ = *edit.wal_number;
+  }
+  if (edit.next_run_id) {
+    next_run_id_ = std::max(next_run_id_, *edit.next_run_id);
+  }
+}
+
+void VersionSet::AddSeqTimeCheckpoint(SequenceNumber seq, uint64_t time,
+                                      VersionEdit* edit) {
+  seq_time_map_.emplace_back(seq, time);
+  std::sort(seq_time_map_.begin(), seq_time_map_.end());
+  edit->seq_time_checkpoints.emplace_back(seq, time);
+}
+
+uint64_t VersionSet::TimeOfSeq(SequenceNumber seq) const {
+  // Greatest checkpoint with checkpoint.seq <= seq.
+  auto it = std::upper_bound(
+      seq_time_map_.begin(), seq_time_map_.end(),
+      std::make_pair(seq, UINT64_MAX));
+  if (it == seq_time_map_.begin()) {
+    return 0;  // before the first checkpoint: oldest possible (conservative)
+  }
+  return std::prev(it)->second;
+}
+
+Status VersionSet::LogAndApply(VersionEdit* edit) {
+  edit->next_file_number = next_file_number_;
+  edit->last_sequence = last_sequence_;
+  edit->next_run_id = next_run_id_;
+  if (!edit->wal_number) {
+    edit->wal_number = wal_number_;
+  } else {
+    wal_number_ = *edit->wal_number;
+  }
+
+  std::string payload;
+  edit->EncodeTo(&payload);
+  LETHE_RETURN_IF_ERROR(manifest_->AddRecord(payload));
+
+  Status apply_status;
+  std::shared_ptr<const Version> base = current();
+  std::shared_ptr<const Version> next =
+      Version::Apply(base.get(), *edit, &apply_status);
+  LETHE_RETURN_IF_ERROR(apply_status);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = next;
+  }
+
+  // Delete table files that were removed and not re-added (re-adding the
+  // same number replaces metadata after a secondary range delete).
+  std::set<uint64_t> readded;
+  for (const auto& [level, meta] : edit->added_files) {
+    readded.insert(meta.file_number);
+  }
+  for (const auto& removed : edit->removed_files) {
+    if (readded.count(removed.file_number)) {
+      continue;
+    }
+    table_cache_.Evict(removed.file_number);
+    // Best effort: open readers keep the bytes alive on both backends.
+    options_.env->RemoveFile(TableFileName(dbname_, removed.file_number))
+        .ok();
+  }
+  return Status::OK();
+}
+
+}  // namespace lethe

@@ -1,0 +1,120 @@
+#ifndef LETHE_LSM_VERSION_SET_H_
+#define LETHE_LSM_VERSION_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/format/sstable_reader.h"
+#include "src/lsm/version.h"
+#include "src/lsm/version_edit.h"
+#include "src/util/record_log.h"
+#include "src/util/status.h"
+
+namespace lethe {
+
+// Database file naming. All files live directly under the database
+// directory.
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string WalFileName(const std::string& dbname, uint64_t number);
+std::string ManifestFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+
+/// Cache of open SSTable readers keyed by file number. Readers are immutable
+/// and shared; eviction happens when the file is deleted.
+class TableCache {
+ public:
+  TableCache(Env* env, const TableOptions& table_options, std::string dbname)
+      : env_(env), table_options_(table_options), dbname_(std::move(dbname)) {}
+
+  Status GetTable(const FileMeta& meta, std::shared_ptr<SSTableReader>* table);
+  void Evict(uint64_t file_number);
+
+ private:
+  Env* env_;
+  TableOptions table_options_;
+  std::string dbname_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<SSTableReader>> cache_;
+};
+
+/// Owns the mutable identity of the database: the current Version, the
+/// MANIFEST log, monotonic counters (file numbers, run ids, sequence
+/// numbers), and the seq→time checkpoint map FADE uses to resolve point
+/// tombstone insertion times across compactions (§4.1.3: seqnums stand in
+/// for timestamps, so no per-entry metadata is added).
+///
+/// External synchronization: the DB write mutex serializes all mutating
+/// calls; current() hands out immutable snapshots and is thread-safe.
+class VersionSet {
+ public:
+  VersionSet(const Options& resolved_options, std::string dbname);
+
+  VersionSet(const VersionSet&) = delete;
+  VersionSet& operator=(const VersionSet&) = delete;
+
+  /// Loads or creates the database state. On success current() is valid and
+  /// wal_number() names the log to replay.
+  Status Recover();
+
+  /// Persists `edit` to the MANIFEST and installs the resulting version.
+  /// Stamps counters into the edit; applies any seq_time_checkpoints to the
+  /// in-memory map (callers add them via AddSeqTimeCheckpoint first).
+  Status LogAndApply(VersionEdit* edit);
+
+  std::shared_ptr<const Version> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  uint64_t NewFileNumber() { return next_file_number_++; }
+  uint64_t NewRunId() { return next_run_id_++; }
+
+  SequenceNumber LastSequence() const { return last_sequence_; }
+  void SetLastSequence(SequenceNumber seq) { last_sequence_ = seq; }
+  SequenceNumber NextSequence() { return ++last_sequence_; }
+
+  uint64_t wal_number() const { return wal_number_; }
+  void set_wal_number(uint64_t n) { wal_number_ = n; }
+
+  /// Registers a checkpoint in the in-memory map and records it in `edit`
+  /// for persistence.
+  void AddSeqTimeCheckpoint(SequenceNumber seq, uint64_t time,
+                            VersionEdit* edit);
+
+  /// Conservative insertion-time floor for the entry with sequence `seq`.
+  uint64_t TimeOfSeq(SequenceNumber seq) const;
+
+  TableCache* table_cache() { return &table_cache_; }
+  const std::string& dbname() const { return dbname_; }
+
+ private:
+  Status CreateFresh();
+  Status WriteSnapshotManifest();
+  void ApplyCounters(const VersionEdit& edit);
+
+  Options options_;
+  std::string dbname_;
+  TableCache table_cache_;
+
+  mutable std::mutex mu_;  // guards current_ swap only
+  std::shared_ptr<const Version> current_;
+
+  std::unique_ptr<RecordLogWriter> manifest_;
+  uint64_t manifest_number_ = 0;
+
+  uint64_t next_file_number_ = 1;
+  uint64_t next_run_id_ = 1;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t wal_number_ = 0;
+
+  std::vector<std::pair<SequenceNumber, uint64_t>> seq_time_map_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_LSM_VERSION_SET_H_

@@ -1,0 +1,182 @@
+#include "src/memtable/memtable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/format/file_meta.h"
+#include "src/util/coding.h"
+
+namespace lethe {
+
+namespace {
+
+constexpr uint8_t kLive = 1;
+constexpr uint8_t kPurged = 0;
+
+/// Decodes the record payload (after the flag byte) without copying.
+bool DecodeRecord(const char* record, ParsedEntry* entry, size_t max_len) {
+  Slice input(record + 1, max_len);
+  return DecodeEntry(&input, entry);
+}
+
+inline bool IsLive(const char* record) {
+  return std::atomic_ref<const uint8_t>(
+             *reinterpret_cast<const uint8_t*>(record))
+             .load(std::memory_order_acquire) == kLive;
+}
+
+inline void MarkPurged(char* record) {
+  std::atomic_ref<uint8_t>(*reinterpret_cast<uint8_t*>(record))
+      .store(kPurged, std::memory_order_release);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  // Both records are well-formed (we encoded them); decode key and seq.
+  ParsedEntry ea, eb;
+  // Length bound: entries are self-delimiting, pass a generous cap.
+  DecodeRecord(a, &ea, SIZE_MAX / 2);
+  DecodeRecord(b, &eb, SIZE_MAX / 2);
+  return CompareInternal(ea, eb);
+}
+
+MemTable::MemTable()
+    : table_(comparator_, &arena_),
+      oldest_tombstone_time_(kNoTombstoneTime) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+                   uint64_t delete_key, const Slice& value, uint64_t time) {
+  ParsedEntry entry;
+  entry.user_key = user_key;
+  entry.delete_key = delete_key;
+  entry.seq = seq;
+  entry.type = type;
+  entry.value = value;
+
+  std::string encoded;
+  encoded.reserve(1 + EncodedEntrySize(entry));
+  encoded.push_back(static_cast<char>(kLive));
+  EncodeEntry(entry, &encoded);
+
+  char* record = arena_.Allocate(encoded.size());
+  memcpy(record, encoded.data(), encoded.size());
+  table_.Insert(record);
+  num_entries_++;
+  if (type == ValueType::kTombstone) {
+    num_point_tombstones_++;
+    oldest_tombstone_time_ = std::min(oldest_tombstone_time_, time);
+  }
+}
+
+void MemTable::AddRangeTombstone(const RangeTombstone& tombstone) {
+  range_tombstones_.push_back(tombstone);
+  range_tombstone_set_.Add(tombstone);
+  oldest_tombstone_time_ = std::min(oldest_tombstone_time_, tombstone.time);
+}
+
+bool MemTable::Get(const Slice& user_key, ParsedEntry* entry) const {
+  // Seek to the first record with this user key (any seq); records for the
+  // same key are ordered newest-first.
+  ParsedEntry probe;
+  probe.user_key = user_key;
+  probe.seq = kMaxSequenceNumber;
+  probe.type = ValueType::kValue;
+  std::string encoded;
+  encoded.push_back(static_cast<char>(kLive));
+  EncodeEntry(probe, &encoded);
+
+  SkipList<KeyComparator>::Iterator it(&table_);
+  it.Seek(encoded.data());
+  while (it.Valid()) {
+    ParsedEntry candidate;
+    if (!DecodeRecord(it.key(), &candidate, SIZE_MAX / 2)) {
+      return false;
+    }
+    if (candidate.user_key != user_key) {
+      return false;
+    }
+    if (IsLive(it.key())) {
+      *entry = candidate;
+      return true;
+    }
+    it.Next();  // newest version purged by a secondary delete; try older
+  }
+  return false;
+}
+
+uint64_t MemTable::PurgeDeleteKeyRange(uint64_t lo, uint64_t hi) {
+  uint64_t purged = 0;
+  SkipList<KeyComparator>::Iterator it(&table_);
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    ParsedEntry entry;
+    if (!DecodeRecord(it.key(), &entry, SIZE_MAX / 2)) {
+      continue;
+    }
+    if (entry.delete_key >= lo && entry.delete_key < hi && IsLive(it.key())) {
+      MarkPurged(const_cast<char*>(it.key()));
+      purged++;
+    }
+  }
+  return purged;
+}
+
+// Named (not anonymous-namespace) so the friend declaration in MemTable
+// grants it access to the private KeyComparator type.
+class MemTableIterator final : public InternalIterator {
+ public:
+  MemTableIterator(const SkipList<MemTable::KeyComparator>* table)
+      : iter_(table) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    iter_.SeekToFirst();
+    SkipDead();
+  }
+
+  void Seek(const Slice& target) override {
+    ParsedEntry probe;
+    probe.user_key = target;
+    probe.seq = kMaxSequenceNumber;
+    probe.type = ValueType::kValue;
+    encoded_probe_.clear();
+    encoded_probe_.push_back(static_cast<char>(kLive));
+    EncodeEntry(probe, &encoded_probe_);
+    iter_.Seek(encoded_probe_.data());
+    SkipDead();
+  }
+
+  void Next() override {
+    iter_.Next();
+    SkipDead();
+  }
+
+  const ParsedEntry& entry() const override { return entry_; }
+
+  Status status() const override { return Status::OK(); }
+
+ private:
+  void SkipDead() {
+    valid_ = false;
+    while (iter_.Valid()) {
+      if (IsLive(iter_.key()) && DecodeRecord(iter_.key(), &entry_,
+                                              SIZE_MAX / 2)) {
+        valid_ = true;
+        return;
+      }
+      iter_.Next();
+    }
+  }
+
+  SkipList<MemTable::KeyComparator>::Iterator iter_;
+  ParsedEntry entry_;
+  bool valid_ = false;
+  std::string encoded_probe_;
+};
+
+std::unique_ptr<InternalIterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(&table_);
+}
+
+}  // namespace lethe

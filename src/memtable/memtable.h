@@ -1,0 +1,97 @@
+#ifndef LETHE_MEMTABLE_MEMTABLE_H_
+#define LETHE_MEMTABLE_MEMTABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/format/entry.h"
+#include "src/format/iterator.h"
+#include "src/format/range_tombstone.h"
+#include "src/memtable/skiplist.h"
+#include "src/util/arena.h"
+#include "src/util/slice.h"
+
+namespace lethe {
+
+/// In-memory write buffer (Level 0 in the paper's numbering): an arena-backed
+/// skiplist ordered by internal key, plus a side list of range tombstones.
+/// Single writer, concurrent readers.
+///
+/// The memtable records the insertion time of its oldest tombstone — this is
+/// the source of truth FADE uses to stamp `FileMeta::oldest_tombstone_time`
+/// when the buffer is flushed (the paper derives the same quantity from
+/// seqnums; tracking it at the buffer boundary is exact and equally free).
+///
+/// Secondary range deletes purge matching buffered entries in place by
+/// flagging them dead (§4.2: the buffer is mutable, so no tombstones are
+/// needed for buffered data).
+class MemTable {
+ public:
+  MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Adds an entry. `time` is the Clock reading at insertion, used for
+  /// tombstone age tracking.
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           uint64_t delete_key, const Slice& value, uint64_t time);
+
+  void AddRangeTombstone(const RangeTombstone& tombstone);
+
+  /// Finds the most recent live entry for `user_key`. Returns true and fills
+  /// `*entry` (aliasing arena memory valid for the memtable's lifetime) if
+  /// present. A returned tombstone means "deleted here".
+  bool Get(const Slice& user_key, ParsedEntry* entry) const;
+
+  /// Iterator over live entries in internal-key order. Multiple versions of
+  /// a key may be yielded (newest first); flush consolidates them.
+  std::unique_ptr<InternalIterator> NewIterator() const;
+
+  const std::vector<RangeTombstone>& range_tombstones() const {
+    return range_tombstones_;
+  }
+  const RangeTombstoneSet& range_tombstone_set() const {
+    return range_tombstone_set_;
+  }
+
+  /// Marks every live entry with delete key in [lo, hi) dead. Returns the
+  /// number of entries purged. Range tombstones are unaffected (they carry
+  /// no delete key).
+  uint64_t PurgeDeleteKeyRange(uint64_t lo, uint64_t hi);
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_point_tombstones() const { return num_point_tombstones_; }
+  bool empty() const {
+    return num_entries_ == 0 && range_tombstones_.empty();
+  }
+
+  /// Insertion time of the oldest (point or range) tombstone, or
+  /// kNoTombstoneTime.
+  uint64_t oldest_tombstone_time() const { return oldest_tombstone_time_; }
+
+ private:
+  struct KeyComparator {
+    /// Records are [1-byte live flag][EncodeEntry bytes]; ordering is
+    /// internal-key order.
+    int operator()(const char* a, const char* b) const;
+  };
+
+  friend class MemTableIterator;
+
+  Arena arena_;
+  KeyComparator comparator_;
+  SkipList<KeyComparator> table_;
+  std::vector<RangeTombstone> range_tombstones_;
+  RangeTombstoneSet range_tombstone_set_;
+  uint64_t num_entries_ = 0;
+  uint64_t num_point_tombstones_ = 0;
+  uint64_t oldest_tombstone_time_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_MEMTABLE_MEMTABLE_H_

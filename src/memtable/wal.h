@@ -1,0 +1,71 @@
+#ifndef LETHE_MEMTABLE_WAL_H_
+#define LETHE_MEMTABLE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/env/env.h"
+#include "src/format/entry.h"
+#include "src/util/record_log.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace lethe {
+
+/// One logical WAL operation. Each memtable mutation is logged before being
+/// applied; recovery replays records in order. The WAL is rotated at every
+/// flush and the old log deleted once the flush commits, so no tombstone
+/// outlives its memtable in the log — this satisfies FADE's persistence
+/// guarantee condition that WALs are purged at a period shorter than Dth
+/// (§4.1.5); the insertion `time` is logged so replayed tombstones keep
+/// their original age.
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kPut = 1,
+    kDelete = 2,
+    kRangeDelete = 3,
+  };
+
+  Kind kind = Kind::kPut;
+  SequenceNumber seq = 0;
+  uint64_t time = 0;
+  std::string key;          // sort key (begin key for range deletes)
+  std::string end_key;      // range deletes only
+  uint64_t delete_key = 0;  // secondary delete key
+  std::string value;
+};
+
+/// Typed wrapper over the shared CRC-framed record log.
+class WalWriter {
+ public:
+  WalWriter(std::unique_ptr<WritableFile> file, bool sync_on_write)
+      : log_(std::move(file), sync_on_write) {}
+
+  Status AddRecord(const WalRecord& record);
+  Status Close() { return log_.Close(); }
+
+ private:
+  RecordLogWriter log_;
+};
+
+/// Replays a log produced by WalWriter. A torn tail terminates iteration
+/// cleanly (returns false with OK-or-Corruption status).
+class WalReader {
+ public:
+  explicit WalReader(std::unique_ptr<SequentialFile> file)
+      : log_(std::move(file)) {}
+
+  bool ReadRecord(WalRecord* record, Status* status);
+
+ private:
+  RecordLogReader log_;
+  std::string buffer_;
+};
+
+void EncodeWalRecord(const WalRecord& record, std::string* dst);
+bool DecodeWalRecord(Slice input, WalRecord* record);
+
+}  // namespace lethe
+
+#endif  // LETHE_MEMTABLE_WAL_H_

@@ -1,0 +1,63 @@
+#include "src/util/arena.h"
+
+#include <cassert>
+
+namespace lethe {
+
+Arena::Arena()
+    : alloc_ptr_(nullptr), alloc_bytes_remaining_(0), memory_usage_(0) {}
+
+char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  const size_t align = alignof(std::max_align_t);
+  static_assert((align & (align - 1)) == 0,
+                "alignment must be a power of two");
+  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (align - 1);
+  size_t slop = (current_mod == 0 ? 0 : align - current_mod);
+  size_t needed = bytes + slop;
+  char* result;
+  if (needed <= alloc_bytes_remaining_) {
+    result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+  } else {
+    // AllocateFallback always returns block-aligned memory.
+    result = AllocateFallback(bytes);
+  }
+  assert((reinterpret_cast<uintptr_t>(result) & (align - 1)) == 0);
+  return result;
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large objects get their own block so we do not waste the remainder of
+    // the current block.
+    return AllocateNewBlock(bytes);
+  }
+
+  alloc_ptr_ = AllocateNewBlock(kBlockSize);
+  alloc_bytes_remaining_ = kBlockSize;
+
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_bytes_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  blocks_.push_back(std::make_unique<char[]>(block_bytes));
+  memory_usage_ += block_bytes + sizeof(char*);
+  return blocks_.back().get();
+}
+
+}  // namespace lethe

@@ -1,0 +1,47 @@
+#ifndef LETHE_UTIL_ARENA_H_
+#define LETHE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lethe {
+
+/// Bump allocator backing the memtable skiplist. Allocations live until the
+/// arena is destroyed; individual frees are not supported. Not thread-safe;
+/// the memtable serializes writers externally.
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to `bytes` bytes of uninitialized memory.
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate but with pointer-size alignment, for objects with
+  /// atomic members.
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory footprint of the arena (blocks + bookkeeping), used to
+  /// decide when the write buffer is full.
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t memory_usage_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_ARENA_H_

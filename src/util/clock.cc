@@ -1,0 +1,19 @@
+#include "src/util/clock.h"
+
+#include <chrono>
+
+namespace lethe {
+
+uint64_t SystemClock::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace lethe

@@ -1,0 +1,52 @@
+#ifndef LETHE_UTIL_CLOCK_H_
+#define LETHE_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace lethe {
+
+/// Time source used by FADE to stamp tombstone ages and evaluate TTL expiry.
+/// Production code uses SystemClock; tests and benches use LogicalClock so
+/// that delete-persistence experiments are deterministic (the paper defines
+/// the persistence threshold Dth relative to workload run-time, which a
+/// logical clock driven by ingestion reproduces exactly).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary epoch; monotonically non-decreasing.
+  virtual uint64_t NowMicros() const = 0;
+};
+
+/// Wall-clock time (CLOCK_MONOTONIC).
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() const override;
+
+  /// Shared process-wide instance.
+  static SystemClock* Default();
+};
+
+/// Manually advanced clock. Thread-safe.
+class LogicalClock : public Clock {
+ public:
+  explicit LogicalClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceMicros(uint64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void SetMicros(uint64_t t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_CLOCK_H_

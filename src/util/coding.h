@@ -1,0 +1,60 @@
+#ifndef LETHE_UTIL_CODING_H_
+#define LETHE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace lethe {
+
+// Little-endian fixed-width and varint encodings used by the on-disk format
+// (pages, WAL records, MANIFEST edits). All encoders append to a std::string;
+// all decoders either read from a raw pointer (fixed-width) or consume from a
+// Slice and report success (varints, length-prefixed slices).
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // little-endian hosts only
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Decodes a varint32 from the front of `input`, advancing it. Returns false
+/// on malformed or truncated input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// Number of bytes the varint encoding of `value` occupies.
+int VarintLength(uint64_t value);
+
+// Low-level encoders returning a pointer just past the written bytes.
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_CODING_H_

@@ -1,0 +1,45 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace lethe {
+namespace crc32c {
+
+namespace {
+
+// Table-driven software CRC32C (Castagnoli, reflected polynomial 0x82f63b78).
+// The table is built once at first use; thread-safe via function-local static
+// initialization.
+struct CrcTable {
+  std::array<uint32_t, 256> t;
+  CrcTable() {
+    const uint32_t poly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const CrcTable& Table() {
+  static const CrcTable& table = *new CrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const CrcTable& table = Table();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = table.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace lethe

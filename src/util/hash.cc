@@ -1,0 +1,50 @@
+#include "src/util/hash.h"
+
+#include <cstring>
+
+namespace lethe {
+
+uint64_t MurmurHash64(const void* key, size_t len, uint64_t seed) {
+  const uint64_t m = 0xc6a4a7935bd1e995ull;
+  const int r = 47;
+
+  uint64_t h = seed ^ (len * m);
+
+  const unsigned char* data = static_cast<const unsigned char*>(key);
+  const unsigned char* end = data + (len / 8) * 8;
+
+  while (data != end) {
+    uint64_t k;
+    memcpy(&k, data, sizeof(k));
+    data += 8;
+
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+
+    h ^= k;
+    h *= m;
+  }
+
+  const size_t rem = len & 7;
+  if (rem > 0) {
+    uint64_t k = 0;
+    memcpy(&k, data, rem);  // little-endian tail load
+    h ^= k;
+    h *= m;
+  }
+
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+
+  return h;
+}
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  // Simple 32-bit FNV-1a style fold of the 64-bit hash.
+  uint64_t h = MurmurHash64(data, n, seed);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace lethe

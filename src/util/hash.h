@@ -1,0 +1,26 @@
+#ifndef LETHE_UTIL_HASH_H_
+#define LETHE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/slice.h"
+
+namespace lethe {
+
+/// 64-bit MurmurHash-style hash (MurmurHash2-64A variant). This is the single
+/// hash digest used by Bloom filters, mirroring the paper's note that
+/// commercial LSM engines derive all filter probe positions from one
+/// MurmurHash invocation (§4.2.4).
+uint64_t MurmurHash64(const void* key, size_t len, uint64_t seed);
+
+inline uint64_t HashSlice(const Slice& s, uint64_t seed = 0x6c65746865ull) {
+  return MurmurHash64(s.data(), s.size(), seed);
+}
+
+/// 32-bit hash for non-filter uses (bucketing, sharding).
+uint32_t Hash32(const char* data, size_t n, uint32_t seed);
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_HASH_H_

@@ -1,0 +1,90 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace lethe {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  int b = 64 - std::countl_zero(value);  // 1 + floor(log2(value))
+  return std::min(b, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(int b) {
+  return b == 0 ? 0 : (1ull << (b - 1));
+}
+
+void Histogram::Add(uint64_t value) {
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  buckets_[BucketFor(value)]++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double Histogram::Average() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  double threshold = count_ * (p / 100.0);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; b++) {
+    cumulative += buckets_[b];
+    if (static_cast<double>(cumulative) >= threshold) {
+      // Linear interpolation within bucket [lo, hi).
+      uint64_t lo = BucketLowerBound(b);
+      uint64_t hi = (b + 1 < kNumBuckets) ? BucketLowerBound(b + 1) : max_;
+      uint64_t in_bucket = buckets_[b];
+      uint64_t before = cumulative - in_bucket;
+      double frac =
+          in_bucket == 0 ? 0.0 : (threshold - before) / in_bucket;
+      double v = lo + frac * (hi > lo ? (hi - lo) : 0);
+      return std::min(v, static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[200];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.2f min=%llu max=%llu p50=%.1f p99=%.1f",
+           static_cast<unsigned long long>(count_), Average(),
+           static_cast<unsigned long long>(min()),
+           static_cast<unsigned long long>(max_), Percentile(50),
+           Percentile(99));
+  return std::string(buf);
+}
+
+}  // namespace lethe

@@ -1,0 +1,46 @@
+#ifndef LETHE_UTIL_HISTOGRAM_H_
+#define LETHE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lethe {
+
+/// Power-of-two-bucketed histogram for latency and size distributions.
+/// Used by benches to report averages and tail percentiles, and by FADE to
+/// report the tombstone-age distribution (paper Fig 6E).
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Average() const;
+  /// Interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  // Bucket b holds values v with BucketFor(v) == b (roughly log2).
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(int b);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_HISTOGRAM_H_

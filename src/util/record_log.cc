@@ -1,0 +1,75 @@
+#include "src/util/record_log.h"
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace lethe {
+
+Status RecordLogWriter::AddRecord(const Slice& payload) {
+  std::string framed;
+  framed.reserve(9 + payload.size());
+  PutFixed32(&framed,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutVarint32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload.data(), payload.size());
+  LETHE_RETURN_IF_ERROR(file_->Append(framed));
+  if (sync_) {
+    return file_->Sync();
+  }
+  return Status::OK();
+}
+
+bool RecordLogReader::ReadRecord(std::string* record, Status* status) {
+  *status = Status::OK();
+
+  char header_scratch[4];
+  Slice header;
+  Status s = file_->Read(4, &header, header_scratch);
+  if (!s.ok()) {
+    *status = s;
+    return false;
+  }
+  if (header.size() < 4) {
+    return false;  // clean EOF or torn frame header
+  }
+  uint32_t masked_crc = DecodeFixed32(header.data());
+
+  uint32_t len = 0;
+  int shift = 0;
+  while (true) {
+    Slice byte;
+    char b;
+    s = file_->Read(1, &byte, &b);
+    if (!s.ok() || byte.empty() || shift > 28) {
+      return false;  // torn tail
+    }
+    uint8_t v = static_cast<uint8_t>(byte[0]);
+    len |= static_cast<uint32_t>(v & 0x7f) << shift;
+    if (!(v & 0x80)) {
+      break;
+    }
+    shift += 7;
+  }
+
+  record->resize(len);
+  Slice data;
+  s = file_->Read(len, &data, record->data());
+  if (!s.ok()) {
+    *status = s;
+    return false;
+  }
+  if (data.size() < len) {
+    return false;  // torn tail
+  }
+  if (data.data() != record->data()) {
+    memcpy(record->data(), data.data(), len);
+  }
+  if (crc32c::Unmask(masked_crc) !=
+      crc32c::Value(record->data(), record->size())) {
+    *status = Status::Corruption("record log checksum mismatch");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lethe

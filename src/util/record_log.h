@@ -1,0 +1,46 @@
+#ifndef LETHE_UTIL_RECORD_LOG_H_
+#define LETHE_UTIL_RECORD_LOG_H_
+
+#include <memory>
+#include <string>
+
+#include "src/env/env.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace lethe {
+
+/// CRC-framed append-only record log, shared by the WAL and the MANIFEST:
+///   fixed32 masked_crc(payload) | varint32 len | payload
+class RecordLogWriter {
+ public:
+  RecordLogWriter(std::unique_ptr<WritableFile> file, bool sync_on_write)
+      : file_(std::move(file)), sync_(sync_on_write) {}
+
+  Status AddRecord(const Slice& payload);
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  bool sync_;
+};
+
+/// Reads records written by RecordLogWriter. A torn tail (truncated frame or
+/// bad checksum at end-of-file, as a crash leaves behind) ends iteration;
+/// `status` distinguishes clean EOF (OK) from detected damage (Corruption).
+class RecordLogReader {
+ public:
+  explicit RecordLogReader(std::unique_ptr<SequentialFile> file)
+      : file_(std::move(file)) {}
+
+  /// Returns true and fills `*record` on success; false at end of log.
+  bool ReadRecord(std::string* record, Status* status);
+
+ private:
+  std::unique_ptr<SequentialFile> file_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_RECORD_LOG_H_

@@ -1,0 +1,37 @@
+#include "src/util/status.h"
+
+namespace lethe {
+
+std::string Status::ToString() const {
+  const char* type = nullptr;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      type = "NotFound";
+      break;
+    case Code::kCorruption:
+      type = "Corruption";
+      break;
+    case Code::kNotSupported:
+      type = "NotSupported";
+      break;
+    case Code::kInvalidArgument:
+      type = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      type = "IOError";
+      break;
+    case Code::kBusy:
+      type = "Busy";
+      break;
+  }
+  std::string result(type);
+  if (!msg_.empty()) {
+    result.append(": ");
+    result.append(msg_);
+  }
+  return result;
+}
+
+}  // namespace lethe

@@ -1,0 +1,79 @@
+#ifndef LETHE_UTIL_STATUS_H_
+#define LETHE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "src/util/slice.h"
+
+namespace lethe {
+
+/// Status represents the outcome of an operation. It is either OK or carries
+/// an error code plus a human-readable message. All fallible public APIs in
+/// lethe return Status; exceptions are not used.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg = Slice()) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(const Slice& msg = Slice()) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(const Slice& msg = Slice()) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(const Slice& msg = Slice()) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(const Slice& msg = Slice()) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(const Slice& msg = Slice()) {
+    return Status(Code::kBusy, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+
+  Code code() const { return code_; }
+
+  /// Returns a string like "Corruption: bad block checksum".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, const Slice& msg)
+      : code_(code), msg_(msg.data(), msg.size()) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define LETHE_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::lethe::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_STATUS_H_

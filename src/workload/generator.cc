@@ -1,0 +1,152 @@
+#include "src/workload/generator.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace lethe {
+namespace workload {
+
+namespace {
+
+/// Invertible 64-bit mix (splitmix64 finalizer): maps the dense insert
+/// counter to a pseudo-random position in the key domain, so entries are
+/// "uniformly and randomly distributed across the key domain and inserted in
+/// random order" (paper §5 default setup).
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string EncodeKey(uint64_t k) {
+  char buf[17];
+  snprintf(buf, sizeof(buf), "%016" PRIx64, k);
+  return std::string(buf, 16);
+}
+
+uint64_t DecodeKey(const std::string& key) {
+  return strtoull(key.c_str(), nullptr, 16);
+}
+
+Generator::Generator(const Spec& spec)
+    : spec_(spec),
+      rnd_(spec.seed),
+      zipf_(1024, spec.zipfian_theta, spec.seed ^ 0x5a5a5a5a) {
+  value_template_.assign(spec_.value_size, 'v');
+}
+
+uint64_t Generator::PickExistingKey() {
+  if (next_fresh_key_ == 0) {
+    return 0;
+  }
+  if (spec_.distribution == Distribution::kZipfian) {
+    zipf_.ExpandTo(next_fresh_key_);
+    return zipf_.Next();
+  }
+  return rnd_.Uniform(next_fresh_key_);
+}
+
+std::string Generator::MakeValue(uint64_t key) {
+  std::string value = value_template_;
+  char tag[17];
+  snprintf(tag, sizeof(tag), "%016" PRIx64, key);
+  for (size_t i = 0; i < 16 && i < value.size(); i++) {
+    value[i] = tag[i];
+  }
+  return value;
+}
+
+uint64_t Generator::NextDeleteKeyFor(uint64_t key_index) {
+  switch (spec_.delete_key_mode) {
+    case DeleteKeyMode::kTimestamp:
+      return ++logical_time_;
+    case DeleteKeyMode::kEqualsSortKey:
+      return Mix64(key_index);
+    case DeleteKeyMode::kUniformRandom:
+      return rnd_.Next();
+  }
+  return 0;
+}
+
+bool Generator::Next(Op* op) {
+  if (ops_emitted_ >= spec_.num_user_ops) {
+    return false;
+  }
+  ops_emitted_++;
+
+  double roll = rnd_.NextDouble();
+  double acc = spec_.update_fraction;
+
+  if (next_fresh_key_ == 0) {
+    roll = 2.0;  // force the very first op to be an insert
+  }
+
+  if (roll < acc) {
+    uint64_t index = PickExistingKey();
+    op->type = OpType::kUpdate;
+    op->key = EncodeKey(Mix64(index));
+    op->delete_key = NextDeleteKeyFor(index);
+    op->value = MakeValue(Mix64(index));
+    return true;
+  }
+  acc += spec_.point_lookup_fraction;
+  if (roll < acc) {
+    uint64_t index = PickExistingKey();
+    op->type = OpType::kPointLookup;
+    op->key = EncodeKey(Mix64(index));
+    return true;
+  }
+  acc += spec_.zero_lookup_fraction;
+  if (roll < acc) {
+    op->type = OpType::kZeroResultLookup;
+    op->key = EncodeKey(rnd_.Next());  // collision chance ~ n / 2^64
+    return true;
+  }
+  acc += spec_.point_delete_fraction;
+  if (roll < acc) {
+    uint64_t index = PickExistingKey();
+    op->type = OpType::kPointDelete;
+    op->key = EncodeKey(Mix64(index));
+    num_deleted_++;  // approximate: double deletes are possible and benign
+    return true;
+  }
+  acc += spec_.range_delete_fraction;
+  if (roll < acc) {
+    uint64_t start = Mix64(PickExistingKey());
+    double span = spec_.range_delete_selectivity * 18446744073709551615.0;
+    uint64_t end = start + static_cast<uint64_t>(span);
+    if (end <= start) {
+      end = start + 1;
+    }
+    op->type = OpType::kRangeDelete;
+    op->key = EncodeKey(start);
+    op->end_key = EncodeKey(end);
+    return true;
+  }
+  acc += spec_.short_scan_fraction;
+  if (roll < acc) {
+    uint64_t start = Mix64(PickExistingKey());
+    op->type = OpType::kShortRangeScan;
+    op->key = EncodeKey(start);
+    op->delete_key = spec_.short_scan_keys;  // reuse field as scan length
+    return true;
+  }
+
+  // Fresh insert.
+  uint64_t index = next_fresh_key_++;
+  live_end_ = next_fresh_key_;
+  op->type = OpType::kInsert;
+  op->key = EncodeKey(Mix64(index));
+  op->delete_key = NextDeleteKeyFor(index);
+  op->value = MakeValue(Mix64(index));
+  return true;
+}
+
+}  // namespace workload
+}  // namespace lethe

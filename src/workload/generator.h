@@ -1,0 +1,114 @@
+#ifndef LETHE_WORKLOAD_GENERATOR_H_
+#define LETHE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/workload/zipfian.h"
+
+namespace lethe {
+namespace workload {
+
+/// One operation of a synthetic trace.
+enum class OpType {
+  kInsert,
+  kUpdate,
+  kPointLookup,       // on an existing key
+  kZeroResultLookup,  // on a key never inserted
+  kPointDelete,       // on an existing key
+  kRangeDelete,       // on the sort key
+  kShortRangeScan,
+  kSecondaryRangeDelete,
+};
+
+struct Op {
+  OpType type = OpType::kInsert;
+  std::string key;        // sort key (begin key for ranges)
+  std::string end_key;    // range delete / scan upper bound
+  uint64_t delete_key = 0;
+  uint64_t delete_key_end = 0;  // secondary range deletes
+  std::string value;
+};
+
+/// Key-pick distribution for updates/lookups/deletes.
+enum class Distribution {
+  kUniform,
+  kZipfian,
+};
+
+/// How an entry's secondary delete key relates to its sort key — the knob
+/// behind Fig 6L. kTimestamp assigns the (logical) insertion time, which is
+/// uncorrelated with a random sort key; kEqualsSortKey yields correlation 1,
+/// under which delete tiles degenerate to the classic layout.
+enum class DeleteKeyMode {
+  kTimestamp,
+  kEqualsSortKey,
+  kUniformRandom,
+};
+
+/// Paper §5 "Workload": a YCSB-A variant — 50% general updates, 50% point
+/// lookups — with deletes mixed in at delete_fraction of the ingestion, all
+/// issued on previously inserted keys, uniformly spread through the run.
+struct Spec {
+  uint64_t num_user_ops = 100000;
+
+  // Fractions of user operations (should sum to <= 1; the remainder becomes
+  // inserts of fresh keys).
+  double update_fraction = 0.25;
+  double point_lookup_fraction = 0.25;
+  double zero_lookup_fraction = 0.0;
+  double point_delete_fraction = 0.0;
+  double range_delete_fraction = 0.0;
+  double short_scan_fraction = 0.0;
+  double fresh_insert_fraction = 0.5;
+
+  double range_delete_selectivity = 5e-4;  // fraction of key domain
+  uint64_t short_scan_keys = 16;
+
+  uint32_t value_size = 120;
+  Distribution distribution = Distribution::kUniform;
+  double zipfian_theta = 0.99;
+  DeleteKeyMode delete_key_mode = DeleteKeyMode::kTimestamp;
+
+  uint64_t seed = 42;
+};
+
+/// Fixed-width, lexicographically ordered sort-key encoding of a uint64.
+std::string EncodeKey(uint64_t k);
+uint64_t DecodeKey(const std::string& key);
+
+/// Streaming generator: call Next() num_user_ops times. Keys are drawn from
+/// the set inserted so far (deletes and lookups target existing keys;
+/// deleted keys leave the live set). Deterministic for a given spec.
+class Generator {
+ public:
+  explicit Generator(const Spec& spec);
+
+  /// Produces the next operation. Returns false when the budget is spent.
+  bool Next(Op* op);
+
+  uint64_t ops_emitted() const { return ops_emitted_; }
+  uint64_t live_keys() const { return live_end_ - num_deleted_; }
+
+ private:
+  uint64_t PickExistingKey();
+  std::string MakeValue(uint64_t key);
+  uint64_t NextDeleteKeyFor(uint64_t key_index);
+
+  Spec spec_;
+  Random rnd_;
+  ZipfianGenerator zipf_;
+  uint64_t ops_emitted_ = 0;
+  uint64_t next_fresh_key_ = 0;  // keys [0, next_fresh_key_) inserted
+  uint64_t live_end_ = 0;
+  uint64_t num_deleted_ = 0;
+  uint64_t logical_time_ = 0;  // drives kTimestamp delete keys
+  std::string value_template_;
+};
+
+}  // namespace workload
+}  // namespace lethe
+
+#endif  // LETHE_WORKLOAD_GENERATOR_H_

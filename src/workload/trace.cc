@@ -1,0 +1,87 @@
+#include "src/workload/trace.h"
+
+namespace lethe {
+namespace workload {
+
+Status Runner::Run(Generator* gen, RunnerStats* stats) {
+  Op op;
+  while (gen->Next(&op)) {
+    LETHE_RETURN_IF_ERROR(Apply(op, stats));
+  }
+  return Status::OK();
+}
+
+Status Runner::Apply(const Op& op, RunnerStats* stats) {
+  stats->ops++;
+  const uint64_t start_us =
+      options_.measure_latency ? wall_.NowMicros() : 0;
+  bool is_read = false;
+  Status s;
+
+  switch (op.type) {
+    case OpType::kInsert:
+      stats->inserts++;
+      s = db_->Put(WriteOptions(), op.key, op.delete_key, op.value);
+      break;
+    case OpType::kUpdate:
+      stats->updates++;
+      s = db_->Put(WriteOptions(), op.key, op.delete_key, op.value);
+      break;
+    case OpType::kPointLookup:
+    case OpType::kZeroResultLookup: {
+      is_read = true;
+      std::string value;
+      s = db_->Get(ReadOptions(), op.key, &value);
+      if (s.ok()) {
+        stats->lookups_found++;
+      } else if (s.IsNotFound()) {
+        stats->lookups_missed++;
+        s = Status::OK();
+      }
+      break;
+    }
+    case OpType::kPointDelete:
+      stats->point_deletes++;
+      s = db_->Delete(WriteOptions(), op.key);
+      break;
+    case OpType::kRangeDelete:
+      stats->range_deletes++;
+      s = db_->RangeDelete(WriteOptions(), op.key, op.end_key);
+      break;
+    case OpType::kShortRangeScan: {
+      is_read = true;
+      stats->scans++;
+      auto it = db_->NewIterator(ReadOptions());
+      uint64_t remaining = op.delete_key;  // scan length rides this field
+      for (it->Seek(op.key); it->Valid() && remaining > 0; it->Next()) {
+        stats->scan_entries++;
+        remaining--;
+      }
+      s = it->status();
+      break;
+    }
+    case OpType::kSecondaryRangeDelete:
+      s = db_->SecondaryRangeDelete(WriteOptions(), op.delete_key,
+                                    op.delete_key_end);
+      break;
+  }
+  if (!s.ok()) {
+    return s;
+  }
+
+  if (options_.measure_latency) {
+    uint64_t elapsed = wall_.NowMicros() - start_us;
+    if (is_read) {
+      stats->read_latency_us.Add(elapsed);
+    } else {
+      stats->write_latency_us.Add(elapsed);
+    }
+  }
+  if (options_.clock != nullptr && options_.micros_per_op > 0) {
+    options_.clock->AdvanceMicros(options_.micros_per_op);
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace lethe

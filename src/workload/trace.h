@@ -1,0 +1,60 @@
+#ifndef LETHE_WORKLOAD_TRACE_H_
+#define LETHE_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+
+#include "src/core/db.h"
+#include "src/util/clock.h"
+#include "src/util/histogram.h"
+#include "src/workload/generator.h"
+
+namespace lethe {
+namespace workload {
+
+/// Execution knobs shared by the benches. When `clock` is set, the runner
+/// advances it by micros_per_op after every user operation — this is how the
+/// paper's ingestion rate I (entries/sec) maps onto the logical time that
+/// drives FADE's TTLs.
+struct RunnerOptions {
+  LogicalClock* clock = nullptr;
+  uint64_t micros_per_op = 0;
+  bool measure_latency = false;  // wall-clock per-op latency histograms
+};
+
+struct RunnerStats {
+  uint64_t ops = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t lookups_found = 0;
+  uint64_t lookups_missed = 0;
+  uint64_t point_deletes = 0;
+  uint64_t range_deletes = 0;
+  uint64_t scans = 0;
+  uint64_t scan_entries = 0;
+  Histogram write_latency_us;
+  Histogram read_latency_us;
+};
+
+/// Applies generated operations to a DB, collecting counters and optional
+/// latency histograms.
+class Runner {
+ public:
+  Runner(DB* db, const RunnerOptions& options)
+      : db_(db), options_(options) {}
+
+  /// Drains `gen` to exhaustion.
+  Status Run(Generator* gen, RunnerStats* stats);
+
+  /// Executes one operation.
+  Status Apply(const Op& op, RunnerStats* stats);
+
+ private:
+  DB* db_;
+  RunnerOptions options_;
+  SystemClock wall_;
+};
+
+}  // namespace workload
+}  // namespace lethe
+
+#endif  // LETHE_WORKLOAD_TRACE_H_

@@ -1,0 +1,49 @@
+#include "src/workload/zipfian.h"
+
+#include <cmath>
+
+namespace lethe {
+
+double ZipfianGenerator::ZetaIncremental(double current, uint64_t from,
+                                         uint64_t to, double theta) {
+  for (uint64_t i = from; i < to; i++) {
+    current += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return current;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rnd_(seed) {
+  zeta_n_ = ZetaIncremental(0.0, 0, n_, theta_);
+  zeta2_ = ZetaIncremental(0.0, 0, 2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zeta_n_);
+}
+
+void ZipfianGenerator::ExpandTo(uint64_t n) {
+  if (n <= n_) {
+    return;
+  }
+  zeta_n_ = ZetaIncremental(zeta_n_, n_, n, theta_);
+  n_ = n;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zeta_n_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = rnd_.NextDouble();
+  double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  double v = static_cast<double>(n_) *
+             std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(v);
+  return result >= n_ ? n_ - 1 : result;
+}
+
+}  // namespace lethe

@@ -1,0 +1,38 @@
+#ifndef LETHE_WORKLOAD_ZIPFIAN_H_
+#define LETHE_WORKLOAD_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "src/util/random.h"
+
+namespace lethe {
+
+/// Zipfian item-index generator over [0, n) with exponent theta, using the
+/// Gray et al. rejection-free method popularized by YCSB. Deterministic for
+/// a given (n, theta, seed).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  /// Grows the item space (e.g., as inserts extend the key domain). Cheap
+  /// amortized: zeta is recomputed incrementally.
+  void ExpandTo(uint64_t n);
+
+ private:
+  static double ZetaIncremental(double current, uint64_t from, uint64_t to,
+                                double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+  Random rnd_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_WORKLOAD_ZIPFIAN_H_

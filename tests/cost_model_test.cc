@@ -1,0 +1,207 @@
+// Tests for the analytical cost model (Table 2) and the KiWi layout tuner
+// (Eq. 1-3), including the paper's §4.3 worked example.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.h"
+#include "src/core/tuner.h"
+
+namespace lethe {
+namespace {
+
+ModelParams PaperDefaults() {
+  ModelParams p;  // Table 1 values
+  p.N = 1 << 20;
+  p.T = 10;
+  p.P = 512;
+  p.B = 4;
+  p.E = 1024;
+  p.m_bits = 10.0 * 8 * 1024 * 1024;  // 10 MB
+  p.lambda = 0.1;
+  p.ingest_rate = 1024;
+  return p;
+}
+
+TEST(CostModelTest, LevelCount) {
+  CostModel model(PaperDefaults());
+  // N = 2^20 entries, buffer = 2048 entries → N/buffer = 512 → log10 ≈ 2.7
+  // → 3 levels, matching Table 1's "3 levels".
+  EXPECT_EQ(model.Levels(1 << 20), 3);
+  EXPECT_EQ(model.Levels(1000), 1);  // fits in the buffer
+}
+
+TEST(CostModelTest, FprDecreasesWithFewerEntries) {
+  CostModel model(PaperDefaults());
+  EXPECT_LT(model.FalsePositiveRate(1 << 19),
+            model.FalsePositiveRate(1 << 20));
+  EXPECT_GT(model.FalsePositiveRate(1 << 20), 0.0);
+  EXPECT_LT(model.FalsePositiveRate(1 << 20), 1.0);
+}
+
+TEST(CostModelTest, FadeShrinksTreeAndRestoresSpaceAmp) {
+  ModelParams p = PaperDefaults();
+  p.N_delta = p.N * 0.8;  // timely persistence reclaimed 20%
+  CostModel model(p);
+
+  EXPECT_EQ(model.EntriesInTree(ModelVariant::kStateOfArt), p.N);
+  EXPECT_EQ(model.EntriesInTree(ModelVariant::kFade), p.N_delta);
+  EXPECT_EQ(model.EntriesInTree(ModelVariant::kLethe), p.N_delta);
+  EXPECT_EQ(model.EntriesInTree(ModelVariant::kKiwi), p.N);
+
+  // With deletes, the baseline's space amp exceeds the no-delete bound;
+  // FADE restores it (Table 2 ▲).
+  EXPECT_GT(model.SpaceAmpWithDeletes(ModelVariant::kStateOfArt,
+                                      ModelPolicy::kLeveling),
+            model.SpaceAmpNoDeletes(ModelPolicy::kLeveling));
+  EXPECT_EQ(
+      model.SpaceAmpWithDeletes(ModelVariant::kFade, ModelPolicy::kLeveling),
+      model.SpaceAmpNoDeletes(ModelPolicy::kLeveling));
+}
+
+TEST(CostModelTest, FadeBoundsPersistenceLatency) {
+  ModelParams p = PaperDefaults();
+  p.dth_seconds = 3600;
+  CostModel model(p);
+  double soa = model.DeletePersistenceLatencySeconds(
+      ModelVariant::kStateOfArt, ModelPolicy::kLeveling);
+  double fade = model.DeletePersistenceLatencySeconds(ModelVariant::kFade,
+                                                      ModelPolicy::kLeveling);
+  // SoA: T^(L-1)·P·B/I = 100·2048/1024 = 200s... but with Dth larger, FADE
+  // reports exactly Dth; the relation that matters is FADE == Dth.
+  EXPECT_EQ(fade, 3600.0);
+  EXPECT_GT(soa, 0.0);
+  // Tiering is T× worse than leveling for the baseline.
+  double soa_tier = model.DeletePersistenceLatencySeconds(
+      ModelVariant::kStateOfArt, ModelPolicy::kTiering);
+  EXPECT_NEAR(soa_tier / soa, p.T, 1e-9);
+}
+
+TEST(CostModelTest, KiwiMultipliesPointLookupsByH) {
+  ModelParams p = PaperDefaults();
+  p.h = 16;
+  CostModel model(p);
+  double soa = model.ZeroResultPointLookupIos(ModelVariant::kStateOfArt,
+                                              ModelPolicy::kLeveling);
+  double kiwi = model.ZeroResultPointLookupIos(ModelVariant::kKiwi,
+                                               ModelPolicy::kLeveling);
+  EXPECT_NEAR(kiwi / soa, 16.0, 1e-9);
+}
+
+TEST(CostModelTest, KiwiDividesSecondaryDeleteByH) {
+  ModelParams p = PaperDefaults();
+  p.h = 16;
+  CostModel model(p);
+  double soa = model.SecondaryRangeDeleteIos(ModelVariant::kStateOfArt,
+                                             ModelPolicy::kLeveling);
+  double kiwi = model.SecondaryRangeDeleteIos(ModelVariant::kKiwi,
+                                              ModelPolicy::kLeveling);
+  EXPECT_NEAR(soa / kiwi, 16.0, 1e-9);
+  // SoA cost is N/B pages regardless of policy (§3.3).
+  EXPECT_EQ(soa, p.N / p.B);
+}
+
+TEST(CostModelTest, TieringTradesReadsForWrites) {
+  CostModel model(PaperDefaults());
+  EXPECT_GT(model.ZeroResultPointLookupIos(ModelVariant::kStateOfArt,
+                                           ModelPolicy::kTiering),
+            model.ZeroResultPointLookupIos(ModelVariant::kStateOfArt,
+                                           ModelPolicy::kLeveling));
+  EXPECT_LT(
+      model.WriteAmp(ModelVariant::kStateOfArt, ModelPolicy::kTiering),
+      model.WriteAmp(ModelVariant::kStateOfArt, ModelPolicy::kLeveling));
+}
+
+TEST(CostModelTest, KiwiMemoryTradeoff) {
+  ModelParams p = PaperDefaults();
+  p.h = 16;
+  p.key_bytes = 16;
+  p.delete_key_bytes = 8;
+  CostModel model(p);
+  double soa = model.MainMemoryFootprintBytes(ModelVariant::kStateOfArt);
+  double kiwi = model.MainMemoryFootprintBytes(ModelVariant::kKiwi);
+  // §4.2.3: with sizeof(D) < sizeof(S) and large h, KiWi can need *less*
+  // metadata memory than per-page sort-key fences.
+  EXPECT_LT(kiwi, soa);
+
+  p.delete_key_bytes = 64;  // now delete fences dominate
+  CostModel model2(p);
+  EXPECT_GT(model2.MainMemoryFootprintBytes(ModelVariant::kKiwi),
+            model2.MainMemoryFootprintBytes(ModelVariant::kStateOfArt));
+}
+
+TEST(CostModelTest, RenderTableProducesBothPolicies) {
+  CostModel model(PaperDefaults());
+  std::string table = model.RenderTable();
+  EXPECT_NE(table.find("== leveling =="), std::string::npos);
+  EXPECT_NE(table.find("== tiering =="), std::string::npos);
+  EXPECT_NE(table.find("secondary_range_delete_ios"), std::string::npos);
+}
+
+TEST(TunerTest, PaperWorkedExample) {
+  // §4.3: 400GB database, 4KB pages, 50M point queries and 10K short range
+  // queries per secondary range delete, FPR ≈ 0.02, T = 10 → h ≈ 102.
+  WorkloadMix mix;
+  mix.f_point_query = 5e7;
+  mix.f_short_range_query = 1e4;
+  mix.f_secondary_range_delete = 1;
+
+  TreeShape shape;
+  shape.total_entries = 400.0 * (1ull << 30) / 4096 * 1;  // pages as proxy
+  shape.entries_per_page = 1;  // N/B = number of pages = 400GB/4KB = 1e8
+  shape.false_positive_rate = 0.02;
+  shape.levels = 8;  // log10(400GB/4KB) ≈ 8
+
+  double bound = OptimalDeleteTileBound(mix, shape);
+  EXPECT_NEAR(bound, 102.0, 5.0);
+  EXPECT_EQ(ChooseDeleteTileGranularity(mix, shape, 1024), 64u);
+}
+
+TEST(TunerTest, NoSecondaryDeletesMeansClassicLayout) {
+  WorkloadMix mix;
+  mix.f_point_query = 100;
+  TreeShape shape;
+  shape.total_entries = 1e6;
+  shape.entries_per_page = 4;
+  EXPECT_EQ(OptimalDeleteTileBound(mix, shape), 1.0);
+  EXPECT_EQ(ChooseDeleteTileGranularity(mix, shape, 256), 1u);
+}
+
+TEST(TunerTest, MoreSecondaryDeletesRaiseOptimalH) {
+  TreeShape shape;
+  shape.total_entries = 1e6;
+  shape.entries_per_page = 4;
+  shape.levels = 3;
+  shape.false_positive_rate = 0.02;
+
+  WorkloadMix few, many;
+  few.f_point_query = 1e6;
+  few.f_secondary_range_delete = 1;
+  many.f_point_query = 1e6;
+  many.f_secondary_range_delete = 100;
+  EXPECT_GT(OptimalDeleteTileBound(many, shape),
+            OptimalDeleteTileBound(few, shape));
+}
+
+TEST(TunerTest, WorkloadCostTradesOffAroundOptimum) {
+  TreeShape shape;
+  shape.total_entries = 1e6;
+  shape.entries_per_page = 4;
+  shape.levels = 3;
+  shape.false_positive_rate = 0.02;
+
+  WorkloadMix mix;
+  mix.f_point_query = 1e5;
+  mix.f_secondary_range_delete = 10;
+
+  double bound = OptimalDeleteTileBound(mix, shape);
+  ASSERT_GT(bound, 2.0);
+  // Cost at the bound is no worse than the classic layout (Eq. 1).
+  EXPECT_LE(WorkloadCost(mix, shape, bound),
+            WorkloadCost(mix, shape, 1.0) * 1.0001);
+  // Far beyond the bound, lookups dominate and cost exceeds classic.
+  EXPECT_GT(WorkloadCost(mix, shape, bound * 100),
+            WorkloadCost(mix, shape, 1.0));
+}
+
+}  // namespace
+}  // namespace lethe

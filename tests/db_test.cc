@@ -1,0 +1,814 @@
+// End-to-end tests of the lethe::DB engine: CRUD across flushes and
+// compactions, range deletes, FADE delete-persistence guarantees,
+// KiWi secondary range deletes, recovery, and failure injection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/core/lethe.h"
+#include "src/workload/generator.h"
+
+namespace lethe {
+namespace {
+
+using workload::EncodeKey;
+
+class DBTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv();
+    env_ = std::make_unique<IoCountingEnv>(base_env_.get(), 1024);
+    clock_.SetMicros(1);  // time 0 is "before everything"
+
+    options_.env = env_.get();
+    options_.clock = &clock_;
+    options_.write_buffer_bytes = 16 << 10;  // 16 KB buffer
+    options_.target_file_bytes = 16 << 10;
+    options_.size_ratio = 4;
+    options_.table.page_size_bytes = 1024;
+    options_.table.entries_per_page = 8;
+    options_.table.pages_per_tile = 1;
+    options_.table.bloom_bits_per_key = 10;
+  }
+
+  Status Reopen() {
+    db_.reset();
+    return DB::Open(options_, "testdb", &db_);
+  }
+
+  void Open() { ASSERT_TRUE(Reopen().ok()); }
+
+  Status Put(uint64_t key, const std::string& value, uint64_t dk = 0) {
+    clock_.AdvanceMicros(1);
+    return db_->Put(WriteOptions(), EncodeKey(key), dk, value);
+  }
+
+  std::string Get(uint64_t key) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), EncodeKey(key), &value);
+    if (s.IsNotFound()) {
+      return "NOT_FOUND";
+    }
+    if (!s.ok()) {
+      return "ERROR: " + s.ToString();
+    }
+    return value;
+  }
+
+  Status Delete(uint64_t key) {
+    clock_.AdvanceMicros(1);
+    return db_->Delete(WriteOptions(), EncodeKey(key));
+  }
+
+  uint64_t TotalDiskFiles() {
+    uint64_t files = 0;
+    for (const auto& snap : db_->GetLevelSnapshots()) {
+      files += snap.num_files;
+    }
+    return files;
+  }
+
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<IoCountingEnv> env_;
+  LogicalClock clock_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DBTest, PutGetOverwrite) {
+  Open();
+  ASSERT_TRUE(Put(1, "one").ok());
+  EXPECT_EQ(Get(1), "one");
+  ASSERT_TRUE(Put(1, "uno").ok());
+  EXPECT_EQ(Get(1), "uno");
+  EXPECT_EQ(Get(2), "NOT_FOUND");
+}
+
+TEST_F(DBTest, GetWithDeleteKeyReturnsSecondaryKey) {
+  Open();
+  ASSERT_TRUE(Put(5, "five", 777).ok());
+  std::string value;
+  uint64_t dk = 0;
+  ASSERT_TRUE(
+      db_->GetWithDeleteKey(ReadOptions(), EncodeKey(5), &value, &dk).ok());
+  EXPECT_EQ(value, "five");
+  EXPECT_EQ(dk, 777u);
+}
+
+TEST_F(DBTest, DeleteHidesKey) {
+  Open();
+  ASSERT_TRUE(Put(1, "one").ok());
+  ASSERT_TRUE(Delete(1).ok());
+  EXPECT_EQ(Get(1), "NOT_FOUND");
+  // Re-insert resurrects.
+  ASSERT_TRUE(Put(1, "again").ok());
+  EXPECT_EQ(Get(1), "again");
+}
+
+TEST_F(DBTest, ValuesSurviveFlush) {
+  Open();
+  for (uint64_t k = 0; k < 100; k++) {
+    ASSERT_TRUE(Put(k, "value-" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_GT(TotalDiskFiles(), 0u);
+  for (uint64_t k = 0; k < 100; k++) {
+    EXPECT_EQ(Get(k), "value-" + std::to_string(k));
+  }
+}
+
+TEST_F(DBTest, DeleteAcrossFlushBoundary) {
+  Open();
+  ASSERT_TRUE(Put(7, "seven").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(Delete(7).ok());
+  EXPECT_EQ(Get(7), "NOT_FOUND");  // tombstone in memtable, value on disk
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ(Get(7), "NOT_FOUND");  // both on disk
+}
+
+TEST_F(DBTest, ManyEntriesAcrossLevels) {
+  Open();
+  const uint64_t n = 3000;
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_TRUE(Put(k * 37 % n, value + std::to_string(k * 37 % n)).ok());
+  }
+  auto snaps = db_->GetLevelSnapshots();
+  EXPECT_GT(snaps.size(), 1u);  // tree has grown beyond one level
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k)) << "key " << k;
+  }
+}
+
+TEST_F(DBTest, UpdatesKeepNewestAcrossCompactions) {
+  Open();
+  std::string value(100, 'v');
+  for (int round = 0; round < 5; round++) {
+    for (uint64_t k = 0; k < 500; k++) {
+      ASSERT_TRUE(Put(k, value + "-" + std::to_string(round)).ok());
+    }
+  }
+  for (uint64_t k = 0; k < 500; k++) {
+    ASSERT_EQ(Get(k), value + "-4");
+  }
+}
+
+TEST_F(DBTest, IteratorScansLiveEntriesInOrder) {
+  Open();
+  std::set<uint64_t> live;
+  for (uint64_t k = 0; k < 300; k++) {
+    ASSERT_TRUE(Put(k, "v" + std::to_string(k)).ok());
+    live.insert(k);
+  }
+  for (uint64_t k = 0; k < 300; k += 3) {
+    ASSERT_TRUE(Delete(k).ok());
+    live.erase(k);
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+
+  auto it = db_->NewIterator(ReadOptions());
+  auto expected = live.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ASSERT_NE(expected, live.end());
+    EXPECT_EQ(it->key().ToString(), EncodeKey(*expected));
+    EXPECT_EQ(it->value().ToString(), "v" + std::to_string(*expected));
+    ++expected;
+  }
+  EXPECT_TRUE(it->status().ok());
+  EXPECT_EQ(expected, live.end());
+}
+
+TEST_F(DBTest, IteratorSeekPositions) {
+  Open();
+  for (uint64_t k = 0; k < 100; k += 2) {
+    ASSERT_TRUE(Put(k, "v").ok());
+  }
+  auto it = db_->NewIterator(ReadOptions());
+  it->Seek(Slice(EncodeKey(51)));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), EncodeKey(52));
+  it->Seek(Slice(EncodeKey(99)));
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DBTest, RangeDeleteHidesRange) {
+  Open();
+  for (uint64_t k = 0; k < 100; k++) {
+    ASSERT_TRUE(Put(k, "v" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(db_->RangeDelete(WriteOptions(), EncodeKey(20), EncodeKey(40))
+                  .ok());
+  for (uint64_t k = 0; k < 100; k++) {
+    if (k >= 20 && k < 40) {
+      EXPECT_EQ(Get(k), "NOT_FOUND") << k;
+    } else {
+      EXPECT_EQ(Get(k), "v" + std::to_string(k)) << k;
+    }
+  }
+  // Still hidden after everything reaches disk.
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_EQ(Get(25), "NOT_FOUND");
+  EXPECT_EQ(Get(19), "v19");
+  EXPECT_EQ(Get(40), "v40");
+
+  // Writes after the range delete win.
+  ASSERT_TRUE(Put(25, "resurrected").ok());
+  EXPECT_EQ(Get(25), "resurrected");
+}
+
+TEST_F(DBTest, RangeDeleteAppliesAcrossCompaction) {
+  Open();
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < 1000; k++) {
+    ASSERT_TRUE(Put(k, value).ok());
+  }
+  ASSERT_TRUE(db_->RangeDelete(WriteOptions(), EncodeKey(100), EncodeKey(300))
+                  .ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  for (uint64_t k = 90; k < 310; k++) {
+    if (k >= 100 && k < 300) {
+      EXPECT_EQ(Get(k), "NOT_FOUND") << k;
+    } else {
+      EXPECT_EQ(Get(k), value) << k;
+    }
+  }
+  // After a full compaction the range tombstone itself is persisted away.
+  uint64_t range_tombstones = 0;
+  for (const auto& snap : db_->GetLevelSnapshots()) {
+    range_tombstones += snap.num_range_tombstones;
+  }
+  EXPECT_EQ(range_tombstones, 0u);
+}
+
+TEST_F(DBTest, EmptyRangeDeleteRejected) {
+  Open();
+  EXPECT_TRUE(db_->RangeDelete(WriteOptions(), EncodeKey(5), EncodeKey(5))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 9, 9)
+                  .IsInvalidArgument());
+}
+
+TEST_F(DBTest, CompactAllPersistsTombstones) {
+  Open();
+  for (uint64_t k = 0; k < 200; k++) {
+    ASSERT_TRUE(Put(k, "v").ok());
+  }
+  for (uint64_t k = 0; k < 200; k += 2) {
+    ASSERT_TRUE(Delete(k).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  uint64_t tombstones = 0;
+  for (const auto& snap : db_->GetLevelSnapshots()) {
+    tombstones += snap.num_point_tombstones;
+  }
+  EXPECT_EQ(tombstones, 0u);  // all deletes are persistent
+  EXPECT_GT(db_->stats().tombstones_dropped.load(), 0u);
+  for (uint64_t k = 0; k < 200; k++) {
+    EXPECT_EQ(Get(k), k % 2 == 0 ? "NOT_FOUND" : "v");
+  }
+}
+
+TEST_F(DBTest, SpaceAmplificationDropsAfterCompactAll) {
+  Open();
+  std::string value(100, 'x');
+  for (int round = 0; round < 4; round++) {
+    for (uint64_t k = 0; k < 400; k++) {
+      ASSERT_TRUE(Put(k, value).ok());
+    }
+  }
+  double samp_before = 0, samp_after = 0;
+  ASSERT_TRUE(db_->ComputeSpaceAmplification(&samp_before).ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  ASSERT_TRUE(db_->ComputeSpaceAmplification(&samp_after).ok());
+  EXPECT_LE(samp_after, samp_before);
+  EXPECT_NEAR(samp_after, 0.0, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// FADE.
+
+TEST_F(DBTest, FadeBoundsTombstoneAges) {
+  const uint64_t dth = 200000;  // 0.2s of logical time
+  options_.delete_persistence_threshold_micros = dth;
+  options_.file_picking = FilePickingPolicy::kMaxTombstones;
+  Open();
+
+  std::string value(100, 'x');
+  Random rnd(7);
+  for (uint64_t i = 0; i < 8000; i++) {
+    uint64_t k = rnd.Uniform(2000);
+    if (i % 10 == 3) {
+      ASSERT_TRUE(Delete(k).ok());
+    } else {
+      ASSERT_TRUE(Put(k, value).ok());
+    }
+    clock_.AdvanceMicros(50);  // ingestion drives time
+    if (i % 200 == 0) {
+      for (const auto& sample : db_->GetTombstoneAges()) {
+        EXPECT_LE(sample.age_micros, dth)
+            << "tombstone violated Dth at op " << i << " (level "
+            << sample.level << ")";
+      }
+    }
+  }
+  EXPECT_GT(db_->stats().compactions_ttl_triggered.load(), 0u);
+}
+
+TEST_F(DBTest, StateOfArtRetainsOldTombstones) {
+  // Without FADE, tombstones can outlive any threshold. Build a tree with
+  // multiple levels first so flushed tombstones are not instantly
+  // persistable (a bottommost merge legitimately drops them).
+  Open();
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < 2000; k++) {
+    ASSERT_TRUE(Put(k, value).ok());
+  }
+  ASSERT_GE(db_->GetLevelSnapshots().size(), 2u);
+  for (uint64_t k = 0; k < 50; k++) {
+    ASSERT_TRUE(Delete(k).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  clock_.AdvanceMicros(10000000);  // 10 virtual seconds pass, no writes
+  ASSERT_TRUE(Put(9999, value).ok());
+
+  bool found_old = false;
+  for (const auto& sample : db_->GetTombstoneAges()) {
+    if (sample.age_micros >= 10000000) {
+      found_old = true;
+    }
+  }
+  EXPECT_TRUE(found_old);
+  EXPECT_EQ(db_->stats().compactions_ttl_triggered.load(), 0u);
+}
+
+TEST_F(DBTest, BlindDeleteFilterSkipsAbsentKeys) {
+  options_.filter_blind_deletes = true;
+  Open();
+  for (uint64_t k = 0; k < 100; k++) {
+    ASSERT_TRUE(Put(k, "v").ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  // Deletes on keys that never existed are filtered.
+  for (uint64_t k = 100000; k < 100050; k++) {
+    ASSERT_TRUE(Delete(k).ok());
+  }
+  EXPECT_GE(db_->stats().blind_deletes_avoided.load(), 45u);
+  // Deletes on real keys still work.
+  ASSERT_TRUE(Delete(5).ok());
+  EXPECT_EQ(Get(5), "NOT_FOUND");
+  // A second delete of the same (now dead) key is also blind.
+  uint64_t avoided = db_->stats().blind_deletes_avoided.load();
+  ASSERT_TRUE(Delete(5).ok());
+  EXPECT_GT(db_->stats().blind_deletes_avoided.load(), avoided);
+}
+
+// ---------------------------------------------------------------------------
+// KiWi secondary range deletes.
+
+class KiwiTest : public DBTest {
+ protected:
+  void SetUp() override {
+    DBTest::SetUp();
+    options_.table.pages_per_tile = 4;
+    Open();
+  }
+
+  /// Loads n keys whose delete key equals the key index (so delete-key
+  /// ranges map to key index ranges).
+  void LoadSequentialDeleteKeys(uint64_t n) {
+    std::string value(100, 'x');
+    for (uint64_t k = 0; k < n; k++) {
+      ASSERT_TRUE(Put(k, value + std::to_string(k), /*dk=*/k).ok());
+    }
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+};
+
+TEST_F(KiwiTest, SecondaryRangeDeleteRemovesExactlyTheRange) {
+  LoadSequentialDeleteKeys(2000);
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 500, 1500).ok());
+
+  // Full scan: nothing with delete key in [500, 1500) remains.
+  auto it = db_->NewIterator(ReadOptions());
+  uint64_t live = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_TRUE(it->delete_key() < 500 || it->delete_key() >= 1500)
+        << "delete key " << it->delete_key() << " survived";
+    live++;
+  }
+  EXPECT_EQ(live, 1000u);
+  EXPECT_GT(db_->stats().full_page_drops.load(), 0u);
+  EXPECT_EQ(db_->stats().entries_purged_by_srd.load(), 1000u);
+}
+
+TEST_F(KiwiTest, FullPageDropsDoNotReadPages) {
+  LoadSequentialDeleteKeys(4000);
+  ASSERT_TRUE(db_->CompactUntilQuiescent().ok());
+
+  // Warm the table cache (opening a reader costs metadata I/O that is not
+  // part of the secondary delete itself).
+  {
+    auto warm = db_->NewIterator(ReadOptions());
+    for (warm->SeekToFirst(); warm->Valid(); warm->Next()) {
+    }
+  }
+
+  uint64_t reads_before = env_->stats().pages_read.load();
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 0, 4000).ok());
+  uint64_t reads = env_->stats().pages_read.load() - reads_before;
+
+  // Deleting everything should drop nearly every page without reading it;
+  // only boundary pages (0-1 per tile) may be read.
+  uint64_t full = db_->stats().full_page_drops.load();
+  uint64_t partial = db_->stats().partial_page_drops.load();
+  EXPECT_GT(full, 0u);
+  EXPECT_LE(reads, partial + 2);
+
+  auto it = db_->NewIterator(ReadOptions());
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());  // database is empty
+}
+
+TEST_F(KiwiTest, PartialPagesRewrittenInPlace) {
+  LoadSequentialDeleteKeys(512);
+  ASSERT_TRUE(db_->CompactUntilQuiescent().ok());
+  // A narrow range inside one page forces a partial drop.
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 10, 12).ok());
+  EXPECT_GT(db_->stats().partial_page_drops.load(), 0u);
+
+  auto it = db_->NewIterator(ReadOptions());
+  uint64_t live = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_FALSE(it->delete_key() >= 10 && it->delete_key() < 12);
+    live++;
+  }
+  EXPECT_EQ(live, 510u);
+}
+
+TEST_F(KiwiTest, SecondaryDeleteAlsoPurgesMemtable) {
+  std::string value(50, 'm');
+  for (uint64_t k = 0; k < 20; k++) {
+    ASSERT_TRUE(Put(k, value, /*dk=*/k).ok());  // stays in memtable
+  }
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 5, 15).ok());
+  for (uint64_t k = 0; k < 20; k++) {
+    if (k >= 5 && k < 15) {
+      EXPECT_EQ(Get(k), "NOT_FOUND") << k;
+    } else {
+      EXPECT_NE(Get(k), "NOT_FOUND") << k;
+    }
+  }
+}
+
+TEST_F(KiwiTest, PointLookupsCorrectAfterSecondaryDelete) {
+  LoadSequentialDeleteKeys(1000);
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 200, 800).ok());
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < 1000; k++) {
+    if (k >= 200 && k < 800) {
+      EXPECT_EQ(Get(k), "NOT_FOUND") << k;
+    } else {
+      EXPECT_EQ(Get(k), value + std::to_string(k)) << k;
+    }
+  }
+}
+
+TEST_F(KiwiTest, SurvivesCompactionAfterSecondaryDelete) {
+  LoadSequentialDeleteKeys(2000);
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 0, 1000).ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  auto it = db_->NewIterator(ReadOptions());
+  uint64_t live = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_GE(it->delete_key(), 1000u);
+    live++;
+  }
+  EXPECT_EQ(live, 1000u);
+}
+
+TEST_F(KiwiTest, SecondaryRangeLookupFindsLiveEntries) {
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < 500; k++) {
+    ASSERT_TRUE(Put(k, value + std::to_string(k), /*dk=*/k).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+
+  std::vector<SecondaryHit> hits;
+  ASSERT_TRUE(
+      db_->SecondaryRangeLookup(ReadOptions(), 100, 150, &hits).ok());
+  ASSERT_EQ(hits.size(), 50u);
+  for (const SecondaryHit& hit : hits) {
+    EXPECT_GE(hit.delete_key, 100u);
+    EXPECT_LT(hit.delete_key, 150u);
+    EXPECT_EQ(hit.value, value + std::to_string(hit.delete_key));
+  }
+  // Sorted by sort key.
+  for (size_t i = 1; i < hits.size(); i++) {
+    EXPECT_LT(hits[i - 1].key, hits[i].key);
+  }
+}
+
+TEST_F(KiwiTest, SecondaryRangeLookupIgnoresSupersededVersions) {
+  std::string value(60, 'v');
+  ASSERT_TRUE(Put(1, value + "old", /*dk=*/10).ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  // Update moves the entry's delete key out of [5, 15).
+  ASSERT_TRUE(Put(1, value + "new", /*dk=*/100).ok());
+
+  std::vector<SecondaryHit> hits;
+  ASSERT_TRUE(db_->SecondaryRangeLookup(ReadOptions(), 5, 15, &hits).ok());
+  EXPECT_TRUE(hits.empty());  // the live version's dk is 100
+
+  ASSERT_TRUE(db_->SecondaryRangeLookup(ReadOptions(), 50, 150, &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].value, value + "new");
+
+  // Deleted keys never surface.
+  ASSERT_TRUE(Delete(1).ok());
+  ASSERT_TRUE(db_->SecondaryRangeLookup(ReadOptions(), 50, 150, &hits).ok());
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(KiwiTest, SecondaryRangeLookupSpansMemtableAndDisk) {
+  std::string value(60, 'v');
+  ASSERT_TRUE(Put(1, value, /*dk=*/11).ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(Put(2, value, /*dk=*/12).ok());  // stays in memtable
+
+  std::vector<SecondaryHit> hits;
+  ASSERT_TRUE(db_->SecondaryRangeLookup(ReadOptions(), 10, 20, &hits).ok());
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(KiwiTest, SecondaryRangeLookupPrunesWithDeleteFences) {
+  LoadSequentialDeleteKeys(4000);
+  ASSERT_TRUE(db_->CompactUntilQuiescent().ok());
+  {  // warm the table cache
+    auto warm = db_->NewIterator(ReadOptions());
+    for (warm->SeekToFirst(); warm->Valid(); warm->Next()) {
+    }
+  }
+
+  uint64_t reads_before = env_->stats().pages_read.load();
+  std::vector<SecondaryHit> hits;
+  ASSERT_TRUE(
+      db_->SecondaryRangeLookup(ReadOptions(), 1000, 1100, &hits).ok());
+  uint64_t reads = env_->stats().pages_read.load() - reads_before;
+  EXPECT_EQ(hits.size(), 100u);
+  // A full scan would read ~all pages of the tree (~4000/8 = 500 pages);
+  // fence pruning plus verification must stay well below that.
+  EXPECT_LT(reads, 250u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+TEST_F(DBTest, RecoversFromWal) {
+  options_.enable_wal = true;
+  Open();
+  ASSERT_TRUE(Put(1, "one").ok());
+  ASSERT_TRUE(Put(2, "two").ok());
+  ASSERT_TRUE(Delete(1).ok());
+  // No flush: state lives only in WAL + memtable. Reopen simulates a crash
+  // (the old DB object is destroyed without flushing).
+  ASSERT_TRUE(Reopen().ok());
+  EXPECT_EQ(Get(1), "NOT_FOUND");
+  EXPECT_EQ(Get(2), "two");
+}
+
+TEST_F(DBTest, RecoversManifestState) {
+  Open();
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < 1000; k++) {
+    ASSERT_TRUE(Put(k, value).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(Reopen().ok());
+  for (uint64_t k = 0; k < 1000; k++) {
+    ASSERT_EQ(Get(k), value) << k;
+  }
+}
+
+TEST_F(DBTest, RecoversSecondaryDeleteState) {
+  options_.table.pages_per_tile = 4;
+  Open();
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < 1000; k++) {
+    ASSERT_TRUE(Put(k, value, k).ok());
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 100, 900).ok());
+  ASSERT_TRUE(Reopen().ok());
+  // The dropped-page bitmap must survive via the MANIFEST.
+  auto it = db_->NewIterator(ReadOptions());
+  uint64_t live = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_TRUE(it->delete_key() < 100 || it->delete_key() >= 900);
+    live++;
+  }
+  EXPECT_EQ(live, 200u);
+}
+
+TEST_F(DBTest, RecoversRangeDeleteInWal) {
+  options_.enable_wal = true;
+  Open();
+  for (uint64_t k = 0; k < 50; k++) {
+    ASSERT_TRUE(Put(k, "v").ok());
+  }
+  ASSERT_TRUE(
+      db_->RangeDelete(WriteOptions(), EncodeKey(10), EncodeKey(20)).ok());
+  ASSERT_TRUE(Reopen().ok());
+  EXPECT_EQ(Get(15), "NOT_FOUND");
+  EXPECT_EQ(Get(25), "v");
+}
+
+TEST_F(DBTest, TornWalTailRecoversPrefix) {
+  options_.enable_wal = true;
+  Open();
+  ASSERT_TRUE(Put(1, "one").ok());
+  ASSERT_TRUE(Put(2, "two").ok());
+  db_.reset();
+
+  // Find the WAL and chop a few bytes off its tail.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("testdb", &children).ok());
+  std::string wal_name;
+  for (const std::string& child : children) {
+    if (child.size() > 4 && child.substr(child.size() - 4) == ".wal") {
+      wal_name = "testdb/" + child;
+    }
+  }
+  ASSERT_FALSE(wal_name.empty());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), wal_name, &contents).ok());
+  contents.resize(contents.size() - 3);
+  ASSERT_TRUE(WriteStringToFile(env_.get(), contents, wal_name).ok());
+
+  ASSERT_TRUE(Reopen().ok());
+  EXPECT_EQ(Get(1), "one");          // intact prefix recovered
+  EXPECT_EQ(Get(2), "NOT_FOUND");    // torn record dropped
+}
+
+TEST_F(DBTest, WalDisabledLosesUnflushedData) {
+  options_.enable_wal = false;
+  Open();
+  ASSERT_TRUE(Put(1, "one").ok());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(Put(2, "two").ok());  // unflushed
+  ASSERT_TRUE(Reopen().ok());
+  EXPECT_EQ(Get(1), "one");
+  EXPECT_EQ(Get(2), "NOT_FOUND");
+}
+
+TEST_F(DBTest, WriteFailureSurfacesAsIOError) {
+  Open();
+  std::string value(100, 'x');
+  env_->SetFailAfterWrites(50);
+  Status failure;
+  for (uint64_t k = 0; k < 5000; k++) {
+    failure = Put(k, value);
+    if (!failure.ok()) {
+      break;
+    }
+  }
+  EXPECT_TRUE(failure.IsIOError());
+  env_->SetFailAfterWrites(UINT64_MAX);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: DB vs std::map reference model, across the configuration
+// matrix (compaction style × delete-tile granularity × FADE).
+
+struct PropertyConfig {
+  CompactionStyle style;
+  uint32_t pages_per_tile;
+  uint64_t dth_micros;  // 0 = FADE off
+  bool filter_blind_deletes;
+};
+
+class DBPropertyTest : public ::testing::TestWithParam<PropertyConfig> {};
+
+TEST_P(DBPropertyTest, MatchesReferenceModel) {
+  const PropertyConfig& config = GetParam();
+  auto base_env = NewMemEnv();
+  IoCountingEnv env(base_env.get(), 1024);
+  LogicalClock clock(1);
+
+  Options options;
+  options.env = &env;
+  options.clock = &clock;
+  options.write_buffer_bytes = 8 << 10;
+  options.target_file_bytes = 8 << 10;
+  options.size_ratio = 3;
+  options.table.page_size_bytes = 1024;
+  options.table.entries_per_page = 8;
+  options.table.pages_per_tile = config.pages_per_tile;
+  options.compaction_style = config.style;
+  options.delete_persistence_threshold_micros = config.dth_micros;
+  options.filter_blind_deletes = config.filter_blind_deletes;
+  if (config.dth_micros > 0) {
+    options.file_picking = FilePickingPolicy::kMaxTombstones;
+  }
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "propdb", &db).ok());
+
+  // Reference model: key → (value, delete_key). Delete keys are monotone
+  // timestamps and secondary deletes are prefix ranges [0, t) — the paper's
+  // "delete everything older than D" pattern. This keeps the model exact:
+  // with per-key monotone delete keys, physically dropping a version can
+  // never resurface an older one (the older version's timestamp is smaller,
+  // so it is always inside the deleted prefix too).
+  std::map<uint64_t, std::pair<std::string, uint64_t>> model;
+  Random rnd(GetParam().pages_per_tile * 1000 + 17);
+  const uint64_t key_space = 400;
+  uint64_t timestamp = 0;
+
+  for (int i = 0; i < 6000; i++) {
+    clock.AdvanceMicros(25);
+    double roll = rnd.NextDouble();
+    uint64_t k = rnd.Uniform(key_space);
+    if (roll < 0.55) {  // put / update
+      std::string value = "val-" + std::to_string(k) + "-" +
+                          std::to_string(i) + std::string(40, 'p');
+      uint64_t dk = ++timestamp;
+      ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(k), dk, value).ok());
+      model[k] = {value, dk};
+    } else if (roll < 0.70) {  // point delete
+      ASSERT_TRUE(db->Delete(WriteOptions(), EncodeKey(k)).ok());
+      model.erase(k);
+    } else if (roll < 0.73) {  // sort-key range delete
+      uint64_t len = 1 + rnd.Uniform(20);
+      ASSERT_TRUE(db->RangeDelete(WriteOptions(), EncodeKey(k),
+                                  EncodeKey(k + len))
+                      .ok());
+      model.erase(model.lower_bound(k), model.lower_bound(k + len));
+    } else if (roll < 0.76 && timestamp > 0) {  // secondary range delete
+      // Prefix delete: everything with timestamp < hi.
+      uint64_t hi = 1 + rnd.Uniform(timestamp);
+      ASSERT_TRUE(db->SecondaryRangeDelete(WriteOptions(), 0, hi).ok());
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->second.second < hi) {
+          it = model.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else if (roll < 0.95) {  // point lookup
+      std::string value;
+      Status s = db->Get(ReadOptions(), EncodeKey(k), &value);
+      auto it = model.find(k);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound()) << "op " << i << " key " << k << ": "
+                                    << s.ToString();
+      } else {
+        ASSERT_TRUE(s.ok()) << "op " << i << " key " << k << ": "
+                            << s.ToString();
+        ASSERT_EQ(value, it->second.first) << "op " << i << " key " << k;
+      }
+    } else {  // full scan comparison (sparse: expensive)
+      if (i % 10 != 0) {
+        continue;
+      }
+      auto it = db->NewIterator(ReadOptions());
+      auto expected = model.begin();
+      for (it->SeekToFirst(); it->Valid(); it->Next()) {
+        ASSERT_NE(expected, model.end()) << "op " << i;
+        ASSERT_EQ(it->key().ToString(), EncodeKey(expected->first))
+            << "op " << i;
+        ASSERT_EQ(it->value().ToString(), expected->second.first);
+        ASSERT_EQ(it->delete_key(), expected->second.second);
+        ++expected;
+      }
+      ASSERT_TRUE(it->status().ok());
+      ASSERT_EQ(expected, model.end()) << "op " << i;
+    }
+  }
+
+  // Final full verification after compacting everything.
+  ASSERT_TRUE(db->CompactUntilQuiescent().ok());
+  for (const auto& [k, expected] : model) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(k), &value).ok()) << k;
+    ASSERT_EQ(value, expected.first) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigMatrix, DBPropertyTest,
+    ::testing::Values(
+        PropertyConfig{CompactionStyle::kLeveling, 1, 0, false},
+        PropertyConfig{CompactionStyle::kLeveling, 1, 50000, false},
+        PropertyConfig{CompactionStyle::kLeveling, 4, 0, false},
+        PropertyConfig{CompactionStyle::kLeveling, 4, 50000, true},
+        PropertyConfig{CompactionStyle::kTiering, 1, 0, false},
+        PropertyConfig{CompactionStyle::kTiering, 4, 0, false},
+        PropertyConfig{CompactionStyle::kTiering, 4, 50000, false},
+        PropertyConfig{CompactionStyle::kLeveling, 8, 100000, true}));
+
+}  // namespace
+}  // namespace lethe

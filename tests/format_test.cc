@@ -1,0 +1,611 @@
+// Tests for the on-disk format: entry encoding, pages, Bloom filters, range
+// tombstones, FileMeta, and the KiWi SSTable builder/reader (delete tiles,
+// fence pointers, page-level filters, secondary-delete planning).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/env/env.h"
+#include "src/format/bloom.h"
+#include "src/format/entry.h"
+#include "src/format/file_meta.h"
+#include "src/format/page.h"
+#include "src/format/range_tombstone.h"
+#include "src/format/sstable_builder.h"
+#include "src/format/sstable_reader.h"
+#include "src/workload/generator.h"
+
+namespace lethe {
+namespace {
+
+using workload::EncodeKey;
+
+TEST(EntryTest, EncodeDecodeRoundTrip) {
+  ParsedEntry entry;
+  entry.user_key = Slice("the-key");
+  entry.delete_key = 0x1122334455667788ull;
+  entry.seq = 987654;
+  entry.type = ValueType::kValue;
+  entry.value = Slice("payload");
+
+  std::string buf;
+  EncodeEntry(entry, &buf);
+  EXPECT_EQ(buf.size(), EncodedEntrySize(entry));
+
+  Slice input(buf);
+  ParsedEntry decoded;
+  ASSERT_TRUE(DecodeEntry(&input, &decoded));
+  EXPECT_EQ(decoded.user_key.ToString(), "the-key");
+  EXPECT_EQ(decoded.delete_key, entry.delete_key);
+  EXPECT_EQ(decoded.seq, entry.seq);
+  EXPECT_EQ(decoded.type, ValueType::kValue);
+  EXPECT_EQ(decoded.value.ToString(), "payload");
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(EntryTest, TombstoneRoundTrip) {
+  ParsedEntry entry;
+  entry.user_key = Slice("gone");
+  entry.type = ValueType::kTombstone;
+  entry.seq = 5;
+  std::string buf;
+  EncodeEntry(entry, &buf);
+  Slice input(buf);
+  ParsedEntry decoded;
+  ASSERT_TRUE(DecodeEntry(&input, &decoded));
+  EXPECT_TRUE(decoded.IsTombstone());
+  EXPECT_TRUE(decoded.value.empty());
+}
+
+TEST(EntryTest, MalformedInputRejected) {
+  std::string buf = "\x05ab";  // claims 5-byte key, only 2 present
+  Slice input(buf);
+  ParsedEntry decoded;
+  EXPECT_FALSE(DecodeEntry(&input, &decoded));
+}
+
+TEST(EntryTest, InternalOrderingSeqDescending) {
+  ParsedEntry newer, older;
+  newer.user_key = older.user_key = Slice("k");
+  newer.seq = 10;
+  older.seq = 3;
+  EXPECT_LT(CompareInternal(newer, older), 0);  // newer sorts first
+  ParsedEntry other;
+  other.user_key = Slice("l");
+  other.seq = 100;
+  EXPECT_LT(CompareInternal(newer, other), 0);  // key order dominates
+}
+
+TEST(EntryTest, PackUnpackSeqType) {
+  uint64_t packed = PackSeqAndType(123456, ValueType::kTombstone);
+  EXPECT_EQ(UnpackSeq(packed), 123456u);
+  EXPECT_EQ(UnpackType(packed), ValueType::kTombstone);
+}
+
+ParsedEntry MakeEntry(const std::string& key, uint64_t dk, SequenceNumber seq,
+                      const std::string& value,
+                      ValueType type = ValueType::kValue) {
+  ParsedEntry e;
+  e.user_key = Slice(key);
+  e.delete_key = dk;
+  e.seq = seq;
+  e.type = type;
+  e.value = Slice(value);
+  return e;
+}
+
+TEST(PageTest, BuildDecodeRoundTrip) {
+  PageBuilder builder(4096, 16);
+  std::string k1 = "aaa", k2 = "bbb", v = "val";
+  ASSERT_TRUE(builder.Add(MakeEntry(k1, 1, 10, v)));
+  ASSERT_TRUE(builder.Add(MakeEntry(k2, 2, 11, v)));
+  std::string page = builder.Finish();
+  EXPECT_EQ(page.size(), 4096u);
+
+  PageContents contents;
+  ASSERT_TRUE(DecodePage(Slice(page), 4096, true, &contents).ok());
+  ASSERT_EQ(contents.entries.size(), 2u);
+  EXPECT_EQ(contents.entries[0].user_key.ToString(), "aaa");
+  EXPECT_EQ(contents.entries[1].user_key.ToString(), "bbb");
+}
+
+TEST(PageTest, RejectsOverflowByCount) {
+  PageBuilder builder(4096, 2);
+  EXPECT_TRUE(builder.Add(MakeEntry("a", 1, 1, "v")));
+  EXPECT_TRUE(builder.Add(MakeEntry("b", 1, 2, "v")));
+  EXPECT_FALSE(builder.Add(MakeEntry("c", 1, 3, "v")));
+}
+
+TEST(PageTest, RejectsOverflowByBytes) {
+  PageBuilder builder(256, 100);
+  std::string big_value(300, 'x');
+  EXPECT_FALSE(builder.Add(MakeEntry("k", 1, 1, big_value)));
+}
+
+TEST(PageTest, ChecksumDetectsCorruption) {
+  PageBuilder builder(1024, 4);
+  ASSERT_TRUE(builder.Add(MakeEntry("key", 1, 1, "value")));
+  std::string page = builder.Finish();
+  page[10] ^= 0x7f;
+  PageContents contents;
+  EXPECT_TRUE(DecodePage(Slice(page), 1024, true, &contents).IsCorruption());
+  // With verification off the (possibly garbage) page parse may or may not
+  // succeed, but it must not crash.
+  DecodePage(Slice(page), 1024, false, &contents).ok();
+}
+
+TEST(PageTest, BuilderResetsAfterFinish) {
+  PageBuilder builder(1024, 4);
+  ASSERT_TRUE(builder.Add(MakeEntry("a", 1, 1, "v")));
+  builder.Finish();
+  EXPECT_TRUE(builder.empty());
+  ASSERT_TRUE(builder.Add(MakeEntry("b", 1, 2, "v")));
+  std::string page = builder.Finish();
+  PageContents contents;
+  ASSERT_TRUE(DecodePage(Slice(page), 1024, true, &contents).ok());
+  ASSERT_EQ(contents.entries.size(), 1u);
+  EXPECT_EQ(contents.entries[0].user_key.ToString(), "b");
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 1000; i++) {
+    builder.AddKey(EncodeKey(i * 7919));
+  }
+  std::string filter_data = builder.Finish();
+  BloomFilter filter(filter_data);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_TRUE(filter.KeyMayMatch(EncodeKey(i * 7919))) << i;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearTheory) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 10000; i++) {
+    builder.AddKey(EncodeKey(i));
+  }
+  std::string filter_data = builder.Finish();
+  BloomFilter filter(filter_data);
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; i++) {
+    if (filter.KeyMayMatch(EncodeKey(1000000 + i))) {
+      fp++;
+    }
+  }
+  double rate = static_cast<double>(fp) / probes;
+  // 10 bits/key → ~0.8-1.2% theoretical; allow generous headroom.
+  EXPECT_LT(rate, 0.03);
+  EXPECT_GT(rate, 0.0001);
+}
+
+TEST(BloomTest, EmptyFilterMatchesNothing) {
+  BloomFilterBuilder builder(10);
+  std::string filter_data = builder.Finish();
+  BloomFilter filter(filter_data);
+  EXPECT_FALSE(filter.KeyMayMatch(Slice("anything")));
+}
+
+TEST(RangeTombstoneTest, EncodeDecodeRoundTrip) {
+  std::vector<RangeTombstone> tombstones;
+  for (int i = 0; i < 5; i++) {
+    RangeTombstone t;
+    t.begin_key = EncodeKey(i * 100);
+    t.end_key = EncodeKey(i * 100 + 50);
+    t.seq = 1000 + i;
+    t.time = 777 + i;
+    tombstones.push_back(t);
+  }
+  std::string block;
+  EncodeRangeTombstones(tombstones, &block);
+  std::vector<RangeTombstone> decoded;
+  ASSERT_TRUE(DecodeRangeTombstones(Slice(block), &decoded).ok());
+  ASSERT_EQ(decoded.size(), 5u);
+  EXPECT_EQ(decoded[3].begin_key, EncodeKey(300));
+  EXPECT_EQ(decoded[3].seq, 1003u);
+  EXPECT_EQ(decoded[3].time, 780u);
+}
+
+TEST(RangeTombstoneTest, CoversRespectsSeqAndBounds) {
+  RangeTombstoneSet set;
+  RangeTombstone t;
+  t.begin_key = "b";
+  t.end_key = "d";
+  t.seq = 100;
+  set.Add(t);
+
+  EXPECT_TRUE(set.Covers(Slice("b"), 50));    // inclusive begin
+  EXPECT_TRUE(set.Covers(Slice("c"), 99));
+  EXPECT_FALSE(set.Covers(Slice("c"), 100));  // same seq not covered
+  EXPECT_FALSE(set.Covers(Slice("c"), 150));  // newer than tombstone
+  EXPECT_FALSE(set.Covers(Slice("d"), 50));   // exclusive end
+  EXPECT_FALSE(set.Covers(Slice("a"), 50));
+}
+
+TEST(RangeTombstoneTest, MaxCoverSeqOverlapping) {
+  RangeTombstoneSet set;
+  RangeTombstone t1{"a", "m", 10, 0};
+  RangeTombstone t2{"c", "f", 30, 0};
+  RangeTombstone t3{"e", "z", 20, 0};
+  set.Add(t1);
+  set.Add(t3);
+  set.Add(t2);
+  EXPECT_EQ(set.MaxCoverSeq(Slice("b")), 10u);
+  EXPECT_EQ(set.MaxCoverSeq(Slice("d")), 30u);
+  EXPECT_EQ(set.MaxCoverSeq(Slice("e")), 30u);
+  EXPECT_EQ(set.MaxCoverSeq(Slice("g")), 20u);
+  EXPECT_EQ(set.MaxCoverSeq(Slice("zz")), 0u);
+}
+
+TEST(FileMetaTest, EncodeDecodeRoundTrip) {
+  FileMeta meta;
+  meta.file_number = 42;
+  meta.file_size = 123456;
+  meta.run_id = 7;
+  meta.num_entries = 1000;
+  meta.num_point_tombstones = 50;
+  meta.num_range_tombstones = 2;
+  meta.smallest_key = "aaa";
+  meta.largest_key = "zzz";
+  meta.min_delete_key = 100;
+  meta.max_delete_key = 900;
+  meta.smallest_seq = 1;
+  meta.largest_seq = 1000;
+  meta.oldest_tombstone_time = 55555;
+  meta.num_pages = 16;
+  meta.DropPage(3);
+  meta.DropPage(9);
+  meta.page_live_entries.assign(16, 64);
+  meta.page_live_tombstones.assign(16, 4);
+
+  std::string buf;
+  EncodeFileMeta(meta, &buf);
+  Slice input(buf);
+  FileMeta decoded;
+  ASSERT_TRUE(DecodeFileMeta(&input, &decoded).ok());
+  EXPECT_EQ(decoded.file_number, 42u);
+  EXPECT_EQ(decoded.run_id, 7u);
+  EXPECT_EQ(decoded.num_pages, 16u);
+  EXPECT_EQ(decoded.dropped_page_count, 2u);
+  EXPECT_TRUE(decoded.IsPageDropped(3));
+  EXPECT_TRUE(decoded.IsPageDropped(9));
+  EXPECT_FALSE(decoded.IsPageDropped(4));
+  EXPECT_EQ(decoded.page_live_entries.size(), 16u);
+  EXPECT_EQ(decoded.oldest_tombstone_time, 55555u);
+}
+
+TEST(FileMetaTest, TombstoneAgeAndOverlap) {
+  FileMeta meta;
+  meta.smallest_key = EncodeKey(100);
+  meta.largest_key = EncodeKey(200);
+  meta.min_delete_key = 10;
+  meta.max_delete_key = 20;
+  EXPECT_EQ(meta.TombstoneAge(12345), 0u);  // no tombstones
+
+  meta.num_point_tombstones = 1;
+  meta.oldest_tombstone_time = 1000;
+  EXPECT_EQ(meta.TombstoneAge(1500), 500u);
+  EXPECT_EQ(meta.TombstoneAge(500), 0u);  // clock behind: clamp
+
+  EXPECT_TRUE(meta.OverlapsKeyRange(Slice(EncodeKey(150)),
+                                    Slice(EncodeKey(160))));
+  EXPECT_TRUE(
+      meta.OverlapsKeyRange(Slice(EncodeKey(50)), Slice(EncodeKey(100))));
+  EXPECT_FALSE(
+      meta.OverlapsKeyRange(Slice(EncodeKey(201)), Slice(EncodeKey(300))));
+
+  EXPECT_TRUE(meta.OverlapsDeleteKeyRange(15, 30));
+  EXPECT_TRUE(meta.OverlapsDeleteKeyRange(20, 21));
+  EXPECT_FALSE(meta.OverlapsDeleteKeyRange(21, 30));
+  EXPECT_FALSE(meta.OverlapsDeleteKeyRange(0, 10));
+}
+
+// ---------------------------------------------------------------------------
+// SSTable builder/reader.
+
+class SSTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.page_size_bytes = 4096;
+    options_.entries_per_page = 8;
+    options_.pages_per_tile = 4;
+    options_.bloom_bits_per_key = 10;
+  }
+
+  /// Builds a table with `n` entries: key i → EncodeKey(i), delete key
+  /// derived per `dk_of`, value "value-i". Returns the reader.
+  std::unique_ptr<SSTableReader> BuildTable(
+      int n, uint64_t (*dk_of)(int), TableProperties* props_out = nullptr,
+      const std::vector<RangeTombstone>& rts = {}) {
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env_->NewWritableFile("table", &file).ok());
+    SSTableBuilder builder(options_, file.get());
+    for (int i = 0; i < n; i++) {
+      builder.Add(MakeEntry(EncodeKey(i), dk_of(i), 1000 + i,
+                            "value-" + std::to_string(i)));
+    }
+    for (const RangeTombstone& rt : rts) {
+      builder.AddRangeTombstone(rt);
+    }
+    TableProperties props;
+    EXPECT_TRUE(builder.Finish(&props).ok());
+    EXPECT_TRUE(file->Close().ok());
+    if (props_out != nullptr) {
+      *props_out = props;
+    }
+
+    std::unique_ptr<RandomAccessFile> read_file;
+    EXPECT_TRUE(env_->NewRandomAccessFile("table", &read_file).ok());
+    std::unique_ptr<SSTableReader> reader;
+    EXPECT_TRUE(SSTableReader::Open(options_, std::move(read_file),
+                                    props.file_size, &reader)
+                    .ok());
+    return reader;
+  }
+
+  static uint64_t ReverseDk(int i) { return 1000000 - i; }
+  static uint64_t IdentityDk(int i) { return static_cast<uint64_t>(i); }
+
+  std::unique_ptr<Env> env_;
+  TableOptions options_;
+};
+
+TEST_F(SSTableTest, PropertiesReflectContents) {
+  TableProperties props;
+  auto reader = BuildTable(100, ReverseDk, &props);
+  EXPECT_EQ(props.num_entries, 100u);
+  EXPECT_EQ(props.num_pages, 13u);  // ceil(100/8)
+  EXPECT_EQ(props.num_tiles, 4u);   // ceil(13/4)
+  EXPECT_EQ(props.smallest_key, EncodeKey(0));
+  EXPECT_EQ(props.largest_key, EncodeKey(99));
+  EXPECT_EQ(props.min_delete_key, 1000000u - 99u);
+  EXPECT_EQ(props.max_delete_key, 1000000u);
+  EXPECT_EQ(reader->num_pages(), 13u);
+  EXPECT_EQ(reader->num_tiles(), 4u);
+}
+
+TEST_F(SSTableTest, GetFindsEveryKey) {
+  auto reader = BuildTable(200, ReverseDk);
+  Statistics stats;
+  for (int i = 0; i < 200; i++) {
+    bool found = false;
+    TableGetResult result;
+    ASSERT_TRUE(
+        reader->Get(EncodeKey(i), nullptr, &stats, &found, &result).ok());
+    ASSERT_TRUE(found) << "key " << i;
+    EXPECT_EQ(result.value, "value-" + std::to_string(i));
+    EXPECT_EQ(result.delete_key, ReverseDk(i));
+    EXPECT_EQ(result.seq, 1000u + i);
+  }
+  EXPECT_GT(stats.bloom_probes.load(), 0u);
+}
+
+TEST_F(SSTableTest, GetMissesAbsentKeys) {
+  auto reader = BuildTable(100, ReverseDk);
+  Statistics stats;
+  for (int i = 100; i < 200; i++) {
+    bool found = true;
+    TableGetResult result;
+    ASSERT_TRUE(
+        reader->Get(EncodeKey(i), nullptr, &stats, &found, &result).ok());
+    EXPECT_FALSE(found);
+  }
+}
+
+TEST_F(SSTableTest, IteratorYieldsAllKeysInOrder) {
+  auto reader = BuildTable(150, ReverseDk);
+  auto it = reader->NewIterator(nullptr);
+  int expected = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(it->entry().user_key.ToString(), EncodeKey(expected));
+    expected++;
+  }
+  EXPECT_TRUE(it->status().ok());
+  EXPECT_EQ(expected, 150);
+}
+
+TEST_F(SSTableTest, IteratorSeek) {
+  auto reader = BuildTable(100, ReverseDk);
+  auto it = reader->NewIterator(nullptr);
+  it->Seek(Slice(EncodeKey(42)));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->entry().user_key.ToString(), EncodeKey(42));
+  it->Seek(Slice(EncodeKey(99)));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->entry().user_key.ToString(), EncodeKey(99));
+  it->Seek(Slice(EncodeKey(100)));
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(SSTableTest, DeleteTilesPartitionDeleteKeys) {
+  // With reverse delete keys, pages within each tile must be ordered by
+  // delete key even though entries arrive in ascending sort-key order.
+  auto reader = BuildTable(128, ReverseDk);
+  for (const TileInfo& tile : reader->tiles()) {
+    for (uint32_t p = tile.first_page + 1;
+         p < tile.first_page + tile.page_count; p++) {
+      EXPECT_GE(reader->pages()[p].min_delete_key,
+                reader->pages()[p - 1].max_delete_key)
+          << "pages within a tile must partition the delete-key space";
+    }
+  }
+}
+
+TEST_F(SSTableTest, PagesSortedInternallyBySortKey) {
+  auto reader = BuildTable(128, ReverseDk);
+  for (uint32_t p = 0; p < reader->num_pages(); p++) {
+    PageContents contents;
+    ASSERT_TRUE(reader->ReadPage(p, &contents).ok());
+    for (size_t i = 1; i < contents.entries.size(); i++) {
+      EXPECT_LT(contents.entries[i - 1].user_key.compare(
+                    contents.entries[i].user_key),
+                0);
+    }
+  }
+}
+
+TEST_F(SSTableTest, ClassicLayoutWithH1) {
+  options_.pages_per_tile = 1;
+  auto reader = BuildTable(64, ReverseDk);
+  EXPECT_EQ(reader->num_tiles(), reader->num_pages());
+  // Every page holds a contiguous run of the sort-key space.
+  for (uint32_t p = 1; p < reader->num_pages(); p++) {
+    EXPECT_LT(reader->pages()[p - 1].max_sort_key.compare(
+                  reader->pages()[p].min_sort_key),
+              0);
+  }
+}
+
+TEST_F(SSTableTest, SecondaryDeletePlanSeparatesFullAndPartial) {
+  // Delete keys equal sort order: tile t covers delete keys
+  // [t*32, (t+1)*32). Deleting [32, 64) should fully drop tile 1's pages.
+  auto reader = BuildTable(128, IdentityDk);
+  SecondaryDeletePlan plan;
+  reader->PlanSecondaryRangeDelete(32, 64, nullptr, &plan);
+  EXPECT_EQ(plan.full_drop_pages.size(), 4u);  // one whole tile (4 pages)
+  EXPECT_TRUE(plan.partial_pages.empty());
+
+  // A range splitting pages: [36, 60) covers pages partially at the edges.
+  reader->PlanSecondaryRangeDelete(36, 60, nullptr, &plan);
+  uint64_t full = plan.full_drop_pages.size();
+  uint64_t partial = plan.partial_pages.size();
+  EXPECT_EQ(full, 2u);     // pages [40,48) and [48,56)
+  EXPECT_EQ(partial, 2u);  // pages [32,40) and [56,64)
+}
+
+TEST_F(SSTableTest, PlanSkipsDroppedPages) {
+  auto reader = BuildTable(128, IdentityDk);
+  FileMeta meta;
+  meta.num_pages = reader->num_pages();
+  SecondaryDeletePlan plan;
+  reader->PlanSecondaryRangeDelete(32, 64, &meta, &plan);
+  ASSERT_EQ(plan.full_drop_pages.size(), 4u);
+  meta.DropPage(plan.full_drop_pages[0]);
+  reader->PlanSecondaryRangeDelete(32, 64, &meta, &plan);
+  EXPECT_EQ(plan.full_drop_pages.size(), 3u);
+}
+
+TEST_F(SSTableTest, GetSkipsDroppedPages) {
+  auto reader = BuildTable(128, IdentityDk);
+  FileMeta meta;
+  meta.num_pages = reader->num_pages();
+  // Key 40 lives in the page covering delete keys [40, 48) (identity dk).
+  SecondaryDeletePlan plan;
+  reader->PlanSecondaryRangeDelete(40, 48, nullptr, &plan);
+  ASSERT_EQ(plan.full_drop_pages.size(), 1u);
+  meta.DropPage(plan.full_drop_pages[0]);
+
+  Statistics stats;
+  bool found = true;
+  TableGetResult result;
+  ASSERT_TRUE(
+      reader->Get(EncodeKey(40), &meta, &stats, &found, &result).ok());
+  EXPECT_FALSE(found);
+  // A key in a live page of the same tile is still visible.
+  ASSERT_TRUE(
+      reader->Get(EncodeKey(33), &meta, &stats, &found, &result).ok());
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SSTableTest, RangeTombstonesPersisted) {
+  std::vector<RangeTombstone> rts;
+  RangeTombstone rt;
+  rt.begin_key = EncodeKey(10);
+  rt.end_key = EncodeKey(20);
+  rt.seq = 5000;
+  rt.time = 123;
+  rts.push_back(rt);
+  TableProperties props;
+  auto reader = BuildTable(50, ReverseDk, &props, rts);
+  ASSERT_EQ(reader->range_tombstones().size(), 1u);
+  EXPECT_EQ(reader->range_tombstones()[0].begin_key, EncodeKey(10));
+  EXPECT_EQ(props.num_range_tombstones, 1u);
+  EXPECT_EQ(props.oldest_range_tombstone_time, 123u);
+}
+
+TEST_F(SSTableTest, KeyMayExistFilterOnly) {
+  auto reader = BuildTable(100, ReverseDk);
+  Statistics stats;
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(reader->KeyMayExist(EncodeKey(i), nullptr, &stats));
+  }
+  int positives = 0;
+  for (int i = 1000; i < 2000; i++) {
+    positives += reader->KeyMayExist(EncodeKey(i), nullptr, &stats) ? 1 : 0;
+  }
+  EXPECT_LT(positives, 100);  // mostly filtered out
+}
+
+TEST_F(SSTableTest, CorruptFooterRejected) {
+  TableProperties props;
+  BuildTable(10, ReverseDk, &props);
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(env_.get(), "table", &contents).ok());
+  contents[contents.size() - 1] ^= 0xff;  // clobber magic
+  ASSERT_TRUE(WriteStringToFile(env_.get(), contents, "table").ok());
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env_->NewRandomAccessFile("table", &file).ok());
+  std::unique_ptr<SSTableReader> reader;
+  EXPECT_TRUE(SSTableReader::Open(options_, std::move(file), contents.size(),
+                                  &reader)
+                  .IsCorruption());
+}
+
+TEST_F(SSTableTest, EmptyTableRoundTrip) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("empty", &file).ok());
+  SSTableBuilder builder(options_, file.get());
+  TableProperties props;
+  ASSERT_TRUE(builder.Finish(&props).ok());
+  ASSERT_TRUE(file->Close().ok());
+  EXPECT_EQ(props.num_entries, 0u);
+  EXPECT_EQ(props.num_pages, 0u);
+
+  std::unique_ptr<RandomAccessFile> read_file;
+  ASSERT_TRUE(env_->NewRandomAccessFile("empty", &read_file).ok());
+  std::unique_ptr<SSTableReader> reader;
+  ASSERT_TRUE(SSTableReader::Open(options_, std::move(read_file),
+                                  props.file_size, &reader)
+                  .ok());
+  auto it = reader->NewIterator(nullptr);
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+/// Parameterized sweep: the weave must round-trip for every delete-tile
+/// granularity, including h larger than the page count.
+class SSTableTileSweepTest : public SSTableTest,
+                             public ::testing::WithParamInterface<uint32_t> {};
+
+TEST_P(SSTableTileSweepTest, RoundTripAllGranularities) {
+  options_.pages_per_tile = GetParam();
+  auto reader = BuildTable(300, ReverseDk);
+  Statistics stats;
+  for (int i = 0; i < 300; i++) {
+    bool found = false;
+    TableGetResult result;
+    ASSERT_TRUE(
+        reader->Get(EncodeKey(i), nullptr, &stats, &found, &result).ok());
+    ASSERT_TRUE(found) << "h=" << GetParam() << " key=" << i;
+  }
+  auto it = reader->NewIterator(nullptr);
+  int count = 0;
+  std::string prev;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    std::string k = it->entry().user_key.ToString();
+    EXPECT_LT(prev, k);
+    prev = k;
+    count++;
+  }
+  EXPECT_EQ(count, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileGranularities, SSTableTileSweepTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+}  // namespace
+}  // namespace lethe

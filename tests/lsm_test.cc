@@ -1,0 +1,489 @@
+// Tests for the LSM machinery below the DB facade: version edits and
+// application, the version set + MANIFEST, TTL allocation, the merging
+// iterator, and the compaction picker's trigger/selection policies.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/env/env.h"
+#include "src/lsm/compaction_picker.h"
+#include "src/lsm/merging_iterator.h"
+#include "src/lsm/ttl.h"
+#include "src/lsm/version.h"
+#include "src/lsm/version_edit.h"
+#include "src/lsm/version_set.h"
+#include "src/workload/generator.h"
+
+namespace lethe {
+namespace {
+
+using workload::EncodeKey;
+
+FileMeta MakeFile(uint64_t number, uint64_t lo, uint64_t hi,
+                  uint64_t run_id = 0) {
+  FileMeta meta;
+  meta.file_number = number;
+  meta.file_size = 1000;
+  meta.run_id = run_id;
+  meta.num_entries = hi - lo + 1;
+  meta.smallest_key = EncodeKey(lo);
+  meta.largest_key = EncodeKey(hi);
+  meta.num_pages = 4;
+  return meta;
+}
+
+TEST(VersionEditTest, RoundTrip) {
+  VersionEdit edit;
+  edit.added_files.emplace_back(2, MakeFile(7, 0, 99));
+  edit.removed_files.push_back({1, 3});
+  edit.next_file_number = 55;
+  edit.last_sequence = 1234;
+  edit.wal_number = 9;
+  edit.next_run_id = 4;
+  edit.seq_time_checkpoints.emplace_back(100, 5000);
+
+  std::string buf;
+  edit.EncodeTo(&buf);
+  VersionEdit decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(Slice(buf)).ok());
+  ASSERT_EQ(decoded.added_files.size(), 1u);
+  EXPECT_EQ(decoded.added_files[0].first, 2);
+  EXPECT_EQ(decoded.added_files[0].second.file_number, 7u);
+  ASSERT_EQ(decoded.removed_files.size(), 1u);
+  EXPECT_EQ(decoded.removed_files[0].file_number, 3u);
+  EXPECT_EQ(*decoded.next_file_number, 55u);
+  EXPECT_EQ(*decoded.last_sequence, 1234u);
+  EXPECT_EQ(*decoded.wal_number, 9u);
+  EXPECT_EQ(*decoded.next_run_id, 4u);
+  ASSERT_EQ(decoded.seq_time_checkpoints.size(), 1u);
+  EXPECT_EQ(decoded.seq_time_checkpoints[0].second, 5000u);
+}
+
+TEST(VersionEditTest, DecodeRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\xff\xff garbage")).ok());
+}
+
+TEST(VersionTest, ApplyAddsAndRemoves) {
+  VersionEdit edit;
+  edit.added_files.emplace_back(0, MakeFile(1, 0, 9));
+  edit.added_files.emplace_back(0, MakeFile(2, 10, 19));
+  edit.added_files.emplace_back(1, MakeFile(3, 0, 99));
+  Status status;
+  auto v1 = Version::Apply(nullptr, edit, &status);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(v1->TotalFiles(), 3u);
+  EXPECT_EQ(v1->DeepestNonEmptyLevel(), 1);
+  EXPECT_FALSE(v1->IsBottommost(0));
+  EXPECT_TRUE(v1->IsBottommost(1));
+
+  VersionEdit edit2;
+  edit2.removed_files.push_back({0, 1});
+  auto v2 = Version::Apply(v1.get(), edit2, &status);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(v2->TotalFiles(), 2u);
+  // v1 unchanged (immutability).
+  EXPECT_EQ(v1->TotalFiles(), 3u);
+}
+
+TEST(VersionTest, ApplyRejectsOverlapWithinRun) {
+  VersionEdit edit;
+  edit.added_files.emplace_back(0, MakeFile(1, 0, 15));
+  edit.added_files.emplace_back(0, MakeFile(2, 10, 19));
+  Status status;
+  Version::Apply(nullptr, edit, &status);
+  EXPECT_TRUE(status.IsCorruption());
+}
+
+TEST(VersionTest, EqualBoundaryAllowed) {
+  // A range-tombstone-extended largest key may equal the next smallest.
+  VersionEdit edit;
+  edit.added_files.emplace_back(0, MakeFile(1, 0, 10));
+  edit.added_files.emplace_back(0, MakeFile(2, 10, 19));
+  Status status;
+  auto v = Version::Apply(nullptr, edit, &status);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(v->TotalFiles(), 2u);
+}
+
+TEST(VersionTest, TieringRunsOrderedByRunId) {
+  VersionEdit edit;
+  edit.added_files.emplace_back(0, MakeFile(1, 0, 9, /*run_id=*/3));
+  edit.added_files.emplace_back(0, MakeFile(2, 0, 9, /*run_id=*/1));
+  edit.added_files.emplace_back(0, MakeFile(3, 0, 9, /*run_id=*/2));
+  Status status;
+  auto v = Version::Apply(nullptr, edit, &status);
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(v->LevelRunCount(0), 3);
+  EXPECT_EQ(v->levels()[0][0].run_id, 1u);
+  EXPECT_EQ(v->levels()[0][2].run_id, 3u);
+}
+
+TEST(VersionTest, FindFileBinarySearch) {
+  VersionEdit edit;
+  edit.added_files.emplace_back(0, MakeFile(1, 0, 9));
+  edit.added_files.emplace_back(0, MakeFile(2, 20, 29));
+  edit.added_files.emplace_back(0, MakeFile(3, 40, 49));
+  Status status;
+  auto v = Version::Apply(nullptr, edit, &status);
+  const SortedRun& run = v->levels()[0][0];
+
+  EXPECT_EQ(run.FindFile(Slice(EncodeKey(5))), 0);
+  EXPECT_EQ(run.FindFile(Slice(EncodeKey(25))), 1);
+  EXPECT_EQ(run.FindFile(Slice(EncodeKey(49))), 2);
+  EXPECT_EQ(run.FindFile(Slice(EncodeKey(15))), -1);  // gap
+  EXPECT_EQ(run.FindFile(Slice(EncodeKey(99))), -1);  // beyond
+}
+
+TEST(VersionTest, OverlappingFilesInclusiveBounds) {
+  VersionEdit edit;
+  edit.added_files.emplace_back(0, MakeFile(1, 0, 9));
+  edit.added_files.emplace_back(0, MakeFile(2, 20, 29));
+  Status status;
+  auto v = Version::Apply(nullptr, edit, &status);
+
+  auto overlap =
+      v->OverlappingFiles(0, Slice(EncodeKey(9)), Slice(EncodeKey(20)));
+  EXPECT_EQ(overlap.size(), 2u);
+  overlap = v->OverlappingFiles(0, Slice(EncodeKey(10)), Slice(EncodeKey(19)));
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(TtlTest, CumulativeAllocationSumsToDth) {
+  const uint64_t dth = 1000000;
+  auto ttls = ComputeCumulativeTtls(dth, 10, 3);
+  ASSERT_EQ(ttls.size(), 3u);
+  EXPECT_EQ(ttls.back(), dth);
+  // Geometric growth: d1 : d2 : d3 = 1 : 10 : 100 with sum Dth.
+  double d1 = static_cast<double>(ttls[0]);
+  double d2 = static_cast<double>(ttls[1] - ttls[0]);
+  double d3 = static_cast<double>(ttls[2] - ttls[1]);
+  EXPECT_NEAR(d2 / d1, 10.0, 0.1);
+  EXPECT_NEAR(d3 / d2, 10.0, 0.1);
+  EXPECT_NEAR(d1 + d2 + d3, static_cast<double>(dth), 2.0);
+}
+
+TEST(TtlTest, SingleLevelGetsWholeBudget) {
+  auto ttls = ComputeCumulativeTtls(500, 10, 1);
+  ASSERT_EQ(ttls.size(), 1u);
+  EXPECT_EQ(ttls[0], 500u);
+}
+
+TEST(TtlTest, ExpiryChecks) {
+  auto ttls = ComputeCumulativeTtls(1000000, 10, 3);
+  EXPECT_FALSE(TtlExpired(ttls, 0, ttls[0]));      // exactly at bound: not yet
+  EXPECT_TRUE(TtlExpired(ttls, 0, ttls[0] + 1));
+  EXPECT_FALSE(TtlExpired(ttls, 2, 999999));
+  EXPECT_TRUE(TtlExpired(ttls, 2, 1000001));
+  // Deeper than allocated → clamps to last level.
+  EXPECT_TRUE(TtlExpired(ttls, 9, 1000001));
+  EXPECT_FALSE(TtlExpired({}, 0, UINT64_MAX));     // FADE off
+}
+
+TEST(TtlTest, DisabledWhenDthZero) {
+  EXPECT_TRUE(ComputeCumulativeTtls(0, 10, 3).empty());
+}
+
+// Simple vector-backed iterator for merging tests.
+class VecIterator final : public InternalIterator {
+ public:
+  explicit VecIterator(std::vector<ParsedEntry> entries)
+      : entries_(std::move(entries)) {}
+  bool Valid() const override { return pos_ < entries_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(const Slice& target) override {
+    for (pos_ = 0; pos_ < entries_.size(); pos_++) {
+      if (entries_[pos_].user_key.compare(target) >= 0) {
+        break;
+      }
+    }
+  }
+  void Next() override { pos_++; }
+  const ParsedEntry& entry() const override { return entries_[pos_]; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<ParsedEntry> entries_;
+  size_t pos_ = 0;
+};
+
+TEST(MergingIteratorTest, MergesSortedStreamsNewestFirst) {
+  // Backing storage must outlive the entries.
+  static const std::string k1 = "a", k2 = "b", k3 = "c";
+  ParsedEntry a5{Slice(k1), 0, 5, ValueType::kValue, Slice("a5")};
+  ParsedEntry a3{Slice(k1), 0, 3, ValueType::kValue, Slice("a3")};
+  ParsedEntry b4{Slice(k2), 0, 4, ValueType::kValue, Slice("b4")};
+  ParsedEntry c1{Slice(k3), 0, 1, ValueType::kValue, Slice("c1")};
+
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(std::make_unique<VecIterator>(
+      std::vector<ParsedEntry>{a3, c1}));
+  children.push_back(std::make_unique<VecIterator>(
+      std::vector<ParsedEntry>{a5, b4}));
+  auto merged = NewMergingIterator(std::move(children));
+
+  std::vector<std::pair<std::string, SequenceNumber>> seen;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    seen.emplace_back(merged->entry().user_key.ToString(),
+                      merged->entry().seq);
+  }
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, SequenceNumber>{"a", 5}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, SequenceNumber>{"a", 3}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, SequenceNumber>{"b", 4}));
+  EXPECT_EQ(seen[3], (std::pair<std::string, SequenceNumber>{"c", 1}));
+}
+
+TEST(MergingIteratorTest, SeekAcrossChildren) {
+  static const std::string k1 = "a", k2 = "m", k3 = "z";
+  ParsedEntry a{Slice(k1), 0, 1, ValueType::kValue, Slice()};
+  ParsedEntry m{Slice(k2), 0, 2, ValueType::kValue, Slice()};
+  ParsedEntry z{Slice(k3), 0, 3, ValueType::kValue, Slice()};
+  std::vector<std::unique_ptr<InternalIterator>> children;
+  children.push_back(
+      std::make_unique<VecIterator>(std::vector<ParsedEntry>{a, z}));
+  children.push_back(
+      std::make_unique<VecIterator>(std::vector<ParsedEntry>{m}));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->Seek(Slice("b"));
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->entry().user_key.ToString(), "m");
+}
+
+TEST(KeyInterpolationTest, OverlapFraction) {
+  EXPECT_DOUBLE_EQ(
+      RangeOverlapFraction(EncodeKey(0), EncodeKey(100), EncodeKey(0),
+                           EncodeKey(100)),
+      1.0);
+  // Hex-digit byte encoding is mildly non-linear in ASCII space, so the
+  // interpolation is an estimate; it only steers file selection.
+  EXPECT_NEAR(RangeOverlapFraction(EncodeKey(0), EncodeKey(100), EncodeKey(25),
+                                   EncodeKey(75)),
+              0.5, 0.1);
+  EXPECT_DOUBLE_EQ(RangeOverlapFraction(EncodeKey(0), EncodeKey(100),
+                                        EncodeKey(200), EncodeKey(300)),
+                   0.0);
+}
+
+class PickerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.clock = &clock_;
+    options_.write_buffer_bytes = 1000;
+    options_.size_ratio = 10;
+    options_ = options_.WithDefaults();
+    versions_ = std::make_unique<VersionSet>(options_, "db");
+    ASSERT_TRUE(env_->CreateDirIfMissing("db").ok());
+    ASSERT_TRUE(versions_->Recover().ok());
+    picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
+  }
+
+  std::shared_ptr<Version> Build(const VersionEdit& edit,
+                                 const Version* base = nullptr) {
+    Status status;
+    auto v = Version::Apply(base, edit, &status);
+    EXPECT_TRUE(status.ok());
+    return v;
+  }
+
+  std::unique_ptr<Env> env_;
+  LogicalClock clock_;
+  Options options_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<CompactionPicker> picker_;
+};
+
+TEST_F(PickerTest, NoTriggerOnEmptyOrSmallTree) {
+  VersionEdit edit;
+  FileMeta f = MakeFile(1, 0, 9);
+  f.file_size = 100;  // well under the 10k capacity of level 0
+  edit.added_files.emplace_back(0, f);
+  auto v = Build(edit);
+  CompactionPick pick = picker_->Pick(*v, 0);
+  EXPECT_FALSE(pick.valid());
+}
+
+TEST_F(PickerTest, SaturationTriggersOnOversizedLevel) {
+  VersionEdit edit;
+  FileMeta f1 = MakeFile(1, 0, 9);
+  f1.file_size = 6000;
+  FileMeta f2 = MakeFile(2, 10, 19);
+  f2.file_size = 6000;  // level 0 capacity = 1000*10 = 10000 < 12000
+  edit.added_files.emplace_back(0, f1);
+  edit.added_files.emplace_back(0, f2);
+  auto v = Build(edit);
+  CompactionPick pick = picker_->Pick(*v, 0);
+  ASSERT_TRUE(pick.valid());
+  EXPECT_EQ(pick.trigger, CompactionPick::Trigger::kSaturation);
+  EXPECT_EQ(pick.level, 0);
+  EXPECT_EQ(pick.inputs.size(), 1u);
+}
+
+TEST_F(PickerTest, MinOverlapPrefersCheapestFile) {
+  VersionEdit edit;
+  FileMeta f1 = MakeFile(1, 0, 9);
+  f1.file_size = 6000;
+  FileMeta f2 = MakeFile(2, 10, 19);
+  f2.file_size = 6000;
+  // Level 1 holds a big file overlapping f1 only.
+  FileMeta target = MakeFile(3, 0, 9);
+  target.file_size = 5000;
+  edit.added_files.emplace_back(0, f1);
+  edit.added_files.emplace_back(0, f2);
+  edit.added_files.emplace_back(1, target);
+  auto v = Build(edit);
+  CompactionPick pick = picker_->Pick(*v, 0);
+  ASSERT_TRUE(pick.valid());
+  EXPECT_EQ(pick.inputs[0]->file_number, 2u);  // zero overlap wins
+}
+
+TEST_F(PickerTest, MaxTombstonesPolicyPrefersDeleteHeavyFile) {
+  options_.file_picking = FilePickingPolicy::kMaxTombstones;
+  picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
+
+  VersionEdit edit;
+  FileMeta f1 = MakeFile(1, 0, 9);
+  f1.file_size = 6000;
+  f1.num_point_tombstones = 100;
+  f1.oldest_tombstone_time = 1;
+  FileMeta f2 = MakeFile(2, 10, 19);
+  f2.file_size = 6000;
+  f2.num_point_tombstones = 5;
+  f2.oldest_tombstone_time = 1;
+  edit.added_files.emplace_back(0, f1);
+  edit.added_files.emplace_back(0, f2);
+  auto v = Build(edit);
+  CompactionPick pick = picker_->Pick(*v, 0);
+  ASSERT_TRUE(pick.valid());
+  EXPECT_EQ(pick.inputs[0]->file_number, 1u);
+}
+
+TEST_F(PickerTest, TtlExpiryBeatsSaturation) {
+  options_.delete_persistence_threshold_micros = 1000000;
+  picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
+
+  VersionEdit edit;
+  // Level 0 badly saturated but tombstone-free.
+  FileMeta fat = MakeFile(1, 0, 9);
+  fat.file_size = 50000;
+  edit.added_files.emplace_back(0, fat);
+  // Level 1 under capacity, with an expired tombstone file.
+  FileMeta expired = MakeFile(2, 100, 199);
+  expired.file_size = 100;
+  expired.num_point_tombstones = 1;
+  expired.oldest_tombstone_time = 0;
+  edit.added_files.emplace_back(1, expired);
+  auto v = Build(edit);
+
+  // At now = Dth+1 the level-1 cumulative TTL (= Dth for the deepest
+  // level) is exhausted.
+  CompactionPick pick = picker_->Pick(*v, 1000001);
+  ASSERT_TRUE(pick.valid());
+  EXPECT_EQ(pick.trigger, CompactionPick::Trigger::kTtlExpiry);
+  EXPECT_EQ(pick.level, 1);
+  EXPECT_EQ(pick.inputs[0]->file_number, 2u);
+}
+
+TEST_F(PickerTest, NoTtlTriggerBeforeExpiry) {
+  options_.delete_persistence_threshold_micros = 1000000;
+  picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
+
+  VersionEdit edit;
+  FileMeta f = MakeFile(1, 0, 9);
+  f.file_size = 100;
+  f.num_point_tombstones = 1;
+  f.oldest_tombstone_time = 0;
+  edit.added_files.emplace_back(0, f);
+  auto v = Build(edit);
+
+  // Single disk level → cumulative TTL = Dth.
+  EXPECT_FALSE(picker_->Pick(*v, 999999).valid());
+  EXPECT_TRUE(picker_->Pick(*v, 1000001).valid());
+  EXPECT_EQ(picker_->EarliestTtlExpiry(*v), 1000000u);
+}
+
+TEST_F(PickerTest, EarliestExpiryInfiniteWithoutFade) {
+  VersionEdit edit;
+  FileMeta f = MakeFile(1, 0, 9);
+  f.num_point_tombstones = 1;
+  f.oldest_tombstone_time = 0;
+  edit.added_files.emplace_back(0, f);
+  auto v = Build(edit);
+  EXPECT_EQ(picker_->EarliestTtlExpiry(*v), UINT64_MAX);
+}
+
+TEST_F(PickerTest, TieringTriggersOnRunCount) {
+  options_.compaction_style = CompactionStyle::kTiering;
+  options_.size_ratio = 3;
+  picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
+
+  VersionEdit edit;
+  for (uint64_t r = 1; r <= 3; r++) {
+    edit.added_files.emplace_back(0, MakeFile(r, 0, 9, r));
+  }
+  auto v = Build(edit);
+  CompactionPick pick = picker_->Pick(*v, 0);
+  ASSERT_TRUE(pick.valid());
+  EXPECT_EQ(pick.level, 0);
+  EXPECT_EQ(pick.inputs.size(), 3u);  // all runs merge together
+}
+
+TEST(VersionSetTest, RecoverPersistsAcrossReopen) {
+  auto env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  options = options.WithDefaults();
+  ASSERT_TRUE(env->CreateDirIfMissing("db").ok());
+
+  {
+    VersionSet versions(options, "db");
+    ASSERT_TRUE(versions.Recover().ok());
+    VersionEdit edit;
+    edit.added_files.emplace_back(1, MakeFile(12, 5, 50));
+    versions.AddSeqTimeCheckpoint(1, 999, &edit);
+    versions.SetLastSequence(77);
+    ASSERT_TRUE(versions.LogAndApply(&edit).ok());
+  }
+  {
+    VersionSet versions(options, "db");
+    ASSERT_TRUE(versions.Recover().ok());
+    auto v = versions.current();
+    ASSERT_EQ(v->TotalFiles(), 1u);
+    EXPECT_EQ(v->levels()[1][0].files[0]->file_number, 12u);
+    EXPECT_EQ(versions.LastSequence(), 77u);
+    EXPECT_EQ(versions.TimeOfSeq(1), 999u);
+    EXPECT_EQ(versions.TimeOfSeq(100), 999u);
+    EXPECT_EQ(versions.TimeOfSeq(0), 0u);
+  }
+}
+
+TEST(VersionSetTest, MissingDbRequiresCreateFlag) {
+  auto env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  options.create_if_missing = false;
+  options = options.WithDefaults();
+  VersionSet versions(options, "nonexistent");
+  EXPECT_TRUE(versions.Recover().IsNotFound());
+}
+
+TEST(VersionSetTest, FileNumbersMonotonic) {
+  auto env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  options = options.WithDefaults();
+  VersionSet versions(options, "db");
+  ASSERT_TRUE(versions.Recover().ok());
+  uint64_t a = versions.NewFileNumber();
+  uint64_t b = versions.NewFileNumber();
+  EXPECT_LT(a, b);
+  uint64_t r1 = versions.NewRunId();
+  uint64_t r2 = versions.NewRunId();
+  EXPECT_LT(r1, r2);
+}
+
+}  // namespace
+}  // namespace lethe

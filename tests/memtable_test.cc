@@ -1,0 +1,253 @@
+// Tests for the write path substrate: skiplist, memtable, WAL.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/env/env.h"
+#include "src/format/file_meta.h"
+#include "src/memtable/memtable.h"
+#include "src/memtable/skiplist.h"
+#include "src/memtable/wal.h"
+#include "src/util/random.h"
+
+namespace lethe {
+namespace {
+
+struct IntComparator {
+  int operator()(const char* a, const char* b) const {
+    int ia, ib;
+    memcpy(&ia, a, sizeof(ia));
+    memcpy(&ib, b, sizeof(ib));
+    return ia - ib;
+  }
+};
+
+TEST(SkipListTest, InsertAndIterateSorted) {
+  Arena arena;
+  SkipList<IntComparator> list(IntComparator(), &arena);
+  Random rnd(7);
+  std::set<int> inserted;
+  for (int i = 0; i < 2000; i++) {
+    int v = static_cast<int>(rnd.Uniform(1000000));
+    if (!inserted.insert(v).second) {
+      continue;
+    }
+    char* mem = arena.Allocate(sizeof(int));
+    memcpy(mem, &v, sizeof(v));
+    list.Insert(mem);
+  }
+  SkipList<IntComparator>::Iterator it(&list);
+  auto expected = inserted.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    int v;
+    memcpy(&v, it.key(), sizeof(v));
+    ASSERT_NE(expected, inserted.end());
+    EXPECT_EQ(v, *expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, inserted.end());
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  Arena arena;
+  SkipList<IntComparator> list(IntComparator(), &arena);
+  for (int v = 0; v < 100; v += 10) {
+    char* mem = arena.Allocate(sizeof(int));
+    memcpy(mem, &v, sizeof(v));
+    list.Insert(mem);
+  }
+  int probe = 35;
+  char probe_mem[sizeof(int)];
+  memcpy(probe_mem, &probe, sizeof(probe));
+  SkipList<IntComparator>::Iterator it(&list);
+  it.Seek(probe_mem);
+  ASSERT_TRUE(it.Valid());
+  int v;
+  memcpy(&v, it.key(), sizeof(v));
+  EXPECT_EQ(v, 40);
+  EXPECT_TRUE(list.Contains(it.key()));
+}
+
+TEST(MemTableTest, AddAndGetNewestVersion) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "key", 100, "v1", 10);
+  mem.Add(2, ValueType::kValue, "key", 200, "v2", 20);
+
+  ParsedEntry entry;
+  ASSERT_TRUE(mem.Get("key", &entry));
+  EXPECT_EQ(entry.value.ToString(), "v2");
+  EXPECT_EQ(entry.seq, 2u);
+  EXPECT_EQ(entry.delete_key, 200u);
+  EXPECT_FALSE(mem.Get("other", &entry));
+}
+
+TEST(MemTableTest, TombstoneVisibleAsNewest) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "key", 1, "v", 10);
+  mem.Add(2, ValueType::kTombstone, "key", 2, "", 20);
+  ParsedEntry entry;
+  ASSERT_TRUE(mem.Get("key", &entry));
+  EXPECT_TRUE(entry.IsTombstone());
+  EXPECT_EQ(mem.num_point_tombstones(), 1u);
+  EXPECT_EQ(mem.oldest_tombstone_time(), 20u);
+}
+
+TEST(MemTableTest, OldestTombstoneTimeTracksMinimum) {
+  MemTable mem;
+  EXPECT_EQ(mem.oldest_tombstone_time(), kNoTombstoneTime);
+  mem.Add(1, ValueType::kTombstone, "a", 0, "", 50);
+  mem.Add(2, ValueType::kTombstone, "b", 0, "", 30);
+  mem.Add(3, ValueType::kTombstone, "c", 0, "", 70);
+  EXPECT_EQ(mem.oldest_tombstone_time(), 30u);
+
+  RangeTombstone rt{"d", "e", 4, 10};
+  mem.AddRangeTombstone(rt);
+  EXPECT_EQ(mem.oldest_tombstone_time(), 10u);
+}
+
+TEST(MemTableTest, IteratorOrderedNewestVersionFirst) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "b", 0, "b1", 0);
+  mem.Add(2, ValueType::kValue, "a", 0, "a1", 0);
+  mem.Add(3, ValueType::kValue, "b", 0, "b2", 0);
+
+  auto it = mem.NewIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->entry().user_key.ToString(), "a");
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->entry().user_key.ToString(), "b");
+  EXPECT_EQ(it->entry().seq, 3u);  // newest version first
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->entry().seq, 1u);
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(MemTableTest, PurgeDeleteKeyRange) {
+  MemTable mem;
+  for (int i = 0; i < 100; i++) {
+    mem.Add(i + 1, ValueType::kValue, "key" + std::to_string(1000 + i),
+            static_cast<uint64_t>(i), "v", 0);
+  }
+  uint64_t purged = mem.PurgeDeleteKeyRange(20, 50);
+  EXPECT_EQ(purged, 30u);
+
+  ParsedEntry entry;
+  EXPECT_FALSE(mem.Get("key1025", &entry));  // delete key 25: purged
+  EXPECT_TRUE(mem.Get("key1010", &entry));   // delete key 10: live
+  EXPECT_TRUE(mem.Get("key1050", &entry));   // delete key 50: exclusive end
+
+  // Iterator skips purged entries.
+  auto it = mem.NewIterator();
+  int live = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    live++;
+  }
+  EXPECT_EQ(live, 70);
+
+  // Idempotent: nothing more to purge.
+  EXPECT_EQ(mem.PurgeDeleteKeyRange(20, 50), 0u);
+}
+
+TEST(MemTableTest, PurgeUncoversOlderVersion) {
+  MemTable mem;
+  mem.Add(1, ValueType::kValue, "k", 10, "old", 0);
+  mem.Add(2, ValueType::kValue, "k", 99, "new", 0);
+  // Purging only delete key 99 exposes the older version (physical
+  // deletion semantics of secondary range deletes).
+  EXPECT_EQ(mem.PurgeDeleteKeyRange(99, 100), 1u);
+  ParsedEntry entry;
+  ASSERT_TRUE(mem.Get("k", &entry));
+  EXPECT_EQ(entry.value.ToString(), "old");
+}
+
+TEST(MemTableTest, RangeTombstoneSetQueries) {
+  MemTable mem;
+  RangeTombstone rt{"b", "d", 10, 5};
+  mem.AddRangeTombstone(rt);
+  EXPECT_TRUE(mem.range_tombstone_set().Covers("c", 5));
+  EXPECT_FALSE(mem.range_tombstone_set().Covers("c", 15));
+  EXPECT_EQ(mem.range_tombstones().size(), 1u);
+}
+
+TEST(MemTableTest, MemoryUsageGrows) {
+  MemTable mem;
+  size_t before = mem.ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem.Add(i + 1, ValueType::kValue, "key" + std::to_string(i), 0,
+            std::string(100, 'v'), 0);
+  }
+  EXPECT_GT(mem.ApproximateMemoryUsage(), before + 100000);
+  EXPECT_EQ(mem.num_entries(), 1000u);
+}
+
+TEST(WalTest, RecordRoundTrip) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env->NewWritableFile("wal", &wf).ok());
+  {
+    WalWriter writer(std::move(wf), false);
+    WalRecord put;
+    put.kind = WalRecord::Kind::kPut;
+    put.seq = 1;
+    put.time = 111;
+    put.key = "alpha";
+    put.delete_key = 42;
+    put.value = "beta";
+    ASSERT_TRUE(writer.AddRecord(put).ok());
+
+    WalRecord del;
+    del.kind = WalRecord::Kind::kDelete;
+    del.seq = 2;
+    del.time = 222;
+    del.key = "alpha";
+    ASSERT_TRUE(writer.AddRecord(del).ok());
+
+    WalRecord range;
+    range.kind = WalRecord::Kind::kRangeDelete;
+    range.seq = 3;
+    range.time = 333;
+    range.key = "a";
+    range.end_key = "z";
+    ASSERT_TRUE(writer.AddRecord(range).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  std::unique_ptr<SequentialFile> sf;
+  ASSERT_TRUE(env->NewSequentialFile("wal", &sf).ok());
+  WalReader reader(std::move(sf));
+  WalRecord record;
+  Status status;
+
+  ASSERT_TRUE(reader.ReadRecord(&record, &status));
+  EXPECT_EQ(record.kind, WalRecord::Kind::kPut);
+  EXPECT_EQ(record.key, "alpha");
+  EXPECT_EQ(record.value, "beta");
+  EXPECT_EQ(record.delete_key, 42u);
+  EXPECT_EQ(record.time, 111u);
+
+  ASSERT_TRUE(reader.ReadRecord(&record, &status));
+  EXPECT_EQ(record.kind, WalRecord::Kind::kDelete);
+  EXPECT_EQ(record.seq, 2u);
+
+  ASSERT_TRUE(reader.ReadRecord(&record, &status));
+  EXPECT_EQ(record.kind, WalRecord::Kind::kRangeDelete);
+  EXPECT_EQ(record.end_key, "z");
+
+  EXPECT_FALSE(reader.ReadRecord(&record, &status));
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(WalTest, DecodeRejectsBadKind) {
+  std::string buf = "\x09 garbage bytes here";
+  WalRecord record;
+  EXPECT_FALSE(DecodeWalRecord(Slice(buf), &record));
+}
+
+}  // namespace
+}  // namespace lethe

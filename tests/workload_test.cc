@@ -1,0 +1,192 @@
+// Tests for the workload substrate: key encoding, zipfian generator,
+// synthetic trace generator, and the DB trace runner.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/lethe.h"
+#include "src/workload/generator.h"
+#include "src/workload/trace.h"
+#include "src/workload/zipfian.h"
+
+namespace lethe {
+namespace {
+
+using workload::DeleteKeyMode;
+using workload::Distribution;
+using workload::EncodeKey;
+using workload::Generator;
+using workload::Op;
+using workload::OpType;
+using workload::Spec;
+
+TEST(KeyEncodingTest, RoundTripAndOrder) {
+  for (uint64_t v : {0ull, 1ull, 255ull, 65536ull, ~0ull}) {
+    EXPECT_EQ(workload::DecodeKey(EncodeKey(v)), v);
+    EXPECT_EQ(EncodeKey(v).size(), 16u);
+  }
+  EXPECT_LT(EncodeKey(5), EncodeKey(6));
+  EXPECT_LT(EncodeKey(255), EncodeKey(256));
+  EXPECT_LT(EncodeKey(1), EncodeKey(UINT64_MAX));
+}
+
+TEST(ZipfianTest, BoundsAndSkew) {
+  ZipfianGenerator gen(1000, 0.99, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; i++) {
+    uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank 0 should be dramatically hotter than rank ~500.
+  EXPECT_GT(counts[0], 1000);
+  EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(ZipfianTest, ExpandKeepsBounds) {
+  ZipfianGenerator gen(10, 0.99, 7);
+  gen.ExpandTo(100000);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(gen.Next(), 100000u);
+  }
+}
+
+TEST(ZipfianTest, DeterministicForSeed) {
+  ZipfianGenerator a(500, 0.99, 9), b(500, 0.99, 9);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(GeneratorTest, EmitsExactlyBudget) {
+  Spec spec;
+  spec.num_user_ops = 1000;
+  Generator gen(spec);
+  Op op;
+  uint64_t count = 0;
+  while (gen.Next(&op)) {
+    count++;
+  }
+  EXPECT_EQ(count, 1000u);
+  EXPECT_FALSE(gen.Next(&op));
+}
+
+TEST(GeneratorTest, MixRoughlyMatchesSpec) {
+  Spec spec;
+  spec.num_user_ops = 20000;
+  spec.update_fraction = 0.25;
+  spec.point_lookup_fraction = 0.25;
+  spec.point_delete_fraction = 0.05;
+  spec.fresh_insert_fraction = 0.45;
+  Generator gen(spec);
+  std::map<OpType, int> counts;
+  Op op;
+  while (gen.Next(&op)) {
+    counts[op.type]++;
+  }
+  EXPECT_NEAR(counts[OpType::kUpdate] / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[OpType::kPointLookup] / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[OpType::kPointDelete] / 20000.0, 0.05, 0.01);
+  EXPECT_NEAR(counts[OpType::kInsert] / 20000.0, 0.45, 0.02);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Spec spec;
+  spec.num_user_ops = 500;
+  spec.point_delete_fraction = 0.1;
+  Generator g1(spec), g2(spec);
+  Op a, b;
+  while (g1.Next(&a)) {
+    ASSERT_TRUE(g2.Next(&b));
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.delete_key, b.delete_key);
+  }
+}
+
+TEST(GeneratorTest, TimestampDeleteKeysAreMonotone) {
+  Spec spec;
+  spec.num_user_ops = 2000;
+  spec.delete_key_mode = DeleteKeyMode::kTimestamp;
+  Generator gen(spec);
+  Op op;
+  uint64_t last = 0;
+  while (gen.Next(&op)) {
+    if (op.type == OpType::kInsert || op.type == OpType::kUpdate) {
+      EXPECT_GT(op.delete_key, last);
+      last = op.delete_key;
+    }
+  }
+}
+
+TEST(GeneratorTest, CorrelatedDeleteKeysEqualSortKey) {
+  Spec spec;
+  spec.num_user_ops = 1000;
+  spec.delete_key_mode = DeleteKeyMode::kEqualsSortKey;
+  Generator gen(spec);
+  Op op;
+  while (gen.Next(&op)) {
+    if (op.type == OpType::kInsert || op.type == OpType::kUpdate) {
+      EXPECT_EQ(op.delete_key, workload::DecodeKey(op.key));
+    }
+  }
+}
+
+TEST(GeneratorTest, DeletesTargetInsertedKeys) {
+  Spec spec;
+  spec.num_user_ops = 5000;
+  spec.point_delete_fraction = 0.2;
+  spec.fresh_insert_fraction = 0.6;
+  spec.update_fraction = 0.0;
+  spec.point_lookup_fraction = 0.2;
+  Generator gen(spec);
+  std::set<std::string> inserted;
+  Op op;
+  while (gen.Next(&op)) {
+    if (op.type == OpType::kInsert) {
+      inserted.insert(op.key);
+    } else if (op.type == OpType::kPointDelete) {
+      EXPECT_TRUE(inserted.count(op.key)) << "delete on never-inserted key";
+    }
+  }
+}
+
+TEST(RunnerTest, DrivesDbAndAdvancesClock) {
+  auto env = NewMemEnv();
+  LogicalClock clock(1);
+  Options options;
+  options.env = env.get();
+  options.clock = &clock;
+  options.write_buffer_bytes = 8 << 10;
+  options.target_file_bytes = 8 << 10;
+  options.table.page_size_bytes = 1024;
+  options.table.entries_per_page = 6;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "runnerdb", &db).ok());
+
+  Spec spec;
+  spec.num_user_ops = 3000;
+  spec.update_fraction = 0.25;
+  spec.point_lookup_fraction = 0.25;
+  spec.point_delete_fraction = 0.05;
+  spec.fresh_insert_fraction = 0.45;
+  spec.value_size = 64;
+  Generator gen(spec);
+
+  workload::RunnerOptions runner_options;
+  runner_options.clock = &clock;
+  runner_options.micros_per_op = 100;
+  workload::Runner runner(db.get(), runner_options);
+  workload::RunnerStats stats;
+  ASSERT_TRUE(runner.Run(&gen, &stats).ok());
+
+  EXPECT_EQ(stats.ops, 3000u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_GT(stats.lookups_found + stats.lookups_missed, 0u);
+  EXPECT_GE(clock.NowMicros(), 3000u * 100u);
+  EXPECT_GT(db->stats().user_puts.load(), 0u);
+}
+
+}  // namespace
+}  // namespace lethe
