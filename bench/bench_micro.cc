@@ -80,7 +80,8 @@ void BM_MemTableAdd(benchmark::State& state) {
     if (seq % 100000 == 0) {
       mem = std::make_unique<MemTable>();  // bound arena growth
     }
-    mem->Add(++seq, ValueType::kValue, EncodeKey(seq * 977), seq, value, seq);
+    seq++;
+    mem->Add(seq, ValueType::kValue, EncodeKey(seq * 977), seq, value, seq);
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -35,10 +35,13 @@ struct TestBed {
 /// 256 KB, T = 10, 10 bloom bits/key. `dth_micros` = 0 reproduces the
 /// RocksDB baseline (saturation trigger + min-overlap picking, h = 1);
 /// nonzero enables FADE with delete-driven (SD/DD) policies, and
-/// `pages_per_tile` > 1 enables KiWi.
+/// `pages_per_tile` > 1 enables KiWi. `page_cache_bytes` = 0 (the default
+/// for every I/O-counting bench) keeps Env page counts faithful to the
+/// paper's cost model; wall-clock benches opt into the decoded-page cache.
 inline std::unique_ptr<TestBed> MakeBed(uint64_t dth_micros,
                                         uint32_t pages_per_tile = 1,
-                                        uint32_t size_ratio = 10) {
+                                        uint32_t size_ratio = 10,
+                                        uint64_t page_cache_bytes = 0) {
   auto bed = std::make_unique<TestBed>();
   bed->base_env = NewMemEnv();
   bed->env = std::make_unique<IoCountingEnv>(bed->base_env.get(), 4096);
@@ -53,6 +56,7 @@ inline std::unique_ptr<TestBed> MakeBed(uint64_t dth_micros,
   bed->options.table.entries_per_page = 16;
   bed->options.table.pages_per_tile = pages_per_tile;
   bed->options.table.bloom_bits_per_key = 10;
+  bed->options.page_cache_bytes = page_cache_bytes;
   bed->options.enable_wal = false;  // paper setup: WAL disabled
   bed->options.delete_persistence_threshold_micros = dth_micros;
   if (dth_micros > 0) {

@@ -37,6 +37,9 @@ Status Options::Validate() const {
   if (max_levels < 2) {
     return Status::InvalidArgument("max_levels must be >= 2");
   }
+  if (page_cache_shard_bits < 0 || page_cache_shard_bits > 8) {
+    return Status::InvalidArgument("page_cache_shard_bits must be in [0, 8]");
+  }
   return Status::OK();
 }
 

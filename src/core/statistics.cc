@@ -38,6 +38,10 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(bloom_negatives, other.bloom_negatives);
   Copy(bloom_false_positives, other.bloom_false_positives);
   Copy(hash_computations, other.hash_computations);
+  Copy(page_cache_hits, other.page_cache_hits);
+  Copy(page_cache_misses, other.page_cache_misses);
+  Copy(page_cache_evictions, other.page_cache_evictions);
+  Copy(page_cache_charge_bytes, other.page_cache_charge_bytes);
   Copy(secondary_range_deletes, other.secondary_range_deletes);
   Copy(full_page_drops, other.full_page_drops);
   Copy(partial_page_drops, other.partial_page_drops);
@@ -57,6 +61,8 @@ std::string Statistics::ToString() const {
       << " tombstones_dropped=" << tombstones_dropped.load()
       << " point_lookups=" << point_lookups.load()
       << " lookup_pages=" << point_lookup_pages_read.load()
+      << " page_cache_hits=" << page_cache_hits.load()
+      << " page_cache_misses=" << page_cache_misses.load()
       << " bloom_probes=" << bloom_probes.load()
       << " bloom_fp=" << bloom_false_positives.load()
       << " full_page_drops=" << full_page_drops.load()

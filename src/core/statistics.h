@@ -14,7 +14,8 @@ namespace lethe {
 ///   - hash computations (Fig 6K's CPU cost)
 ///   - full vs partial page drops for secondary range deletes (Fig 6H, 6L)
 ///   - tombstone flow for delete-persistence accounting (Fig 6E)
-/// All counters are monotonically increasing and thread-safe.
+/// All counters are thread-safe and monotonically increasing, except the
+/// explicitly marked gauges (current value, may go down).
 struct Statistics {
   // Write path.
   std::atomic<uint64_t> user_puts{0};
@@ -49,6 +50,13 @@ struct Statistics {
   std::atomic<uint64_t> bloom_negatives{0};
   std::atomic<uint64_t> bloom_false_positives{0};
   std::atomic<uint64_t> hash_computations{0};
+
+  // Page cache (decoded-page LRU shared across the read path). Zero unless
+  // Options::page_cache_bytes is set.
+  std::atomic<uint64_t> page_cache_hits{0};
+  std::atomic<uint64_t> page_cache_misses{0};
+  std::atomic<uint64_t> page_cache_evictions{0};
+  std::atomic<uint64_t> page_cache_charge_bytes{0};  // gauge: resident bytes
 
   // Secondary range deletes (KiWi).
   std::atomic<uint64_t> secondary_range_deletes{0};

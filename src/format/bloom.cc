@@ -68,7 +68,11 @@ std::string BloomFilterBuilder::Finish() {
   return result;
 }
 
-bool BloomFilter::KeyMayMatch(const Slice& key) const {
+uint64_t BloomFilter::HashKey(const Slice& key) {
+  return MurmurHash64(key.data(), key.size(), kBloomSeed);
+}
+
+bool BloomFilter::DigestMayMatch(uint64_t digest) const {
   if (data_.size() < 2) {
     return false;  // empty filter: page has no entries
   }
@@ -78,9 +82,8 @@ bool BloomFilter::KeyMayMatch(const Slice& key) const {
   if (k == 0 || k > 30) {
     return true;  // treat unparseable filters as match-all for safety
   }
-  uint64_t h = MurmurHash64(key.data(), key.size(), kBloomSeed);
   bool may_match = true;
-  DoubleHash(h, k, bits, /*set_bits=*/false,
+  DoubleHash(digest, k, bits, /*set_bits=*/false,
              const_cast<char*>(data_.data()), &may_match);
   return may_match;
 }

@@ -42,7 +42,17 @@ class BloomFilter {
 
   /// Returns false only if the key is definitely absent. Each call costs
   /// exactly one MurmurHash digest.
-  bool KeyMayMatch(const Slice& key) const;
+  bool KeyMayMatch(const Slice& key) const {
+    return DigestMayMatch(HashKey(key));
+  }
+
+  /// The single 64-bit digest all probe positions derive from. Callers that
+  /// probe several per-page filters for the same key (a delete tile holds h
+  /// pages) hash once and reuse the digest across DigestMayMatch calls.
+  static uint64_t HashKey(const Slice& key);
+
+  /// KeyMayMatch for a precomputed digest; performs no hashing.
+  bool DigestMayMatch(uint64_t digest) const;
 
   /// Number of probe positions (k) used by this filter.
   static uint32_t NumProbes(uint32_t bits_per_key);

@@ -58,6 +58,14 @@ struct FileMeta {
   uint32_t dropped_page_count = 0;
   std::vector<uint8_t> dropped_pages;  // bitmap; empty means "none dropped"
 
+  /// Page-cache generation, bumped each time a secondary range delete
+  /// rewrites or drops any of this file's pages. The generation is part of
+  /// the decoded-page cache key, so readers holding the *new* version can
+  /// never hit a decode of the pre-rewrite bytes, however reads and the
+  /// in-place rewrite interleave. Process-local (not persisted): a reopen
+  /// starts with an empty cache, so generation 0 is always consistent.
+  uint32_t page_generation = 0;
+
   /// Live entry / point-tombstone counts per page, populated lazily (from
   /// the file's index block) the first time a secondary range delete touches
   /// the file, so that subsequent full page drops adjust `num_entries` and

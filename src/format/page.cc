@@ -63,6 +63,7 @@ Status DecodePage(Slice raw, uint64_t page_size_bytes, bool verify_checksum,
   }
 
   out->data = std::make_unique<char[]>(raw.size());
+  out->raw_size = raw.size();
   memcpy(out->data.get(), raw.data(), raw.size());
   Slice body(out->data.get(), raw.size() - kPageTrailerSize);
 

@@ -36,9 +36,12 @@ class PageBuilder {
   std::string buffer_;  // entry bytes only (header/crc added in Finish)
 };
 
-/// A decoded page: owns the raw page bytes; `entries` alias them.
+/// A decoded page: owns the raw page bytes; `entries` alias them. Decoded
+/// pages are shared immutably across the read path (see
+/// src/format/page_cache.h), so nothing may mutate one after DecodePage.
 struct PageContents {
   std::unique_ptr<char[]> data;
+  size_t raw_size = 0;  // bytes held by `data`
   std::vector<ParsedEntry> entries;
 };
 

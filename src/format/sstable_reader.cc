@@ -12,9 +12,10 @@ namespace lethe {
 Status SSTableReader::Open(const TableOptions& options,
                            std::unique_ptr<RandomAccessFile> file,
                            uint64_t file_size,
-                           std::unique_ptr<SSTableReader>* reader) {
+                           std::unique_ptr<SSTableReader>* reader,
+                           uint64_t file_number, PageCache* page_cache) {
   std::unique_ptr<SSTableReader> table(
-      new SSTableReader(options, std::move(file)));
+      new SSTableReader(options, std::move(file), file_number, page_cache));
   LETHE_RETURN_IF_ERROR(table->Init(file_size));
   *reader = std::move(table);
   return Status::OK();
@@ -140,6 +141,34 @@ Status SSTableReader::Init(uint64_t file_size) {
   return Status::OK();
 }
 
+namespace {
+
+/// One MurmurHash digest shared across every per-page filter probed for a
+/// key (a delete tile holds up to h candidate pages). Computed lazily on
+/// first use; charges hash_computations exactly once.
+class LazyDigest {
+ public:
+  explicit LazyDigest(const Slice& key) : key_(key) {}
+
+  uint64_t get(Statistics* stats) {
+    if (!have_) {
+      digest_ = BloomFilter::HashKey(key_);
+      have_ = true;
+      if (stats != nullptr) {
+        stats->hash_computations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return digest_;
+  }
+
+ private:
+  Slice key_;
+  uint64_t digest_ = 0;
+  bool have_ = false;
+};
+
+}  // namespace
+
 int SSTableReader::FindTile(const Slice& user_key) const {
   // Tiles partition the sort-key space; binary search the first tile whose
   // max fence is >= key, then confirm its min fence.
@@ -162,14 +191,37 @@ int SSTableReader::FindTile(const Slice& user_key) const {
   return result;
 }
 
-Status SSTableReader::ReadPage(uint32_t page_index,
-                               PageContents* contents) const {
+Status SSTableReader::ReadPage(uint32_t page_index, PageHandle* contents,
+                               uint32_t generation, bool* from_cache,
+                               bool fill_cache) const {
+  if (from_cache != nullptr) {
+    *from_cache = false;
+  }
+  if (page_cache_ != nullptr &&
+      page_cache_->Lookup(file_number_, page_index, contents, generation)) {
+    if (from_cache != nullptr) {
+      *from_cache = true;
+    }
+    return Status::OK();
+  }
   const uint64_t page_size = options_.page_size_bytes;
-  std::unique_ptr<char[]> scratch(new char[page_size]);
+  // Readers are shared across threads; the miss-path scratch buffer is
+  // thread-local so repeated reads never hit the allocator.
+  static thread_local std::vector<char> scratch;
+  if (scratch.size() < page_size) {
+    scratch.resize(page_size);
+  }
   Slice raw;
   LETHE_RETURN_IF_ERROR(
-      file_->Read(PageOffset(page_index), page_size, &raw, scratch.get()));
-  return DecodePage(raw, page_size, options_.verify_checksums, contents);
+      file_->Read(PageOffset(page_index), page_size, &raw, scratch.data()));
+  auto decoded = std::make_shared<PageContents>();
+  LETHE_RETURN_IF_ERROR(
+      DecodePage(raw, page_size, options_.verify_checksums, decoded.get()));
+  *contents = std::move(decoded);
+  if (page_cache_ != nullptr && fill_cache) {
+    page_cache_->Insert(file_number_, page_index, *contents, generation);
+  }
+  return Status::OK();
 }
 
 Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
@@ -181,6 +233,7 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
     return Status::OK();
   }
   const TileInfo& tile = tiles_[tile_index];
+  LazyDigest digest(user_key);
   for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
        p++) {
     if (meta != nullptr && meta->IsPageDropped(p)) {
@@ -193,22 +246,24 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
     }
     if (stats != nullptr) {
       stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
-      stats->hash_computations.fetch_add(1, std::memory_order_relaxed);
     }
     BloomFilter filter(page.bloom);
-    if (!filter.KeyMayMatch(user_key)) {
+    if (!filter.DigestMayMatch(digest.get(stats))) {
       if (stats != nullptr) {
         stats->bloom_negatives.fetch_add(1, std::memory_order_relaxed);
       }
       continue;
     }
-    PageContents contents;
-    LETHE_RETURN_IF_ERROR(ReadPage(p, &contents));
-    if (stats != nullptr) {
+    PageHandle contents;
+    bool from_cache = false;
+    LETHE_RETURN_IF_ERROR(
+        ReadPage(p, &contents, meta != nullptr ? meta->page_generation : 0,
+                 &from_cache));
+    if (stats != nullptr && !from_cache) {
       stats->point_lookup_pages_read.fetch_add(1, std::memory_order_relaxed);
     }
     // Binary search within the page; entries are sorted by sort key.
-    const auto& entries = contents.entries;
+    const auto& entries = contents->entries;
     auto it = std::lower_bound(
         entries.begin(), entries.end(), user_key,
         [](const ParsedEntry& e, const Slice& k) {
@@ -219,7 +274,8 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
       result->type = it->type;
       result->seq = it->seq;
       result->delete_key = it->delete_key;
-      result->value = it->value.ToString();
+      result->value = it->value;
+      result->page = std::move(contents);  // pins result->value
       return Status::OK();
     }
     if (stats != nullptr) {
@@ -236,6 +292,7 @@ bool SSTableReader::KeyMayExist(const Slice& user_key, const FileMeta* meta,
     return false;
   }
   const TileInfo& tile = tiles_[tile_index];
+  LazyDigest digest(user_key);
   for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
        p++) {
     if (meta != nullptr && meta->IsPageDropped(p)) {
@@ -248,10 +305,9 @@ bool SSTableReader::KeyMayExist(const Slice& user_key, const FileMeta* meta,
     }
     if (stats != nullptr) {
       stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
-      stats->hash_computations.fetch_add(1, std::memory_order_relaxed);
     }
     BloomFilter filter(page.bloom);
-    if (filter.KeyMayMatch(user_key)) {
+    if (filter.DigestMayMatch(digest.get(stats))) {
       return true;
     }
     if (stats != nullptr) {
@@ -344,14 +400,14 @@ class SSTableIterator final : public InternalIterator {
   }
 
   const ParsedEntry& entry() const override {
-    return current_->contents.entries[current_->pos];
+    return current_->contents->entries[current_->pos];
   }
 
   Status status() const override { return status_; }
 
  private:
   struct PageCursor {
-    PageContents contents;
+    PageHandle contents;  // shared with the page cache when enabled
     size_t pos = 0;
   };
 
@@ -398,12 +454,12 @@ class SSTableIterator final : public InternalIterator {
     while (status_.ok()) {
       PageCursor* best = nullptr;
       for (auto& cursor : loaded_) {
-        if (cursor->pos >= cursor->contents.entries.size()) {
+        if (cursor->pos >= cursor->contents->entries.size()) {
           continue;
         }
         if (best == nullptr ||
-            CompareInternal(cursor->contents.entries[cursor->pos],
-                            best->contents.entries[best->pos]) < 0) {
+            CompareInternal(cursor->contents->entries[cursor->pos],
+                            best->contents->entries[best->pos]) < 0) {
           best = cursor.get();
         }
       }
@@ -411,7 +467,7 @@ class SSTableIterator final : public InternalIterator {
           !pending_.empty() &&
           (best == nullptr ||
            table_->pages()[pending_.front()].min_sort_key.compare(
-               best->contents.entries[best->pos].user_key) <= 0);
+               best->contents->entries[best->pos].user_key) <= 0);
       if (!must_load) {
         current_ = best;
         return;
@@ -419,7 +475,9 @@ class SSTableIterator final : public InternalIterator {
       uint32_t page = pending_.front();
       pending_.erase(pending_.begin());
       auto cursor = std::make_unique<PageCursor>();
-      Status s = table_->ReadPage(page, &cursor->contents);
+      Status s = table_->ReadPage(
+          page, &cursor->contents,
+          meta_ != nullptr ? meta_->page_generation : 0);
       if (!s.ok()) {
         status_ = s;
         return;

@@ -13,6 +13,7 @@
 #include "src/format/file_meta.h"
 #include "src/format/iterator.h"
 #include "src/format/page.h"
+#include "src/format/page_cache.h"
 #include "src/format/range_tombstone.h"
 #include "src/format/table_options.h"
 #include "src/util/status.h"
@@ -42,12 +43,15 @@ struct TileInfo {
   Slice max_sort_key;
 };
 
-/// Result of a point lookup inside one table.
+/// Result of a point lookup inside one table. `value` aliases the decoded
+/// page pinned by `page`, so returning a result costs no copy; callers
+/// materialize the bytes only at the API boundary.
 struct TableGetResult {
   ValueType type = ValueType::kValue;
   SequenceNumber seq = 0;
   uint64_t delete_key = 0;
-  std::string value;
+  Slice value;
+  PageHandle page;  // keeps `value` alive
 };
 
 /// Which pages a secondary range delete touches in this file: full drops are
@@ -64,10 +68,15 @@ struct SecondaryDeletePlan {
 /// passed into each call so that one cached reader serves all versions.
 class SSTableReader {
  public:
+  /// `file_number` + `page_cache` (both optional) connect the reader to the
+  /// engine-wide decoded-page cache; a nullptr cache means every ReadPage
+  /// performs a real Env read.
   static Status Open(const TableOptions& options,
                      std::unique_ptr<RandomAccessFile> file,
                      uint64_t file_size,
-                     std::unique_ptr<SSTableReader>* reader);
+                     std::unique_ptr<SSTableReader>* reader,
+                     uint64_t file_number = 0,
+                     PageCache* page_cache = nullptr);
 
   SSTableReader(const SSTableReader&) = delete;
   SSTableReader& operator=(const SSTableReader&) = delete;
@@ -98,8 +107,18 @@ class SSTableReader {
   bool KeyMayExist(const Slice& user_key, const FileMeta* meta,
                    Statistics* stats) const;
 
-  /// Reads and decodes one page (one page-sized I/O).
-  Status ReadPage(uint32_t page_index, PageContents* contents) const;
+  /// Produces the decoded page, from the page cache when possible (a hit
+  /// costs no I/O, decode, or allocation), else via one page-sized Env read
+  /// into a reusable thread-local scratch buffer. `generation` is the
+  /// caller's FileMeta::page_generation (0 when no meta is in play); it
+  /// fences cached decodes across in-place page rewrites. `*from_cache`
+  /// (optional) reports whether the page was served without I/O, so the
+  /// *_pages_read statistics keep counting real page I/Os only.
+  /// `fill_cache` = false still serves hits but never inserts — for reads
+  /// whose result is about to be invalidated (secondary-delete rewrites).
+  Status ReadPage(uint32_t page_index, PageHandle* contents,
+                  uint32_t generation = 0, bool* from_cache = nullptr,
+                  bool fill_cache = true) const;
 
   /// Computes which pages a secondary range delete over delete keys
   /// [lo, hi) fully covers vs. partially overlaps. Metadata-only; performs
@@ -121,8 +140,12 @@ class SSTableReader {
 
  private:
   SSTableReader(const TableOptions& options,
-                std::unique_ptr<RandomAccessFile> file)
-      : options_(options), file_(std::move(file)) {}
+                std::unique_ptr<RandomAccessFile> file, uint64_t file_number,
+                PageCache* page_cache)
+      : options_(options),
+        file_(std::move(file)),
+        file_number_(file_number),
+        page_cache_(page_cache) {}
 
   Status Init(uint64_t file_size);
 
@@ -132,6 +155,8 @@ class SSTableReader {
 
   TableOptions options_;
   std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_number_;
+  PageCache* page_cache_;  // may be nullptr (cache disabled)
 
   std::string index_buffer_;  // backing store for PageInfo/TileInfo slices
   std::vector<PageInfo> pages_;

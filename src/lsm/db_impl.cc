@@ -198,7 +198,12 @@ DBImpl::~DBImpl() {
 }
 
 Status DBImpl::Init() {
-  versions_ = std::make_unique<VersionSet>(options_, dbname_);
+  if (options_.page_cache_bytes > 0) {
+    page_cache_ = std::make_unique<PageCache>(
+        options_.page_cache_bytes, options_.page_cache_shard_bits, &stats_);
+  }
+  versions_ =
+      std::make_unique<VersionSet>(options_, dbname_, page_cache_.get());
   picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
   LETHE_RETURN_IF_ERROR(versions_->Recover());
   mem_ = std::make_shared<MemTable>();
@@ -427,27 +432,11 @@ Status DBImpl::FlushMemTableLocked() {
   config.is_flush = true;
   config.output_level = 0;
 
-  // Sort-key span of the buffered data (entries + range tombstones).
+  // Sort-key span of the buffered data (entries + range tombstones). The
+  // skiplist is key-ordered, so this is one cheap walk — no second decoding
+  // pass over the buffer and no per-entry string churn.
   std::string smallest, largest;
-  bool has_span = false;
-  {
-    auto it = mem_->NewIterator();
-    for (it->SeekToFirst(); it->Valid(); it->Next()) {
-      const ParsedEntry& entry = it->entry();
-      if (!has_span) {
-        smallest = entry.user_key.ToString();
-        largest = entry.user_key.ToString();
-        has_span = true;
-      } else {
-        if (entry.user_key.compare(Slice(smallest)) < 0) {
-          smallest = entry.user_key.ToString();
-        }
-        if (entry.user_key.compare(Slice(largest)) > 0) {
-          largest = entry.user_key.ToString();
-        }
-      }
-    }
-  }
+  bool has_span = mem_->KeySpan(&smallest, &largest);
   for (const RangeTombstone& rt : rts) {
     if (!has_span || Slice(rt.begin_key).compare(Slice(smallest)) < 0) {
       smallest = rt.begin_key;
@@ -766,7 +755,9 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions&, const Slice& key,
               result.type == ValueType::kTombstone) {
             return Status::NotFound(key);
           }
-          *value = std::move(result.value);
+          // The result's value aliases the (possibly cached) decoded page;
+          // this assign is the only copy on the whole lookup path.
+          value->assign(result.value.data(), result.value.size());
           *delete_key = result.delete_key;
           return Status::OK();
         }
@@ -863,10 +854,16 @@ Status DBImpl::SecondaryRangeLookup(const ReadOptions& options,
           page.max_delete_key < delete_key_begin) {
         continue;  // delete fences prune the read
       }
-      PageContents contents;
-      LETHE_RETURN_IF_ERROR(table->ReadPage(p, &contents));
-      stats_.range_lookup_pages_read.fetch_add(1, std::memory_order_relaxed);
-      for (const ParsedEntry& entry : contents.entries) {
+      PageHandle contents;
+      bool from_cache = false;
+      LETHE_RETURN_IF_ERROR(table->ReadPage(p, &contents,
+                                            file->page_generation,
+                                            &from_cache));
+      if (!from_cache) {
+        stats_.range_lookup_pages_read.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
+      for (const ParsedEntry& entry : contents->entries) {
         if (!entry.IsTombstone() && entry.delete_key >= delete_key_begin &&
             entry.delete_key < delete_key_end) {
           candidates.insert(entry.user_key.ToString());

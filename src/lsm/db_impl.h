@@ -9,6 +9,7 @@
 #include "src/core/db.h"
 #include "src/core/options.h"
 #include "src/core/statistics.h"
+#include "src/format/page_cache.h"
 #include "src/lsm/compaction.h"
 #include "src/lsm/compaction_picker.h"
 #include "src/lsm/version_set.h"
@@ -72,6 +73,8 @@ class DBImpl final : public DB {
   std::string dbname_;
   Statistics stats_;
 
+  // Must outlive versions_ (the table cache hands it to every open reader).
+  std::unique_ptr<PageCache> page_cache_;
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<CompactionPicker> picker_;
 

@@ -43,6 +43,18 @@ Status ExecuteSecondaryRangeDelete(const Options& resolved_options,
 
     FileMeta updated = *file;
     EnsurePageCounts(&updated, *table);
+    PageCache* page_cache = versions->table_cache()->page_cache();
+    // Only partial pages rewrite bytes in place; full drops are fenced by
+    // IsPageDropped and never invalidate a decode. When a rewrite happens,
+    // readers of the new version look pages up under the bumped generation,
+    // so no interleaving with concurrent lock-free reads can leave a stale
+    // decode reachable. Old-generation entries are reclaimed below once the
+    // new bytes are on disk.
+    const uint32_t old_generation = updated.page_generation;
+    const bool rewrites_pages = !plan.partial_pages.empty();
+    if (rewrites_pages) {
+      updated.page_generation++;
+    }
 
     // Full page drops: flip the liveness bit, adjust counters, never touch
     // the page bytes.
@@ -61,14 +73,18 @@ Status ExecuteSecondaryRangeDelete(const Options& resolved_options,
     // Partial page drops: read, filter, rewrite in place.
     std::unique_ptr<RandomWriteFile> writer;
     for (uint32_t p : plan.partial_pages) {
-      PageContents contents;
-      LETHE_RETURN_IF_ERROR(table->ReadPage(p, &contents));
+      PageHandle contents;
+      // fill_cache=false: this decode dies with the rewrite below; caching
+      // it would be insert-then-erase churn.
+      LETHE_RETURN_IF_ERROR(table->ReadPage(p, &contents, old_generation,
+                                            /*from_cache=*/nullptr,
+                                            /*fill_cache=*/false));
       stats->pages_scanned_for_srd.fetch_add(1, std::memory_order_relaxed);
 
       PageBuilder rebuilt(resolved_options.table.page_size_bytes,
                           resolved_options.table.entries_per_page);
       uint64_t removed = 0, removed_tombstones = 0;
-      for (const ParsedEntry& entry : contents.entries) {
+      for (const ParsedEntry& entry : contents->entries) {
         if (entry.delete_key >= lo && entry.delete_key < hi) {
           removed++;
           if (entry.IsTombstone()) {
@@ -108,6 +124,21 @@ Status ExecuteSecondaryRangeDelete(const Options& resolved_options,
     if (writer != nullptr) {
       LETHE_RETURN_IF_ERROR(writer->Sync());
       LETHE_RETURN_IF_ERROR(writer->Close());
+    }
+
+    // Memory reclaim only (correctness comes from the generation fence): a
+    // bump orphaned every old-generation decode of this file, so sweep them
+    // all; without a bump just the fully dropped pages are dead weight.
+    if (page_cache != nullptr) {
+      if (rewrites_pages) {
+        for (uint32_t p = 0; p < updated.num_pages; p++) {
+          page_cache->EvictPage(updated.file_number, p, old_generation);
+        }
+      } else {
+        for (uint32_t p : plan.full_drop_pages) {
+          page_cache->EvictPage(updated.file_number, p, old_generation);
+        }
+      }
     }
 
     edit->removed_files.push_back({level, updated.file_number});

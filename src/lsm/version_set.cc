@@ -51,7 +51,8 @@ Status TableCache::GetTable(const FileMeta& meta,
       TableFileName(dbname_, meta.file_number), &file));
   std::unique_ptr<SSTableReader> reader;
   LETHE_RETURN_IF_ERROR(SSTableReader::Open(table_options_, std::move(file),
-                                            meta.file_size, &reader));
+                                            meta.file_size, &reader,
+                                            meta.file_number, page_cache_));
   std::shared_ptr<SSTableReader> shared(std::move(reader));
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -62,14 +63,21 @@ Status TableCache::GetTable(const FileMeta& meta,
 }
 
 void TableCache::Evict(uint64_t file_number) {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.erase(file_number);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.erase(file_number);
+  }
+  if (page_cache_ != nullptr) {
+    page_cache_->EvictFile(file_number);
+  }
 }
 
-VersionSet::VersionSet(const Options& resolved_options, std::string dbname)
+VersionSet::VersionSet(const Options& resolved_options, std::string dbname,
+                       PageCache* page_cache)
     : options_(resolved_options),
       dbname_(std::move(dbname)),
-      table_cache_(resolved_options.env, resolved_options.table, dbname_) {}
+      table_cache_(resolved_options.env, resolved_options.table, dbname_,
+                   page_cache) {}
 
 Status VersionSet::Recover() {
   Env* env = options_.env;

@@ -25,19 +25,28 @@ std::string ManifestFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 
 /// Cache of open SSTable readers keyed by file number. Readers are immutable
-/// and shared; eviction happens when the file is deleted.
+/// and shared; eviction happens when the file is deleted, which also drops
+/// the file's decoded pages from the page cache (when one is attached).
 class TableCache {
  public:
-  TableCache(Env* env, const TableOptions& table_options, std::string dbname)
-      : env_(env), table_options_(table_options), dbname_(std::move(dbname)) {}
+  TableCache(Env* env, const TableOptions& table_options, std::string dbname,
+             PageCache* page_cache)
+      : env_(env),
+        table_options_(table_options),
+        dbname_(std::move(dbname)),
+        page_cache_(page_cache) {}
 
   Status GetTable(const FileMeta& meta, std::shared_ptr<SSTableReader>* table);
   void Evict(uint64_t file_number);
+
+  /// The engine-wide decoded-page cache; nullptr when disabled.
+  PageCache* page_cache() { return page_cache_; }
 
  private:
   Env* env_;
   TableOptions table_options_;
   std::string dbname_;
+  PageCache* page_cache_;
   std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<SSTableReader>> cache_;
 };
@@ -52,7 +61,9 @@ class TableCache {
 /// calls; current() hands out immutable snapshots and is thread-safe.
 class VersionSet {
  public:
-  VersionSet(const Options& resolved_options, std::string dbname);
+  /// `page_cache` may be nullptr (decoded-page caching disabled).
+  VersionSet(const Options& resolved_options, std::string dbname,
+             PageCache* page_cache = nullptr);
 
   VersionSet(const VersionSet&) = delete;
   VersionSet& operator=(const VersionSet&) = delete;

@@ -121,6 +121,34 @@ uint64_t MemTable::PurgeDeleteKeyRange(uint64_t lo, uint64_t hi) {
   return purged;
 }
 
+bool MemTable::KeySpan(std::string* smallest, std::string* largest) const {
+  SkipList<KeyComparator>::Iterator it(&table_);
+  const char* first = nullptr;
+  const char* last = nullptr;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    if (!IsLive(it.key())) {
+      continue;
+    }
+    if (first == nullptr) {
+      first = it.key();
+    }
+    last = it.key();
+  }
+  if (first == nullptr) {
+    return false;
+  }
+  ParsedEntry entry;
+  if (!DecodeRecord(first, &entry, SIZE_MAX / 2)) {
+    return false;
+  }
+  smallest->assign(entry.user_key.data(), entry.user_key.size());
+  if (!DecodeRecord(last, &entry, SIZE_MAX / 2)) {
+    return false;
+  }
+  largest->assign(entry.user_key.data(), entry.user_key.size());
+  return true;
+}
+
 // Named (not anonymous-namespace) so the friend declaration in MemTable
 // grants it access to the private KeyComparator type.
 class MemTableIterator final : public InternalIterator {

@@ -62,6 +62,13 @@ class MemTable {
   /// no delete key).
   uint64_t PurgeDeleteKeyRange(uint64_t lo, uint64_t hi);
 
+  /// Sort-key span of the live buffered entries (range tombstones not
+  /// included). One skiplist walk with no per-entry decoding or allocation:
+  /// the list is key-ordered, so the span is its first and last live
+  /// records. Returns false, leaving the outputs untouched, when no live
+  /// entry exists.
+  bool KeySpan(std::string* smallest, std::string* largest) const;
+
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
   uint64_t num_entries() const { return num_entries_; }
   uint64_t num_point_tombstones() const { return num_point_tombstones_; }

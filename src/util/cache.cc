@@ -1,0 +1,336 @@
+#include "src/util/cache.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace lethe {
+
+namespace {
+
+/// An entry is a variable-length heap allocation: the struct followed by the
+/// key bytes. Entries sit in one of the shard's two circular lists (see
+/// LRUShard) while resident and are destroyed when the last reference —
+/// the cache's own or a client handle's — goes away.
+struct LRUHandle {
+  void* value;
+  Cache::Deleter deleter;
+  LRUHandle* next;
+  LRUHandle* prev;
+  size_t charge;
+  size_t key_length;
+  bool in_cache;   // whether the shard's table still points at this entry
+  uint32_t refs;   // client handles, plus one for the cache while in_cache
+  char key_data[1];
+
+  Slice key() const { return Slice(key_data, key_length); }
+};
+
+struct SliceHasher {
+  size_t operator()(const Slice& s) const {
+    return Hash32(s.data(), s.size(), 0xa5c395u);
+  }
+};
+
+struct SliceEqual {
+  bool operator()(const Slice& a, const Slice& b) const { return a == b; }
+};
+
+/// One independently locked LRU cache. Invariant (LevelDB's): a resident
+/// entry is on exactly one of two lists — `lru_` (refs == 1: only the cache
+/// references it, evictable, oldest first) or `in_use_` (refs >= 2: pinned
+/// by at least one client handle).
+class LRUShard {
+ public:
+  LRUShard() {
+    lru_.next = &lru_;
+    lru_.prev = &lru_;
+    in_use_.next = &in_use_;
+    in_use_.prev = &in_use_;
+  }
+
+  ~LRUShard() {
+    assert(in_use_.next == &in_use_);  // no outstanding handles
+    for (LRUHandle* e = lru_.next; e != &lru_;) {
+      LRUHandle* next = e->next;
+      assert(e->in_cache && e->refs == 1);
+      e->in_cache = false;
+      if (Unref(e)) {
+        Free(e);
+      }
+      e = next;
+    }
+  }
+
+  void SetCapacity(size_t capacity) { capacity_ = capacity; }
+
+  Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
+                        Cache::Deleter deleter) {
+    LRUHandle* e = static_cast<LRUHandle*>(
+        malloc(sizeof(LRUHandle) - 1 + key.size()));
+    e->value = value;
+    e->deleter = deleter;
+    e->charge = charge;
+    e->key_length = key.size();
+    e->in_cache = false;
+    e->refs = 1;  // the returned handle
+    memcpy(e->key_data, key.data(), key.size());
+
+    std::vector<LRUHandle*> dead;  // deleters run after the lock is dropped
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (capacity_ > 0) {
+        e->refs++;
+        e->in_cache = true;
+        Append(&in_use_, e);
+        usage_.fetch_add(charge, std::memory_order_relaxed);
+        auto it = table_.find(key);
+        LRUHandle* old = nullptr;
+        if (it != table_.end()) {
+          old = it->second;
+          table_.erase(it);
+        }
+        table_.emplace(e->key(), e);
+        if (old != nullptr) {
+          Detach(old, &dead);
+        }
+      }  // capacity 0: pass-through — the entry lives only as the handle
+
+      while (usage_.load(std::memory_order_relaxed) > capacity_ &&
+             lru_.next != &lru_) {
+        LRUHandle* oldest = lru_.next;
+        assert(oldest->refs == 1);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        table_.erase(oldest->key());
+        Detach(oldest, &dead);
+      }
+    }
+    FreeAll(dead);
+    return reinterpret_cast<Cache::Handle*>(e);
+  }
+
+  Cache::Handle* Lookup(const Slice& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(key);
+    if (it == table_.end()) {
+      return nullptr;
+    }
+    Ref(it->second);
+    return reinterpret_cast<Cache::Handle*>(it->second);
+  }
+
+  void Release(Cache::Handle* handle) {
+    LRUHandle* e = reinterpret_cast<LRUHandle*>(handle);
+    bool is_dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      is_dead = Unref(e);
+    }
+    if (is_dead) {
+      Free(e);
+    }
+  }
+
+  void Erase(const Slice& key) {
+    std::vector<LRUHandle*> dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = table_.find(key);
+      if (it == table_.end()) {
+        return;
+      }
+      LRUHandle* e = it->second;
+      table_.erase(it);
+      Detach(e, &dead);
+    }
+    FreeAll(dead);
+  }
+
+  void EraseIf(bool (*predicate)(const Slice& key, void* arg), void* arg) {
+    std::vector<LRUHandle*> dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::vector<LRUHandle*> victims;
+      for (const auto& [key, e] : table_) {
+        if (predicate(key, arg)) {
+          victims.push_back(e);
+        }
+      }
+      for (LRUHandle* e : victims) {
+        table_.erase(e->key());
+        Detach(e, &dead);
+      }
+    }
+    FreeAll(dead);
+  }
+
+  // The counters are plain atomics so gauge publication (which sums every
+  // shard on each insert) never touches the shard mutexes.
+  size_t TotalCharge() const {
+    return usage_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t NumEvictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void Remove(LRUHandle* e) {
+    e->next->prev = e->prev;
+    e->prev->next = e->next;
+  }
+
+  /// Appends before the dummy head: `list->prev` is the most recent entry.
+  static void Append(LRUHandle* list, LRUHandle* e) {
+    e->next = list;
+    e->prev = list->prev;
+    e->prev->next = e;
+    e->next->prev = e;
+  }
+
+  void Ref(LRUHandle* e) {
+    if (e->refs == 1 && e->in_cache) {
+      Remove(e);
+      Append(&in_use_, e);
+    }
+    e->refs++;
+  }
+
+  /// Drops one reference. Returns true when the entry is dead; the caller
+  /// destroys it via Free() *after* releasing the shard mutex, so value
+  /// deleters (freeing whole decoded pages) never run under the lock.
+  bool Unref(LRUHandle* e) {
+    assert(e->refs > 0);
+    e->refs--;
+    if (e->refs == 0) {
+      assert(!e->in_cache);
+      return true;
+    }
+    if (e->in_cache && e->refs == 1) {
+      // Last client handle released: becomes evictable, most recent.
+      Remove(e);
+      Append(&lru_, e);
+    }
+    return false;
+  }
+
+  static void Free(LRUHandle* e) {
+    (*e->deleter)(e->key(), e->value);
+    free(e);
+  }
+
+  static void FreeAll(const std::vector<LRUHandle*>& dead) {
+    for (LRUHandle* e : dead) {
+      Free(e);
+    }
+  }
+
+  /// Removes a resident entry from its list and drops the cache's own
+  /// reference; the table entry must already be gone. Dead entries are
+  /// appended to `*dead` for destruction outside the lock.
+  void Detach(LRUHandle* e, std::vector<LRUHandle*>* dead) {
+    assert(e->in_cache);
+    Remove(e);
+    e->in_cache = false;
+    usage_.fetch_sub(e->charge, std::memory_order_relaxed);
+    if (Unref(e)) {
+      dead->push_back(e);
+    }
+  }
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  std::atomic<size_t> usage_{0};
+  std::atomic<uint64_t> evictions_{0};
+  LRUHandle lru_;     // dummy head; lru_.next is the eviction candidate
+  LRUHandle in_use_;  // dummy head; order within is irrelevant
+  std::unordered_map<Slice, LRUHandle*, SliceHasher, SliceEqual> table_;
+};
+
+class ShardedLRUCache final : public Cache {
+ public:
+  ShardedLRUCache(size_t capacity, int shard_bits)
+      : shard_bits_(shard_bits), shards_(size_t{1} << shard_bits) {
+    const size_t per_shard =
+        (capacity + shards_.size() - 1) / shards_.size();
+    for (LRUShard& shard : shards_) {
+      shard.SetCapacity(per_shard);
+    }
+    capacity_ = per_shard * shards_.size();
+  }
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 Deleter deleter) override {
+    return ShardFor(key).Insert(key, value, charge, deleter);
+  }
+
+  Handle* Lookup(const Slice& key) override {
+    return ShardFor(key).Lookup(key);
+  }
+
+  void Release(Handle* handle) override {
+    LRUHandle* e = reinterpret_cast<LRUHandle*>(handle);
+    ShardFor(e->key()).Release(handle);
+  }
+
+  void* Value(Handle* handle) override {
+    return reinterpret_cast<LRUHandle*>(handle)->value;
+  }
+
+  void Erase(const Slice& key) override { ShardFor(key).Erase(key); }
+
+  void EraseIf(bool (*predicate)(const Slice& key, void* arg),
+               void* arg) override {
+    for (LRUShard& shard : shards_) {
+      shard.EraseIf(predicate, arg);
+    }
+  }
+
+  size_t TotalCharge() const override {
+    size_t total = 0;
+    for (const LRUShard& shard : shards_) {
+      total += shard.TotalCharge();
+    }
+    return total;
+  }
+
+  uint64_t NumEvictions() const override {
+    uint64_t total = 0;
+    for (const LRUShard& shard : shards_) {
+      total += shard.NumEvictions();
+    }
+    return total;
+  }
+
+  size_t capacity() const override { return capacity_; }
+
+ private:
+  LRUShard& ShardFor(const Slice& key) {
+    const uint32_t hash = Hash32(key.data(), key.size(), 0xa5c395u);
+    const uint32_t shard =
+        shard_bits_ == 0 ? 0 : hash >> (32 - shard_bits_);
+    return shards_[shard];
+  }
+  const LRUShard& ShardFor(const Slice& key) const {
+    return const_cast<ShardedLRUCache*>(this)->ShardFor(key);
+  }
+
+  int shard_bits_;
+  size_t capacity_;
+  std::vector<LRUShard> shards_;
+};
+
+}  // namespace
+
+std::unique_ptr<Cache> NewShardedLRUCache(size_t capacity, int shard_bits) {
+  assert(shard_bits >= 0 && shard_bits <= 8);
+  return std::make_unique<ShardedLRUCache>(capacity, shard_bits);
+}
+
+}  // namespace lethe

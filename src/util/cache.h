@@ -1,0 +1,74 @@
+#ifndef LETHE_UTIL_CACHE_H_
+#define LETHE_UTIL_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/util/slice.h"
+
+namespace lethe {
+
+/// Charge-accounted cache with a LevelDB-style handle API. Entries are
+/// (key, value) pairs with an explicit charge against the cache's capacity;
+/// a handle returned by Insert/Lookup pins the entry (its value stays alive)
+/// until Release. Eviction is least-recently-used among unpinned entries —
+/// the cache may temporarily exceed its capacity while entries are pinned.
+///
+/// The concrete implementation (NewShardedLRUCache) splits the key space
+/// over 2^shard_bits independently locked shards so concurrent readers do
+/// not serialize on one mutex.
+class Cache {
+ public:
+  /// Opaque pinned-entry token.
+  struct Handle {};
+
+  /// Called when an entry is no longer referenced by the cache or by any
+  /// handle; destroys the value.
+  using Deleter = void (*)(const Slice& key, void* value);
+
+  Cache() = default;
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+  virtual ~Cache() = default;
+
+  /// Inserts a mapping, replacing any current entry for `key`, and returns a
+  /// handle pinning it. `deleter` runs when the entry is fully released.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         Deleter deleter) = 0;
+
+  /// Returns a handle pinning the entry for `key`, or nullptr. A hit
+  /// refreshes the entry's recency.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  /// Unpins a handle obtained from Insert/Lookup.
+  virtual void Release(Handle* handle) = 0;
+
+  /// The value of a live handle.
+  virtual void* Value(Handle* handle) = 0;
+
+  /// Drops the entry for `key` if present. Pinned entries are detached
+  /// immediately (no longer findable) and destroyed on last Release.
+  virtual void Erase(const Slice& key) = 0;
+
+  /// Drops every entry whose key satisfies `predicate` (same detach
+  /// semantics as Erase). Used for bulk invalidation, e.g. all pages of a
+  /// deleted file.
+  virtual void EraseIf(bool (*predicate)(const Slice& key, void* arg),
+                       void* arg) = 0;
+
+  /// Sum of the charges of all resident entries.
+  virtual size_t TotalCharge() const = 0;
+
+  /// Number of entries evicted by capacity pressure (not by Erase/EraseIf).
+  virtual uint64_t NumEvictions() const = 0;
+
+  virtual size_t capacity() const = 0;
+};
+
+/// A Cache with `capacity` total charge across 2^shard_bits LRU shards.
+std::unique_ptr<Cache> NewShardedLRUCache(size_t capacity,
+                                          int shard_bits = 4);
+
+}  // namespace lethe
+
+#endif  // LETHE_UTIL_CACHE_H_

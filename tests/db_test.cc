@@ -810,5 +810,203 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyConfig{CompactionStyle::kTiering, 4, 50000, false},
         PropertyConfig{CompactionStyle::kLeveling, 8, 100000, true}));
 
+// ---------------------------------------------------------------------------
+// Decoded-page cache.
+
+class PageCacheDBTest : public DBTest {
+ protected:
+  void SetUp() override {
+    DBTest::SetUp();
+    options_.page_cache_bytes = 4 << 20;
+  }
+
+  void LoadAndCompact(uint64_t n) {
+    std::string value(100, 'x');
+    for (uint64_t k = 0; k < n; k++) {
+      ASSERT_TRUE(Put(k, value + std::to_string(k), /*dk=*/k).ok());
+    }
+    ASSERT_TRUE(db_->CompactUntilQuiescent().ok());
+  }
+};
+
+TEST_F(PageCacheDBTest, WarmLookupsPerformZeroEnvPageReads) {
+  Open();
+  const uint64_t n = 2000;
+  LoadAndCompact(n);
+
+  // Warm-up: every page a lookup touches lands in the cache.
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k));
+  }
+  const uint64_t reads_after_warmup = env_->stats().pages_read.load();
+  const uint64_t hits_after_warmup = db_->stats().page_cache_hits.load();
+
+  // Steady state: identical results, zero Env reads, hits keep rising.
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k));
+  }
+  EXPECT_EQ(env_->stats().pages_read.load(), reads_after_warmup);
+  EXPECT_GT(db_->stats().page_cache_hits.load(), hits_after_warmup);
+  EXPECT_GT(db_->stats().page_cache_charge_bytes.load(), 0u);
+}
+
+TEST_F(PageCacheDBTest, ResultsIdenticalWithCacheOnAndOff) {
+  // Two engines over the same key sequence, one cached, one not: every
+  // lookup and a full scan must agree exactly.
+  Options cached = options_;
+  Options uncached = options_;
+  uncached.page_cache_bytes = 0;
+  std::unique_ptr<DB> db_cached, db_uncached;
+  ASSERT_TRUE(DB::Open(cached, "db_cached", &db_cached).ok());
+  ASSERT_TRUE(DB::Open(uncached, "db_uncached", &db_uncached).ok());
+
+  const uint64_t n = 1500;
+  for (uint64_t k = 0; k < n; k++) {
+    const uint64_t key = k * 37 % n;
+    const std::string value = "v" + std::to_string(k);
+    clock_.AdvanceMicros(1);
+    ASSERT_TRUE(
+        db_cached->Put(WriteOptions(), EncodeKey(key), k, value).ok());
+    ASSERT_TRUE(
+        db_uncached->Put(WriteOptions(), EncodeKey(key), k, value).ok());
+    if (k % 11 == 0) {
+      clock_.AdvanceMicros(1);
+      ASSERT_TRUE(db_cached->Delete(WriteOptions(), EncodeKey(key)).ok());
+      ASSERT_TRUE(db_uncached->Delete(WriteOptions(), EncodeKey(key)).ok());
+    }
+  }
+  ASSERT_TRUE(db_cached->CompactUntilQuiescent().ok());
+  ASSERT_TRUE(db_uncached->CompactUntilQuiescent().ok());
+
+  for (uint64_t k = 0; k < n; k++) {
+    std::string got_cached, got_uncached;
+    Status s_cached =
+        db_cached->Get(ReadOptions(), EncodeKey(k), &got_cached);
+    Status s_uncached =
+        db_uncached->Get(ReadOptions(), EncodeKey(k), &got_uncached);
+    ASSERT_EQ(s_cached.ok(), s_uncached.ok()) << k;
+    ASSERT_EQ(s_cached.IsNotFound(), s_uncached.IsNotFound()) << k;
+    if (s_cached.ok()) {
+      ASSERT_EQ(got_cached, got_uncached) << k;
+    }
+  }
+  // Second cached pass (now warm) still agrees.
+  for (uint64_t k = 0; k < n; k++) {
+    std::string got_cached, got_uncached;
+    Status s_cached =
+        db_cached->Get(ReadOptions(), EncodeKey(k), &got_cached);
+    Status s_uncached =
+        db_uncached->Get(ReadOptions(), EncodeKey(k), &got_uncached);
+    ASSERT_EQ(s_cached.ok(), s_uncached.ok()) << k;
+    if (s_cached.ok()) {
+      ASSERT_EQ(got_cached, got_uncached) << k;
+    }
+  }
+  EXPECT_GT(db_cached->stats().page_cache_hits.load(), 0u);
+  EXPECT_EQ(db_uncached->stats().page_cache_hits.load(), 0u);
+  EXPECT_EQ(db_uncached->stats().page_cache_misses.load(), 0u);
+
+  auto it_cached = db_cached->NewIterator(ReadOptions());
+  auto it_uncached = db_uncached->NewIterator(ReadOptions());
+  it_cached->SeekToFirst();
+  it_uncached->SeekToFirst();
+  while (it_cached->Valid() && it_uncached->Valid()) {
+    ASSERT_EQ(it_cached->key().ToString(), it_uncached->key().ToString());
+    ASSERT_EQ(it_cached->value().ToString(), it_uncached->value().ToString());
+    it_cached->Next();
+    it_uncached->Next();
+  }
+  EXPECT_EQ(it_cached->Valid(), it_uncached->Valid());
+}
+
+TEST_F(PageCacheDBTest, SecondaryRangeDeleteInvalidatesWarmPages) {
+  options_.table.pages_per_tile = 4;
+  Open();
+  const uint64_t n = 2000;
+  LoadAndCompact(n);
+
+  // Warm the cache over the whole key space.
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k));
+  }
+
+  // Drop the middle of the delete-key space; the rewritten/dropped pages
+  // must not be served stale from the cache.
+  ASSERT_TRUE(db_->SecondaryRangeDelete(WriteOptions(), 500, 1500).ok());
+  for (uint64_t k = 0; k < n; k++) {
+    if (k >= 500 && k < 1500) {
+      EXPECT_EQ(Get(k), "NOT_FOUND") << k;
+    } else {
+      EXPECT_EQ(Get(k), value + std::to_string(k)) << k;
+    }
+  }
+}
+
+TEST_F(PageCacheDBTest, CompactionDropsDeadFilesFromCache) {
+  Open();
+  const uint64_t n = 2000;
+  LoadAndCompact(n);
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k));
+  }
+  const uint64_t charge_warm = db_->stats().page_cache_charge_bytes.load();
+  EXPECT_GT(charge_warm, 0u);
+
+  // Overwrite everything and fold the tree: the old files die, and their
+  // cached pages must go with them rather than linger as dead weight.
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_TRUE(Put(k, "new" + std::to_string(k), k).ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+  // Every input of the final merge was deleted, so the cache holds at most
+  // pages of the (never-read) output files.
+  EXPECT_LT(db_->stats().page_cache_charge_bytes.load(), charge_warm);
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), "new" + std::to_string(k));
+  }
+}
+
+TEST_F(DBTest, PageCacheDisabledReproducesExactIoCounts) {
+  // Two identical cache-less runs must produce byte-identical I/O counters
+  // (the Fig 6 benches depend on this determinism), and enabling the cache
+  // must strictly reduce Env page reads for the same read workload.
+  auto run = [&](uint64_t cache_bytes, uint64_t* lookup_pages_read) {
+    auto base = NewMemEnv();
+    IoCountingEnv env(base.get(), 1024);
+    LogicalClock clock(1);
+    Options options = options_;
+    options.env = &env;
+    options.clock = &clock;
+    options.page_cache_bytes = cache_bytes;
+    std::unique_ptr<DB> db;
+    EXPECT_TRUE(DB::Open(options, "iodb", &db).ok());
+    std::string value(100, 'x');
+    for (uint64_t k = 0; k < 1200; k++) {
+      clock.AdvanceMicros(1);
+      EXPECT_TRUE(
+          db->Put(WriteOptions(), EncodeKey(k), k, value).ok());
+    }
+    EXPECT_TRUE(db->CompactUntilQuiescent().ok());
+    const uint64_t before = env.stats().pages_read.load();
+    for (int round = 0; round < 3; round++) {
+      for (uint64_t k = 0; k < 1200; k++) {
+        std::string got;
+        EXPECT_TRUE(db->Get(ReadOptions(), EncodeKey(k), &got).ok());
+      }
+    }
+    *lookup_pages_read = env.stats().pages_read.load() - before;
+  };
+
+  uint64_t uncached_a = 0, uncached_b = 0, cached = 0;
+  run(0, &uncached_a);
+  run(0, &uncached_b);
+  run(4 << 20, &cached);
+  EXPECT_EQ(uncached_a, uncached_b);
+  EXPECT_LT(cached, uncached_a);
+}
+
 }  // namespace
 }  // namespace lethe

@@ -60,7 +60,8 @@ TEST(EntryTest, TombstoneRoundTrip) {
 }
 
 TEST(EntryTest, MalformedInputRejected) {
-  std::string buf = "\x05ab";  // claims 5-byte key, only 2 present
+  std::string buf = "\x05"
+                    "ab";  // claims 5-byte key, only 2 present
   Slice input(buf);
   ParsedEntry decoded;
   EXPECT_FALSE(DecodeEntry(&input, &decoded));
@@ -437,11 +438,11 @@ TEST_F(SSTableTest, DeleteTilesPartitionDeleteKeys) {
 TEST_F(SSTableTest, PagesSortedInternallyBySortKey) {
   auto reader = BuildTable(128, ReverseDk);
   for (uint32_t p = 0; p < reader->num_pages(); p++) {
-    PageContents contents;
+    PageHandle contents;
     ASSERT_TRUE(reader->ReadPage(p, &contents).ok());
-    for (size_t i = 1; i < contents.entries.size(); i++) {
-      EXPECT_LT(contents.entries[i - 1].user_key.compare(
-                    contents.entries[i].user_key),
+    for (size_t i = 1; i < contents->entries.size(); i++) {
+      EXPECT_LT(contents->entries[i - 1].user_key.compare(
+                    contents->entries[i].user_key),
                 0);
     }
   }
