@@ -58,6 +58,11 @@ inline std::unique_ptr<TestBed> MakeBed(uint64_t dth_micros,
   bed->options.table.bloom_bits_per_key = 10;
   bed->options.page_cache_bytes = page_cache_bytes;
   bed->options.enable_wal = false;  // paper setup: WAL disabled
+  // Compatibility mode: merges run inline on the write path with priority
+  // over writes, exactly as the paper's experiments schedule them. This
+  // keeps every figure bench single-threaded-deterministic with I/O counts
+  // byte-identical run to run (bench_bg_writer covers the background mode).
+  bed->options.inline_compactions = true;
   bed->options.delete_persistence_threshold_micros = dth_micros;
   if (dth_micros > 0) {
     bed->options.file_picking = FilePickingPolicy::kMaxTombstones;

@@ -8,6 +8,7 @@
 
 #include "src/core/options.h"
 #include "src/core/statistics.h"
+#include "src/memtable/write_batch.h"
 #include "src/util/slice.h"
 #include "src/util/status.h"
 
@@ -72,6 +73,13 @@ struct TombstoneAgeSample {
 /// like a state-of-the-art leveled LSM (the paper's RocksDB baseline);
 /// setting Options::delete_persistence_threshold_micros enables FADE, and
 /// Options::table.pages_per_tile > 1 enables KiWi delete tiles.
+///
+/// Threading: all methods are thread-safe. Writes are serialized through a
+/// group-commit queue (concurrent writers' batches merge into one WAL
+/// append); reads are lock-free against immutable snapshots. With
+/// Options::inline_compactions = false, flushes/compactions/secondary
+/// deletes run on a background worker and writers are throttled only via
+/// the explicit slowdown/stall policy (see Options).
 class DB {
  public:
   /// Opens (or creates) the database at `name`.
@@ -87,6 +95,13 @@ class DB {
   /// Inserts or updates `key` with the given delete key and value.
   virtual Status Put(const WriteOptions& options, const Slice& key,
                      uint64_t delete_key, const Slice& value) = 0;
+
+  /// Applies `batch` atomically: one WAL append covers the whole batch, and
+  /// either every operation becomes visible or none does. Concurrent Write
+  /// calls are merged by group commit (a leader applies several writers'
+  /// batches with a single WAL append and, when requested, a single sync).
+  /// The batch is not consumed; the caller may Clear() and reuse it.
+  virtual Status Write(const WriteOptions& options, WriteBatch* batch) = 0;
 
   /// Point delete on the sort key (inserts a tombstone).
   virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
@@ -127,8 +142,18 @@ class DB {
                                       uint64_t delete_key_end,
                                       std::vector<SecondaryHit>* hits) = 0;
 
-  /// Forces the memtable to disk (no-op when empty).
+  /// Forces the memtable to disk (no-op when empty). In background mode
+  /// this is a barrier: it returns only after every memtable that existed at
+  /// call time has been flushed by the worker.
   virtual Status Flush() = 0;
+
+  /// Barrier for background work: returns once no flush or compaction is
+  /// queued or running and no compaction trigger (saturation, or a TTL that
+  /// has already expired) fires against the current tree. Future TTL
+  /// expiries are not waited for. In inline mode, runs any pending
+  /// compactions directly. Tests and benches use this to make background
+  /// mode deterministic.
+  virtual Status WaitForCompact() = 0;
 
   /// Runs compactions until no trigger (saturation or TTL) fires. With FADE
   /// enabled this persists every tombstone whose TTL has expired.

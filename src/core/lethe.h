@@ -18,6 +18,7 @@
 #include "src/core/tuner.h"
 #include "src/env/env.h"
 #include "src/env/io_counting_env.h"
+#include "src/memtable/write_batch.h"
 #include "src/util/clock.h"
 #include "src/util/slice.h"
 #include "src/util/status.h"

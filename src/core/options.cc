@@ -40,6 +40,16 @@ Status Options::Validate() const {
   if (page_cache_shard_bits < 0 || page_cache_shard_bits > 8) {
     return Status::InvalidArgument("page_cache_shard_bits must be in [0, 8]");
   }
+  if (max_imm_memtables < 1) {
+    return Status::InvalidArgument("max_imm_memtables must be >= 1");
+  }
+  if (l0_slowdown_trigger < 0 || l0_stop_trigger < 0) {
+    return Status::InvalidArgument("L0 write-throttle triggers must be >= 0");
+  }
+  if (l0_stop_trigger > 0 && l0_slowdown_trigger > l0_stop_trigger) {
+    return Status::InvalidArgument(
+        "l0_slowdown_trigger must not exceed l0_stop_trigger");
+  }
   return Status::OK();
 }
 

@@ -35,42 +35,53 @@ enum class FilePickingPolicy {
 };
 
 /// All engine configuration. Defaults mirror the paper's Table 1 / §5 setup
-/// where practical (T = 10, 10 bloom bits/key, 1 MB buffer).
+/// where practical (T = 10, 10 bloom bits/key, 1 MB buffer). Each knob notes
+/// the paper symbol it corresponds to (when one exists) and its default.
 struct Options {
   /// Storage substrate. Defaults to the process-wide POSIX env; tests and
   /// benches inject MemEnv/IoCountingEnv.
-  Env* env = nullptr;  // nullptr → Env::Default()
+  /// Default: nullptr → Env::Default().
+  Env* env = nullptr;
 
-  /// Time source for FADE tombstone ages. nullptr → SystemClock.
+  /// Time source for FADE tombstone ages.
+  /// Default: nullptr → SystemClock.
   Clock* clock = nullptr;
 
-  /// Create the database directory if missing.
+  /// Create the database directory if missing. Default: true.
   bool create_if_missing = true;
 
-  /// M: write buffer (memtable) capacity in bytes. Paper default 1 MB.
+  /// Paper symbol M: write buffer (memtable) capacity in bytes. When the
+  /// buffer reaches this size it is flushed (inline mode) or swapped to the
+  /// immutable list and flushed in the background. Default: 1 MB (paper §5).
   uint64_t write_buffer_bytes = 1ull << 20;
 
-  /// T: size ratio between adjacent levels.
+  /// Paper symbol T: size ratio between adjacent levels. Level i holds
+  /// M·T^(i+1) bytes (leveling) or T runs (tiering). Default: 10 (Table 1).
   uint32_t size_ratio = 10;
 
   /// Target size for files emitted by flushes and compactions; the unit of
-  /// partial compaction.
+  /// partial compaction. Default: 1 MB.
   uint64_t target_file_bytes = 1ull << 20;
 
   /// Physical layout: page size, B (entries/page), h (pages per delete
-  /// tile), bloom bits.
+  /// tile), bloom bits per key. h = 1 is the classic layout; h > 1 enables
+  /// KiWi delete tiles (§4.2).
   TableOptions table;
 
+  /// Merging policy. Default: kLeveling (the paper's primary setup).
   CompactionStyle compaction_style = CompactionStyle::kLeveling;
+
+  /// Compaction file-selection policy. Default: kMinOverlap (SO baseline).
   FilePickingPolicy file_picking = FilePickingPolicy::kMinOverlap;
 
-  /// Dth in clock micros. 0 disables FADE's TTL machinery (unbounded delete
-  /// persistence latency — the state-of-the-art behaviour).
+  /// Paper symbol D_th: delete persistence threshold in clock micros. 0
+  /// disables FADE's TTL machinery (unbounded delete persistence latency —
+  /// the state-of-the-art behaviour). Default: 0.
   uint64_t delete_persistence_threshold_micros = 0;
 
   /// FADE's blind-delete guard (§4.1.5): probe Bloom filters before
   /// inserting a point tombstone and skip tombstones for keys that are
-  /// definitely absent.
+  /// definitely absent. Default: false.
   bool filter_blind_deletes = false;
 
   /// Memory budget (bytes) for the engine-wide decoded-page cache, an LRU
@@ -90,12 +101,54 @@ struct Options {
   /// 4 (16 shards) keeps concurrent readers from serializing on one mutex.
   int page_cache_shard_bits = 4;
 
+  /// Execution model for flushes, compactions, and KiWi secondary-delete
+  /// work.
+  ///
+  /// true (the default): all background work runs inline on the write path
+  /// under the write token, exactly as the paper's experiments do
+  /// (compactions take priority over writes). Deterministic: a single-
+  /// threaded workload produces a byte-identical I/O trace run to run, which
+  /// the Fig 6 benches require.
+  ///
+  /// false: writes only swap full memtables onto an immutable list; a
+  /// dedicated background worker (see BackgroundScheduler) performs flushes,
+  /// compactions, and secondary-delete execution off the write path. Writers
+  /// are throttled only through the explicit policy below
+  /// (max_imm_memtables, l0_slowdown_trigger, l0_stop_trigger).
+  bool inline_compactions = true;
+
+  /// Background mode: maximum number of immutable memtables awaiting flush
+  /// before writers stall (the flush pipeline depth). Each pending memtable
+  /// pins up to write_buffer_bytes of memory and one WAL file. Default: 2.
+  int max_imm_memtables = 2;
+
+  /// Background mode: when Level 0 (the first disk level) holds at least
+  /// this many sorted runs, each write group is delayed once by
+  /// slowdown_delay_micros, smoothing the approach to a hard stall (cf.
+  /// "Breaking Down Memory Walls": slowdown/stall policy must be explicit
+  /// once background work decouples from the foreground). Mainly effective
+  /// under tiering, where L0 accumulates runs; under leveling the flush
+  /// itself merges into L0 and backpressure comes from max_imm_memtables.
+  /// 0 disables. Default: 8.
+  int l0_slowdown_trigger = 8;
+
+  /// Background mode: when Level 0 holds at least this many sorted runs,
+  /// writers stall until compaction reduces the count. Under tiering the
+  /// effective trigger is clamped to at least size_ratio (below T runs the
+  /// picker has nothing to compact, so a lower stop point could stall with
+  /// no background work to release it). 0 disables. Default: 12.
+  int l0_stop_trigger = 12;
+
+  /// Duration of one slowdown delay, in wall-clock micros. Default: 1000.
+  uint64_t slowdown_delay_micros = 1000;
+
   /// Write-ahead logging. The paper's experiments run with the WAL disabled;
-  /// recovery tests enable it.
+  /// recovery tests enable it. Defaults: enable_wal = true, sync_wal =
+  /// false (sync on every commit group when true).
   bool enable_wal = true;
   bool sync_wal = false;
 
-  /// Safety valve for pathological configs.
+  /// Safety valve for pathological configs. Default: 16.
   int max_levels = 16;
 
   /// Returns a copy with env/clock defaults resolved.
@@ -111,6 +164,9 @@ struct Options {
 
 /// Per-write knobs.
 struct WriteOptions {
+  /// Sync the WAL before the write is acknowledged. With group commit the
+  /// sync is amortized: one Sync covers every writer in the commit group.
+  /// Default: false.
   bool sync = false;
 };
 

@@ -10,6 +10,17 @@ void Copy(std::atomic<uint64_t>& dst, const std::atomic<uint64_t>& src) {
 }
 }  // namespace
 
+void Statistics::RecordStall(uint64_t micros) {
+  stall_micros.fetch_add(micros, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  stall_hist_.Add(micros);
+}
+
+Histogram Statistics::StallHistogram() const {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  return stall_hist_;
+}
+
 void Statistics::CopyFrom(const Statistics& other) {
   Copy(user_puts, other.user_puts);
   Copy(user_bytes_written, other.user_bytes_written);
@@ -18,6 +29,17 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(blind_deletes_avoided, other.blind_deletes_avoided);
   Copy(flushes, other.flushes);
   Copy(flush_bytes_written, other.flush_bytes_written);
+  Copy(group_commit_batches, other.group_commit_batches);
+  Copy(group_commit_entries, other.group_commit_entries);
+  Copy(wal_appends, other.wal_appends);
+  Copy(wal_syncs, other.wal_syncs);
+  Copy(write_slowdowns, other.write_slowdowns);
+  Copy(write_stalls, other.write_stalls);
+  Copy(stall_micros, other.stall_micros);
+  {
+    std::scoped_lock lock(stall_hist_mu_, other.stall_hist_mu_);
+    stall_hist_ = other.stall_hist_;
+  }
   Copy(compactions, other.compactions);
   Copy(compactions_saturation_triggered,
        other.compactions_saturation_triggered);
@@ -66,7 +88,12 @@ std::string Statistics::ToString() const {
       << " bloom_probes=" << bloom_probes.load()
       << " bloom_fp=" << bloom_false_positives.load()
       << " full_page_drops=" << full_page_drops.load()
-      << " partial_page_drops=" << partial_page_drops.load();
+      << " partial_page_drops=" << partial_page_drops.load()
+      << " group_commit_batches=" << group_commit_batches.load()
+      << " wal_appends=" << wal_appends.load()
+      << " write_stalls=" << write_stalls.load()
+      << " write_slowdowns=" << write_slowdowns.load()
+      << " stall_micros=" << stall_micros.load();
   return out.str();
 }
 

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+
+#include "src/util/histogram.h"
 
 namespace lethe {
 
@@ -25,6 +28,23 @@ struct Statistics {
   std::atomic<uint64_t> blind_deletes_avoided{0};
   std::atomic<uint64_t> flushes{0};
   std::atomic<uint64_t> flush_bytes_written{0};
+
+  // Group commit (DB::Write leader/follower batching). One "batch" is one
+  // leader apply round: a single WAL append (and sync, if requested) commits
+  // every writer in the group.
+  std::atomic<uint64_t> group_commit_batches{0};  // leader apply rounds
+  std::atomic<uint64_t> group_commit_entries{0};  // entries across all rounds
+  std::atomic<uint64_t> wal_appends{0};           // physical WAL Append calls
+  std::atomic<uint64_t> wal_syncs{0};             // physical WAL Sync calls
+
+  // Write-stall policy (background mode only). A *slowdown* is the bounded
+  // one-shot delay injected when L0 crosses Options::l0_slowdown_trigger; a
+  // *stall* is a full wait (immutable-memtable cap or l0_stop_trigger hit)
+  // released by background-work completion. stall_micros is wall-clock time
+  // writers spent blocked; the histogram records one sample per stall.
+  std::atomic<uint64_t> write_slowdowns{0};
+  std::atomic<uint64_t> write_stalls{0};
+  std::atomic<uint64_t> stall_micros{0};
 
   // Compactions.
   std::atomic<uint64_t> compactions{0};
@@ -65,6 +85,14 @@ struct Statistics {
   std::atomic<uint64_t> pages_scanned_for_srd{0};
   std::atomic<uint64_t> entries_purged_by_srd{0};
 
+  /// Records the duration of one completed write stall (total time +
+  /// histogram sample). The write_stalls counter itself is incremented when
+  /// the stall *begins*, so monitors see in-progress stalls. Thread-safe.
+  void RecordStall(uint64_t micros);
+
+  /// Snapshot of the stall-duration histogram (micros per stall).
+  Histogram StallHistogram() const;
+
   void Reset() {
     *this = Statistics();
   }
@@ -82,6 +110,9 @@ struct Statistics {
 
  private:
   void CopyFrom(const Statistics& other);
+
+  mutable std::mutex stall_hist_mu_;
+  Histogram stall_hist_;
 };
 
 }  // namespace lethe

@@ -1,5 +1,8 @@
 #include "src/env/io_counting_env.h"
 
+#include <chrono>
+#include <thread>
+
 namespace lethe {
 
 namespace {
@@ -16,6 +19,7 @@ class CountingWritableFile final : public WritableFile {
     if (env_->ShouldFailWrite()) {
       return Status::IOError("injected write failure");
     }
+    env_->MaybeDelayAppend();
     Status s = target_->Append(data);
     if (s.ok()) {
       env_->stats_.bytes_written.fetch_add(data.size(),
@@ -126,6 +130,13 @@ bool IoCountingEnv::ShouldFailWrite() {
     }
   }
   return false;
+}
+
+void IoCountingEnv::MaybeDelayAppend() {
+  const uint64_t micros = append_delay_micros_.load(std::memory_order_relaxed);
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
 }
 
 Status IoCountingEnv::NewWritableFile(const std::string& fname,

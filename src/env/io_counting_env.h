@@ -54,6 +54,14 @@ class IoCountingEnv final : public Env {
     writes_until_failure_.store(n, std::memory_order_relaxed);
   }
 
+  /// Latency injection: every Append sleeps this long before writing.
+  /// Concurrency tests use it to model a slow device, making group-commit
+  /// batching and write stalls deterministic to observe. 0 (default)
+  /// disables.
+  void SetAppendDelayMicros(uint64_t micros) {
+    append_delay_micros_.store(micros, std::memory_order_relaxed);
+  }
+
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override;
   Status NewRandomWriteFile(const std::string& fname,
@@ -84,10 +92,14 @@ class IoCountingEnv final : public Env {
   /// Returns true if this write should fail (and consumes one credit if not).
   bool ShouldFailWrite();
 
+  /// Sleeps for the configured append delay (no-op when 0).
+  void MaybeDelayAppend();
+
   Env* target_;
   uint64_t page_size_;
   IoStats stats_;
   std::atomic<uint64_t> writes_until_failure_{UINT64_MAX};
+  std::atomic<uint64_t> append_delay_micros_{0};
 };
 
 }  // namespace lethe

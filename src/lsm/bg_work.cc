@@ -1,0 +1,78 @@
+#include "src/lsm/bg_work.h"
+
+namespace lethe {
+
+BackgroundScheduler::BackgroundScheduler() {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BackgroundScheduler::~BackgroundScheduler() { Shutdown(); }
+
+bool BackgroundScheduler::Schedule(Priority priority,
+                                   std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return false;
+    }
+    queues_[static_cast<int>(priority)].push_back(std::move(fn));
+    queued_++;
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void BackgroundScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    paused_ = false;
+    for (auto& q : queues_) {
+      queued_ -= q.size();
+      q.clear();
+    }
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void BackgroundScheduler::TEST_Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void BackgroundScheduler::TEST_Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void BackgroundScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || (queued_ > 0 && !paused_);
+    });
+    if (shutdown_) {
+      return;
+    }
+    std::function<void()> job;
+    for (auto& q : queues_) {
+      if (!q.empty()) {
+        job = std::move(q.front());
+        q.pop_front();
+        queued_--;
+        break;
+      }
+    }
+    lock.unlock();
+    job();
+    lock.lock();
+  }
+}
+
+}  // namespace lethe

@@ -1,0 +1,87 @@
+#ifndef LETHE_LSM_BG_WORK_H_
+#define LETHE_LSM_BG_WORK_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace lethe {
+
+/// Priority-ordered background work queue with one dedicated worker thread.
+///
+/// The DB enqueues closures tagged with a Priority; the worker drains the
+/// highest-priority class first, FIFO within a class, waking on a condition
+/// variable when work arrives. The ordering implements the paper's priority
+/// rule for background work:
+///
+///   1. kFlush                  — memory pressure: immutable memtables must
+///                                drain before writers stall.
+///   2. kSecondaryDelete        — KiWi secondary range deletes: user-issued
+///                                physical deletes, latency-visible.
+///   3. kDeleteDrivenCompaction — FADE TTL-expired files (the DD trigger):
+///                                delete persistence is a contract (§4.1),
+///                                so delete-driven work outranks
+///                                space-driven work.
+///   4. kSpaceDrivenCompaction  — saturation-triggered compactions.
+///
+/// Single-worker by design: flushes, compactions, and secondary-delete
+/// execution all mutate on-disk state, and one worker serializes them
+/// without any file-level locking (foreground readers are lock-free against
+/// all of them via version snapshots and page-generation fences). Sharding
+/// the worker pool is a later scaling step.
+///
+/// Thread-safety: all public methods are thread-safe. Jobs run without any
+/// scheduler lock held, so they may freely call Schedule().
+class BackgroundScheduler {
+ public:
+  enum class Priority : int {
+    kFlush = 0,
+    kSecondaryDelete = 1,
+    kDeleteDrivenCompaction = 2,
+    kSpaceDrivenCompaction = 3,
+  };
+  static constexpr int kNumPriorities = 4;
+
+  BackgroundScheduler();
+
+  /// Joins the worker. Equivalent to Shutdown().
+  ~BackgroundScheduler();
+
+  BackgroundScheduler(const BackgroundScheduler&) = delete;
+  BackgroundScheduler& operator=(const BackgroundScheduler&) = delete;
+
+  /// Enqueues `fn` at `priority` and wakes the worker. Returns false (and
+  /// drops the job) after Shutdown has begun.
+  bool Schedule(Priority priority, std::function<void()> fn);
+
+  /// Rejects further Schedule calls, lets the currently running job finish,
+  /// discards still-queued jobs, and joins the worker thread. Idempotent.
+  /// The caller is responsible for any cleanup the discarded jobs would have
+  /// done (DBImpl drains pending flushes inline at close).
+  void Shutdown();
+
+  /// Test hooks: freeze/unfreeze the worker between jobs. While paused the
+  /// queue accepts jobs but none start, letting tests deterministically
+  /// build up backlog (e.g. to force a write stall).
+  void TEST_Pause();
+  void TEST_Resume();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals the worker
+  std::array<std::deque<std::function<void()>>, kNumPriorities> queues_;
+  size_t queued_ = 0;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_LSM_BG_WORK_H_

@@ -1,7 +1,10 @@
 #include "src/lsm/db_impl.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <unordered_map>
 
 #include "src/lsm/merging_iterator.h"
 #include "src/lsm/secondary_delete.h"
@@ -103,10 +106,11 @@ class RunIterator final : public InternalIterator {
 /// range-tombstone-covered entries out of the merged internal stream.
 class DBIter final : public Iterator {
  public:
-  DBIter(std::shared_ptr<MemTable> mem, std::shared_ptr<const Version> version,
+  DBIter(std::vector<std::shared_ptr<MemTable>> pinned_mems,
+         std::shared_ptr<const Version> version,
          std::unique_ptr<InternalIterator> internal, RangeTombstoneSet rts,
          Statistics* stats)
-      : mem_(std::move(mem)),
+      : pinned_mems_(std::move(pinned_mems)),
         version_(std::move(version)),
         internal_(std::move(internal)),
         rts_(std::move(rts)),
@@ -163,8 +167,8 @@ class DBIter final : public Iterator {
     }
   }
 
-  std::shared_ptr<MemTable> mem_;              // pins memtable
-  std::shared_ptr<const Version> version_;     // pins file set
+  std::vector<std::shared_ptr<MemTable>> pinned_mems_;  // pins mem + imms
+  std::shared_ptr<const Version> version_;              // pins file set
   std::unique_ptr<InternalIterator> internal_;
   RangeTombstoneSet rts_;
   Statistics* stats_;
@@ -176,6 +180,30 @@ class DBIter final : public Iterator {
   std::string value_;
   uint64_t delete_key_ = 0;
 };
+
+uint64_t NowSteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Parses "NNNNNN.wal" (as produced by WalFileName) into its number.
+bool ParseWalFileName(const std::string& name, uint64_t* number) {
+  size_t dot = name.rfind(".wal");
+  if (dot == std::string::npos || dot + 4 != name.size() || dot == 0) {
+    return false;
+  }
+  uint64_t n = 0;
+  for (size_t i = 0; i < dot; i++) {
+    if (name[i] < '0' || name[i] > '9') {
+      return false;
+    }
+    n = n * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *number = n;
+  return true;
+}
 
 }  // namespace
 
@@ -192,6 +220,26 @@ DBImpl::DBImpl(const Options& options, std::string name)
     : options_(options.WithDefaults()), dbname_(std::move(name)) {}
 
 DBImpl::~DBImpl() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;  // rejects new writes and new background enqueues
+  }
+  if (bg_ != nullptr) {
+    // Finish the in-flight job, discard the queued ones, join the worker.
+    bg_->Shutdown();
+  }
+  {
+    // Single-threaded from here on. Drain the memtables whose flush jobs
+    // were discarded: their content is also in the per-memtable WALs, but
+    // draining keeps close lossless when the WAL is disabled. Best effort —
+    // on failure the WALs stay behind for recovery to replay.
+    std::unique_lock<std::mutex> l(mu_);
+    while (!imm_.empty() && bg_error_.ok()) {
+      if (!FlushOldestImmLocked(l).ok()) {
+        break;
+      }
+    }
+  }
   if (wal_ != nullptr) {
     wal_->Close().ok();
   }
@@ -207,23 +255,60 @@ Status DBImpl::Init() {
   picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
   LETHE_RETURN_IF_ERROR(versions_->Recover());
   mem_ = std::make_shared<MemTable>();
+  if (!options_.inline_compactions) {
+    bg_ = std::make_unique<BackgroundScheduler>();
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.enable_wal) {
-    LETHE_RETURN_IF_ERROR(ReplayWalLocked());
+    LETHE_RETURN_IF_ERROR(ReplayWalsLocked());
   }
   RefreshTriggerStateLocked();
   return Status::OK();
 }
 
-Status DBImpl::ReplayWalLocked() {
-  uint64_t old_wal = versions_->wal_number();
+Status DBImpl::ReplayWalsLocked() {
+  // The manifest names the oldest WAL still needed; in background mode a
+  // crash can leave several live WALs behind (one per unflushed memtable
+  // plus the active one), so recovery scans the directory and replays every
+  // log with number >= the manifest's, in number (= age) order.
+  const uint64_t min_wal = versions_->wal_number();
+  std::vector<uint64_t> to_replay;
+  std::vector<uint64_t> obsolete;
+  std::vector<std::string> children;
+  if (options_.env->GetChildren(dbname_, &children).ok()) {
+    for (const std::string& child : children) {
+      uint64_t number = 0;
+      if (!ParseWalFileName(child, &number)) {
+        continue;
+      }
+      if (min_wal != 0 && number >= min_wal) {
+        to_replay.push_back(number);
+      } else {
+        obsolete.push_back(number);
+      }
+    }
+  } else if (min_wal != 0 &&
+             options_.env->FileExists(WalFileName(dbname_, min_wal))) {
+    to_replay.push_back(min_wal);  // fallback for list-less envs
+  }
+  std::sort(to_replay.begin(), to_replay.end());
+  // Crash-surviving WAL numbers may exceed the manifest's file-number
+  // counter (background-mode swaps allocate them without a manifest write).
+  // Bump the counter so the fresh WAL/table numbers below cannot collide
+  // with a file this loop is about to replay and delete.
+  for (uint64_t number : to_replay) {
+    versions_->EnsureFileNumberPast(number);
+  }
+  for (uint64_t number : obsolete) {
+    versions_->EnsureFileNumberPast(number);
+  }
+
   std::vector<WalRecord> replayed;
-  if (old_wal != 0 &&
-      options_.env->FileExists(WalFileName(dbname_, old_wal))) {
+  for (uint64_t number : to_replay) {
     std::unique_ptr<SequentialFile> file;
-    LETHE_RETURN_IF_ERROR(
-        options_.env->NewSequentialFile(WalFileName(dbname_, old_wal), &file));
+    LETHE_RETURN_IF_ERROR(options_.env->NewSequentialFile(
+        WalFileName(dbname_, number), &file));
     WalReader reader(std::move(file));
     WalRecord record;
     Status read_status;
@@ -265,15 +350,18 @@ Status DBImpl::ReplayWalLocked() {
   }
 
   // Start a fresh log containing the replayed records, then retire the old
-  // one, so a second crash before the next flush still recovers everything.
+  // ones, so a second crash before the next flush still recovers everything.
   VersionEdit edit;
   LETHE_RETURN_IF_ERROR(RotateWalLocked(&edit));
   for (const WalRecord& record : replayed) {
     LETHE_RETURN_IF_ERROR(wal_->AddRecord(record));
   }
   LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
-  if (old_wal != 0) {
-    options_.env->RemoveFile(WalFileName(dbname_, old_wal)).ok();
+  for (uint64_t number : to_replay) {
+    options_.env->RemoveFile(WalFileName(dbname_, number)).ok();
+  }
+  for (uint64_t number : obsolete) {
+    options_.env->RemoveFile(WalFileName(dbname_, number)).ok();
   }
   return Status::OK();
 }
@@ -295,16 +383,36 @@ Status DBImpl::RotateWalLocked(VersionEdit* edit) {
   return Status::OK();
 }
 
-bool DBImpl::KeyMayExistLocked(const Slice& key) {
+DBImpl::ReadSnapshot DBImpl::GetReadSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetReadSnapshotLocked();
+}
+
+DBImpl::ReadSnapshot DBImpl::GetReadSnapshotLocked() const {
+  ReadSnapshot snap;
+  snap.mem = mem_;
+  snap.imm.reserve(imm_.size());
+  for (const ImmMemTable& imm : imm_) {
+    snap.imm.push_back(imm.mem);
+  }
+  snap.version = versions_->current();
+  return snap;
+}
+
+bool DBImpl::KeyMayExist(const ReadSnapshot& snap, const Slice& key) {
   ParsedEntry entry;
-  if (mem_->Get(key, &entry)) {
+  if (snap.mem->Get(key, &entry)) {
     // A live value means a tombstone is useful; an existing tombstone means
     // the new delete would be blind.
     return !entry.IsTombstone();
   }
-  std::shared_ptr<const Version> version = versions_->current();
-  for (int level = 0; level < version->num_levels(); level++) {
-    const auto& runs = version->levels()[level];
+  for (auto it = snap.imm.rbegin(); it != snap.imm.rend(); ++it) {
+    if ((*it)->Get(key, &entry)) {
+      return !entry.IsTombstone();
+    }
+  }
+  for (int level = 0; level < snap.version->num_levels(); level++) {
+    const auto& runs = snap.version->levels()[level];
     for (auto run = runs.rbegin(); run != runs.rend(); ++run) {
       int idx = run->FindFile(key);
       if (idx < 0) {
@@ -326,107 +434,397 @@ bool DBImpl::KeyMayExistLocked(const Slice& key) {
   return false;
 }
 
-Status DBImpl::Put(const WriteOptions&, const Slice& key, uint64_t delete_key,
-                   const Slice& value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.user_puts.fetch_add(1, std::memory_order_relaxed);
-  stats_.user_bytes_written.fetch_add(key.size() + value.size() + 8,
-                                      std::memory_order_relaxed);
-  return WriteLocked(WalRecord::Kind::kPut, key, Slice(), delete_key, value);
+// ---- write path -----------------------------------------------------------
+
+Status DBImpl::Put(const WriteOptions& options, const Slice& key,
+                   uint64_t delete_key, const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, delete_key, value);
+  return Write(options, &batch);
 }
 
-Status DBImpl::Delete(const WriteOptions&, const Slice& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (options_.filter_blind_deletes && !KeyMayExistLocked(key)) {
-    stats_.blind_deletes_avoided.fetch_add(1, std::memory_order_relaxed);
-    return Status::OK();
-  }
-  stats_.user_deletes.fetch_add(1, std::memory_order_relaxed);
-  stats_.user_bytes_written.fetch_add(key.size() + 8,
-                                      std::memory_order_relaxed);
-  // The tombstone's delete key is its creation time, so timestamp-keyed
-  // secondary deletes age tombstones out with the data they invalidate.
-  return WriteLocked(WalRecord::Kind::kDelete, key, Slice(),
-                     options_.clock->NowMicros(), Slice());
+Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
 }
 
-Status DBImpl::RangeDelete(const WriteOptions&, const Slice& begin_key,
+Status DBImpl::RangeDelete(const WriteOptions& options, const Slice& begin_key,
                            const Slice& end_key) {
-  if (begin_key.compare(end_key) >= 0) {
-    return Status::InvalidArgument("empty range delete");
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.user_range_deletes.fetch_add(1, std::memory_order_relaxed);
-  stats_.user_bytes_written.fetch_add(begin_key.size() + end_key.size(),
-                                      std::memory_order_relaxed);
-  return WriteLocked(WalRecord::Kind::kRangeDelete, begin_key, end_key, 0,
-                     Slice());
+  WriteBatch batch;
+  batch.RangeDelete(begin_key, end_key);
+  return Write(options, &batch);
 }
 
-Status DBImpl::WriteLocked(WalRecord::Kind kind, const Slice& key,
-                           const Slice& end_key, uint64_t delete_key,
-                           const Slice& value) {
-  SequenceNumber seq = versions_->NextSequence();
-  uint64_t now = options_.clock->NowMicros();
-  if (mem_->empty()) {
-    mem_first_seq_ = seq;
-    mem_first_time_ = now;
+void DBImpl::JoinWriterQueue(Writer* w, std::unique_lock<std::mutex>& l) {
+  writers_.push_back(w);
+  while (!w->done && w != writers_.front()) {
+    w->cv.wait(l);
   }
+}
 
-  if (wal_ != nullptr) {
-    WalRecord record;
-    record.kind = kind;
-    record.seq = seq;
-    record.time = now;
-    record.key = key.ToString();
-    record.end_key = end_key.ToString();
-    record.delete_key = delete_key;
-    record.value = value.ToString();
-    LETHE_RETURN_IF_ERROR(wal_->AddRecord(record));
-  }
-
-  switch (kind) {
-    case WalRecord::Kind::kPut:
-      mem_->Add(seq, ValueType::kValue, key, delete_key, value, now);
-      break;
-    case WalRecord::Kind::kDelete:
-      mem_->Add(seq, ValueType::kTombstone, key, delete_key, Slice(), now);
-      break;
-    case WalRecord::Kind::kRangeDelete: {
-      RangeTombstone rt;
-      rt.begin_key = key.ToString();
-      rt.end_key = end_key.ToString();
-      rt.seq = seq;
-      rt.time = now;
-      mem_->AddRangeTombstone(rt);
+void DBImpl::CompleteGroup(Writer* self, Writer* last, const Status& s,
+                           std::unique_lock<std::mutex>&) {
+  while (!writers_.empty()) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != self) {
+      ready->status = s;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last) {
       break;
     }
   }
-
-  const bool buffer_full =
-      mem_->ApproximateMemoryUsage() >= options_.write_buffer_bytes;
-  const bool buffer_ttl_expired =
-      buffer_ttl_ != UINT64_MAX &&
-      mem_->oldest_tombstone_time() != kNoTombstoneTime &&
-      now - mem_->oldest_tombstone_time() > buffer_ttl_;
-  if (buffer_full || buffer_ttl_expired) {
-    LETHE_RETURN_IF_ERROR(FlushMemTableLocked());
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
   }
-  return MaybeCompactLocked();
 }
 
-Status DBImpl::FlushMemTableLocked() {
+std::vector<DBImpl::Writer*> DBImpl::BuildBatchGroup(Writer** last) {
+  // Bound the group so one giant batch does not add unbounded latency to a
+  // small writer that merged behind it.
+  static constexpr size_t kMaxGroupBytes = 1 << 20;
+  std::vector<Writer*> group;
+  size_t bytes = 0;
+  for (Writer* writer : writers_) {
+    if (writer->batch == nullptr) {
+      break;  // exclusive op (flush/SRD): never merged into a group
+    }
+    if (!group.empty() && writer->sync && !group.front()->sync) {
+      break;  // do not impose a sync on writers that did not ask for one
+    }
+    bytes += writer->batch->ApproximateBytes();
+    if (!group.empty() && bytes > kMaxGroupBytes) {
+      break;
+    }
+    group.push_back(writer);
+  }
+  *last = group.back();
+  return group;
+}
+
+Status DBImpl::ApplyGroup(const std::vector<Writer*>& group,
+                          const ReadSnapshot& snap, WalWriter* wal,
+                          uint64_t now, bool force_sync) {
+  // Runs with mu_ released; the caller holds the write token, which is what
+  // guards memtable content, WAL appends, and sequence allocation.
+  struct PendingOp {
+    const WriteBatch::Op* op;
+    SequenceNumber seq;
+    uint64_t delete_key;
+  };
+  std::vector<PendingOp> pending;
+  std::vector<WalRecord> records;
+  size_t total_ops = 0;
+  for (const Writer* writer : group) {
+    total_ops += writer->batch->Count();
+  }
+  pending.reserve(total_ops);
+  if (wal != nullptr) {
+    records.reserve(total_ops);
+  }
+
+  // Pass 1: blind-delete filtering, statistics, sequence assignment, WAL
+  // record construction. `group_live` tracks the liveness outcome of keys
+  // written earlier in this group, so a Delete after a Put of the same key
+  // is judged against the batch, not the stale snapshot. It is only
+  // maintained when the filter is on — the default write path stays free of
+  // per-op map inserts.
+  const bool track_liveness = options_.filter_blind_deletes;
+  std::unordered_map<std::string, bool> group_live;
+  for (const Writer* writer : group) {
+    for (const WriteBatch::Op& op : writer->batch->ops()) {
+      uint64_t delete_key = op.delete_key;
+      switch (op.kind) {
+        case WriteBatch::OpKind::kPut:
+          stats_.user_puts.fetch_add(1, std::memory_order_relaxed);
+          stats_.user_bytes_written.fetch_add(
+              op.key.size() + op.value.size() + 8, std::memory_order_relaxed);
+          if (track_liveness) {
+            group_live[op.key] = true;
+          }
+          break;
+        case WriteBatch::OpKind::kDelete: {
+          if (options_.filter_blind_deletes) {
+            auto it = group_live.find(op.key);
+            const bool may_exist =
+                it != group_live.end() ? it->second
+                                       : KeyMayExist(snap, Slice(op.key));
+            if (!may_exist) {
+              stats_.blind_deletes_avoided.fetch_add(
+                  1, std::memory_order_relaxed);
+              continue;  // skip: no sequence, no WAL record, no tombstone
+            }
+          }
+          stats_.user_deletes.fetch_add(1, std::memory_order_relaxed);
+          stats_.user_bytes_written.fetch_add(op.key.size() + 8,
+                                              std::memory_order_relaxed);
+          // The tombstone's delete key is its creation time, so
+          // timestamp-keyed secondary deletes age tombstones out with the
+          // data they invalidate.
+          delete_key = now;
+          if (track_liveness) {
+            group_live[op.key] = false;
+          }
+          break;
+        }
+        case WriteBatch::OpKind::kRangeDelete:
+          stats_.user_range_deletes.fetch_add(1, std::memory_order_relaxed);
+          stats_.user_bytes_written.fetch_add(
+              op.key.size() + op.end_key.size(), std::memory_order_relaxed);
+          break;
+      }
+      // Only the token holder allocates sequences, so filtered deletes
+      // consume none — identical to the inline engine's numbering.
+      const SequenceNumber seq = versions_->NextSequence();
+      if (pending.empty() && snap.mem->empty()) {
+        mem_first_seq_ = seq;  // token-guarded, like all memtable state
+        mem_first_time_ = now;
+      }
+      pending.push_back({&op, seq, delete_key});
+      if (wal != nullptr) {
+        WalRecord record;
+        record.kind = op.kind == WriteBatch::OpKind::kPut
+                          ? WalRecord::Kind::kPut
+                          : (op.kind == WriteBatch::OpKind::kDelete
+                                 ? WalRecord::Kind::kDelete
+                                 : WalRecord::Kind::kRangeDelete);
+        record.seq = seq;
+        record.time = now;
+        record.key = op.key;
+        record.end_key = op.end_key;
+        record.delete_key = delete_key;
+        record.value = op.value;
+        records.push_back(std::move(record));
+      }
+    }
+  }
+  if (pending.empty()) {
+    return Status::OK();
+  }
+
+  // Pass 2: one physical WAL append (and at most one sync) for the whole
+  // group — the group-commit amortization.
+  if (wal != nullptr) {
+    LETHE_RETURN_IF_ERROR(
+        wal->AddRecords(records.data(), records.size(), force_sync));
+    stats_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+    if (force_sync || options_.sync_wal) {
+      stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Pass 3: apply to the memtable in order.
+  for (const PendingOp& p : pending) {
+    const WriteBatch::Op& op = *p.op;
+    switch (op.kind) {
+      case WriteBatch::OpKind::kPut:
+        snap.mem->Add(p.seq, ValueType::kValue, op.key, p.delete_key,
+                      op.value, now);
+        break;
+      case WriteBatch::OpKind::kDelete:
+        snap.mem->Add(p.seq, ValueType::kTombstone, op.key, p.delete_key,
+                      Slice(), now);
+        break;
+      case WriteBatch::OpKind::kRangeDelete: {
+        RangeTombstone rt;
+        rt.begin_key = op.key;
+        rt.end_key = op.end_key;
+        rt.seq = p.seq;
+        rt.time = now;
+        snap.mem->AddRangeTombstone(rt);
+        break;
+      }
+    }
+  }
+  stats_.group_commit_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.group_commit_entries.fetch_add(pending.size(),
+                                        std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("null WriteBatch");
+  }
+  for (const WriteBatch::Op& op : batch->ops()) {
+    if (op.kind == WriteBatch::OpKind::kRangeDelete &&
+        Slice(op.key).compare(Slice(op.end_key)) >= 0) {
+      return Status::InvalidArgument("empty range delete");
+    }
+  }
+
+  Writer w(batch, options.sync);
+  std::unique_lock<std::mutex> l(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("DB is closed");
+  }
+  JoinWriterQueue(&w, l);
+  if (w.done) {
+    return w.status;  // a leader committed this batch on our behalf
+  }
+
+  // This writer holds the write token.
+  Status s = bg_error_;
+  Writer* last_writer = &w;
+  if (s.ok()) {
+    MaybeSlowdownLocked(l);
+    std::vector<Writer*> group = BuildBatchGroup(&last_writer);
+    size_t count = 0;
+    for (const Writer* writer : group) {
+      count += writer->batch->Count();
+    }
+    if (count > 0) {
+      const uint64_t now = options_.clock->NowMicros();
+      ReadSnapshot snap = GetReadSnapshotLocked();
+      WalWriter* wal = wal_.get();
+      bool force_sync = false;
+      for (const Writer* writer : group) {
+        force_sync |= writer->sync;
+      }
+      l.unlock();
+      s = ApplyGroup(group, snap, wal, now, force_sync);
+      l.lock();
+    }
+    if (s.ok()) {
+      s = HandlePostWriteLocked(l);
+    }
+  }
+  CompleteGroup(&w, last_writer, s, l);
+  return s;
+}
+
+int DBImpl::EffectiveL0StopTrigger() const {
+  if (options_.l0_stop_trigger > 0 &&
+      options_.compaction_style == CompactionStyle::kTiering) {
+    return std::max(options_.l0_stop_trigger,
+                    static_cast<int>(options_.size_ratio));
+  }
+  return options_.l0_stop_trigger;
+}
+
+void DBImpl::MaybeSlowdownLocked(std::unique_lock<std::mutex>& l) {
+  if (options_.inline_compactions || options_.l0_slowdown_trigger <= 0 ||
+      options_.slowdown_delay_micros == 0) {
+    return;
+  }
+  const int stop = EffectiveL0StopTrigger();
+  if (l0_runs_ < options_.l0_slowdown_trigger ||
+      (stop > 0 && l0_runs_ >= stop)) {
+    return;  // below the soft trigger, or at the hard one (stall instead)
+  }
+  l.unlock();
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(options_.slowdown_delay_micros));
+  l.lock();
+  stats_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status DBImpl::HandlePostWriteLocked(std::unique_lock<std::mutex>& l) {
+  const uint64_t now = options_.clock->NowMicros();
+  auto buffer_needs_flush = [&] {
+    const bool buffer_full =
+        mem_->ApproximateMemoryUsage() >= options_.write_buffer_bytes;
+    const bool buffer_ttl_expired =
+        buffer_ttl_ != UINT64_MAX &&
+        mem_->oldest_tombstone_time() != kNoTombstoneTime &&
+        now - mem_->oldest_tombstone_time() > buffer_ttl_;
+    return buffer_full || buffer_ttl_expired;
+  };
+
+  if (options_.inline_compactions) {
+    if (buffer_needs_flush()) {
+      ImmMemTable current{mem_, wal_number_, mem_first_seq_, mem_first_time_};
+      LETHE_RETURN_IF_ERROR(FlushMemTable(current, l));
+    }
+    return MaybeCompactLocked(l);
+  }
+
+  // Background mode: the write path only swaps the memtable and enqueues the
+  // flush. Writers block solely through this explicit policy.
+  const int effective_stop = EffectiveL0StopTrigger();
+  Status s;
+  bool stalled = false;
+  uint64_t stall_start = 0;
+  while (buffer_needs_flush()) {
+    if (!bg_error_.ok()) {
+      s = bg_error_;
+      break;
+    }
+    if (closed_) {
+      s = Status::InvalidArgument("DB is closed");
+      break;
+    }
+    const bool imm_full =
+        static_cast<int>(imm_.size()) >= options_.max_imm_memtables;
+    const bool l0_stopped = effective_stop > 0 && l0_runs_ >= effective_stop;
+    if (imm_full || l0_stopped) {
+      // imm_full guarantees a flush job in flight; l0_stopped implies the
+      // saturation trigger fired (see clamp above) — but re-arm defensively
+      // so the wait below always has a wakeup source.
+      MaybeScheduleCompactionLocked();
+      if (!stalled) {
+        stalled = true;
+        stall_start = NowSteadyMicros();
+        stats_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      bg_work_done_cv_.wait(l);
+      continue;  // re-evaluate: a flush or compaction committed
+    }
+    s = SwitchMemTableLocked();
+    break;
+  }
+  if (stalled) {
+    stats_.RecordStall(NowSteadyMicros() - stall_start);
+  }
+  LETHE_RETURN_IF_ERROR(s);
+  MaybeScheduleCompactionLocked();
+  return Status::OK();
+}
+
+Status DBImpl::SwitchMemTableLocked() {
   if (mem_->empty()) {
+    return Status::OK();
+  }
+  ImmMemTable imm{mem_, wal_number_, mem_first_seq_, mem_first_time_};
+  if (options_.enable_wal) {
+    // Fresh WAL for the new memtable. The manifest keeps naming the oldest
+    // unflushed WAL; recovery scans the directory for everything newer.
+    const uint64_t number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> file;
+    LETHE_RETURN_IF_ERROR(
+        options_.env->NewWritableFile(WalFileName(dbname_, number), &file));
+    wal_->Close().ok();
+    wal_ = std::make_unique<WalWriter>(std::move(file), options_.sync_wal);
+    wal_number_ = number;
+  }
+  imm_.push_back(std::move(imm));
+  mem_ = std::make_shared<MemTable>();
+  bg_jobs_inflight_++;
+  if (!bg_->Schedule(BackgroundScheduler::Priority::kFlush,
+                     [this] { BackgroundFlush(); })) {
+    bg_jobs_inflight_--;  // shutting down; the destructor drains imm_
+  }
+  return Status::OK();
+}
+
+// ---- merges (both modes) --------------------------------------------------
+
+Status DBImpl::FlushMemTable(const ImmMemTable& imm,
+                             std::unique_lock<std::mutex>& l) {
+  if (imm.mem->empty()) {
     return Status::OK();
   }
   std::shared_ptr<const Version> version = versions_->current();
 
   VersionEdit edit;
-  versions_->AddSeqTimeCheckpoint(mem_first_seq_, mem_first_time_, &edit);
+  versions_->AddSeqTimeCheckpoint(imm.first_seq, imm.first_time, &edit);
 
   std::vector<std::unique_ptr<InternalIterator>> iters;
-  iters.push_back(mem_->NewIterator());
-  std::vector<RangeTombstone> rts = mem_->range_tombstones();
+  iters.push_back(imm.mem->NewIterator());
+  std::vector<RangeTombstone> rts = imm.mem->range_tombstones();
 
   MergeConfig config;
   config.is_flush = true;
@@ -436,7 +834,7 @@ Status DBImpl::FlushMemTableLocked() {
   // skiplist is key-ordered, so this is one cheap walk — no second decoding
   // pass over the buffer and no per-entry string churn.
   std::string smallest, largest;
-  bool has_span = mem_->KeySpan(&smallest, &largest);
+  bool has_span = imm.mem->KeySpan(&smallest, &largest);
   for (const RangeTombstone& rt : rts) {
     if (!has_span || Slice(rt.begin_key).compare(Slice(smallest)) < 0) {
       smallest = rt.begin_key;
@@ -468,13 +866,33 @@ Status DBImpl::FlushMemTableLocked() {
 
   auto merged = NewMergingIterator(std::move(iters));
   MergeExecutor executor(options_, versions_.get(), &stats_);
-  LETHE_RETURN_IF_ERROR(executor.Run(merged.get(), rts, config, &edit));
+  // The heavy merge runs without the mutex: inputs are immutable (a frozen
+  // memtable + on-disk files) and output file numbers come from atomics.
+  // The write token / single worker guarantees no concurrent version
+  // mutation between the snapshot above and the commit below.
+  l.unlock();
+  Status merge_status = executor.Run(merged.get(), rts, config, &edit);
+  l.lock();
+  LETHE_RETURN_IF_ERROR(merge_status);
 
-  LETHE_RETURN_IF_ERROR(RotateWalLocked(&edit));
+  const uint64_t flushed_wal = imm.wal_number;
+  if (options_.inline_compactions) {
+    LETHE_RETURN_IF_ERROR(RotateWalLocked(&edit));
+  } else {
+    // The manifest must keep naming the oldest WAL still carrying unflushed
+    // data: the next pending memtable's, or the active one.
+    edit.wal_number = imm_.size() > 1 ? imm_[1].wal_number : wal_number_;
+  }
   LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
-
-  // Old WAL content is durable in the new version now.
-  mem_ = std::make_shared<MemTable>();
+  if (options_.inline_compactions) {
+    mem_ = std::make_shared<MemTable>();
+  } else {
+    imm_.pop_front();
+  }
+  if (options_.enable_wal && flushed_wal != 0 && flushed_wal != wal_number_) {
+    // Everything the flushed WAL covered is durable in the new version.
+    options_.env->RemoveFile(WalFileName(dbname_, flushed_wal)).ok();
+  }
   RefreshTriggerStateLocked();
   return Status::OK();
 }
@@ -483,6 +901,7 @@ void DBImpl::RefreshTriggerStateLocked() {
   std::shared_ptr<const Version> version = versions_->current();
   earliest_ttl_expiry_ = picker_->EarliestTtlExpiry(*version);
   buffer_ttl_ = picker_->BufferTtl(*version);
+  l0_runs_ = version->num_levels() > 0 ? version->LevelRunCount(0) : 0;
   saturation_pending_ = false;
   for (int level = 0; level < version->num_levels(); level++) {
     if (options_.compaction_style == CompactionStyle::kTiering) {
@@ -499,7 +918,7 @@ void DBImpl::RefreshTriggerStateLocked() {
   }
 }
 
-Status DBImpl::MaybeCompactLocked() {
+Status DBImpl::MaybeCompactLocked(std::unique_lock<std::mutex>& l) {
   while (true) {
     uint64_t now = options_.clock->NowMicros();
     if (!saturation_pending_ && now < earliest_ttl_expiry_) {
@@ -516,7 +935,7 @@ Status DBImpl::MaybeCompactLocked() {
       return Status::OK();
     }
     bool did_work = false;
-    LETHE_RETURN_IF_ERROR(CompactOnceLocked(pick, &did_work));
+    LETHE_RETURN_IF_ERROR(CompactOnce(pick, &did_work, l));
     RefreshTriggerStateLocked();
     if (!did_work) {
       return Status::OK();
@@ -524,7 +943,8 @@ Status DBImpl::MaybeCompactLocked() {
   }
 }
 
-Status DBImpl::CompactOnceLocked(const CompactionPick& pick, bool* did_work) {
+Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
+                           std::unique_lock<std::mutex>& l) {
   *did_work = false;
   std::shared_ptr<const Version> version = versions_->current();
   const int deepest = version->DeepestNonEmptyLevel();
@@ -607,41 +1027,16 @@ Status DBImpl::CompactOnceLocked(const CompactionPick& pick, bool* did_work) {
                                           &rts, &config.input_bytes));
   auto merged = NewMergingIterator(std::move(iters));
   MergeExecutor executor(options_, versions_.get(), &stats_);
-  LETHE_RETURN_IF_ERROR(executor.Run(merged.get(), rts, config, &edit));
+  l.unlock();
+  Status merge_status = executor.Run(merged.get(), rts, config, &edit);
+  l.lock();
+  LETHE_RETURN_IF_ERROR(merge_status);
   LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
   *did_work = true;
   return Status::OK();
 }
 
-Status DBImpl::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  LETHE_RETURN_IF_ERROR(FlushMemTableLocked());
-  return MaybeCompactLocked();
-}
-
-Status DBImpl::CompactUntilQuiescent() {
-  std::lock_guard<std::mutex> lock(mu_);
-  LETHE_RETURN_IF_ERROR(FlushMemTableLocked());
-  while (true) {
-    std::shared_ptr<const Version> version = versions_->current();
-    CompactionPick pick =
-        picker_->Pick(*version, options_.clock->NowMicros());
-    if (!pick.valid()) {
-      RefreshTriggerStateLocked();
-      return Status::OK();
-    }
-    bool did_work = false;
-    LETHE_RETURN_IF_ERROR(CompactOnceLocked(pick, &did_work));
-    if (!did_work) {
-      RefreshTriggerStateLocked();
-      return Status::OK();
-    }
-  }
-}
-
-Status DBImpl::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  LETHE_RETURN_IF_ERROR(FlushMemTableLocked());
+Status DBImpl::CompactAllLocked(std::unique_lock<std::mutex>& l) {
   std::shared_ptr<const Version> version = versions_->current();
   int deepest = version->DeepestNonEmptyLevel();
   if (deepest < 0) {
@@ -671,10 +1066,270 @@ Status DBImpl::CompactAll() {
                                           &rts, &config.input_bytes));
   auto merged = NewMergingIterator(std::move(iters));
   MergeExecutor executor(options_, versions_.get(), &stats_);
-  LETHE_RETURN_IF_ERROR(executor.Run(merged.get(), rts, config, &edit));
+  l.unlock();
+  Status merge_status = executor.Run(merged.get(), rts, config, &edit);
+  l.lock();
+  LETHE_RETURN_IF_ERROR(merge_status);
   LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
   RefreshTriggerStateLocked();
   return Status::OK();
+}
+
+Status DBImpl::SecondaryRangeDeleteLocked(uint64_t lo, uint64_t hi,
+                                          std::unique_lock<std::mutex>& l) {
+  std::shared_ptr<const Version> version = versions_->current();
+  VersionEdit edit;
+  // Page reads and in-place boundary rewrites run without the mutex;
+  // foreground readers are fenced by FileMeta::page_generation.
+  l.unlock();
+  Status s = ExecuteSecondaryRangeDelete(options_, versions_.get(), &stats_,
+                                         *version, lo, hi, &edit);
+  l.lock();
+  LETHE_RETURN_IF_ERROR(s);
+  if (!edit.removed_files.empty() || !edit.added_files.empty()) {
+    LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+    RefreshTriggerStateLocked();
+    MaybeScheduleCompactionLocked();
+  }
+  return Status::OK();
+}
+
+// ---- background mode ------------------------------------------------------
+
+void DBImpl::MaybeScheduleCompactionLocked() {
+  if (bg_ == nullptr || closed_ || compaction_scheduled_ ||
+      !bg_error_.ok()) {
+    return;
+  }
+  const uint64_t now = options_.clock->NowMicros();
+  const bool ttl_due = now >= earliest_ttl_expiry_;
+  if (!saturation_pending_ && !ttl_due) {
+    return;
+  }
+  // The paper's priority rule: delete-driven (TTL) work outranks
+  // space-driven (saturation) work; the picker applies the same precedence
+  // when the job runs.
+  const auto priority =
+      ttl_due ? BackgroundScheduler::Priority::kDeleteDrivenCompaction
+              : BackgroundScheduler::Priority::kSpaceDrivenCompaction;
+  compaction_scheduled_ = true;
+  bg_jobs_inflight_++;
+  if (!bg_->Schedule(priority, [this] { BackgroundCompaction(); })) {
+    compaction_scheduled_ = false;
+    bg_jobs_inflight_--;
+  }
+}
+
+void DBImpl::BackgroundFlush() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (!closed_ && bg_error_.ok()) {
+    Status s = FlushOldestImmLocked(l);
+    if (!s.ok()) {
+      bg_error_ = s;
+    }
+    MaybeScheduleCompactionLocked();
+  }
+  bg_jobs_inflight_--;
+  bg_work_done_cv_.notify_all();
+}
+
+void DBImpl::BackgroundCompaction() {
+  std::unique_lock<std::mutex> l(mu_);
+  compaction_scheduled_ = false;
+  if (!closed_ && bg_error_.ok()) {
+    std::shared_ptr<const Version> version = versions_->current();
+    CompactionPick pick =
+        picker_->Pick(*version, options_.clock->NowMicros());
+    if (pick.valid()) {
+      bool did_work = false;
+      Status s = CompactOnce(pick, &did_work, l);
+      if (!s.ok()) {
+        bg_error_ = s;
+      }
+    }
+    RefreshTriggerStateLocked();
+    MaybeScheduleCompactionLocked();  // one pick per job; re-arm if needed
+  }
+  bg_jobs_inflight_--;
+  bg_work_done_cv_.notify_all();
+}
+
+Status DBImpl::RunOnWorkerAndWait(
+    BackgroundScheduler::Priority priority,
+    const std::function<Status(std::unique_lock<std::mutex>&)>& fn,
+    std::unique_lock<std::mutex>& l) {
+  struct JobResult {
+    Status status;
+    bool done = false;
+  } result;  // guarded by mu_; outlives the job because we wait for done
+  bg_jobs_inflight_++;
+  const bool scheduled = bg_->Schedule(priority, [this, &result, &fn] {
+    std::unique_lock<std::mutex> jl(mu_);
+    Status s;
+    if (!closed_ && bg_error_.ok()) {
+      s = fn(jl);
+      if (!s.ok() && bg_error_.ok()) {
+        bg_error_ = s;
+      }
+    } else {
+      s = bg_error_;
+    }
+    result.status = s;
+    result.done = true;
+    bg_jobs_inflight_--;
+    bg_work_done_cv_.notify_all();
+  });
+  if (!scheduled) {
+    bg_jobs_inflight_--;
+    return Status::InvalidArgument("DB is closing");
+  }
+  bg_work_done_cv_.wait(l, [&result] { return result.done; });
+  return result.status;
+}
+
+Status DBImpl::FlushOldestImmLocked(std::unique_lock<std::mutex>& l) {
+  if (imm_.empty()) {
+    return Status::OK();
+  }
+  ImmMemTable imm = imm_.front();  // copy: pins the memtable across unlock
+  return FlushMemTable(imm, l);
+}
+
+Status DBImpl::WaitForFlushLocked(std::unique_lock<std::mutex>& l) {
+  while (!imm_.empty()) {
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    if (closed_) {
+      return Status::InvalidArgument("DB is closed");
+    }
+    bg_work_done_cv_.wait(l);
+  }
+  return bg_error_;
+}
+
+// ---- maintenance API ------------------------------------------------------
+
+Status DBImpl::Flush() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("DB is closed");
+  }
+  Writer w(nullptr, false);
+  JoinWriterQueue(&w, l);
+  Status s;
+  if (options_.inline_compactions) {
+    ImmMemTable current{mem_, wal_number_, mem_first_seq_, mem_first_time_};
+    s = FlushMemTable(current, l);
+    if (s.ok()) {
+      s = MaybeCompactLocked(l);
+    }
+    CompleteGroup(&w, &w, s, l);
+    return s;
+  }
+  s = bg_error_.ok() ? SwitchMemTableLocked() : bg_error_;
+  CompleteGroup(&w, &w, s, l);  // release the token before the barrier
+  if (s.ok()) {
+    s = WaitForFlushLocked(l);
+  }
+  return s;
+}
+
+Status DBImpl::WaitForCompact() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (options_.inline_compactions) {
+    Writer w(nullptr, false);
+    JoinWriterQueue(&w, l);
+    Status s = MaybeCompactLocked(l);
+    CompleteGroup(&w, &w, s, l);
+    return s;
+  }
+  while (true) {
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    if (closed_) {
+      return Status::InvalidArgument("DB is closed");
+    }
+    const bool busy =
+        !imm_.empty() || bg_jobs_inflight_ > 0 || compaction_scheduled_;
+    if (!busy) {
+      RefreshTriggerStateLocked();
+      std::shared_ptr<const Version> version = versions_->current();
+      if (!picker_->Pick(*version, options_.clock->NowMicros()).valid()) {
+        return Status::OK();  // quiescent: nothing queued, nothing to pick
+      }
+      MaybeScheduleCompactionLocked();
+      if (!compaction_scheduled_) {
+        // The cached triggers disagree with the picker (e.g. a TTL edge);
+        // force one compaction round rather than spinning.
+        saturation_pending_ = true;
+        MaybeScheduleCompactionLocked();
+        if (!compaction_scheduled_) {
+          return bg_error_;  // scheduler is shutting down
+        }
+      }
+      continue;
+    }
+    bg_work_done_cv_.wait(l);
+  }
+}
+
+Status DBImpl::CompactUntilQuiescent() {
+  if (!options_.inline_compactions) {
+    LETHE_RETURN_IF_ERROR(Flush());
+    return WaitForCompact();
+  }
+  std::unique_lock<std::mutex> l(mu_);
+  Writer w(nullptr, false);
+  JoinWriterQueue(&w, l);
+  ImmMemTable current{mem_, wal_number_, mem_first_seq_, mem_first_time_};
+  Status s = FlushMemTable(current, l);
+  while (s.ok()) {
+    std::shared_ptr<const Version> version = versions_->current();
+    CompactionPick pick =
+        picker_->Pick(*version, options_.clock->NowMicros());
+    if (!pick.valid()) {
+      RefreshTriggerStateLocked();
+      break;
+    }
+    bool did_work = false;
+    s = CompactOnce(pick, &did_work, l);
+    if (s.ok() && !did_work) {
+      RefreshTriggerStateLocked();
+      break;
+    }
+  }
+  CompleteGroup(&w, &w, s, l);
+  return s;
+}
+
+Status DBImpl::CompactAll() {
+  if (options_.inline_compactions) {
+    std::unique_lock<std::mutex> l(mu_);
+    Writer w(nullptr, false);
+    JoinWriterQueue(&w, l);
+    ImmMemTable current{mem_, wal_number_, mem_first_seq_, mem_first_time_};
+    Status s = FlushMemTable(current, l);
+    if (s.ok()) {
+      s = CompactAllLocked(l);
+    }
+    CompleteGroup(&w, &w, s, l);
+    return s;
+  }
+  LETHE_RETURN_IF_ERROR(Flush());
+  std::unique_lock<std::mutex> l(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("DB is closed");
+  }
+  // Run the merge on the worker (the only thread that mutates on-disk state
+  // in background mode) and wait for it.
+  return RunOnWorkerAndWait(
+      BackgroundScheduler::Priority::kSpaceDrivenCompaction,
+      [this](std::unique_lock<std::mutex>& jl) {
+        return CompactAllLocked(jl);
+      },
+      l);
 }
 
 Status DBImpl::SecondaryRangeDelete(const WriteOptions&,
@@ -683,40 +1338,56 @@ Status DBImpl::SecondaryRangeDelete(const WriteOptions&,
   if (delete_key_begin >= delete_key_end) {
     return Status::InvalidArgument("empty secondary range delete");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> l(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("DB is closed");
+  }
+  Writer w(nullptr, false);
+  JoinWriterQueue(&w, l);
   stats_.secondary_range_deletes.fetch_add(1, std::memory_order_relaxed);
 
+  // The active memtable is mutable, so buffered entries are purged in place
+  // (no tombstones needed). Requires the write token.
   uint64_t purged =
       mem_->PurgeDeleteKeyRange(delete_key_begin, delete_key_end);
   stats_.entries_purged_by_srd.fetch_add(purged, std::memory_order_relaxed);
 
-  std::shared_ptr<const Version> version = versions_->current();
-  VersionEdit edit;
-  LETHE_RETURN_IF_ERROR(ExecuteSecondaryRangeDelete(
-      options_, versions_.get(), &stats_, *version, delete_key_begin,
-      delete_key_end, &edit));
-  if (!edit.removed_files.empty() || !edit.added_files.empty()) {
-    LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
-    RefreshTriggerStateLocked();
+  if (options_.inline_compactions) {
+    Status s = SecondaryRangeDeleteLocked(delete_key_begin, delete_key_end, l);
+    CompleteGroup(&w, &w, s, l);
+    return s;
   }
-  return Status::OK();
+
+  // Background mode: release the token, then run the disk part as a
+  // prioritized job. Flush jobs outrank it, so every memtable frozen before
+  // this call reaches disk before the job scans the tree — no pre-call entry
+  // escapes the delete.
+  CompleteGroup(&w, &w, Status::OK(), l);
+  if (!bg_error_.ok()) {
+    return bg_error_;
+  }
+  return RunOnWorkerAndWait(
+      BackgroundScheduler::Priority::kSecondaryDelete,
+      [this, delete_key_begin,
+       delete_key_end](std::unique_lock<std::mutex>& jl) {
+        return SecondaryRangeDeleteLocked(delete_key_begin, delete_key_end,
+                                          jl);
+      },
+      l);
 }
+
+// ---- reads ----------------------------------------------------------------
 
 Status DBImpl::GetWithDeleteKey(const ReadOptions&, const Slice& key,
                                 std::string* value, uint64_t* delete_key) {
-  std::shared_ptr<MemTable> mem;
-  std::shared_ptr<const Version> version;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    mem = mem_;
-    version = versions_->current();
-  }
+  ReadSnapshot snap = GetReadSnapshot();
   stats_.point_lookups.fetch_add(1, std::memory_order_relaxed);
 
-  SequenceNumber max_rt_seq = mem->range_tombstone_set().MaxCoverSeq(key);
+  SequenceNumber max_rt_seq =
+      snap.mem->range_tombstone_set().MaxCoverSeq(key);
 
   ParsedEntry mem_entry;
-  if (mem->Get(key, &mem_entry)) {
+  if (snap.mem->Get(key, &mem_entry)) {
     if (max_rt_seq > mem_entry.seq || mem_entry.IsTombstone()) {
       return Status::NotFound(key);
     }
@@ -725,8 +1396,24 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions&, const Slice& key,
     return Status::OK();
   }
 
-  for (int level = 0; level < version->num_levels(); level++) {
-    const auto& runs = version->levels()[level];
+  // Immutable memtables, newest first, accumulating range-tombstone
+  // coverage on the way down (sources are strictly ordered by sequence).
+  for (auto it = snap.imm.rbegin(); it != snap.imm.rend(); ++it) {
+    const MemTable& imm = **it;
+    max_rt_seq =
+        std::max(max_rt_seq, imm.range_tombstone_set().MaxCoverSeq(key));
+    if (imm.Get(key, &mem_entry)) {
+      if (max_rt_seq > mem_entry.seq || mem_entry.IsTombstone()) {
+        return Status::NotFound(key);
+      }
+      *value = mem_entry.value.ToString();
+      *delete_key = mem_entry.delete_key;
+      return Status::OK();
+    }
+  }
+
+  for (int level = 0; level < snap.version->num_levels(); level++) {
+    const auto& runs = snap.version->levels()[level];
     for (auto run = runs.rbegin(); run != runs.rend(); ++run) {
       int idx = run->FindFile(key);
       if (idx < 0) {
@@ -774,22 +1461,24 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 }
 
 std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions&) {
-  std::shared_ptr<MemTable> mem;
-  std::shared_ptr<const Version> version;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    mem = mem_;
-    version = versions_->current();
-  }
+  ReadSnapshot snap = GetReadSnapshot();
 
   std::vector<std::unique_ptr<InternalIterator>> children;
-  children.push_back(mem->NewIterator());
+  children.push_back(snap.mem->NewIterator());
 
   RangeTombstoneSet rts;
-  rts.AddAll(mem->range_tombstones());
+  rts.AddAll(snap.mem->range_tombstones());
 
-  for (int level = 0; level < version->num_levels(); level++) {
-    for (const SortedRun& run : version->levels()[level]) {
+  std::vector<std::shared_ptr<MemTable>> pinned;
+  pinned.push_back(snap.mem);
+  for (const auto& imm : snap.imm) {
+    children.push_back(imm->NewIterator());
+    rts.AddAll(imm->range_tombstones());
+    pinned.push_back(imm);
+  }
+
+  for (int level = 0; level < snap.version->num_levels(); level++) {
+    for (const SortedRun& run : snap.version->levels()[level]) {
       children.push_back(std::make_unique<RunIterator>(
           versions_->table_cache(), run.files));
       for (const auto& file : run.files) {
@@ -804,7 +1493,7 @@ std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions&) {
     }
   }
 
-  return std::make_unique<DBIter>(std::move(mem), std::move(version),
+  return std::make_unique<DBIter>(std::move(pinned), std::move(snap.version),
                                   NewMergingIterator(std::move(children)),
                                   std::move(rts), &stats_);
 }
@@ -817,19 +1506,15 @@ Status DBImpl::SecondaryRangeLookup(const ReadOptions& options,
   if (delete_key_begin >= delete_key_end) {
     return Status::OK();
   }
-  std::shared_ptr<MemTable> mem;
-  std::shared_ptr<const Version> version;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    mem = mem_;
-    version = versions_->current();
-  }
+  ReadSnapshot snap = GetReadSnapshot();
 
   // Phase 1: gather candidate sort keys via the delete-key fences. Pages
   // whose delete-key range misses [lo, hi) are never read — this is where
   // KiWi's weave pays off for h > 1.
   std::set<std::string> candidates;
-  {
+  std::vector<std::shared_ptr<MemTable>> mems = snap.imm;
+  mems.push_back(snap.mem);
+  for (const auto& mem : mems) {
     auto it = mem->NewIterator();
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
       const ParsedEntry& entry = it->entry();
@@ -839,7 +1524,7 @@ Status DBImpl::SecondaryRangeLookup(const ReadOptions& options,
       }
     }
   }
-  for (const auto& [level, file] : version->AllFiles()) {
+  for (const auto& [level, file] : snap.version->AllFiles()) {
     if (!file->OverlapsDeleteKeyRange(delete_key_begin, delete_key_end)) {
       continue;
     }
@@ -932,10 +1617,12 @@ std::vector<TombstoneAgeSample> DBImpl::GetTombstoneAges() {
 }
 
 uint64_t DBImpl::ApproximateEntryCount() const {
-  // Memtable count is exact enough for benches; purged-but-unflushed
-  // entries are rare.
-  std::shared_ptr<const Version> version = versions_->current();
-  return version->TotalLiveEntries() + mem_->num_entries();
+  ReadSnapshot snap = GetReadSnapshot();
+  uint64_t count = snap.version->TotalLiveEntries() + snap.mem->num_entries();
+  for (const auto& imm : snap.imm) {
+    count += imm->num_entries();
+  }
+  return count;
 }
 
 Status DBImpl::ComputeSpaceAmplification(double* samp) {

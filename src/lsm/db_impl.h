@@ -1,6 +1,8 @@
 #ifndef LETHE_LSM_DB_IMPL_H_
 #define LETHE_LSM_DB_IMPL_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,29 +12,59 @@
 #include "src/core/options.h"
 #include "src/core/statistics.h"
 #include "src/format/page_cache.h"
+#include "src/lsm/bg_work.h"
 #include "src/lsm/compaction.h"
 #include "src/lsm/compaction_picker.h"
 #include "src/lsm/version_set.h"
 #include "src/memtable/memtable.h"
 #include "src/memtable/wal.h"
+#include "src/memtable/write_batch.h"
 
 namespace lethe {
 
-/// The engine proper. Single-writer / multi-reader: a mutex serializes all
-/// mutations (writes, flushes, compactions run inline — the paper's
-/// experiments give compactions priority over writes); readers briefly take
-/// the mutex to snapshot {memtable, version} pointers and then proceed
-/// lock-free on immutable state.
+/// The engine proper.
+///
+/// Threading model — three kinds of participants:
+///
+///   *Writers* serialize through a leader/follower queue (`writers_`).
+///   Being at the front of the queue is the **write token**: the exclusive
+///   right to mutate the active memtable, the WAL handle, and (in inline
+///   mode) to run merges. A leader merges the batches of the writers queued
+///   behind it and commits the whole group with one WAL append (group
+///   commit), applying to the memtable with `mu_` released — safe because
+///   the token, not the mutex, is what guards memtable mutation.
+///
+///   *Readers* briefly take `mu_` to snapshot {memtable, immutable
+///   memtables, version} pointers and then proceed lock-free on immutable
+///   state.
+///
+///   *Background work* (inline_compactions = false): writers only swap full
+///   memtables onto `imm_` and enqueue work; a single BackgroundScheduler
+///   worker runs flushes, compactions, and secondary-delete execution.
+///   Heavy merge I/O runs with `mu_` released; version commits
+///   (VersionSet::LogAndApply) always happen under `mu_`. The single worker
+///   serializes all on-disk mutation, so no file-level locking exists.
+///
+/// Locking invariants:
+///   - `mu_` guards: the writer queue, mem_/imm_ swaps, wal_ rotation,
+///     trigger caches, background bookkeeping, and every LogAndApply call.
+///   - Memtable *content* mutation requires the write token (front of
+///     `writers_`), not `mu_`.
+///   - versions_ merges/commits happen only on the worker thread (background
+///     mode) or under the write token (inline mode) — never concurrently.
+///   - Monotonic counters (file numbers, sequence numbers) are atomics in
+///     VersionSet, allocatable without `mu_`.
 class DBImpl final : public DB {
  public:
   DBImpl(const Options& options, std::string name);
   ~DBImpl() override;
 
-  /// Recovers MANIFEST + WAL. Must be called once before use.
+  /// Recovers MANIFEST + WAL(s). Must be called once before use.
   Status Init();
 
   Status Put(const WriteOptions& options, const Slice& key,
              uint64_t delete_key, const Slice& value) override;
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
   Status Delete(const WriteOptions& options, const Slice& key) override;
   Status RangeDelete(const WriteOptions& options, const Slice& begin_key,
                      const Slice& end_key) override;
@@ -49,6 +81,7 @@ class DBImpl final : public DB {
                               uint64_t delete_key_end,
                               std::vector<SecondaryHit>* hits) override;
   Status Flush() override;
+  Status WaitForCompact() override;
   Status CompactUntilQuiescent() override;
   Status CompactAll() override;
   const Statistics& stats() const override { return stats_; }
@@ -57,17 +90,121 @@ class DBImpl final : public DB {
   Status ComputeSpaceAmplification(double* samp) override;
   uint64_t ApproximateEntryCount() const override;
 
+  /// Test hook: the background worker, or nullptr in inline mode.
+  BackgroundScheduler* TEST_scheduler() { return bg_.get(); }
+
  private:
-  Status WriteLocked(WalRecord::Kind kind, const Slice& key,
-                     const Slice& end_key, uint64_t delete_key,
-                     const Slice& value);
-  Status FlushMemTableLocked();
-  Status MaybeCompactLocked();
-  Status CompactOnceLocked(const CompactionPick& pick, bool* did_work);
+  /// One queued write (or an exclusive-token request when batch == nullptr).
+  struct Writer {
+    Writer(WriteBatch* b, bool s) : batch(b), sync(s) {}
+    WriteBatch* batch;  // nullptr = exclusive op (flush/SRD/compact-all)
+    bool sync;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
+  /// A memtable frozen by the write path, awaiting background flush,
+  /// together with the WAL that covers it and its FADE checkpoint info.
+  struct ImmMemTable {
+    std::shared_ptr<MemTable> mem;
+    uint64_t wal_number = 0;
+    SequenceNumber first_seq = 0;
+    uint64_t first_time = 0;
+  };
+
+  /// A point-in-time view of everything readable, taken under mu_.
+  struct ReadSnapshot {
+    std::shared_ptr<MemTable> mem;
+    std::vector<std::shared_ptr<MemTable>> imm;  // oldest first
+    std::shared_ptr<const Version> version;
+  };
+
+  // ---- write path -------------------------------------------------------
+
+  /// Enqueues `w`, blocks until it holds the write token (front of the
+  /// queue) or a leader completed it.
+  void JoinWriterQueue(Writer* w, std::unique_lock<std::mutex>& l);
+
+  /// Pops the front writers through `last` (marking all but `self` done with
+  /// `s`) and wakes the next queue head.
+  void CompleteGroup(Writer* self, Writer* last, const Status& s,
+                     std::unique_lock<std::mutex>& l);
+
+  /// Collects the contiguous run of batch writers at the queue front into a
+  /// group (bounded by byte budget). Returns them; *last is the final
+  /// member.
+  std::vector<Writer*> BuildBatchGroup(Writer** last);
+
+  /// Applies a commit group: blind-delete filtering, sequence assignment,
+  /// one WAL append (+ at most one sync), memtable insert. Runs with mu_
+  /// released; the write token is what makes this safe.
+  Status ApplyGroup(const std::vector<Writer*>& group,
+                    const ReadSnapshot& snap, WalWriter* wal, uint64_t now,
+                    bool force_sync);
+
+  /// Post-apply trigger handling, under mu_ with the token held. Inline
+  /// mode: flush + compact in place. Background mode: swap the memtable and
+  /// enqueue a flush, stalling per the explicit policy when the pipeline is
+  /// full.
+  Status HandlePostWriteLocked(std::unique_lock<std::mutex>& l);
+
+  /// Freezes mem_ onto imm_, starts a fresh WAL, and schedules a flush job.
+  Status SwitchMemTableLocked();
+
+  /// Bounded one-shot delay when L0 crosses l0_slowdown_trigger.
+  void MaybeSlowdownLocked(std::unique_lock<std::mutex>& l);
+
+  /// l0_stop_trigger clamped so it cannot fire below the tiering saturation
+  /// point (where no compaction would ever release the stall). Used by both
+  /// the slowdown and the stall check so the two bands stay contiguous.
+  int EffectiveL0StopTrigger() const;
+
+  // ---- merges (both modes) ---------------------------------------------
+
+  /// Flushes `imm` (merging with overlapping first-level files under
+  /// leveling). Heavy I/O runs with `l` released; the caller must hold the
+  /// write token (inline) or be the worker (background). Inline mode
+  /// rotates the WAL and resets mem_; background mode pops imm_ and points
+  /// the manifest at the oldest WAL still carrying unflushed data.
+  Status FlushMemTable(const ImmMemTable& imm, std::unique_lock<std::mutex>& l);
+
+  Status MaybeCompactLocked(std::unique_lock<std::mutex>& l);
+  Status CompactOnce(const CompactionPick& pick, bool* did_work,
+                     std::unique_lock<std::mutex>& l);
+  Status CompactAllLocked(std::unique_lock<std::mutex>& l);
+  Status SecondaryRangeDeleteLocked(uint64_t lo, uint64_t hi,
+                                    std::unique_lock<std::mutex>& l);
+
+  // ---- background mode --------------------------------------------------
+
+  void MaybeScheduleCompactionLocked();
+  void BackgroundFlush();
+  void BackgroundCompaction();
+
+  /// Schedules `fn` on the worker at `priority` and blocks until it ran
+  /// (mu_ held on entry and return; released while waiting). `fn` receives
+  /// the worker's lock and may release it around I/O; a failure status is
+  /// also recorded as the background error.
+  Status RunOnWorkerAndWait(
+      BackgroundScheduler::Priority priority,
+      const std::function<Status(std::unique_lock<std::mutex>&)>& fn,
+      std::unique_lock<std::mutex>& l);
+
+  /// Oldest pending flush, executed on the worker (or inline at close).
+  Status FlushOldestImmLocked(std::unique_lock<std::mutex>& l);
+
+  /// Blocks until imm_ is drained (or a background error is set).
+  Status WaitForFlushLocked(std::unique_lock<std::mutex>& l);
+
+  // ---- shared helpers ---------------------------------------------------
+
   void RefreshTriggerStateLocked();
   Status RotateWalLocked(VersionEdit* edit);
-  bool KeyMayExistLocked(const Slice& key);
-  Status ReplayWalLocked();
+  bool KeyMayExist(const ReadSnapshot& snap, const Slice& key);
+  Status ReplayWalsLocked();
+  ReadSnapshot GetReadSnapshot() const;
+  ReadSnapshot GetReadSnapshotLocked() const;
 
   Options options_;  // resolved (env/clock non-null)
   std::string dbname_;
@@ -77,18 +214,29 @@ class DBImpl final : public DB {
   std::unique_ptr<PageCache> page_cache_;
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<CompactionPicker> picker_;
+  std::unique_ptr<BackgroundScheduler> bg_;  // background mode only
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::deque<Writer*> writers_;
   std::shared_ptr<MemTable> mem_;
+  std::deque<ImmMemTable> imm_;  // oldest first
   std::unique_ptr<WalWriter> wal_;
   uint64_t wal_number_ = 0;
   SequenceNumber mem_first_seq_ = 0;
   uint64_t mem_first_time_ = 0;
 
+  // Background bookkeeping (guarded by mu_).
+  std::condition_variable bg_work_done_cv_;  // flush/compaction committed
+  bool compaction_scheduled_ = false;
+  int bg_jobs_inflight_ = 0;
+  Status bg_error_;
+  bool closed_ = false;
+
   // O(1) per-write trigger pre-checks, refreshed on version installs.
   uint64_t earliest_ttl_expiry_ = UINT64_MAX;
   uint64_t buffer_ttl_ = UINT64_MAX;  // FADE's d_0 for the memtable
   bool saturation_pending_ = false;
+  int l0_runs_ = 0;
 };
 
 }  // namespace lethe

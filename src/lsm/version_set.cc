@@ -137,7 +137,7 @@ Status VersionSet::CreateFresh() {
 
 Status VersionSet::WriteSnapshotManifest() {
   Env* env = options_.env;
-  manifest_number_ = next_file_number_++;
+  manifest_number_ = NewFileNumber();
   std::string name = ManifestFileName(dbname_, manifest_number_);
   std::unique_ptr<WritableFile> file;
   LETHE_RETURN_IF_ERROR(env->NewWritableFile(name, &file));
@@ -154,10 +154,10 @@ Status VersionSet::WriteSnapshotManifest() {
     }
   }
   snapshot.seq_time_checkpoints = seq_time_map_;
-  snapshot.next_file_number = next_file_number_;
-  snapshot.last_sequence = last_sequence_;
+  snapshot.next_file_number = next_file_number_.load();
+  snapshot.last_sequence = last_sequence_.load();
   snapshot.wal_number = wal_number_;
-  snapshot.next_run_id = next_run_id_;
+  snapshot.next_run_id = next_run_id_.load();
 
   std::string payload;
   snapshot.EncodeTo(&payload);
@@ -173,17 +173,19 @@ Status VersionSet::WriteSnapshotManifest() {
 }
 
 void VersionSet::ApplyCounters(const VersionEdit& edit) {
+  // Recovery-time only (single-threaded): plain max-merge into the atomics.
   if (edit.next_file_number) {
-    next_file_number_ = std::max(next_file_number_, *edit.next_file_number);
+    next_file_number_.store(std::max(next_file_number_.load(),
+                                     *edit.next_file_number));
   }
   if (edit.last_sequence) {
-    last_sequence_ = std::max(last_sequence_, *edit.last_sequence);
+    last_sequence_.store(std::max(last_sequence_.load(), *edit.last_sequence));
   }
   if (edit.wal_number) {
     wal_number_ = *edit.wal_number;
   }
   if (edit.next_run_id) {
-    next_run_id_ = std::max(next_run_id_, *edit.next_run_id);
+    next_run_id_.store(std::max(next_run_id_.load(), *edit.next_run_id));
   }
 }
 
@@ -206,9 +208,9 @@ uint64_t VersionSet::TimeOfSeq(SequenceNumber seq) const {
 }
 
 Status VersionSet::LogAndApply(VersionEdit* edit) {
-  edit->next_file_number = next_file_number_;
-  edit->last_sequence = last_sequence_;
-  edit->next_run_id = next_run_id_;
+  edit->next_file_number = next_file_number_.load();
+  edit->last_sequence = last_sequence_.load();
+  edit->next_run_id = next_run_id_.load();
   if (!edit->wal_number) {
     edit->wal_number = wal_number_;
   } else {

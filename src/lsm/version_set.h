@@ -1,6 +1,7 @@
 #ifndef LETHE_LSM_VERSION_SET_H_
 #define LETHE_LSM_VERSION_SET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -82,12 +83,40 @@ class VersionSet {
     return current_;
   }
 
-  uint64_t NewFileNumber() { return next_file_number_++; }
-  uint64_t NewRunId() { return next_run_id_++; }
+  // Monotonic counters are atomic: the background worker allocates file/run
+  // numbers while merging outside the DB mutex, concurrently with the write
+  // path allocating sequence numbers.
+  uint64_t NewFileNumber() {
+    return next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t NewRunId() {
+    return next_run_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  SequenceNumber LastSequence() const { return last_sequence_; }
-  void SetLastSequence(SequenceNumber seq) { last_sequence_ = seq; }
-  SequenceNumber NextSequence() { return ++last_sequence_; }
+  /// Max-merges the file-number counter past `number`. Recovery calls this
+  /// with every WAL number found on disk: background-mode WAL numbers are
+  /// allocated without a manifest write, so after a crash the manifest's
+  /// counter may lag them, and a fresh allocation must not collide.
+  void EnsureFileNumberPast(uint64_t number) {
+    uint64_t current = next_file_number_.load(std::memory_order_relaxed);
+    while (current <= number &&
+           !next_file_number_.compare_exchange_weak(
+               current, number + 1, std::memory_order_relaxed)) {
+    }
+  }
+
+  SequenceNumber LastSequence() const {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
+  void SetLastSequence(SequenceNumber seq) {
+    last_sequence_.store(seq, std::memory_order_release);
+  }
+  SequenceNumber NextSequence() { return AllocateSequences(1); }
+
+  /// Reserves `count` consecutive sequence numbers and returns the first.
+  SequenceNumber AllocateSequences(uint64_t count) {
+    return last_sequence_.fetch_add(count, std::memory_order_acq_rel) + 1;
+  }
 
   uint64_t wal_number() const { return wal_number_; }
   void set_wal_number(uint64_t n) { wal_number_ = n; }
@@ -118,9 +147,9 @@ class VersionSet {
   std::unique_ptr<RecordLogWriter> manifest_;
   uint64_t manifest_number_ = 0;
 
-  uint64_t next_file_number_ = 1;
-  uint64_t next_run_id_ = 1;
-  SequenceNumber last_sequence_ = 0;
+  std::atomic<uint64_t> next_file_number_{1};
+  std::atomic<uint64_t> next_run_id_{1};
+  std::atomic<SequenceNumber> last_sequence_{0};
   uint64_t wal_number_ = 0;
 
   std::vector<std::pair<SequenceNumber, uint64_t>> seq_time_map_;

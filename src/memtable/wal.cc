@@ -1,5 +1,7 @@
 #include "src/memtable/wal.h"
 
+#include <vector>
+
 #include "src/util/coding.h"
 
 namespace lethe {
@@ -42,6 +44,17 @@ Status WalWriter::AddRecord(const WalRecord& record) {
   std::string payload;
   EncodeWalRecord(record, &payload);
   return log_.AddRecord(payload);
+}
+
+Status WalWriter::AddRecords(const WalRecord* records, size_t n,
+                             bool force_sync) {
+  std::vector<std::string> payloads(n);
+  std::vector<Slice> slices(n);
+  for (size_t i = 0; i < n; i++) {
+    EncodeWalRecord(records[i], &payloads[i]);
+    slices[i] = Slice(payloads[i]);
+  }
+  return log_.AddRecords(slices.data(), n, force_sync);
 }
 
 bool WalReader::ReadRecord(WalRecord* record, Status* status) {

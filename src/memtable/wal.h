@@ -43,6 +43,12 @@ class WalWriter {
       : log_(std::move(file), sync_on_write) {}
 
   Status AddRecord(const WalRecord& record);
+
+  /// Group-commit append: logs `n` records with one physical Append (and at
+  /// most one Sync — issued when `force_sync` or the writer's sync mode is
+  /// set). Byte-identical to n sequential AddRecord calls.
+  Status AddRecords(const WalRecord* records, size_t n, bool force_sync);
+
   Status Close() { return log_.Close(); }
 
  private:

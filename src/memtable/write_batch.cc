@@ -1,0 +1,38 @@
+#include "src/memtable/write_batch.h"
+
+namespace lethe {
+
+void WriteBatch::Put(const Slice& key, uint64_t delete_key,
+                     const Slice& value) {
+  Op op;
+  op.kind = OpKind::kPut;
+  op.key = key.ToString();
+  op.delete_key = delete_key;
+  op.value = value.ToString();
+  approximate_bytes_ += key.size() + value.size() + 8;
+  ops_.push_back(std::move(op));
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  Op op;
+  op.kind = OpKind::kDelete;
+  op.key = key.ToString();
+  approximate_bytes_ += key.size() + 8;
+  ops_.push_back(std::move(op));
+}
+
+void WriteBatch::RangeDelete(const Slice& begin_key, const Slice& end_key) {
+  Op op;
+  op.kind = OpKind::kRangeDelete;
+  op.key = begin_key.ToString();
+  op.end_key = end_key.ToString();
+  approximate_bytes_ += begin_key.size() + end_key.size();
+  ops_.push_back(std::move(op));
+}
+
+void WriteBatch::Clear() {
+  ops_.clear();
+  approximate_bytes_ = 0;
+}
+
+}  // namespace lethe

@@ -1,0 +1,73 @@
+#ifndef LETHE_MEMTABLE_WRITE_BATCH_H_
+#define LETHE_MEMTABLE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace lethe {
+
+/// An ordered collection of write operations applied atomically by
+/// DB::Write: either every operation of the batch becomes visible (and is
+/// logged in a single WAL append) or none does. Later operations in a batch
+/// see the effect of earlier ones (a Put followed by a Delete of the same
+/// key yields a deleted key).
+///
+/// Batching is also the unit of group commit: the write path merges the
+/// batches of concurrently arriving writers into one leader-applied group,
+/// amortizing one WAL append (and one sync, when requested) plus one write
+/// token acquisition across all of them.
+class WriteBatch {
+ public:
+  enum class OpKind : uint8_t {
+    kPut = 1,
+    kDelete = 2,
+    kRangeDelete = 3,
+  };
+
+  /// One buffered operation. `key` doubles as the begin key for range
+  /// deletes; `end_key` is only meaningful for range deletes.
+  struct Op {
+    OpKind kind = OpKind::kPut;
+    std::string key;
+    std::string end_key;
+    uint64_t delete_key = 0;
+    std::string value;
+  };
+
+  WriteBatch() = default;
+
+  /// Buffers an insert/update of `key` with the given secondary delete key
+  /// and value.
+  void Put(const Slice& key, uint64_t delete_key, const Slice& value);
+
+  /// Buffers a point delete. The tombstone's secondary delete key is stamped
+  /// with the commit-time clock reading when the batch is applied, so
+  /// timestamp-keyed secondary range deletes age tombstones out with the
+  /// data they invalidate.
+  void Delete(const Slice& key);
+
+  /// Buffers a sort-key range delete over [begin_key, end_key).
+  void RangeDelete(const Slice& begin_key, const Slice& end_key);
+
+  void Clear();
+
+  /// Number of buffered operations.
+  size_t Count() const { return ops_.size(); }
+
+  /// Approximate payload bytes (keys + values), used by group commit to cap
+  /// group size.
+  size_t ApproximateBytes() const { return approximate_bytes_; }
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+  size_t approximate_bytes_ = 0;
+};
+
+}  // namespace lethe
+
+#endif  // LETHE_MEMTABLE_WRITE_BATCH_H_

@@ -5,15 +5,44 @@
 
 namespace lethe {
 
+namespace {
+
+void FrameRecord(const Slice& payload, std::string* dst) {
+  PutFixed32(dst,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutVarint32(dst, static_cast<uint32_t>(payload.size()));
+  dst->append(payload.data(), payload.size());
+}
+
+}  // namespace
+
 Status RecordLogWriter::AddRecord(const Slice& payload) {
   std::string framed;
   framed.reserve(9 + payload.size());
-  PutFixed32(&framed,
-             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
-  PutVarint32(&framed, static_cast<uint32_t>(payload.size()));
-  framed.append(payload.data(), payload.size());
+  FrameRecord(payload, &framed);
   LETHE_RETURN_IF_ERROR(file_->Append(framed));
   if (sync_) {
+    return file_->Sync();
+  }
+  return Status::OK();
+}
+
+Status RecordLogWriter::AddRecords(const Slice* payloads, size_t n,
+                                   bool force_sync) {
+  if (n == 0) {
+    return Status::OK();
+  }
+  size_t total = 0;
+  for (size_t i = 0; i < n; i++) {
+    total += 9 + payloads[i].size();
+  }
+  std::string framed;
+  framed.reserve(total);
+  for (size_t i = 0; i < n; i++) {
+    FrameRecord(payloads[i], &framed);
+  }
+  LETHE_RETURN_IF_ERROR(file_->Append(framed));
+  if (sync_ || force_sync) {
     return file_->Sync();
   }
   return Status::OK();

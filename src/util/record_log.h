@@ -18,6 +18,13 @@ class RecordLogWriter {
       : file_(std::move(file)), sync_(sync_on_write) {}
 
   Status AddRecord(const Slice& payload);
+
+  /// Frames `n` payloads into one buffer and issues a single Append (and a
+  /// single Sync when `force_sync` or the writer's sync mode is set). The
+  /// bytes written are identical to n sequential AddRecord calls — this is
+  /// the group-commit fast path.
+  Status AddRecords(const Slice* payloads, size_t n, bool force_sync);
+
   Status Sync() { return file_->Sync(); }
   Status Close() { return file_->Close(); }
 
