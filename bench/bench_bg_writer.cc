@@ -111,6 +111,101 @@ void Report(const char* mode, const RunResult& r) {
          r.stats.wal_appends.load(), r.pages_written);
 }
 
+// ---- worker-pool merge-bandwidth sweep -------------------------------------
+//
+// Unpaced saturation workload: writers produce as fast as the engine
+// admits, so total runtime is governed by merge bandwidth. With one
+// background worker every flush and compaction serializes; with N workers
+// the disjointness scheduler overlaps the flush chain with compactions at
+// deeper levels, so bandwidth scales until merges genuinely overlap.
+
+constexpr int kSweepWriters = 2;
+constexpr uint64_t kSweepOps = 60000;  // per writer, unpaced
+
+struct SweepResult {
+  double seconds = 0;
+  uint64_t merge_bytes = 0;  // flush + compaction output bytes
+  uint64_t stall_micros = 0;
+  uint64_t jobs_dispatched = 0;
+  uint64_t jobs_deferred = 0;
+};
+
+SweepResult RunSaturated(int background_threads) {
+  auto base_env = NewMemEnv();
+  IoCountingEnv env(base_env.get(), 4096);
+
+  Options options;
+  options.env = &env;
+  options.write_buffer_bytes = 256 << 10;
+  options.target_file_bytes = 128 << 10;
+  options.size_ratio = 4;  // more levels: more disjoint merge opportunities
+  options.table.page_size_bytes = 4096;
+  options.table.entries_per_page = 16;
+  options.table.bloom_bits_per_key = 10;
+  options.inline_compactions = false;
+  options.background_threads = background_threads;
+  options.max_imm_memtables = 4;
+  options.enable_wal = false;  // measure merge bandwidth, not WAL appends
+
+  std::unique_ptr<DB> db;
+  CheckOk(DB::Open(options, "sweepdb", &db), "open");
+
+  SystemClock wall;
+  const uint64_t start = wall.NowMicros();
+  constexpr uint64_t kKeySpace = 4 * kSweepOps;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSweepWriters; t++) {
+    threads.emplace_back([&, t] {
+      std::string value(104, 'v');
+      Random rng(static_cast<uint64_t>(t) + 99);
+      for (uint64_t i = 0; i < kSweepOps; i++) {
+        CheckOk(db->Put(WriteOptions(),
+                        workload::EncodeKey(rng.Next() % kKeySpace),
+                        i, value),
+                "put");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  CheckOk(db->Flush(), "flush");
+  CheckOk(db->WaitForCompact(), "wait for compact");
+
+  SweepResult result;
+  result.seconds = static_cast<double>(wall.NowMicros() - start) / 1e6;
+  const Statistics& stats = db->stats();
+  result.merge_bytes = stats.flush_bytes_written.load() +
+                       stats.compaction_bytes_written.load();
+  result.stall_micros = stats.stall_micros.load();
+  result.jobs_dispatched = stats.bg_jobs_dispatched.load();
+  result.jobs_deferred = stats.bg_jobs_deferred_overlap.load();
+  return result;
+}
+
+void RunSweep() {
+  printf("\n# Merge-bandwidth sweep: %d unpaced writer threads x %" PRIu64
+         " ops, background_threads in {1, 2, 4}\n",
+         kSweepWriters, kSweepOps);
+  printf("# merge_mb_s = (flush + compaction bytes written) / wall time; "
+         "speedup is vs 1 thread.\n");
+  printf("bg_threads,seconds,merge_mb,merge_mb_s,speedup,stall_s,"
+         "jobs_dispatched,deferred_overlap\n");
+  double base_bw = 0;
+  for (int threads : {1, 2, 4}) {
+    SweepResult r = RunSaturated(threads);
+    const double mb = static_cast<double>(r.merge_bytes) / (1 << 20);
+    const double bw = mb / r.seconds;
+    if (threads == 1) {
+      base_bw = bw;
+    }
+    printf("%d,%.2f,%.1f,%.1f,%.2fx,%.2f,%" PRIu64 ",%" PRIu64 "\n",
+           threads, r.seconds, mb, bw, bw / base_bw,
+           static_cast<double>(r.stall_micros) / 1e6, r.jobs_dispatched,
+           r.jobs_deferred);
+  }
+}
+
 void Run() {
   printf("# Multi-threaded writers (%d threads x %" PRIu64
          " ops, one Put per %" PRIu64
@@ -124,6 +219,7 @@ void Run() {
          "stall_micros,commit_batches,wal_appends,pages_written\n");
   Report("inline", RunOne(true));
   Report("background", RunOne(false));
+  RunSweep();
 }
 
 }  // namespace

@@ -43,6 +43,9 @@ Status Options::Validate() const {
   if (max_imm_memtables < 1) {
     return Status::InvalidArgument("max_imm_memtables must be >= 1");
   }
+  if (background_threads < 1 || background_threads > 64) {
+    return Status::InvalidArgument("background_threads must be in [1, 64]");
+  }
   if (l0_slowdown_trigger < 0 || l0_stop_trigger < 0) {
     return Status::InvalidArgument("L0 write-throttle triggers must be >= 0");
   }

@@ -117,6 +117,18 @@ struct Options {
   /// (max_imm_memtables, l0_slowdown_trigger, l0_stop_trigger).
   bool inline_compactions = true;
 
+  /// Background mode: number of worker threads in the background pool.
+  /// Workers pull from the shared 4-class priority queue; a flush or
+  /// compaction job runs only when its file/key-range footprint is disjoint
+  /// from every job already in flight (overlapping jobs defer and re-arm
+  /// when the blocker completes), so merge bandwidth scales with the thread
+  /// count without ever violating the sorted-run invariants. 1 (the
+  /// default) reproduces the single-worker PR 2 behaviour — and the exact
+  /// single-threaded I/O traces the Fig 6 benches rely on — while 2–4
+  /// lets flushes overlap deep compactions under write saturation (see
+  /// bench_bg_writer's thread sweep). Ignored when inline_compactions.
+  int background_threads = 1;
+
   /// Background mode: maximum number of immutable memtables awaiting flush
   /// before writers stall (the flush pipeline depth). Each pending memtable
   /// pins up to write_buffer_bytes of memory and one WAL file. Default: 2.
@@ -173,6 +185,14 @@ struct WriteOptions {
 /// Per-read knobs.
 struct ReadOptions {
   bool verify_checksums = true;
+
+  /// Insert the pages this read decodes into the decoded-page LRU. Cache
+  /// *hits* are always served; this only controls population. Set false for
+  /// bulk reads that would churn the cache without re-use (large analytical
+  /// scans) — the engine itself always reads with fill disabled during
+  /// compactions and secondary-delete execution, so background work never
+  /// evicts the pages point lookups are hot on. Default: true.
+  bool fill_page_cache = true;
 };
 
 }  // namespace lethe

@@ -33,6 +33,11 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(group_commit_entries, other.group_commit_entries);
   Copy(wal_appends, other.wal_appends);
   Copy(wal_syncs, other.wal_syncs);
+  Copy(bg_jobs_dispatched, other.bg_jobs_dispatched);
+  Copy(bg_jobs_deferred_overlap, other.bg_jobs_deferred_overlap);
+  for (size_t i = 0; i < bg_jobs_active.size(); i++) {
+    Copy(bg_jobs_active[i], other.bg_jobs_active[i]);
+  }
   Copy(write_slowdowns, other.write_slowdowns);
   Copy(write_stalls, other.write_stalls);
   Copy(stall_micros, other.stall_micros);
@@ -91,6 +96,8 @@ std::string Statistics::ToString() const {
       << " partial_page_drops=" << partial_page_drops.load()
       << " group_commit_batches=" << group_commit_batches.load()
       << " wal_appends=" << wal_appends.load()
+      << " bg_jobs_dispatched=" << bg_jobs_dispatched.load()
+      << " bg_jobs_deferred_overlap=" << bg_jobs_deferred_overlap.load()
       << " write_stalls=" << write_stalls.load()
       << " write_slowdowns=" << write_slowdowns.load()
       << " stall_micros=" << stall_micros.load();

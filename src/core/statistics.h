@@ -1,6 +1,7 @@
 #ifndef LETHE_CORE_STATISTICS_H_
 #define LETHE_CORE_STATISTICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -36,6 +37,17 @@ struct Statistics {
   std::atomic<uint64_t> group_commit_entries{0};  // entries across all rounds
   std::atomic<uint64_t> wal_appends{0};           // physical WAL Append calls
   std::atomic<uint64_t> wal_syncs{0};             // physical WAL Sync calls
+
+  // Background worker pool (background mode only). A job is *dispatched*
+  // when a pool worker starts executing it; it is *deferred* when its
+  // file/key-range footprint overlaps a job already in flight, in which
+  // case it parks and is re-armed when the conflicting job completes.
+  // bg_jobs_active[c] is a gauge: jobs of priority class c (see
+  // BackgroundScheduler::Priority) currently executing — the per-class job
+  // concurrency.
+  std::atomic<uint64_t> bg_jobs_dispatched{0};
+  std::atomic<uint64_t> bg_jobs_deferred_overlap{0};
+  std::array<std::atomic<uint64_t>, 4> bg_jobs_active{};  // gauge per class
 
   // Write-stall policy (background mode only). A *slowdown* is the bounded
   // one-shot delay injected when L0 crosses Options::l0_slowdown_trigger; a

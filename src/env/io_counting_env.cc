@@ -12,11 +12,11 @@ constexpr uint64_t kNoFailure = UINT64_MAX;
 class CountingWritableFile final : public WritableFile {
  public:
   CountingWritableFile(std::unique_ptr<WritableFile> target,
-                       IoCountingEnv* env)
-      : target_(std::move(target)), env_(env) {}
+                       IoCountingEnv* env, std::string fname)
+      : target_(std::move(target)), env_(env), fname_(std::move(fname)) {}
 
   Status Append(const Slice& data) override {
-    if (env_->ShouldFailWrite()) {
+    if (env_->ShouldFailWrite(fname_)) {
       return Status::IOError("injected write failure");
     }
     env_->MaybeDelayAppend();
@@ -37,16 +37,17 @@ class CountingWritableFile final : public WritableFile {
  private:
   std::unique_ptr<WritableFile> target_;
   IoCountingEnv* env_;
+  std::string fname_;
 };
 
 class CountingRandomWriteFile final : public RandomWriteFile {
  public:
   CountingRandomWriteFile(std::unique_ptr<RandomWriteFile> target,
-                          IoCountingEnv* env)
-      : target_(std::move(target)), env_(env) {}
+                          IoCountingEnv* env, std::string fname)
+      : target_(std::move(target)), env_(env), fname_(std::move(fname)) {}
 
   Status WriteAt(uint64_t offset, const Slice& data) override {
-    if (env_->ShouldFailWrite()) {
+    if (env_->ShouldFailWrite(fname_)) {
       return Status::IOError("injected write failure");
     }
     Status s = target_->WriteAt(offset, data);
@@ -65,6 +66,7 @@ class CountingRandomWriteFile final : public RandomWriteFile {
  private:
   std::unique_ptr<RandomWriteFile> target_;
   IoCountingEnv* env_;
+  std::string fname_;
 };
 
 class CountingRandomAccessFile final : public RandomAccessFile {
@@ -118,7 +120,16 @@ class CountingSequentialFile final : public SequentialFile {
   IoCountingEnv* env_;
 };
 
-bool IoCountingEnv::ShouldFailWrite() {
+bool IoCountingEnv::ShouldFailWrite(const std::string& fname) {
+  if (writes_until_failure_.load(std::memory_order_relaxed) == kNoFailure) {
+    return false;  // fast path: injection disarmed
+  }
+  {
+    std::lock_guard<std::mutex> lock(filter_mu_);
+    if (!fail_filter_.empty() && fname.find(fail_filter_) == std::string::npos) {
+      return false;  // filtered out: no failure, no credit consumed
+    }
+  }
   uint64_t current = writes_until_failure_.load(std::memory_order_relaxed);
   while (current != kNoFailure) {
     if (current == 0) {
@@ -144,7 +155,8 @@ Status IoCountingEnv::NewWritableFile(const std::string& fname,
   std::unique_ptr<WritableFile> file;
   LETHE_RETURN_IF_ERROR(target_->NewWritableFile(fname, &file));
   stats_.files_created.fetch_add(1, std::memory_order_relaxed);
-  *result = std::make_unique<CountingWritableFile>(std::move(file), this);
+  *result =
+      std::make_unique<CountingWritableFile>(std::move(file), this, fname);
   return Status::OK();
 }
 
@@ -152,7 +164,8 @@ Status IoCountingEnv::NewRandomWriteFile(
     const std::string& fname, std::unique_ptr<RandomWriteFile>* result) {
   std::unique_ptr<RandomWriteFile> file;
   LETHE_RETURN_IF_ERROR(target_->NewRandomWriteFile(fname, &file));
-  *result = std::make_unique<CountingRandomWriteFile>(std::move(file), this);
+  *result =
+      std::make_unique<CountingRandomWriteFile>(std::move(file), this, fname);
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 
 #include "src/env/env.h"
 
@@ -54,6 +56,16 @@ class IoCountingEnv final : public Env {
     writes_until_failure_.store(n, std::memory_order_relaxed);
   }
 
+  /// Restricts write-failure injection to files whose name contains
+  /// `substring` (empty, the default, targets every file). Writes to
+  /// non-matching files neither fail nor consume failure credits, so tests
+  /// can crash one specific stream — e.g. "MANIFEST" to die mid version
+  /// install, or ".sst" to die mid merge while WAL appends keep succeeding.
+  void SetFailFilter(std::string substring) {
+    std::lock_guard<std::mutex> lock(filter_mu_);
+    fail_filter_ = std::move(substring);
+  }
+
   /// Latency injection: every Append sleeps this long before writing.
   /// Concurrency tests use it to model a slow device, making group-commit
   /// batching and write stalls deterministic to observe. 0 (default)
@@ -89,8 +101,10 @@ class IoCountingEnv final : public Env {
     return (bytes + page_size_ - 1) / page_size_;
   }
 
-  /// Returns true if this write should fail (and consumes one credit if not).
-  bool ShouldFailWrite();
+  /// Returns true if a write to `fname` should fail (and consumes one
+  /// credit if injection is armed, the file matches the filter, and credits
+  /// remain).
+  bool ShouldFailWrite(const std::string& fname);
 
   /// Sleeps for the configured append delay (no-op when 0).
   void MaybeDelayAppend();
@@ -100,6 +114,8 @@ class IoCountingEnv final : public Env {
   IoStats stats_;
   std::atomic<uint64_t> writes_until_failure_{UINT64_MAX};
   std::atomic<uint64_t> append_delay_micros_{0};
+  mutable std::mutex filter_mu_;
+  std::string fail_filter_;  // guarded by filter_mu_
 };
 
 }  // namespace lethe

@@ -226,7 +226,7 @@ Status SSTableReader::ReadPage(uint32_t page_index, PageHandle* contents,
 
 Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
                           Statistics* stats, bool* found,
-                          TableGetResult* result) const {
+                          TableGetResult* result, bool fill_cache) const {
   *found = false;
   int tile_index = FindTile(user_key);
   if (tile_index < 0) {
@@ -258,7 +258,7 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
     bool from_cache = false;
     LETHE_RETURN_IF_ERROR(
         ReadPage(p, &contents, meta != nullptr ? meta->page_generation : 0,
-                 &from_cache));
+                 &from_cache, fill_cache));
     if (stats != nullptr && !from_cache) {
       stats->point_lookup_pages_read.fetch_add(1, std::memory_order_relaxed);
     }
@@ -356,8 +356,9 @@ namespace {
 /// Fig 6L).
 class SSTableIterator final : public InternalIterator {
  public:
-  SSTableIterator(const SSTableReader* table, const FileMeta* meta)
-      : table_(table), meta_(meta) {}
+  SSTableIterator(const SSTableReader* table, const FileMeta* meta,
+                  bool fill_cache)
+      : table_(table), meta_(meta), fill_cache_(fill_cache) {}
 
   bool Valid() const override { return status_.ok() && current_ != nullptr; }
 
@@ -477,7 +478,8 @@ class SSTableIterator final : public InternalIterator {
       auto cursor = std::make_unique<PageCursor>();
       Status s = table_->ReadPage(
           page, &cursor->contents,
-          meta_ != nullptr ? meta_->page_generation : 0);
+          meta_ != nullptr ? meta_->page_generation : 0,
+          /*from_cache=*/nullptr, fill_cache_);
       if (!s.ok()) {
         status_ = s;
         return;
@@ -488,6 +490,7 @@ class SSTableIterator final : public InternalIterator {
 
   const SSTableReader* table_;
   const FileMeta* meta_;
+  bool fill_cache_;
   Status status_;
   int tile_index_ = -1;
   std::vector<std::unique_ptr<PageCursor>> loaded_;
@@ -498,8 +501,8 @@ class SSTableIterator final : public InternalIterator {
 }  // namespace
 
 std::unique_ptr<InternalIterator> SSTableReader::NewIterator(
-    const FileMeta* meta) const {
-  return std::make_unique<SSTableIterator>(this, meta);
+    const FileMeta* meta, bool fill_cache) const {
+  return std::make_unique<SSTableIterator>(this, meta, fill_cache);
 }
 
 }  // namespace lethe

@@ -98,8 +98,11 @@ class SSTableReader {
   /// probes each live page's Bloom filter (one hash digest per probe) and
   /// binary-searches fetched pages. Returns OK with *found=false if the key
   /// is not in this table. `meta` supplies page liveness (may be nullptr).
+  /// `fill_cache` = false serves cache hits but never inserts
+  /// (ReadOptions::fill_page_cache).
   Status Get(const Slice& user_key, const FileMeta* meta, Statistics* stats,
-             bool* found, TableGetResult* result) const;
+             bool* found, TableGetResult* result,
+             bool fill_cache = true) const;
 
   /// Filter-only membership probe: fences + Bloom filters, no page I/O.
   /// False means the key is definitely absent from this table. Used by
@@ -133,8 +136,12 @@ class SSTableReader {
 
   /// Iterator over all live entries in internal-key order. Reads one delete
   /// tile at a time (h pages), sorting it back to sort-key order in memory —
-  /// compactions stream through files this way.
-  std::unique_ptr<InternalIterator> NewIterator(const FileMeta* meta) const;
+  /// compactions stream through files this way. `fill_cache` = false keeps
+  /// the bulk read from populating (and churning) the decoded-page LRU;
+  /// compaction inputs always pass false, user scans pass
+  /// ReadOptions::fill_page_cache.
+  std::unique_ptr<InternalIterator> NewIterator(const FileMeta* meta,
+                                                bool fill_cache = true) const;
 
   const TableOptions& options() const { return options_; }
 

@@ -1,9 +1,16 @@
 #include "src/lsm/bg_work.h"
 
+#include <algorithm>
+
 namespace lethe {
 
-BackgroundScheduler::BackgroundScheduler() {
-  worker_ = std::thread([this] { WorkerLoop(); });
+BackgroundScheduler::BackgroundScheduler(int num_threads, Statistics* stats)
+    : stats_(stats) {
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
 BackgroundScheduler::~BackgroundScheduler() { Shutdown(); }
@@ -33,14 +40,20 @@ void BackgroundScheduler::Shutdown() {
     }
   }
   work_cv_.notify_all();
-  if (worker_.joinable()) {
-    worker_.join();
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
   }
 }
 
 void BackgroundScheduler::TEST_Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   paused_ = true;
+  // Barrier: wait out the jobs already running so the pool is provably
+  // frozen when this returns (no worker mid-job, none will dispatch).
+  idle_cv_.wait(lock, [this] { return active_ == 0 || shutdown_; });
 }
 
 void BackgroundScheduler::TEST_Resume() {
@@ -61,17 +74,33 @@ void BackgroundScheduler::WorkerLoop() {
       return;
     }
     std::function<void()> job;
-    for (auto& q : queues_) {
-      if (!q.empty()) {
-        job = std::move(q.front());
-        q.pop_front();
+    int job_class = 0;
+    for (int i = 0; i < kNumPriorities; i++) {
+      if (!queues_[i].empty()) {
+        job = std::move(queues_[i].front());
+        queues_[i].pop_front();
         queued_--;
+        job_class = i;
         break;
       }
+    }
+    active_++;
+    if (stats_ != nullptr) {
+      stats_->bg_jobs_dispatched.fetch_add(1, std::memory_order_relaxed);
+      stats_->bg_jobs_active[job_class].fetch_add(1,
+                                                  std::memory_order_relaxed);
     }
     lock.unlock();
     job();
     lock.lock();
+    if (stats_ != nullptr) {
+      stats_->bg_jobs_active[job_class].fetch_sub(1,
+                                                  std::memory_order_relaxed);
+    }
+    active_--;
+    if (active_ == 0) {
+      idle_cv_.notify_all();
+    }
   }
 }
 

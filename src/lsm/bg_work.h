@@ -8,15 +8,19 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
+
+#include "src/core/statistics.h"
 
 namespace lethe {
 
-/// Priority-ordered background work queue with one dedicated worker thread.
+/// Priority-ordered background work queue drained by a pool of worker
+/// threads (`Options::background_threads`; 1 preserves the original
+/// single-worker behaviour exactly).
 ///
-/// The DB enqueues closures tagged with a Priority; the worker drains the
-/// highest-priority class first, FIFO within a class, waking on a condition
-/// variable when work arrives. The ordering implements the paper's priority
-/// rule for background work:
+/// Workers drain the highest-priority class first, FIFO within a class,
+/// waking on a condition variable when work arrives. The ordering implements
+/// the paper's priority rule for background work:
 ///
 ///   1. kFlush                  — memory pressure: immutable memtables must
 ///                                drain before writers stall.
@@ -28,11 +32,11 @@ namespace lethe {
 ///                                space-driven work.
 ///   4. kSpaceDrivenCompaction  — saturation-triggered compactions.
 ///
-/// Single-worker by design: flushes, compactions, and secondary-delete
-/// execution all mutate on-disk state, and one worker serializes them
-/// without any file-level locking (foreground readers are lock-free against
-/// all of them via version snapshots and page-generation fences). Sharding
-/// the worker pool is a later scaling step.
+/// The scheduler itself dispatches jobs blindly; *disjointness* between
+/// concurrent jobs (which files and output key ranges each merge may touch)
+/// is enforced one layer up, by the in-flight job registry in VersionSet —
+/// a job that would overlap an in-flight footprint defers itself and is
+/// re-armed when the conflicting job completes. See docs/architecture.md.
 ///
 /// Thread-safety: all public methods are thread-safe. Jobs run without any
 /// scheduler lock held, so they may freely call Schedule().
@@ -46,27 +50,36 @@ class BackgroundScheduler {
   };
   static constexpr int kNumPriorities = 4;
 
-  BackgroundScheduler();
+  /// Starts `num_threads` workers (clamped to >= 1). `stats` (optional)
+  /// receives bg_jobs_dispatched and the per-class bg_jobs_active gauges.
+  explicit BackgroundScheduler(int num_threads = 1,
+                               Statistics* stats = nullptr);
 
-  /// Joins the worker. Equivalent to Shutdown().
+  /// Joins the workers. Equivalent to Shutdown().
   ~BackgroundScheduler();
 
   BackgroundScheduler(const BackgroundScheduler&) = delete;
   BackgroundScheduler& operator=(const BackgroundScheduler&) = delete;
 
-  /// Enqueues `fn` at `priority` and wakes the worker. Returns false (and
+  /// Enqueues `fn` at `priority` and wakes a worker. Returns false (and
   /// drops the job) after Shutdown has begun.
   bool Schedule(Priority priority, std::function<void()> fn);
 
-  /// Rejects further Schedule calls, lets the currently running job finish,
-  /// discards still-queued jobs, and joins the worker thread. Idempotent.
+  /// Rejects further Schedule calls, lets the currently running jobs finish,
+  /// discards still-queued jobs, and joins every worker thread. Idempotent.
   /// The caller is responsible for any cleanup the discarded jobs would have
   /// done (DBImpl drains pending flushes inline at close).
   void Shutdown();
 
-  /// Test hooks: freeze/unfreeze the worker between jobs. While paused the
-  /// queue accepts jobs but none start, letting tests deterministically
-  /// build up backlog (e.g. to force a write stall).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Test hooks: freeze/unfreeze the pool between jobs. TEST_Pause is a
+  /// *barrier*: it blocks until every worker has finished its current job,
+  /// so on return no job is running and none will start — with more than
+  /// one worker a non-barrier pause would leave tests racing against
+  /// still-running jobs. While paused the queue accepts jobs but none
+  /// start, letting tests deterministically build up backlog (e.g. to
+  /// force a write stall).
   void TEST_Pause();
   void TEST_Resume();
 
@@ -74,12 +87,15 @@ class BackgroundScheduler {
   void WorkerLoop();
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signals the worker
+  std::condition_variable work_cv_;  // signals the workers
+  std::condition_variable idle_cv_;  // signals the TEST_Pause barrier
   std::array<std::deque<std::function<void()>>, kNumPriorities> queues_;
   size_t queued_ = 0;
+  int active_ = 0;  // jobs currently executing across the pool
   bool paused_ = false;
   bool shutdown_ = false;
-  std::thread worker_;
+  Statistics* stats_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace lethe

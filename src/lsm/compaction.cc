@@ -17,11 +17,14 @@ Status CollectFileInputs(VersionSet* versions,
     // The iterator must keep the reader alive; wrap it.
     class OwningIterator final : public InternalIterator {
      public:
+      // fill_cache=false: a merge streams each input page exactly once and
+      // then deletes the file — inserting those decodes would churn the
+      // LRU against the pages point lookups are actually hot on.
       OwningIterator(std::shared_ptr<SSTableReader> table,
                      std::shared_ptr<FileMeta> meta)
           : table_(std::move(table)),
             meta_(std::move(meta)),
-            iter_(table_->NewIterator(meta_.get())) {}
+            iter_(table_->NewIterator(meta_.get(), /*fill_cache=*/false)) {}
       bool Valid() const override { return iter_->Valid(); }
       void SeekToFirst() override { iter_->SeekToFirst(); }
       void Seek(const Slice& target) override { iter_->Seek(target); }

@@ -122,8 +122,33 @@ uint64_t CompactionPicker::EarliestTtlExpiry(const Version& version) const {
   return earliest;
 }
 
-CompactionPick CompactionPicker::PickTtlExpired(const Version& version,
-                                                uint64_t now) const {
+namespace {
+
+bool Claimed(const std::set<uint64_t>* in_flight, const FileMeta& file) {
+  return in_flight != nullptr && in_flight->count(file.file_number) > 0;
+}
+
+/// Tiering merges whole levels, so one claimed file blocks the level.
+bool AnyClaimedInLevel(const Version& version, int level,
+                       const std::set<uint64_t>* in_flight) {
+  if (in_flight == nullptr || in_flight->empty()) {
+    return false;
+  }
+  for (const SortedRun& run : version.levels()[level]) {
+    for (const auto& file : run.files) {
+      if (Claimed(in_flight, *file)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CompactionPick CompactionPicker::PickTtlExpired(
+    const Version& version, uint64_t now,
+    const std::set<uint64_t>* in_flight) const {
   CompactionPick pick;
   if (!options_.fade_enabled()) {
     return pick;
@@ -134,10 +159,15 @@ CompactionPick CompactionPicker::PickTtlExpired(const Version& version,
   // smallest level); within the level, the expired file with the oldest
   // tombstone (DD's tie-break).
   for (int level = 0; level < version.num_levels(); level++) {
+    const bool tiering =
+        options_.compaction_style == CompactionStyle::kTiering;
+    if (tiering && AnyClaimedInLevel(version, level, in_flight)) {
+      continue;  // the level is already being merged
+    }
     std::shared_ptr<FileMeta> best;
     for (const SortedRun& run : version.levels()[level]) {
       for (const auto& file : run.files) {
-        if (!file->HasTombstones()) {
+        if (!file->HasTombstones() || Claimed(in_flight, *file)) {
           continue;
         }
         if (!TtlExpired(ttls, level, file->TombstoneAge(now))) {
@@ -152,7 +182,7 @@ CompactionPick CompactionPicker::PickTtlExpired(const Version& version,
     if (best != nullptr) {
       pick.trigger = CompactionPick::Trigger::kTtlExpiry;
       pick.level = level;
-      if (options_.compaction_style == CompactionStyle::kTiering) {
+      if (tiering) {
         // Tiering merges whole levels; pull in every file of the level.
         for (const SortedRun& run : version.levels()[level]) {
           for (const auto& file : run.files) {
@@ -178,13 +208,17 @@ uint64_t CompactionPicker::OverlapBytes(const Version& version, int level,
   return total;
 }
 
-CompactionPick CompactionPicker::PickSaturated(const Version& version) const {
+CompactionPick CompactionPicker::PickSaturated(
+    const Version& version, const std::set<uint64_t>* in_flight) const {
   CompactionPick pick;
   for (int level = 0; level < version.num_levels(); level++) {
     if (options_.compaction_style == CompactionStyle::kTiering) {
       if (version.LevelRunCount(level) <
           static_cast<int>(options_.size_ratio)) {
         continue;
+      }
+      if (AnyClaimedInLevel(version, level, in_flight)) {
+        continue;  // the level is already being merged
       }
       pick.trigger = CompactionPick::Trigger::kSaturation;
       pick.level = level;
@@ -221,6 +255,9 @@ CompactionPick CompactionPicker::PickSaturated(const Version& version) const {
     double best_b = -1.0;
     for (const SortedRun& run : version.levels()[level]) {
       for (const auto& file : run.files) {
+        if (Claimed(in_flight, *file)) {
+          continue;  // already an input of an in-flight merge
+        }
         if (!use_delete_driven) {
           uint64_t overlap = OverlapBytes(version, level, *file);
           if (best == nullptr || overlap < best_overlap ||
@@ -250,16 +287,17 @@ CompactionPick CompactionPicker::PickSaturated(const Version& version) const {
   return pick;
 }
 
-CompactionPick CompactionPicker::Pick(const Version& version,
-                                      uint64_t now) const {
+CompactionPick CompactionPicker::Pick(
+    const Version& version, uint64_t now,
+    const std::set<uint64_t>* in_flight) const {
   // TTL expiry takes precedence over saturation (§4.1.4: "FADE triggers a
   // compaction in a level that has at least one file with expired TTL
   // regardless of its saturation").
-  CompactionPick pick = PickTtlExpired(version, now);
+  CompactionPick pick = PickTtlExpired(version, now, in_flight);
   if (pick.valid()) {
     return pick;
   }
-  return PickSaturated(version);
+  return PickSaturated(version, in_flight);
 }
 
 }  // namespace lethe

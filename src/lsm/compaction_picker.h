@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/core/options.h"
@@ -40,7 +41,13 @@ class CompactionPicker {
   CompactionPicker(const Options& resolved_options, VersionSet* versions)
       : options_(resolved_options), versions_(versions) {}
 
-  CompactionPick Pick(const Version& version, uint64_t now) const;
+  /// `in_flight` (optional) holds file numbers claimed as inputs by merges
+  /// already running on the worker pool; those files are skipped rather
+  /// than re-picked — under leveling a claimed candidate is passed over,
+  /// under tiering a level with any claimed file cannot merge (a tiering
+  /// merge needs every run of the level) and is skipped entirely.
+  CompactionPick Pick(const Version& version, uint64_t now,
+                      const std::set<uint64_t>* in_flight = nullptr) const;
 
   /// Capacity of disk level `level` (0-based) in bytes: M · T^(level+1).
   uint64_t LevelCapacityBytes(int level) const;
@@ -67,8 +74,10 @@ class CompactionPicker {
                               const FileMeta& file) const;
 
  private:
-  CompactionPick PickTtlExpired(const Version& version, uint64_t now) const;
-  CompactionPick PickSaturated(const Version& version) const;
+  CompactionPick PickTtlExpired(const Version& version, uint64_t now,
+                                const std::set<uint64_t>* in_flight) const;
+  CompactionPick PickSaturated(const Version& version,
+                               const std::set<uint64_t>* in_flight) const;
 
   /// Bytes of next-level files overlapping `file` (SO's objective).
   uint64_t OverlapBytes(const Version& version, int level,

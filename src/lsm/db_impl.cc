@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
 #include <set>
 #include <thread>
 #include <unordered_map>
@@ -17,8 +20,9 @@ namespace {
 /// iterator is open at a time.
 class RunIterator final : public InternalIterator {
  public:
-  RunIterator(TableCache* cache, std::vector<std::shared_ptr<FileMeta>> files)
-      : cache_(cache), files_(std::move(files)) {}
+  RunIterator(TableCache* cache, std::vector<std::shared_ptr<FileMeta>> files,
+              bool fill_cache)
+      : cache_(cache), files_(std::move(files)), fill_cache_(fill_cache) {}
 
   bool Valid() const override {
     return status_.ok() && file_iter_ != nullptr && file_iter_->Valid();
@@ -80,7 +84,8 @@ class RunIterator final : public InternalIterator {
         return;
       }
       table_ = table;  // keep reader alive
-      file_iter_ = table->NewIterator(files_[file_index_].get());
+      file_iter_ =
+          table->NewIterator(files_[file_index_].get(), fill_cache_);
       if (seek_target != nullptr) {
         file_iter_->Seek(*seek_target);
         seek_target = nullptr;  // later files start from their beginning
@@ -96,6 +101,7 @@ class RunIterator final : public InternalIterator {
 
   TableCache* cache_;
   std::vector<std::shared_ptr<FileMeta>> files_;
+  bool fill_cache_;
   int file_index_ = -1;
   std::shared_ptr<SSTableReader> table_;
   std::unique_ptr<InternalIterator> file_iter_;
@@ -188,14 +194,18 @@ uint64_t NowSteadyMicros() {
           .count());
 }
 
-/// Parses "NNNNNN.wal" (as produced by WalFileName) into its number.
-bool ParseWalFileName(const std::string& name, uint64_t* number) {
-  size_t dot = name.rfind(".wal");
-  if (dot == std::string::npos || dot + 4 != name.size() || dot == 0) {
+/// Parses "NNNNNN<suffix>" (as produced by WalFileName / TableFileName)
+/// into its number. `suffix` includes the dot, e.g. ".wal".
+bool ParseNumberedFileName(const std::string& name, const char* suffix,
+                           uint64_t* number) {
+  const size_t suffix_len = strlen(suffix);
+  if (name.size() <= suffix_len ||
+      name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
     return false;
   }
+  const size_t digits = name.size() - suffix_len;
   uint64_t n = 0;
-  for (size_t i = 0; i < dot; i++) {
+  for (size_t i = 0; i < digits; i++) {
     if (name[i] < '0' || name[i] > '9') {
       return false;
     }
@@ -203,6 +213,20 @@ bool ParseWalFileName(const std::string& name, uint64_t* number) {
   }
   *number = n;
   return true;
+}
+
+bool ParseWalFileName(const std::string& name, uint64_t* number) {
+  return ParseNumberedFileName(name, ".wal", number);
+}
+
+/// Best-effort removal of a failed merge's finished outputs — the edit was
+/// never installed, so nothing references them. Partially written outputs
+/// (not yet in the edit) are reaped by recovery's orphan sweep instead.
+void RemoveFailedMergeOutputs(Env* env, const std::string& dbname,
+                              const VersionEdit& edit) {
+  for (const auto& [level, meta] : edit.added_files) {
+    env->RemoveFile(TableFileName(dbname, meta.file_number)).ok();
+  }
 }
 
 }  // namespace
@@ -223,6 +247,10 @@ DBImpl::~DBImpl() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;  // rejects new writes and new background enqueues
+    // Wake exclusive jobs parked on the in-flight registry so they observe
+    // closed_ and exit instead of waiting out a shutdown that is waiting
+    // for them.
+    bg_work_done_cv_.notify_all();
   }
   if (bg_ != nullptr) {
     // Finish the in-flight job, discard the queued ones, join the worker.
@@ -243,6 +271,11 @@ DBImpl::~DBImpl() {
   if (wal_ != nullptr) {
     wal_->Close().ok();
   }
+  if (versions_ != nullptr) {
+    // No readers remain: reap every table file still parked awaiting
+    // snapshot release.
+    versions_->SweepAllObsoleteFiles();
+  }
 }
 
 Status DBImpl::Init() {
@@ -256,14 +289,51 @@ Status DBImpl::Init() {
   LETHE_RETURN_IF_ERROR(versions_->Recover());
   mem_ = std::make_shared<MemTable>();
   if (!options_.inline_compactions) {
-    bg_ = std::make_unique<BackgroundScheduler>();
+    bg_ = std::make_unique<BackgroundScheduler>(options_.background_threads,
+                                                &stats_);
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  LETHE_RETURN_IF_ERROR(RemoveOrphanFilesLocked());
   if (options_.enable_wal) {
     LETHE_RETURN_IF_ERROR(ReplayWalsLocked());
   }
   RefreshTriggerStateLocked();
+  return Status::OK();
+}
+
+Status DBImpl::RemoveOrphanFilesLocked() {
+  // A crash between a merge's output writes and its manifest install leaves
+  // table files no version references; a crash after recovery leaves the
+  // previous MANIFEST behind. Neither is reachable (the manifest is the
+  // source of truth), so both are garbage — but their numbers may exceed
+  // the persisted file-number counter, so the counter must move past them
+  // before this DB allocates fresh names.
+  std::vector<std::string> children;
+  if (!options_.env->GetChildren(dbname_, &children).ok()) {
+    return Status::OK();  // list-less env: nothing to sweep
+  }
+  std::set<uint64_t> live;
+  for (const auto& [level, file] : versions_->current()->AllFiles()) {
+    live.insert(file->file_number);
+  }
+  for (const std::string& child : children) {
+    uint64_t number = 0;
+    if (ParseNumberedFileName(child, ".sst", &number)) {
+      versions_->EnsureFileNumberPast(number);
+      if (live.count(number) == 0) {
+        options_.env->RemoveFile(TableFileName(dbname_, number)).ok();
+      }
+    } else if (child.rfind("MANIFEST-", 0) == 0) {
+      uint64_t manifest = 0;
+      if (sscanf(child.c_str(), "MANIFEST-%" SCNu64, &manifest) == 1) {
+        versions_->EnsureFileNumberPast(manifest);
+        if (manifest != versions_->manifest_number()) {
+          options_.env->RemoveFile(dbname_ + "/" + child).ok();
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -321,6 +391,15 @@ Status DBImpl::ReplayWalsLocked() {
 
   // Re-apply into the fresh memtable, tracking checkpoint info.
   for (const WalRecord& record : replayed) {
+    if (record.kind == WalRecord::Kind::kSecondaryRangeDelete) {
+      // Re-apply the in-place purge at its original position in the
+      // timeline: it covers exactly the entries replayed before it.
+      mem_->PurgeDeleteKeyRange(record.delete_key, record.delete_key_end);
+      if (record.seq > versions_->LastSequence()) {
+        versions_->SetLastSequence(record.seq);
+      }
+      continue;
+    }
     if (mem_->empty()) {
       mem_first_seq_ = record.seq;
       mem_first_time_ = record.time;
@@ -343,6 +422,8 @@ Status DBImpl::ReplayWalsLocked() {
         mem_->AddRangeTombstone(rt);
         break;
       }
+      case WalRecord::Kind::kSecondaryRangeDelete:
+        break;  // handled above
     }
     if (record.seq > versions_->LastSequence()) {
       versions_->SetLastSequence(record.seq);
@@ -761,9 +842,11 @@ Status DBImpl::HandlePostWriteLocked(std::unique_lock<std::mutex>& l) {
         static_cast<int>(imm_.size()) >= options_.max_imm_memtables;
     const bool l0_stopped = effective_stop > 0 && l0_runs_ >= effective_stop;
     if (imm_full || l0_stopped) {
-      // imm_full guarantees a flush job in flight; l0_stopped implies the
-      // saturation trigger fired (see clamp above) — but re-arm defensively
-      // so the wait below always has a wakeup source.
+      // imm_full guarantees the flush chain is alive (scheduled or parked
+      // behind an in-flight merge); l0_stopped implies the saturation
+      // trigger fired (see clamp above) — but re-arm both defensively so
+      // the wait below always has a wakeup source.
+      MaybeScheduleFlushLocked();
       MaybeScheduleCompactionLocked();
       if (!stalled) {
         stalled = true;
@@ -802,29 +885,53 @@ Status DBImpl::SwitchMemTableLocked() {
   }
   imm_.push_back(std::move(imm));
   mem_ = std::make_shared<MemTable>();
+  MaybeScheduleFlushLocked();
+  return Status::OK();
+}
+
+void DBImpl::MaybeScheduleFlushLocked() {
+  if (bg_ == nullptr || closed_ || !bg_error_.ok()) {
+    return;
+  }
+  if (imm_.empty()) {
+    flush_deferred_ = false;  // nothing left to park on
+    return;
+  }
+  if (exclusive_waiters_ > 0) {
+    // Let the registry drain: the waiting exclusive job flushes the
+    // pre-call memtables itself, and its commit re-arms this chain. A
+    // continuously re-armed chain could otherwise out-race the waiter for
+    // the registry forever (condition variables give no fairness).
+    return;
+  }
+  if (flush_deferred_) {
+    // Parked on an in-flight merge's footprint; only that merge's commit
+    // (UnregisterJobLocked clears the flag first) re-arms the chain.
+    // Without this, every stalled-writer wakeup would requeue a flush job
+    // that immediately re-defers, ping-ponging until the blocker commits.
+    return;
+  }
+  if (flush_scheduled_) {
+    return;  // the chain is alive; it re-arms itself after each flush
+  }
+  flush_scheduled_ = true;
   bg_jobs_inflight_++;
   if (!bg_->Schedule(BackgroundScheduler::Priority::kFlush,
                      [this] { BackgroundFlush(); })) {
+    flush_scheduled_ = false;
     bg_jobs_inflight_--;  // shutting down; the destructor drains imm_
   }
-  return Status::OK();
 }
 
 // ---- merges (both modes) --------------------------------------------------
 
 Status DBImpl::FlushMemTable(const ImmMemTable& imm,
-                             std::unique_lock<std::mutex>& l) {
+                             std::unique_lock<std::mutex>& l,
+                             bool* deferred) {
   if (imm.mem->empty()) {
     return Status::OK();
   }
   std::shared_ptr<const Version> version = versions_->current();
-
-  VersionEdit edit;
-  versions_->AddSeqTimeCheckpoint(imm.first_seq, imm.first_time, &edit);
-
-  std::vector<std::unique_ptr<InternalIterator>> iters;
-  iters.push_back(imm.mem->NewIterator());
-  std::vector<RangeTombstone> rts = imm.mem->range_tombstones();
 
   MergeConfig config;
   config.is_flush = true;
@@ -835,6 +942,7 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
   // pass over the buffer and no per-entry string churn.
   std::string smallest, largest;
   bool has_span = imm.mem->KeySpan(&smallest, &largest);
+  std::vector<RangeTombstone> rts = imm.mem->range_tombstones()->list;
   for (const RangeTombstone& rt : rts) {
     if (!has_span || Slice(rt.begin_key).compare(Slice(smallest)) < 0) {
       smallest = rt.begin_key;
@@ -845,15 +953,45 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
     has_span = true;
   }
 
+  std::vector<std::shared_ptr<FileMeta>> overlapping;
   if (options_.compaction_style == CompactionStyle::kLeveling) {
     // Greedy leveled flush: merge the buffer with the overlapping part of
     // the first disk level (§2: flushed runs are greedily sort-merged with
     // the run of Level 1).
-    auto overlapping =
-        version->OverlappingFiles(0, Slice(smallest), Slice(largest));
-    LETHE_RETURN_IF_ERROR(CollectFileInputs(versions_.get(), overlapping,
-                                            &iters, &rts,
-                                            &config.input_bytes));
+    overlapping = version->OverlappingFiles(0, Slice(smallest), Slice(largest));
+  }
+
+  // Pool path: claim the flush footprint — the merged-in L0 files plus the
+  // output span (memtable span widened over the merged files) — before any
+  // work, deferring if a running compaction holds part of it.
+  uint64_t job_id = 0;
+  bool registered = false;
+  if (deferred != nullptr && bg_ != nullptr) {
+    JobFootprint footprint;
+    footprint.is_flush = true;
+    footprint.output_level = 0;
+    footprint.CoverOutput(Slice(smallest), Slice(largest));
+    for (const auto& file : overlapping) {
+      footprint.AddInput(*file);
+    }
+    if (versions_->ConflictsWithInFlight(footprint)) {
+      *deferred = true;
+      return Status::OK();
+    }
+    job_id = versions_->RegisterInFlightJob(footprint);
+    registered = true;
+  }
+
+  VersionEdit edit;
+  versions_->AddSeqTimeCheckpoint(imm.first_seq, imm.first_time, &edit);
+
+  std::vector<std::unique_ptr<InternalIterator>> iters;
+  iters.push_back(imm.mem->NewIterator());
+
+  Status s;
+  if (options_.compaction_style == CompactionStyle::kLeveling) {
+    s = CollectFileInputs(versions_.get(), overlapping, &iters, &rts,
+                          &config.input_bytes);
     for (const auto& file : overlapping) {
       edit.removed_files.push_back({0, file->file_number});
     }
@@ -864,26 +1002,37 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
     config.bottommost = version->DeepestNonEmptyLevel() < 0;
   }
 
-  auto merged = NewMergingIterator(std::move(iters));
-  MergeExecutor executor(options_, versions_.get(), &stats_);
-  // The heavy merge runs without the mutex: inputs are immutable (a frozen
-  // memtable + on-disk files) and output file numbers come from atomics.
-  // The write token / single worker guarantees no concurrent version
-  // mutation between the snapshot above and the commit below.
-  l.unlock();
-  Status merge_status = executor.Run(merged.get(), rts, config, &edit);
-  l.lock();
-  LETHE_RETURN_IF_ERROR(merge_status);
+  if (s.ok()) {
+    auto merged = NewMergingIterator(std::move(iters));
+    MergeExecutor executor(options_, versions_.get(), &stats_);
+    // The heavy merge runs without the mutex: inputs are immutable (a
+    // frozen memtable + on-disk files) and output file numbers come from
+    // atomics. The write token (inline mode) or the registered footprint
+    // (pool mode) guarantees no conflicting version mutation between the
+    // snapshot above and the commit below.
+    l.unlock();
+    s = executor.Run(merged.get(), rts, config, &edit);
+    l.lock();
+  }
 
   const uint64_t flushed_wal = imm.wal_number;
-  if (options_.inline_compactions) {
-    LETHE_RETURN_IF_ERROR(RotateWalLocked(&edit));
-  } else {
+  if (s.ok() && options_.inline_compactions) {
+    s = RotateWalLocked(&edit);
+  } else if (s.ok()) {
     // The manifest must keep naming the oldest WAL still carrying unflushed
     // data: the next pending memtable's, or the active one.
     edit.wal_number = imm_.size() > 1 ? imm_[1].wal_number : wal_number_;
   }
-  LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  if (s.ok()) {
+    s = versions_->LogAndApply(&edit);
+  }
+  if (registered) {
+    UnregisterJobLocked(job_id);
+  }
+  if (!s.ok()) {
+    RemoveFailedMergeOutputs(options_.env, dbname_, edit);
+    return s;
+  }
   if (options_.inline_compactions) {
     mem_ = std::make_shared<MemTable>();
   } else {
@@ -944,7 +1093,7 @@ Status DBImpl::MaybeCompactLocked(std::unique_lock<std::mutex>& l) {
 }
 
 Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
-                           std::unique_lock<std::mutex>& l) {
+                           std::unique_lock<std::mutex>& l, bool* deferred) {
   *did_work = false;
   std::shared_ptr<const Version> version = versions_->current();
   const int deepest = version->DeepestNonEmptyLevel();
@@ -983,6 +1132,7 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
     input_numbers.insert(file->file_number);
   }
 
+  bool trivial_move_possible = false;
   if (options_.compaction_style == CompactionStyle::kLeveling &&
       target != pick.level) {
     // Pull in the overlapping slice of the target level.
@@ -1000,18 +1150,8 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
         version->OverlappingFiles(target, Slice(smallest), Slice(largest));
     if (overlapping.empty()) {
       const FileMeta& file = *pick.inputs.front();
-      const bool must_rewrite = config.bottommost && file.HasTombstones();
-      if (!must_rewrite) {
-        // Trivial move: metadata-only promotion (no I/O). The tombstone age
-        // keeps counting from insertion, preserving the Dth bound.
-        FileMeta moved = file;
-        moved.run_id = 0;
-        edit.added_files.emplace_back(target, std::move(moved));
-        LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
-        stats_.trivial_moves.fetch_add(1, std::memory_order_relaxed);
-        *did_work = true;
-        return Status::OK();
-      }
+      trivial_move_possible =
+          !(config.bottommost && file.HasTombstones());
     }
     for (const auto& file : overlapping) {
       if (input_numbers.insert(file->file_number).second) {
@@ -1021,17 +1161,62 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
     }
   }
 
+  // Pool path: claim the merge footprint — every input file plus the input
+  // key span at the target level (outputs never escape it) — and defer if
+  // it overlaps a job already in flight. The trivial move commits below
+  // without ever releasing the mutex, so it needs the conflict check but
+  // no registration.
+  uint64_t job_id = 0;
+  bool registered = false;
+  if (deferred != nullptr && bg_ != nullptr) {
+    JobFootprint footprint;
+    footprint.output_level = target;
+    for (const auto& file : all_inputs) {
+      footprint.AddInput(*file);
+    }
+    if (versions_->ConflictsWithInFlight(footprint)) {
+      *deferred = true;
+      return Status::OK();
+    }
+    if (!trivial_move_possible) {
+      job_id = versions_->RegisterInFlightJob(footprint);
+      registered = true;
+    }
+  }
+
+  if (trivial_move_possible) {
+    // Trivial move: metadata-only promotion (no I/O). The tombstone age
+    // keeps counting from insertion, preserving the Dth bound.
+    FileMeta moved = *pick.inputs.front();
+    moved.run_id = 0;
+    edit.added_files.emplace_back(target, std::move(moved));
+    LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+    stats_.trivial_moves.fetch_add(1, std::memory_order_relaxed);
+    *did_work = true;
+    return Status::OK();
+  }
+
   std::vector<std::unique_ptr<InternalIterator>> iters;
   std::vector<RangeTombstone> rts;
-  LETHE_RETURN_IF_ERROR(CollectFileInputs(versions_.get(), all_inputs, &iters,
-                                          &rts, &config.input_bytes));
-  auto merged = NewMergingIterator(std::move(iters));
-  MergeExecutor executor(options_, versions_.get(), &stats_);
-  l.unlock();
-  Status merge_status = executor.Run(merged.get(), rts, config, &edit);
-  l.lock();
-  LETHE_RETURN_IF_ERROR(merge_status);
-  LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
+  Status s = CollectFileInputs(versions_.get(), all_inputs, &iters, &rts,
+                               &config.input_bytes);
+  if (s.ok()) {
+    auto merged = NewMergingIterator(std::move(iters));
+    MergeExecutor executor(options_, versions_.get(), &stats_);
+    l.unlock();
+    s = executor.Run(merged.get(), rts, config, &edit);
+    l.lock();
+  }
+  if (s.ok()) {
+    s = versions_->LogAndApply(&edit);
+  }
+  if (registered) {
+    UnregisterJobLocked(job_id);
+  }
+  if (!s.ok()) {
+    RemoveFailedMergeOutputs(options_.env, dbname_, edit);
+    return s;
+  }
   *did_work = true;
   return Status::OK();
 }
@@ -1097,13 +1282,21 @@ Status DBImpl::SecondaryRangeDeleteLocked(uint64_t lo, uint64_t hi,
 // ---- background mode ------------------------------------------------------
 
 void DBImpl::MaybeScheduleCompactionLocked() {
-  if (bg_ == nullptr || closed_ || compaction_scheduled_ ||
-      !bg_error_.ok()) {
+  if (bg_ == nullptr || closed_ || !bg_error_.ok()) {
     return;
+  }
+  if (compaction_jobs_ >= options_.background_threads) {
+    return;  // the pool is saturated; completions re-arm
+  }
+  if (compaction_backoff_) {
+    return;  // last probe found nothing unclaimed; a commit re-arms
+  }
+  if (exclusive_waiters_ > 0) {
+    return;  // let the registry drain so the exclusive job can claim it
   }
   const uint64_t now = options_.clock->NowMicros();
   const bool ttl_due = now >= earliest_ttl_expiry_;
-  if (!saturation_pending_ && !ttl_due) {
+  if (!saturation_pending_ && !ttl_due && !compaction_deferred_) {
     return;
   }
   // The paper's priority rule: delete-driven (TTL) work outranks
@@ -1112,22 +1305,47 @@ void DBImpl::MaybeScheduleCompactionLocked() {
   const auto priority =
       ttl_due ? BackgroundScheduler::Priority::kDeleteDrivenCompaction
               : BackgroundScheduler::Priority::kSpaceDrivenCompaction;
-  compaction_scheduled_ = true;
+  compaction_deferred_ = false;
+  compaction_jobs_++;
   bg_jobs_inflight_++;
   if (!bg_->Schedule(priority, [this] { BackgroundCompaction(); })) {
-    compaction_scheduled_ = false;
+    compaction_jobs_--;
     bg_jobs_inflight_--;
   }
 }
 
+void DBImpl::UnregisterJobLocked(uint64_t job_id) {
+  versions_->UnregisterInFlightJob(job_id);
+  // Work that parked on this job's footprint re-arms now. Both calls are
+  // guarded no-ops when nothing is due, so this never self-amplifies: a
+  // deferring job does NOT re-arm itself (that would spin); only real
+  // completions do.
+  // The claim set changed: probing makes sense again for both parked
+  // chains.
+  compaction_backoff_ = false;
+  flush_deferred_ = false;
+  MaybeScheduleFlushLocked();
+  MaybeScheduleCompactionLocked();
+  bg_work_done_cv_.notify_all();
+}
+
 void DBImpl::BackgroundFlush() {
   std::unique_lock<std::mutex> l(mu_);
+  bool deferred = false;
   if (!closed_ && bg_error_.ok()) {
-    Status s = FlushOldestImmLocked(l);
+    Status s = FlushOldestImmLocked(l, &deferred);
     if (!s.ok()) {
       bg_error_ = s;
     }
+    if (deferred) {
+      flush_deferred_ = true;
+      stats_.bg_jobs_deferred_overlap.fetch_add(1, std::memory_order_relaxed);
+    }
     MaybeScheduleCompactionLocked();
+  }
+  flush_scheduled_ = false;
+  if (!deferred) {
+    MaybeScheduleFlushLocked();  // next link in the chain
   }
   bg_jobs_inflight_--;
   bg_work_done_cv_.notify_all();
@@ -1135,23 +1353,103 @@ void DBImpl::BackgroundFlush() {
 
 void DBImpl::BackgroundCompaction() {
   std::unique_lock<std::mutex> l(mu_);
-  compaction_scheduled_ = false;
+  bool deferred = false;
   if (!closed_ && bg_error_.ok()) {
     std::shared_ptr<const Version> version = versions_->current();
     CompactionPick pick =
-        picker_->Pick(*version, options_.clock->NowMicros());
+        picker_->Pick(*version, options_.clock->NowMicros(),
+                      &versions_->InFlightInputFiles());
     if (pick.valid()) {
       bool did_work = false;
-      Status s = CompactOnce(pick, &did_work, l);
+      Status s = CompactOnce(pick, &did_work, l, &deferred);
       if (!s.ok()) {
         bg_error_ = s;
       }
+    } else if (versions_->InFlightJobCount() > 0) {
+      // Nothing unclaimed to work on; stop trigger-based scheduling until
+      // an in-flight merge commits (its UnregisterJobLocked re-arms). With
+      // an empty registry no commit would come to clear the flag — the
+      // pick came up empty for real, and RefreshTriggerStateLocked below
+      // resets the triggers instead.
+      compaction_backoff_ = true;
     }
     RefreshTriggerStateLocked();
-    MaybeScheduleCompactionLocked();  // one pick per job; re-arm if needed
+    compaction_jobs_--;
+    if (deferred) {
+      // Park: the blocking job's completion re-arms via
+      // UnregisterJobLocked; re-arming here would spin through the queue.
+      // Backoff too — otherwise every write-path probe would requeue this
+      // same doomed pick until the blocker commits.
+      compaction_deferred_ = true;
+      compaction_backoff_ = true;
+      stats_.bg_jobs_deferred_overlap.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      MaybeScheduleCompactionLocked();  // one pick per job; re-arm if needed
+    }
+  } else {
+    compaction_jobs_--;
   }
   bg_jobs_inflight_--;
   bg_work_done_cv_.notify_all();
+}
+
+Status DBImpl::AcquireExclusiveLocked(uint64_t* job_id,
+                                      std::unique_lock<std::mutex>& l) {
+  // Announce intent first: MaybeScheduleCompactionLocked stops launching
+  // new compaction jobs while an exclusive job waits, so under sustained
+  // write load the registry actually drains instead of starving us.
+  exclusive_waiters_++;
+  // Only the memtables already frozen when we got here must reach disk
+  // (pre-call entries in the *active* memtable were handled under the
+  // write token). Draining newer ones too would livelock against
+  // sustained ingest — writers can freeze memtables as fast as one worker
+  // flushes them.
+  size_t pending_imms = imm_.size();
+  Status s;
+  while (true) {
+    if (closed_) {
+      s = Status::InvalidArgument("DB is closed");
+      break;
+    }
+    if (!bg_error_.ok()) {
+      s = bg_error_;
+      break;
+    }
+    if (pending_imms > 0 && !imm_.empty()) {
+      // Drain the pre-call memtables on this worker so the exclusive job
+      // sees every pre-call write on disk (the flush-outranks-us
+      // contract). A concurrently running flush job wins the is_flush
+      // claim and this attempt defers until it commits.
+      bool deferred = false;
+      s = FlushOldestImmLocked(l, &deferred);
+      if (!s.ok()) {
+        break;
+      }
+      if (deferred) {
+        bg_work_done_cv_.wait(l);
+      } else {
+        pending_imms--;
+      }
+      continue;
+    }
+    JobFootprint footprint;
+    footprint.exclusive = true;
+    if (!versions_->ConflictsWithInFlight(footprint)) {
+      // The check and the claim share this mutex hold, so two exclusive
+      // jobs can never both slip past an empty registry.
+      *job_id = versions_->RegisterInFlightJob(footprint);
+      break;
+    }
+    bg_work_done_cv_.wait(l);
+  }
+  exclusive_waiters_--;
+  if (!s.ok()) {
+    // We suppressed background scheduling while waiting but will not
+    // commit anything to re-arm it; hand the baton back.
+    MaybeScheduleFlushLocked();
+    MaybeScheduleCompactionLocked();
+  }
+  return s;
 }
 
 Status DBImpl::RunOnWorkerAndWait(
@@ -1187,12 +1485,13 @@ Status DBImpl::RunOnWorkerAndWait(
   return result.status;
 }
 
-Status DBImpl::FlushOldestImmLocked(std::unique_lock<std::mutex>& l) {
+Status DBImpl::FlushOldestImmLocked(std::unique_lock<std::mutex>& l,
+                                    bool* deferred) {
   if (imm_.empty()) {
     return Status::OK();
   }
   ImmMemTable imm = imm_.front();  // copy: pins the memtable across unlock
-  return FlushMemTable(imm, l);
+  return FlushMemTable(imm, l, deferred);
 }
 
 Status DBImpl::WaitForFlushLocked(std::unique_lock<std::mutex>& l) {
@@ -1251,21 +1550,39 @@ Status DBImpl::WaitForCompact() {
     if (closed_) {
       return Status::InvalidArgument("DB is closed");
     }
-    const bool busy =
-        !imm_.empty() || bg_jobs_inflight_ > 0 || compaction_scheduled_;
+    // Defensive re-arm: parked work with no running job left to wake it
+    // (can only happen if a completion raced shutdown of its re-arm).
+    if (bg_jobs_inflight_ == 0) {
+      compaction_backoff_ = false;
+      if (flush_deferred_) {
+        flush_deferred_ = false;
+        MaybeScheduleFlushLocked();
+      }
+      if (compaction_deferred_) {
+        MaybeScheduleCompactionLocked();
+      }
+    }
+    const bool busy = !imm_.empty() || bg_jobs_inflight_ > 0 ||
+                      flush_deferred_ || compaction_deferred_ ||
+                      versions_->InFlightJobCount() > 0;
     if (!busy) {
       RefreshTriggerStateLocked();
       std::shared_ptr<const Version> version = versions_->current();
       if (!picker_->Pick(*version, options_.clock->NowMicros()).valid()) {
-        return Status::OK();  // quiescent: nothing queued, nothing to pick
+        // Quiescent: nothing queued, nothing to pick. Reap obsolete files
+        // whose pinning snapshots have since been released — no future
+        // commit may come to do it.
+        versions_->SweepObsoleteFiles();
+        return Status::OK();
       }
+      compaction_backoff_ = false;  // the probe proved there is work
       MaybeScheduleCompactionLocked();
-      if (!compaction_scheduled_) {
+      if (compaction_jobs_ == 0) {
         // The cached triggers disagree with the picker (e.g. a TTL edge);
         // force one compaction round rather than spinning.
         saturation_pending_ = true;
         MaybeScheduleCompactionLocked();
-        if (!compaction_scheduled_) {
+        if (compaction_jobs_ == 0) {
           return bg_error_;  // scheduler is shutting down
         }
       }
@@ -1322,17 +1639,21 @@ Status DBImpl::CompactAll() {
   if (closed_) {
     return Status::InvalidArgument("DB is closed");
   }
-  // Run the merge on the worker (the only thread that mutates on-disk state
-  // in background mode) and wait for it.
+  // Run the merge on a worker; it consumes every file in the tree, so it
+  // first drains the registry and claims the whole tree (exclusive).
   return RunOnWorkerAndWait(
       BackgroundScheduler::Priority::kSpaceDrivenCompaction,
       [this](std::unique_lock<std::mutex>& jl) {
-        return CompactAllLocked(jl);
+        uint64_t job_id = 0;
+        LETHE_RETURN_IF_ERROR(AcquireExclusiveLocked(&job_id, jl));
+        Status s = CompactAllLocked(jl);
+        UnregisterJobLocked(job_id);
+        return s;
       },
       l);
 }
 
-Status DBImpl::SecondaryRangeDelete(const WriteOptions&,
+Status DBImpl::SecondaryRangeDelete(const WriteOptions& options,
                                     uint64_t delete_key_begin,
                                     uint64_t delete_key_end) {
   if (delete_key_begin >= delete_key_end) {
@@ -1345,6 +1666,29 @@ Status DBImpl::SecondaryRangeDelete(const WriteOptions&,
   Writer w(nullptr, false);
   JoinWriterQueue(&w, l);
   stats_.secondary_range_deletes.fetch_add(1, std::memory_order_relaxed);
+
+  // WAL the purge *before* applying it: the active memtable's entries live
+  // on in the log, so recovery must replay the purge over them or the
+  // delete silently un-happens at the next open. Honors the caller's sync
+  // request like any other write — an acknowledged delete must not vanish
+  // in a torn WAL tail.
+  if (options_.enable_wal && wal_ != nullptr) {
+    WalRecord record;
+    record.kind = WalRecord::Kind::kSecondaryRangeDelete;
+    record.seq = versions_->NextSequence();
+    record.time = options_.clock->NowMicros();
+    record.delete_key = delete_key_begin;
+    record.delete_key_end = delete_key_end;
+    Status ws = wal_->AddRecords(&record, 1, options.sync);
+    stats_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+    if (options.sync || options_.sync_wal) {
+      stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ws.ok()) {
+      CompleteGroup(&w, &w, ws, l);
+      return ws;
+    }
+  }
 
   // The active memtable is mutable, so buffered entries are purged in place
   // (no tombstones needed). Requires the write token.
@@ -1359,9 +1703,9 @@ Status DBImpl::SecondaryRangeDelete(const WriteOptions&,
   }
 
   // Background mode: release the token, then run the disk part as a
-  // prioritized job. Flush jobs outrank it, so every memtable frozen before
-  // this call reaches disk before the job scans the tree — no pre-call entry
-  // escapes the delete.
+  // prioritized job. The job drains every pending memtable (flushing on its
+  // own worker) and claims the whole tree before scanning, so no pre-call
+  // entry escapes the delete and no concurrent merge resurrects one.
   CompleteGroup(&w, &w, Status::OK(), l);
   if (!bg_error_.ok()) {
     return bg_error_;
@@ -1370,21 +1714,24 @@ Status DBImpl::SecondaryRangeDelete(const WriteOptions&,
       BackgroundScheduler::Priority::kSecondaryDelete,
       [this, delete_key_begin,
        delete_key_end](std::unique_lock<std::mutex>& jl) {
-        return SecondaryRangeDeleteLocked(delete_key_begin, delete_key_end,
-                                          jl);
+        uint64_t job_id = 0;
+        LETHE_RETURN_IF_ERROR(AcquireExclusiveLocked(&job_id, jl));
+        Status s = SecondaryRangeDeleteLocked(delete_key_begin,
+                                              delete_key_end, jl);
+        UnregisterJobLocked(job_id);
+        return s;
       },
       l);
 }
 
 // ---- reads ----------------------------------------------------------------
 
-Status DBImpl::GetWithDeleteKey(const ReadOptions&, const Slice& key,
+Status DBImpl::GetWithDeleteKey(const ReadOptions& options, const Slice& key,
                                 std::string* value, uint64_t* delete_key) {
   ReadSnapshot snap = GetReadSnapshot();
   stats_.point_lookups.fetch_add(1, std::memory_order_relaxed);
 
-  SequenceNumber max_rt_seq =
-      snap.mem->range_tombstone_set().MaxCoverSeq(key);
+  SequenceNumber max_rt_seq = snap.mem->MaxRangeTombstoneCoverSeq(key);
 
   ParsedEntry mem_entry;
   if (snap.mem->Get(key, &mem_entry)) {
@@ -1400,8 +1747,7 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions&, const Slice& key,
   // coverage on the way down (sources are strictly ordered by sequence).
   for (auto it = snap.imm.rbegin(); it != snap.imm.rend(); ++it) {
     const MemTable& imm = **it;
-    max_rt_seq =
-        std::max(max_rt_seq, imm.range_tombstone_set().MaxCoverSeq(key));
+    max_rt_seq = std::max(max_rt_seq, imm.MaxRangeTombstoneCoverSeq(key));
     if (imm.Get(key, &mem_entry)) {
       if (max_rt_seq > mem_entry.seq || mem_entry.IsTombstone()) {
         return Status::NotFound(key);
@@ -1435,8 +1781,9 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions&, const Slice& key,
         }
         bool found = false;
         TableGetResult result;
-        LETHE_RETURN_IF_ERROR(
-            table->Get(key, file.get(), &stats_, &found, &result));
+        LETHE_RETURN_IF_ERROR(table->Get(key, file.get(), &stats_, &found,
+                                         &result,
+                                         options.fill_page_cache));
         if (found) {
           if (max_rt_seq > result.seq ||
               result.type == ValueType::kTombstone) {
@@ -1460,27 +1807,27 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   return GetWithDeleteKey(options, key, value, &delete_key);
 }
 
-std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions&) {
+std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
   ReadSnapshot snap = GetReadSnapshot();
 
   std::vector<std::unique_ptr<InternalIterator>> children;
   children.push_back(snap.mem->NewIterator());
 
   RangeTombstoneSet rts;
-  rts.AddAll(snap.mem->range_tombstones());
+  rts.AddAll(snap.mem->range_tombstones()->list);
 
   std::vector<std::shared_ptr<MemTable>> pinned;
   pinned.push_back(snap.mem);
   for (const auto& imm : snap.imm) {
     children.push_back(imm->NewIterator());
-    rts.AddAll(imm->range_tombstones());
+    rts.AddAll(imm->range_tombstones()->list);
     pinned.push_back(imm);
   }
 
   for (int level = 0; level < snap.version->num_levels(); level++) {
     for (const SortedRun& run : snap.version->levels()[level]) {
       children.push_back(std::make_unique<RunIterator>(
-          versions_->table_cache(), run.files));
+          versions_->table_cache(), run.files, options.fill_page_cache));
       for (const auto& file : run.files) {
         if (file->num_range_tombstones == 0) {
           continue;
@@ -1543,7 +1890,8 @@ Status DBImpl::SecondaryRangeLookup(const ReadOptions& options,
       bool from_cache = false;
       LETHE_RETURN_IF_ERROR(table->ReadPage(p, &contents,
                                             file->page_generation,
-                                            &from_cache));
+                                            &from_cache,
+                                            options.fill_page_cache));
       if (!from_cache) {
         stats_.range_lookup_pages_read.fetch_add(1,
                                                  std::memory_order_relaxed);
@@ -1640,5 +1988,40 @@ Status DBImpl::ComputeSpaceAmplification(double* samp) {
   *samp = static_cast<double>(total - unique) / static_cast<double>(unique);
   return Status::OK();
 }
+
+Status DBImpl::TEST_VerifyTreeInvariants() {
+  std::shared_ptr<const Version> version = versions_->current();
+  for (int level = 0; level < version->num_levels(); level++) {
+    const auto& runs = version->levels()[level];
+    if (options_.compaction_style == CompactionStyle::kLeveling &&
+        runs.size() > 1) {
+      return Status::Corruption("leveling holds " +
+                                std::to_string(runs.size()) +
+                                " runs at level " + std::to_string(level));
+    }
+    for (const SortedRun& run : runs) {
+      for (size_t i = 0; i < run.files.size(); i++) {
+        const FileMeta& file = *run.files[i];
+        if (Slice(file.smallest_key).compare(Slice(file.largest_key)) > 0) {
+          return Status::Corruption("inverted key range in file " +
+                                    std::to_string(file.file_number));
+        }
+        if (i > 0 && Slice(run.files[i - 1]->largest_key)
+                             .compare(Slice(file.smallest_key)) > 0) {
+          return Status::Corruption(
+              "overlapping files within a run at level " +
+              std::to_string(level));
+        }
+        if (!options_.env->FileExists(
+                TableFileName(dbname_, file.file_number))) {
+          return Status::Corruption("referenced table file missing: " +
+                                    TableFileName(dbname_, file.file_number));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 
 }  // namespace lethe

@@ -39,19 +39,28 @@ namespace lethe {
 ///   state.
 ///
 ///   *Background work* (inline_compactions = false): writers only swap full
-///   memtables onto `imm_` and enqueue work; a single BackgroundScheduler
-///   worker runs flushes, compactions, and secondary-delete execution.
-///   Heavy merge I/O runs with `mu_` released; version commits
-///   (VersionSet::LogAndApply) always happen under `mu_`. The single worker
-///   serializes all on-disk mutation, so no file-level locking exists.
+///   memtables onto `imm_` and enqueue work; a BackgroundScheduler pool of
+///   `Options::background_threads` workers runs flushes, compactions, and
+///   secondary-delete execution. Multiple merges proceed concurrently when
+///   their footprints (input files + output key range per level) are
+///   disjoint; a job whose footprint overlaps an in-flight job *defers* —
+///   parks without holding a worker — and re-arms when the blocker
+///   completes. Heavy merge I/O runs with `mu_` released; version commits
+///   (VersionSet::LogAndApply) always happen under `mu_`.
 ///
 /// Locking invariants:
 ///   - `mu_` guards: the writer queue, mem_/imm_ swaps, wal_ rotation,
-///     trigger caches, background bookkeeping, and every LogAndApply call.
+///     trigger caches, background bookkeeping, the in-flight job registry,
+///     and every LogAndApply call.
 ///   - Memtable *content* mutation requires the write token (front of
 ///     `writers_`), not `mu_`.
-///   - versions_ merges/commits happen only on the worker thread (background
-///     mode) or under the write token (inline mode) — never concurrently.
+///   - A merge registers its JobFootprint in VersionSet *before* releasing
+///     `mu_` for I/O and unregisters in the same `mu_` hold as its
+///     LogAndApply, so claims and version membership change atomically. No
+///     two in-flight jobs ever share an input file or overlap output key
+///     ranges within a level; at most one flush is in flight (ordering).
+///   - Exclusive jobs (CompactAll, secondary-delete execution) wait for the
+///     registry to drain, then claim the whole tree.
 ///   - Monotonic counters (file numbers, sequence numbers) are atomics in
 ///     VersionSet, allocatable without `mu_`.
 class DBImpl final : public DB {
@@ -90,8 +99,15 @@ class DBImpl final : public DB {
   Status ComputeSpaceAmplification(double* samp) override;
   uint64_t ApproximateEntryCount() const override;
 
-  /// Test hook: the background worker, or nullptr in inline mode.
+  /// Test hook: the background worker pool, or nullptr in inline mode.
   BackgroundScheduler* TEST_scheduler() { return bg_.get(); }
+
+  /// Test hook: structural invariants of the current tree — within every
+  /// sorted run files are ordered and non-overlapping, leveling keeps at
+  /// most one run per level, and every referenced table file exists on the
+  /// Env (catches premature deletion by a racing merge). Intended after
+  /// WaitForCompact; returns the first violation found.
+  Status TEST_VerifyTreeInvariants();
 
  private:
   /// One queued write (or an exclusive-token request when batch == nullptr).
@@ -161,26 +177,56 @@ class DBImpl final : public DB {
   int EffectiveL0StopTrigger() const;
 
   // ---- merges (both modes) ---------------------------------------------
+  //
+  // `deferred` (where present) selects the worker-pool path: non-null means
+  // the merge must claim a JobFootprint in the in-flight registry before
+  // releasing the mutex, and *deferred is set (with no work done) when the
+  // footprint overlaps a job already running. Null (inline mode and the
+  // single-threaded close drain) skips the registry entirely, keeping the
+  // paper-faithful inline engine byte-identical.
 
   /// Flushes `imm` (merging with overlapping first-level files under
   /// leveling). Heavy I/O runs with `l` released; the caller must hold the
-  /// write token (inline) or be the worker (background). Inline mode
+  /// write token (inline) or be a worker (background). Inline mode
   /// rotates the WAL and resets mem_; background mode pops imm_ and points
   /// the manifest at the oldest WAL still carrying unflushed data.
-  Status FlushMemTable(const ImmMemTable& imm, std::unique_lock<std::mutex>& l);
+  Status FlushMemTable(const ImmMemTable& imm, std::unique_lock<std::mutex>& l,
+                       bool* deferred = nullptr);
 
   Status MaybeCompactLocked(std::unique_lock<std::mutex>& l);
   Status CompactOnce(const CompactionPick& pick, bool* did_work,
-                     std::unique_lock<std::mutex>& l);
+                     std::unique_lock<std::mutex>& l,
+                     bool* deferred = nullptr);
   Status CompactAllLocked(std::unique_lock<std::mutex>& l);
   Status SecondaryRangeDeleteLocked(uint64_t lo, uint64_t hi,
                                     std::unique_lock<std::mutex>& l);
 
   // ---- background mode --------------------------------------------------
 
+  /// Keeps the flush chain alive: schedules one flush job when imm_ is
+  /// non-empty and none is queued or running. At most one flush job exists
+  /// at a time (flushes must drain oldest-first); the job re-arms the chain
+  /// after each flush.
+  void MaybeScheduleFlushLocked();
+
+  /// Schedules compaction jobs while triggers are due, up to
+  /// background_threads outstanding jobs. Each job picks its own disjoint
+  /// work; surplus jobs that find nothing unclaimed no-op.
   void MaybeScheduleCompactionLocked();
+
   void BackgroundFlush();
   void BackgroundCompaction();
+
+  /// Releases a merge's registry claim and re-arms work that parked on it
+  /// (deferred flush chain / deferred compactions), then wakes waiters.
+  void UnregisterJobLocked(uint64_t job_id);
+
+  /// Worker-side acquisition for exclusive jobs: drains pending immutable
+  /// memtables (flushing them on this thread), waits for every in-flight
+  /// merge to commit, then claims the whole tree. On success *job_id must
+  /// later be released via UnregisterJobLocked.
+  Status AcquireExclusiveLocked(uint64_t* job_id,
+                                std::unique_lock<std::mutex>& l);
 
   /// Schedules `fn` on the worker at `priority` and blocks until it ran
   /// (mu_ held on entry and return; released while waiting). `fn` receives
@@ -191,8 +237,9 @@ class DBImpl final : public DB {
       const std::function<Status(std::unique_lock<std::mutex>&)>& fn,
       std::unique_lock<std::mutex>& l);
 
-  /// Oldest pending flush, executed on the worker (or inline at close).
-  Status FlushOldestImmLocked(std::unique_lock<std::mutex>& l);
+  /// Oldest pending flush, executed on a worker (or inline at close).
+  Status FlushOldestImmLocked(std::unique_lock<std::mutex>& l,
+                              bool* deferred = nullptr);
 
   /// Blocks until imm_ is drained (or a background error is set).
   Status WaitForFlushLocked(std::unique_lock<std::mutex>& l);
@@ -200,6 +247,14 @@ class DBImpl final : public DB {
   // ---- shared helpers ---------------------------------------------------
 
   void RefreshTriggerStateLocked();
+
+  /// Recovery-time garbage collection: deletes table files not referenced
+  /// by the recovered version (outputs of a merge that crashed before its
+  /// manifest install) and manifests superseded by the current one, bumping
+  /// the file-number counter past every orphan so fresh allocations cannot
+  /// collide.
+  Status RemoveOrphanFilesLocked();
+
   Status RotateWalLocked(VersionEdit* edit);
   bool KeyMayExist(const ReadSnapshot& snap, const Slice& key);
   Status ReplayWalsLocked();
@@ -227,8 +282,22 @@ class DBImpl final : public DB {
 
   // Background bookkeeping (guarded by mu_).
   std::condition_variable bg_work_done_cv_;  // flush/compaction committed
-  bool compaction_scheduled_ = false;
-  int bg_jobs_inflight_ = 0;
+  bool flush_scheduled_ = false;    // a flush job is queued or running
+  bool flush_deferred_ = false;     // flush chain parked on a conflict
+  int compaction_jobs_ = 0;         // compaction jobs queued or running
+  bool compaction_deferred_ = false;  // a pick conflicted; retry on commit
+  // Set when a compaction job found nothing to pick (everything claimed or
+  // triggers stale); blocks further trigger-based scheduling until a merge
+  // commits. Without it, the hot write path would re-schedule no-op jobs
+  // into every free pool slot while one long merge holds all the claims.
+  // Only set while jobs are in flight, so a clearing commit always comes.
+  bool compaction_backoff_ = false;
+  // Exclusive jobs (CompactAll, secondary-delete execution) waiting for the
+  // registry to drain. While one waits, no new compaction jobs are
+  // scheduled — otherwise back-to-back merges under write load could keep
+  // the registry non-empty and starve the exclusive job indefinitely.
+  int exclusive_waiters_ = 0;
+  int bg_jobs_inflight_ = 0;        // all queued/running jobs, every class
   Status bg_error_;
   bool closed_ = false;
 

@@ -111,12 +111,16 @@ Status VersionSet::Recover() {
     version = Version::Apply(version.get(), edit, &apply_status);
     LETHE_RETURN_IF_ERROR(apply_status);
     ApplyCounters(edit);
+    std::lock_guard<std::mutex> lock(seq_time_mu_);
     for (const auto& [seq, time] : edit.seq_time_checkpoints) {
       seq_time_map_.emplace_back(seq, time);
     }
   }
   LETHE_RETURN_IF_ERROR(read_status);
-  std::sort(seq_time_map_.begin(), seq_time_map_.end());
+  {
+    std::lock_guard<std::mutex> lock(seq_time_mu_);
+    std::sort(seq_time_map_.begin(), seq_time_map_.end());
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -153,7 +157,10 @@ Status VersionSet::WriteSnapshotManifest() {
       }
     }
   }
-  snapshot.seq_time_checkpoints = seq_time_map_;
+  {
+    std::lock_guard<std::mutex> lock(seq_time_mu_);
+    snapshot.seq_time_checkpoints = seq_time_map_;
+  }
   snapshot.next_file_number = next_file_number_.load();
   snapshot.last_sequence = last_sequence_.load();
   snapshot.wal_number = wal_number_;
@@ -191,13 +198,18 @@ void VersionSet::ApplyCounters(const VersionEdit& edit) {
 
 void VersionSet::AddSeqTimeCheckpoint(SequenceNumber seq, uint64_t time,
                                       VersionEdit* edit) {
-  seq_time_map_.emplace_back(seq, time);
-  std::sort(seq_time_map_.begin(), seq_time_map_.end());
+  {
+    std::lock_guard<std::mutex> lock(seq_time_mu_);
+    seq_time_map_.emplace_back(seq, time);
+    std::sort(seq_time_map_.begin(), seq_time_map_.end());
+  }
   edit->seq_time_checkpoints.emplace_back(seq, time);
 }
 
 uint64_t VersionSet::TimeOfSeq(SequenceNumber seq) const {
-  // Greatest checkpoint with checkpoint.seq <= seq.
+  // Greatest checkpoint with checkpoint.seq <= seq. Locked: concurrent
+  // merges resolve tombstone times while a flush inserts a checkpoint.
+  std::lock_guard<std::mutex> lock(seq_time_mu_);
   auto it = std::upper_bound(
       seq_time_map_.begin(), seq_time_map_.end(),
       std::make_pair(seq, UINT64_MAX));
@@ -205,6 +217,70 @@ uint64_t VersionSet::TimeOfSeq(SequenceNumber seq) const {
     return 0;  // before the first checkpoint: oldest possible (conservative)
   }
   return std::prev(it)->second;
+}
+
+void JobFootprint::CoverOutput(const Slice& begin, const Slice& end) {
+  if (!has_output_span || begin.compare(Slice(output_begin)) < 0) {
+    output_begin.assign(begin.data(), begin.size());
+  }
+  if (!has_output_span || end.compare(Slice(output_end)) > 0) {
+    output_end.assign(end.data(), end.size());
+  }
+  has_output_span = true;
+}
+
+void JobFootprint::AddInput(const FileMeta& file) {
+  input_files.push_back(file.file_number);
+  CoverOutput(Slice(file.smallest_key), Slice(file.largest_key));
+}
+
+uint64_t VersionSet::RegisterInFlightJob(const JobFootprint& footprint) {
+  uint64_t id = next_job_id_++;
+  for (uint64_t file : footprint.input_files) {
+    inflight_files_.insert(file);
+  }
+  inflight_jobs_.emplace(id, footprint);
+  return id;
+}
+
+void VersionSet::UnregisterInFlightJob(uint64_t job_id) {
+  auto it = inflight_jobs_.find(job_id);
+  if (it == inflight_jobs_.end()) {
+    return;
+  }
+  for (uint64_t file : it->second.input_files) {
+    inflight_files_.erase(file);
+  }
+  inflight_jobs_.erase(it);
+}
+
+bool VersionSet::ConflictsWithInFlight(const JobFootprint& footprint) const {
+  if (inflight_jobs_.empty()) {
+    return false;
+  }
+  if (footprint.exclusive) {
+    return true;  // exclusive jobs demand an empty registry
+  }
+  for (const auto& [id, other] : inflight_jobs_) {
+    if (other.exclusive) {
+      return true;
+    }
+    if (footprint.is_flush && other.is_flush) {
+      return true;  // flushes are ordered: oldest memtable first
+    }
+    if (footprint.output_level >= 0 &&
+        footprint.output_level == other.output_level &&
+        Slice(footprint.output_begin).compare(Slice(other.output_end)) <= 0 &&
+        Slice(other.output_begin).compare(Slice(footprint.output_end)) <= 0) {
+      return true;  // overlapping outputs into one level break the run
+    }
+  }
+  for (uint64_t file : footprint.input_files) {
+    if (inflight_files_.count(file) > 0) {
+      return true;  // the input is being consumed by another merge
+    }
+  }
+  return false;
 }
 
 Status VersionSet::LogAndApply(VersionEdit* edit) {
@@ -231,8 +307,11 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
     current_ = next;
   }
 
-  // Delete table files that were removed and not re-added (re-adding the
-  // same number replaces metadata after a secondary range delete).
+  // Retire table files that were removed and not re-added (re-adding the
+  // same number replaces metadata after a secondary range delete). Physical
+  // deletion is deferred: a concurrent scan pinning `base` (or an older
+  // snapshot) may open these files lazily, so they park in the graveyard
+  // until no retired version references them.
   std::set<uint64_t> readded;
   for (const auto& [level, meta] : edit->added_files) {
     readded.insert(meta.file_number);
@@ -242,11 +321,54 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
       continue;
     }
     table_cache_.Evict(removed.file_number);
-    // Best effort: open readers keep the bytes alive on both backends.
-    options_.env->RemoveFile(TableFileName(dbname_, removed.file_number))
-        .ok();
+    graveyard_.insert(removed.file_number);
   }
+  retired_versions_.emplace_back(base);
+  SweepGraveyardLocked();
   return Status::OK();
+}
+
+void VersionSet::SweepGraveyardLocked() {
+  // Prune released snapshots; an alive one stays retired even while the
+  // graveyard is empty — a later edit may remove files it references.
+  // Careful with the compaction step: self-move-assignment of a weak_ptr
+  // empties it (libstdc++ releases and then nulls the control block), so an
+  // element that stays at its index must be left untouched.
+  std::set<uint64_t> pinned;
+  size_t alive = 0;
+  for (size_t i = 0; i < retired_versions_.size(); i++) {
+    std::shared_ptr<const Version> version = retired_versions_[i].lock();
+    if (version == nullptr) {
+      continue;  // snapshot released: no longer pins anything
+    }
+    if (alive != i) {
+      retired_versions_[alive] = std::move(retired_versions_[i]);
+    }
+    alive++;
+    if (graveyard_.empty()) {
+      continue;  // nothing to reap; pruning is all this pass does
+    }
+    for (const auto& [level, file] : version->AllFiles()) {
+      pinned.insert(file->file_number);
+    }
+  }
+  retired_versions_.resize(alive);
+  for (auto it = graveyard_.begin(); it != graveyard_.end();) {
+    if (pinned.count(*it) == 0) {
+      options_.env->RemoveFile(TableFileName(dbname_, *it)).ok();
+      it = graveyard_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void VersionSet::SweepAllObsoleteFiles() {
+  for (uint64_t number : graveyard_) {
+    options_.env->RemoveFile(TableFileName(dbname_, number)).ok();
+  }
+  graveyard_.clear();
+  retired_versions_.clear();
 }
 
 }  // namespace lethe

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,43 @@ class TableCache {
   PageCache* page_cache_;
   std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<SSTableReader>> cache_;
+};
+
+/// Footprint of one in-flight background job, the unit of the disjointness
+/// rule that lets pool workers run merges concurrently:
+///
+///   - `input_files` are claimed exclusively: no two in-flight jobs may
+///     share an input file (inputs are removed at commit, so sharing one
+///     would double-remove it — and under leveling, a job that would write
+///     over another job's input range necessarily pulls that input into its
+///     own set, so file claims also serialize input-range conflicts).
+///   - Jobs emitting output files into the same level must have disjoint
+///     output key ranges [output_begin, output_end] (inclusive bounds),
+///     preserving the at-most-one-run non-overlap invariant under leveling.
+///     Callers pass the *input span* as the output range — outputs are
+///     always contained in it, and the wider claim also fences the region
+///     being rewritten.
+///   - At most one flush runs at a time (immutable memtables must reach L0
+///     oldest-first to keep sequence recency ordered).
+///   - `exclusive` jobs (CompactAll, secondary range deletes) conflict with
+///     everything: they scan or rewrite the whole tree.
+struct JobFootprint {
+  bool is_flush = false;
+  bool exclusive = false;
+  std::vector<uint64_t> input_files;
+  int output_level = -1;  // -1 = no file output
+  std::string output_begin;  // inclusive sort-key bounds of the output
+  std::string output_end;
+  bool has_output_span = false;
+
+  /// Widens [output_begin, output_end] to cover [begin, end].
+  void CoverOutput(const Slice& begin, const Slice& end);
+
+  /// Claims `file` as an input and widens the output span over its key
+  /// range. Both merge paths (flush and compaction) build their footprint
+  /// through this, so the span convention ConflictsWithInFlight relies on
+  /// lives in exactly one place.
+  void AddInput(const FileMeta& file);
 };
 
 /// Owns the mutable identity of the database: the current Version, the
@@ -127,15 +165,64 @@ class VersionSet {
                             VersionEdit* edit);
 
   /// Conservative insertion-time floor for the entry with sequence `seq`.
+  /// Thread-safe: merges resolve tombstone times off the DB mutex while
+  /// flushes add checkpoints under it.
   uint64_t TimeOfSeq(SequenceNumber seq) const;
+
+  // ---- in-flight job registry (disjointness scheduling) -----------------
+  //
+  // Externally synchronized by the DB mutex, like every other mutating call:
+  // a job registers its footprint *before* releasing the mutex for merge
+  // I/O and unregisters in the same critical section as its LogAndApply, so
+  // claims and version membership always change together. current() stays
+  // lock-free for readers.
+
+  /// Claims `footprint` and returns a registration id. The caller must have
+  /// checked ConflictsWithInFlight first (same mutex hold).
+  uint64_t RegisterInFlightJob(const JobFootprint& footprint);
+
+  /// Releases a claim made by RegisterInFlightJob.
+  void UnregisterInFlightJob(uint64_t job_id);
+
+  /// True when `footprint` overlaps any in-flight job under the rules
+  /// documented on JobFootprint. An overlapping job must defer.
+  bool ConflictsWithInFlight(const JobFootprint& footprint) const;
+
+  /// File numbers claimed as inputs by in-flight jobs; the compaction
+  /// picker skips these instead of re-picking work already being done.
+  const std::set<uint64_t>& InFlightInputFiles() const {
+    return inflight_files_;
+  }
+
+  size_t InFlightJobCount() const { return inflight_jobs_.size(); }
 
   TableCache* table_cache() { return &table_cache_; }
   const std::string& dbname() const { return dbname_; }
+  uint64_t manifest_number() const { return manifest_number_; }
+
+  /// Deletes every table file still parked in the graveyard, regardless of
+  /// pins. Called at DB close, when no reader can remain.
+  void SweepAllObsoleteFiles();
+
+  /// Reaps unpinned graveyard files now. Normally the sweep runs at every
+  /// LogAndApply; barriers call this so an idle DB does not sit on dead
+  /// files until the next merge just because a since-released snapshot
+  /// pinned them at commit time. Same external synchronization as
+  /// LogAndApply (the DB mutex).
+  void SweepObsoleteFiles() { SweepGraveyardLocked(); }
 
  private:
   Status CreateFresh();
   Status WriteSnapshotManifest();
   void ApplyCounters(const VersionEdit& edit);
+
+  /// Deletes graveyard files referenced by no still-pinned Version
+  /// snapshot. Readers (iterators, in-flight merges) pin versions via
+  /// shared_ptr; deleting a removed file the moment its edit commits would
+  /// race a concurrent scan that opens the file lazily through an older
+  /// snapshot, so removal only *retires* files here and this sweep reaps
+  /// the unpinned ones on each subsequent install.
+  void SweepGraveyardLocked();
 
   Options options_;
   std::string dbname_;
@@ -152,7 +239,19 @@ class VersionSet {
   std::atomic<SequenceNumber> last_sequence_{0};
   uint64_t wal_number_ = 0;
 
+  mutable std::mutex seq_time_mu_;  // guards seq_time_map_ (see TimeOfSeq)
   std::vector<std::pair<SequenceNumber, uint64_t>> seq_time_map_;
+
+  // Deferred table-file GC (guarded by the DB mutex, like LogAndApply):
+  // files removed from the current version await deletion until no retired
+  // Version snapshot still references them.
+  std::set<uint64_t> graveyard_;
+  std::vector<std::weak_ptr<const Version>> retired_versions_;
+
+  // In-flight job registry (guarded by the DB mutex, see above).
+  std::unordered_map<uint64_t, JobFootprint> inflight_jobs_;
+  std::set<uint64_t> inflight_files_;  // union of in-flight input_files
+  uint64_t next_job_id_ = 1;
 };
 
 }  // namespace lethe

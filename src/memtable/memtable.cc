@@ -43,7 +43,20 @@ int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
 
 MemTable::MemTable()
     : table_(comparator_, &arena_),
+      rts_(std::make_shared<BufferedRangeTombstones>()),
       oldest_tombstone_time_(kNoTombstoneTime) {}
+
+namespace {
+/// Relaxed-min update for the oldest-tombstone clock (single writer, but
+/// readers poll concurrently).
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_release)) {
+  }
+}
+}  // namespace
 
 void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
                    uint64_t delete_key, const Slice& value, uint64_t time) {
@@ -62,17 +75,25 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
   char* record = arena_.Allocate(encoded.size());
   memcpy(record, encoded.data(), encoded.size());
   table_.Insert(record);
-  num_entries_++;
+  num_entries_.fetch_add(1, std::memory_order_release);
   if (type == ValueType::kTombstone) {
-    num_point_tombstones_++;
-    oldest_tombstone_time_ = std::min(oldest_tombstone_time_, time);
+    num_point_tombstones_.fetch_add(1, std::memory_order_release);
+    AtomicMin(&oldest_tombstone_time_, time);
   }
 }
 
 void MemTable::AddRangeTombstone(const RangeTombstone& tombstone) {
-  range_tombstones_.push_back(tombstone);
-  range_tombstone_set_.Add(tombstone);
-  oldest_tombstone_time_ = std::min(oldest_tombstone_time_, tombstone.time);
+  // Copy-on-write: the token holder is the only writer, but readers hold
+  // snapshots of the previous state, which must stay intact.
+  auto next = std::make_shared<BufferedRangeTombstones>(*range_tombstones());
+  next->list.push_back(tombstone);
+  next->set.Add(tombstone);
+  {
+    std::lock_guard<std::mutex> lock(rts_mu_);
+    rts_ = std::move(next);
+  }
+  num_range_tombstones_.fetch_add(1, std::memory_order_release);
+  AtomicMin(&oldest_tombstone_time_, tombstone.time);
 }
 
 bool MemTable::Get(const Slice& user_key, ParsedEntry* entry) const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/format/entry.h"
@@ -14,6 +15,15 @@
 #include "src/util/slice.h"
 
 namespace lethe {
+
+/// Immutable snapshot of a memtable's buffered range tombstones: the
+/// insertion-order list plus the coverage-search structure. Readers hold one
+/// via shared_ptr while the writer publishes copy-on-write successors, so
+/// lock-free reads never observe a vector mid-reallocation.
+struct BufferedRangeTombstones {
+  std::vector<RangeTombstone> list;
+  RangeTombstoneSet set;
+};
 
 /// In-memory write buffer (Level 0 in the paper's numbering): an arena-backed
 /// skiplist ordered by internal key, plus a side list of range tombstones.
@@ -50,11 +60,25 @@ class MemTable {
   /// a key may be yielded (newest first); flush consolidates them.
   std::unique_ptr<InternalIterator> NewIterator() const;
 
-  const std::vector<RangeTombstone>& range_tombstones() const {
-    return range_tombstones_;
+  /// Snapshot of the buffered range tombstones. The write token serializes
+  /// writers; readers take this snapshot concurrently, so publication is
+  /// copy-on-write — mutating the live structures in place would race the
+  /// lock-free read path (a reader could walk a vector mid-reallocation).
+  std::shared_ptr<const BufferedRangeTombstones> range_tombstones() const {
+    std::lock_guard<std::mutex> lock(rts_mu_);
+    return rts_;
   }
-  const RangeTombstoneSet& range_tombstone_set() const {
-    return range_tombstone_set_;
+
+  /// Highest seq of a buffered range tombstone covering `key`, 0 if none.
+  /// Point-lookup fast path: the common no-range-tombstones case is one
+  /// atomic load — no lock, no shared_ptr refcount traffic. (The counter
+  /// is bumped after the snapshot publish, so a nonzero count always finds
+  /// the tombstone in the snapshot.)
+  SequenceNumber MaxRangeTombstoneCoverSeq(const Slice& key) const {
+    if (num_range_tombstones_.load(std::memory_order_acquire) == 0) {
+      return 0;
+    }
+    return range_tombstones()->set.MaxCoverSeq(key);
   }
 
   /// Marks every live entry with delete key in [lo, hi) dead. Returns the
@@ -70,15 +94,22 @@ class MemTable {
   bool KeySpan(std::string* smallest, std::string* largest) const;
 
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
-  uint64_t num_entries() const { return num_entries_; }
-  uint64_t num_point_tombstones() const { return num_point_tombstones_; }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_acquire);
+  }
+  uint64_t num_point_tombstones() const {
+    return num_point_tombstones_.load(std::memory_order_acquire);
+  }
   bool empty() const {
-    return num_entries_ == 0 && range_tombstones_.empty();
+    return num_entries() == 0 &&
+           num_range_tombstones_.load(std::memory_order_acquire) == 0;
   }
 
   /// Insertion time of the oldest (point or range) tombstone, or
   /// kNoTombstoneTime.
-  uint64_t oldest_tombstone_time() const { return oldest_tombstone_time_; }
+  uint64_t oldest_tombstone_time() const {
+    return oldest_tombstone_time_.load(std::memory_order_acquire);
+  }
 
  private:
   struct KeyComparator {
@@ -92,11 +123,12 @@ class MemTable {
   Arena arena_;
   KeyComparator comparator_;
   SkipList<KeyComparator> table_;
-  std::vector<RangeTombstone> range_tombstones_;
-  RangeTombstoneSet range_tombstone_set_;
-  uint64_t num_entries_ = 0;
-  uint64_t num_point_tombstones_ = 0;
-  uint64_t oldest_tombstone_time_;
+  mutable std::mutex rts_mu_;  // guards the rts_ pointer swap only
+  std::shared_ptr<const BufferedRangeTombstones> rts_;
+  std::atomic<uint64_t> num_entries_{0};
+  std::atomic<uint64_t> num_point_tombstones_{0};
+  std::atomic<uint64_t> num_range_tombstones_{0};
+  std::atomic<uint64_t> oldest_tombstone_time_;
 };
 
 }  // namespace lethe

@@ -14,6 +14,11 @@ void EncodeWalRecord(const WalRecord& record, std::string* dst) {
   PutLengthPrefixedSlice(dst, record.end_key);
   PutFixed64(dst, record.delete_key);
   PutLengthPrefixedSlice(dst, record.value);
+  if (record.kind == WalRecord::Kind::kSecondaryRangeDelete) {
+    // Appended only for this kind: the classic record kinds stay
+    // byte-identical to their original encoding.
+    PutFixed64(dst, record.delete_key_end);
+  }
 }
 
 bool DecodeWalRecord(Slice input, WalRecord* record) {
@@ -22,7 +27,7 @@ bool DecodeWalRecord(Slice input, WalRecord* record) {
   }
   uint8_t kind = static_cast<uint8_t>(input[0]);
   input.remove_prefix(1);
-  if (kind < 1 || kind > 3) {
+  if (kind < 1 || kind > 4) {
     return false;
   }
   record->kind = static_cast<WalRecord::Kind>(kind);
@@ -32,6 +37,10 @@ bool DecodeWalRecord(Slice input, WalRecord* record) {
       !GetLengthPrefixedSlice(&input, &end_key) ||
       !GetFixed64(&input, &record->delete_key) ||
       !GetLengthPrefixedSlice(&input, &value)) {
+    return false;
+  }
+  if (record->kind == WalRecord::Kind::kSecondaryRangeDelete &&
+      !GetFixed64(&input, &record->delete_key_end)) {
     return false;
   }
   record->key = key.ToString();

@@ -25,6 +25,12 @@ struct WalRecord {
     kPut = 1,
     kDelete = 2,
     kRangeDelete = 3,
+    // A KiWi secondary range delete over delete keys [delete_key,
+    // delete_key_end). The operation's disk side persists through the
+    // MANIFEST, but its in-place purge of the *active* memtable must be
+    // re-applied when the WAL is replayed — otherwise recovery resurrects
+    // the purged entries from their original Put records.
+    kSecondaryRangeDelete = 4,
   };
 
   Kind kind = Kind::kPut;
@@ -32,8 +38,9 @@ struct WalRecord {
   uint64_t time = 0;
   std::string key;          // sort key (begin key for range deletes)
   std::string end_key;      // range deletes only
-  uint64_t delete_key = 0;  // secondary delete key
+  uint64_t delete_key = 0;  // secondary delete key (range begin for kind 4)
   std::string value;
+  uint64_t delete_key_end = 0;  // kind 4 only (not encoded otherwise)
 };
 
 /// Typed wrapper over the shared CRC-framed record log.

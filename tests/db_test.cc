@@ -974,6 +974,50 @@ TEST_F(PageCacheDBTest, CompactionDropsDeadFilesFromCache) {
   }
 }
 
+TEST_F(PageCacheDBTest, CompactionAndBulkScansDoNotPopulateCache) {
+  // Merges stream every input page once and then delete the file; caching
+  // those decodes would evict the pages point lookups are hot on. The
+  // engine reads compaction inputs with fill disabled, and user scans can
+  // opt out via ReadOptions::fill_page_cache.
+  Open();
+  const uint64_t n = 2000;
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < n; k++) {
+    // Scattered keys: every flush overlaps the L0 run, so merges do real
+    // page reads (sequential keys would trivial-move everything).
+    const uint64_t key = k * 37 % n;
+    ASSERT_TRUE(Put(key, value + std::to_string(key), /*dk=*/key).ok());
+  }
+  ASSERT_TRUE(db_->CompactUntilQuiescent().ok());
+  // Merges ran and read pages; none of those reads may have landed in the
+  // cache.
+  EXPECT_GT(env_->stats().pages_read.load(), 0u);
+  EXPECT_EQ(db_->stats().page_cache_charge_bytes.load(), 0u);
+
+  // A bulk scan with fill disabled serves hits but never inserts.
+  ReadOptions no_fill;
+  no_fill.fill_page_cache = false;
+  {
+    auto it = db_->NewIterator(no_fill);
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    }
+    ASSERT_TRUE(it->status().ok());
+  }
+  EXPECT_EQ(db_->stats().page_cache_charge_bytes.load(), 0u);
+
+  // Default reads populate as before.
+  EXPECT_EQ(Get(5), value + "5");
+  EXPECT_GT(db_->stats().page_cache_charge_bytes.load(), 0u);
+
+  // And a no-fill point lookup still *hits* what the default read cached.
+  const uint64_t misses = db_->stats().page_cache_misses.load();
+  std::string got;
+  ASSERT_TRUE(db_->Get(no_fill, EncodeKey(5), &got).ok());
+  EXPECT_EQ(got, value + "5");
+  EXPECT_GT(db_->stats().page_cache_hits.load(), 0u);
+  EXPECT_EQ(db_->stats().page_cache_misses.load(), misses);
+}
+
 TEST_F(DBTest, PageCacheDisabledReproducesExactIoCounts) {
   // Two identical cache-less runs must produce byte-identical I/O counters
   // (the Fig 6 benches depend on this determinism), and enabling the cache
@@ -1346,6 +1390,228 @@ TEST_F(BackgroundDBTest, FlushFailureSurfacesAndRecoveryReplaysAllWals) {
   for (uint64_t k = 0; k < 100; k++) {
     EXPECT_EQ(Get(k), value);
   }
+}
+
+// ---- worker pool (background_threads > 1) ----------------------------------
+
+class PoolDBTest : public BackgroundDBTest {
+ protected:
+  void SetUp() override {
+    BackgroundDBTest::SetUp();
+    options_.background_threads = 4;
+  }
+
+  uint64_t CountSstFiles() {
+    std::vector<std::string> children;
+    EXPECT_TRUE(env_->GetChildren("testdb", &children).ok());
+    uint64_t ssts = 0;
+    for (const std::string& child : children) {
+      if (child.size() > 4 && child.substr(child.size() - 4) == ".sst") {
+        ssts++;
+      }
+    }
+    return ssts;
+  }
+};
+
+TEST_F(PoolDBTest, PauseBarrierFreezesEveryWorker) {
+  // The stall test from the single-worker era, against a 4-worker pool:
+  // TEST_Pause must freeze *all* workers (and only return once in-flight
+  // jobs finished), or the frozen-pipeline stall below would race with a
+  // straggler worker draining it.
+  options_.max_imm_memtables = 1;
+  Open();
+  impl()->TEST_scheduler()->TEST_Pause();
+
+  std::string value(500, 's');
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (uint64_t k = 0; k < 120; k++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), EncodeKey(k), k, value).ok());
+    }
+    writer_done.store(true);
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (db_->stats().write_stalls.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(db_->stats().write_stalls.load(), 0u);
+  EXPECT_FALSE(writer_done.load());
+
+  impl()->TEST_scheduler()->TEST_Resume();
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->WaitForCompact().ok());
+  for (uint64_t k = 0; k < 120; k++) {
+    EXPECT_EQ(Get(k), value);
+  }
+  EXPECT_TRUE(
+      static_cast<DBImpl*>(db_.get())->TEST_VerifyTreeInvariants().ok());
+}
+
+TEST_F(PoolDBTest, ConcurrentLoadKeepsTreeInvariants) {
+  // Saturate the 4-worker pool from several writer threads, then verify the
+  // sorted-run invariants and every key. Disjointness scheduling must keep
+  // concurrent merges from ever producing overlapping runs.
+  Open();
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 1500;
+  std::string value(100, 'w');
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; t++) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerWriter; i++) {
+        uint64_t key = static_cast<uint64_t>(t) * kPerWriter + i;
+        clock_.AdvanceMicros(1);
+        ASSERT_TRUE(
+            db_->Put(WriteOptions(), EncodeKey(key), key, value).ok());
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->WaitForCompact().ok());
+  EXPECT_GT(db_->stats().bg_jobs_dispatched.load(), 0u);
+  Status invariants =
+      static_cast<DBImpl*>(db_.get())->TEST_VerifyTreeInvariants();
+  ASSERT_TRUE(invariants.ok()) << invariants.ToString();
+  for (uint64_t k = 0; k < kWriters * kPerWriter; k++) {
+    ASSERT_EQ(Get(k), value) << k;
+  }
+}
+
+TEST_F(PoolDBTest, CrashMidMergeRecoversWithoutOrphanSsts) {
+  // Kill every table-file write after a point (WAL appends keep working),
+  // with 4 workers' merges in flight. Reopen must replay the WALs, adopt
+  // only manifest-installed files, and sweep the orphaned outputs the dead
+  // merges left behind.
+  Open();
+  std::string value(200, 'c');
+  uint64_t k = 0;
+  for (; k < 1500; k++) {
+    ASSERT_TRUE(Put(k, value).ok());
+  }
+  env_->SetFailFilter(".sst");
+  env_->SetFailAfterWrites(25);
+  // Keep writing until the background error surfaces on the write path
+  // (WAL appends still succeed, so each accepted write stays durable).
+  Status s;
+  for (; k < 20000; k++) {
+    s = Put(k, value);
+    if (!s.ok()) {
+      break;
+    }
+  }
+  EXPECT_FALSE(s.ok());  // merges died and poisoned the engine
+  const uint64_t acked = k;  // keys [0, acked) were acknowledged
+  db_.reset();
+
+  env_->SetFailAfterWrites(UINT64_MAX);
+  env_->SetFailFilter("");
+  ASSERT_TRUE(Reopen().ok());
+  for (uint64_t i = 0; i < acked; i++) {
+    ASSERT_EQ(Get(i), value) << i;
+  }
+  // Every .sst on disk is referenced by the recovered version: the crashed
+  // merges' partial outputs were removed by the recovery sweep.
+  EXPECT_EQ(CountSstFiles(), TotalDiskFiles());
+  EXPECT_TRUE(
+      static_cast<DBImpl*>(db_.get())->TEST_VerifyTreeInvariants().ok());
+}
+
+TEST_F(PoolDBTest, CrashMidManifestInstallRecovers) {
+  // Fail MANIFEST appends specifically: merges finish their output files
+  // but die installing the version edit. Reopen must recover every acked
+  // write and garbage-collect the uninstalled outputs.
+  Open();
+  std::string value(200, 'm');
+  uint64_t k = 0;
+  for (; k < 1200; k++) {
+    ASSERT_TRUE(Put(k, value).ok());
+  }
+  env_->SetFailFilter("MANIFEST");
+  env_->SetFailAfterWrites(2);
+  Status s;
+  for (; k < 20000; k++) {
+    s = Put(k, value);
+    if (!s.ok()) {
+      break;
+    }
+  }
+  EXPECT_FALSE(s.ok());
+  const uint64_t acked = k;
+  db_.reset();
+
+  env_->SetFailAfterWrites(UINT64_MAX);
+  env_->SetFailFilter("");
+  ASSERT_TRUE(Reopen().ok());
+  for (uint64_t i = 0; i < acked; i++) {
+    ASSERT_EQ(Get(i), value) << i;
+  }
+  EXPECT_EQ(CountSstFiles(), TotalDiskFiles());
+  // A second crash-free reopen stays stable.
+  ASSERT_TRUE(Reopen().ok());
+  for (uint64_t i = 0; i < acked; i++) {
+    ASSERT_EQ(Get(i), value) << i;
+  }
+}
+
+TEST_F(BackgroundDBTest, InlineAndPoolSizesConvergeLogically) {
+  // Property: the same seeded workload produces identical logical contents
+  // (full scan: keys, values, delete keys) whether merges run inline, on
+  // one background worker, or on a 4-worker pool. Physical tree shape may
+  // differ with concurrency; the data may not.
+  auto run = [&](bool inline_mode, int threads) {
+    auto base = NewMemEnv();
+    IoCountingEnv env(base.get(), 1024);
+    LogicalClock clock(1);
+    Options opt = options_;
+    opt.env = &env;
+    opt.clock = &clock;
+    opt.inline_compactions = inline_mode;
+    opt.background_threads = threads;
+    std::unique_ptr<DB> db;
+    EXPECT_TRUE(DB::Open(opt, "eq2db", &db).ok());
+    Random rnd(12345);
+    std::string value(60, 'q');
+    for (uint64_t i = 0; i < 3000; i++) {
+      clock.AdvanceMicros(3);
+      uint64_t key = rnd.Uniform(500);
+      double roll = rnd.NextDouble();
+      if (roll < 0.70) {
+        EXPECT_TRUE(
+            db->Put(WriteOptions(), EncodeKey(key), i, value).ok());
+      } else if (roll < 0.90) {
+        EXPECT_TRUE(db->Delete(WriteOptions(), EncodeKey(key)).ok());
+      } else {
+        EXPECT_TRUE(db->RangeDelete(WriteOptions(), EncodeKey(key),
+                                    EncodeKey(key + 5))
+                        .ok());
+      }
+    }
+    EXPECT_TRUE(db->CompactUntilQuiescent().ok());
+    std::map<std::string, std::pair<std::string, uint64_t>> content;
+    auto it = db->NewIterator(ReadOptions());
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      content[it->key().ToString()] = {it->value().ToString(),
+                                       it->delete_key()};
+    }
+    EXPECT_TRUE(it->status().ok());
+    return content;
+  };
+
+  auto inline_content = run(true, 1);
+  auto pool1_content = run(false, 1);
+  auto pool4_content = run(false, 4);
+  EXPECT_EQ(inline_content, pool1_content);
+  EXPECT_EQ(inline_content, pool4_content);
+  EXPECT_FALSE(inline_content.empty());
 }
 
 }  // namespace

@@ -170,9 +170,9 @@ TEST(MemTableTest, RangeTombstoneSetQueries) {
   MemTable mem;
   RangeTombstone rt{"b", "d", 10, 5};
   mem.AddRangeTombstone(rt);
-  EXPECT_TRUE(mem.range_tombstone_set().Covers("c", 5));
-  EXPECT_FALSE(mem.range_tombstone_set().Covers("c", 15));
-  EXPECT_EQ(mem.range_tombstones().size(), 1u);
+  EXPECT_TRUE(mem.range_tombstones()->set.Covers("c", 5));
+  EXPECT_FALSE(mem.range_tombstones()->set.Covers("c", 15));
+  EXPECT_EQ(mem.range_tombstones()->list.size(), 1u);
 }
 
 TEST(MemTableTest, MemoryUsageGrows) {
