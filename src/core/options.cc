@@ -46,6 +46,9 @@ Status Options::Validate() const {
   if (background_threads < 1 || background_threads > 64) {
     return Status::InvalidArgument("background_threads must be in [1, 64]");
   }
+  if (max_subcompactions < 1 || max_subcompactions > 64) {
+    return Status::InvalidArgument("max_subcompactions must be in [1, 64]");
+  }
   if (l0_slowdown_trigger < 0 || l0_stop_trigger < 0) {
     return Status::InvalidArgument("L0 write-throttle triggers must be >= 0");
   }

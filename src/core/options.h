@@ -129,6 +129,22 @@ struct Options {
   /// bench_bg_writer's thread sweep). Ignored when inline_compactions.
   int background_threads = 1;
 
+  /// Maximum number of disjoint key-range partitions one picked compaction
+  /// may be split into (subcompactions). When a merge's inputs span at least
+  /// two files, the picker derives up to this many byte-balanced partition
+  /// boundaries from the input files' key spans (file sizes weighted via
+  /// key interpolation); each partition merges independently — in
+  /// background mode sibling partitions are offered to idle pool workers,
+  /// so a single saturated level's merge bandwidth scales with the pool
+  /// instead of serializing on one worker — and all partitions commit as a
+  /// single atomic VersionEdit. Range tombstones are truncated at partition
+  /// boundaries; the resulting tree is logically identical to the unsplit
+  /// merge (same entries, tombstone coverage, and FADE age accounting),
+  /// though file boundaries may differ. 1 (the default) disables splitting
+  /// and preserves byte-identical single-threaded I/O traces for the Fig 6
+  /// benches.
+  int max_subcompactions = 1;
+
   /// Background mode: maximum number of immutable memtables awaiting flush
   /// before writers stall (the flush pipeline depth). Each pending memtable
   /// pins up to write_buffer_bytes of memory and one WAL file. Default: 2.

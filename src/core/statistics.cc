@@ -21,6 +21,16 @@ Histogram Statistics::StallHistogram() const {
   return stall_hist_;
 }
 
+void Statistics::RecordSubcompactionSkew(uint64_t permille) {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  subcompaction_skew_hist_.Add(permille);
+}
+
+Histogram Statistics::SubcompactionSkewHistogram() const {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  return subcompaction_skew_hist_;
+}
+
 void Statistics::CopyFrom(const Statistics& other) {
   Copy(user_puts, other.user_puts);
   Copy(user_bytes_written, other.user_bytes_written);
@@ -44,6 +54,7 @@ void Statistics::CopyFrom(const Statistics& other) {
   {
     std::scoped_lock lock(stall_hist_mu_, other.stall_hist_mu_);
     stall_hist_ = other.stall_hist_;
+    subcompaction_skew_hist_ = other.subcompaction_skew_hist_;
   }
   Copy(compactions, other.compactions);
   Copy(compactions_saturation_triggered,
@@ -54,6 +65,8 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(compaction_entries_in, other.compaction_entries_in);
   Copy(compaction_entries_out, other.compaction_entries_out);
   Copy(trivial_moves, other.trivial_moves);
+  Copy(subcompactions_dispatched, other.subcompactions_dispatched);
+  Copy(partitioned_compactions, other.partitioned_compactions);
   Copy(tombstones_written, other.tombstones_written);
   Copy(tombstones_dropped, other.tombstones_dropped);
   Copy(invalid_entries_purged, other.invalid_entries_purged);
@@ -96,6 +109,8 @@ std::string Statistics::ToString() const {
       << " partial_page_drops=" << partial_page_drops.load()
       << " group_commit_batches=" << group_commit_batches.load()
       << " wal_appends=" << wal_appends.load()
+      << " partitioned_compactions=" << partitioned_compactions.load()
+      << " subcompactions_dispatched=" << subcompactions_dispatched.load()
       << " bg_jobs_dispatched=" << bg_jobs_dispatched.load()
       << " bg_jobs_deferred_overlap=" << bg_jobs_deferred_overlap.load()
       << " write_stalls=" << write_stalls.load()

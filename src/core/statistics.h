@@ -68,6 +68,18 @@ struct Statistics {
   std::atomic<uint64_t> compaction_entries_out{0};
   std::atomic<uint64_t> trivial_moves{0};
 
+  // Subcompactions (Options::max_subcompactions > 1): one merge (a picked
+  // compaction, or a leveled flush rewriting overlapping L0 files) split
+  // into disjoint key-range partitions that merge concurrently and commit
+  // as a single VersionEdit. A merge counts as *partitioned* when it split
+  // into >= 2 partitions; `subcompactions_dispatched` counts the
+  // partitions themselves (so dispatched / partitioned = average fan-out
+  // width). The skew histogram gets one sample per partitioned merge: the
+  // largest partition's output bytes relative to a perfectly balanced
+  // partition, in permille (1000 = perfectly balanced).
+  std::atomic<uint64_t> subcompactions_dispatched{0};
+  std::atomic<uint64_t> partitioned_compactions{0};
+
   // Tombstone lifecycle.
   std::atomic<uint64_t> tombstones_written{0};   // flushed into L1+
   std::atomic<uint64_t> tombstones_dropped{0};   // persisted at last level
@@ -105,6 +117,14 @@ struct Statistics {
   /// Snapshot of the stall-duration histogram (micros per stall).
   Histogram StallHistogram() const;
 
+  /// Records one partitioned merge's balance: max partition output bytes ÷
+  /// ideal (total / K), in permille. Thread-safe.
+  void RecordSubcompactionSkew(uint64_t permille);
+
+  /// Snapshot of the partition-skew histogram (permille per partitioned
+  /// merge).
+  Histogram SubcompactionSkewHistogram() const;
+
   void Reset() {
     *this = Statistics();
   }
@@ -125,6 +145,7 @@ struct Statistics {
 
   mutable std::mutex stall_hist_mu_;
   Histogram stall_hist_;
+  Histogram subcompaction_skew_hist_;  // guarded by stall_hist_mu_
 };
 
 }  // namespace lethe

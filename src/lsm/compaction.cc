@@ -48,6 +48,26 @@ Status CollectFileInputs(VersionSet* versions,
   return Status::OK();
 }
 
+std::vector<RangeTombstone> ClipRangeTombstones(
+    const std::vector<RangeTombstone>& rts,
+    const std::optional<std::string>& begin,
+    const std::optional<std::string>& end) {
+  std::vector<RangeTombstone> clipped;
+  for (const RangeTombstone& rt : rts) {
+    RangeTombstone piece = rt;
+    if (begin && Slice(*begin).compare(Slice(piece.begin_key)) > 0) {
+      piece.begin_key = *begin;
+    }
+    if (end && Slice(*end).compare(Slice(piece.end_key)) < 0) {
+      piece.end_key = *end;
+    }
+    if (Slice(piece.begin_key).compare(Slice(piece.end_key)) < 0) {
+      clipped.push_back(std::move(piece));
+    }
+  }
+  return clipped;
+}
+
 Status MergeExecutor::OpenOutput(std::unique_ptr<Output>* output,
                                  std::optional<std::string> window_begin) {
   auto out = std::make_unique<Output>();
@@ -171,7 +191,10 @@ Status MergeExecutor::Run(
     InternalIterator* input,
     const std::vector<RangeTombstone>& input_range_tombstones,
     const MergeConfig& config, VersionEdit* edit) {
-  if (config.is_flush) {
+  if (!config.count_merge_stats) {
+    // Secondary partition of a fanned-out merge: the primary already
+    // counted the merge itself.
+  } else if (config.is_flush) {
     stats_->flushes.fetch_add(1, std::memory_order_relaxed);
   } else {
     stats_->compactions.fetch_add(1, std::memory_order_relaxed);
@@ -197,8 +220,21 @@ Status MergeExecutor::Run(
   uint64_t entries_in = 0, entries_out = 0;
   uint64_t invalid_purged = 0, tombstones_dropped = 0;
 
-  for (input->SeekToFirst(); input->Valid(); input->Next()) {
+  if (config.partition_begin) {
+    input->Seek(Slice(*config.partition_begin));
+  } else {
+    input->SeekToFirst();
+  }
+  for (; input->Valid(); input->Next()) {
     const ParsedEntry& entry = input->entry();
+    if (config.partition_end &&
+        entry.user_key.compare(Slice(*config.partition_end)) >= 0) {
+      break;  // the next partition owns this key onward
+    }
+    if (config.abort != nullptr && (entries_in & 0xFF) == 0 &&
+        config.abort->load(std::memory_order_relaxed)) {
+      return Status::IOError("subcompaction aborted by sibling failure");
+    }
     entries_in++;
 
     bool drop = false;
@@ -265,11 +301,15 @@ Status MergeExecutor::Run(
                                        std::nullopt, config, edit));
   }
 
-  if (config.bottommost) {
+  if (config.bottommost && config.count_merge_stats) {
     // Range tombstones attached to outputs were not persisted (skipped in
-    // FinishOutput); count them as persisted deletes.
-    stats_->tombstones_dropped.fetch_add(input_range_tombstones.size(),
-                                         std::memory_order_relaxed);
+    // FinishOutput); count them as persisted deletes — once per logical
+    // merge, not once per partition piece.
+    const uint64_t dropped =
+        config.dropped_range_tombstones != UINT64_MAX
+            ? config.dropped_range_tombstones
+            : input_range_tombstones.size();
+    stats_->tombstones_dropped.fetch_add(dropped, std::memory_order_relaxed);
   }
   stats_->compaction_entries_in.fetch_add(entries_in,
                                           std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #ifndef LETHE_LSM_COMPACTION_H_
 #define LETHE_LSM_COMPACTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -27,6 +28,35 @@ struct MergeConfig {
   /// and range) have nothing left to invalidate and are discarded, making
   /// the deletes persistent.
   bool bottommost = false;
+
+  /// Subcompaction window [partition_begin, partition_end) over user keys:
+  /// the executor seeks to partition_begin and stops at partition_end, so K
+  /// disjoint windows over the same inputs together consume every entry
+  /// exactly once (internal-key order groups all versions of a user key,
+  /// and windows split only *between* user keys). nullopt = ±infinity.
+  /// The caller must pre-clip the input range tombstones to the window —
+  /// the executor's own window logic then can't emit a piece outside it.
+  std::optional<std::string> partition_begin;
+  std::optional<std::string> partition_end;
+
+  /// When one logical merge fans out into several partitions, only the
+  /// primary partition carries the merge-level counters (flush/compaction
+  /// count, trigger attribution, input bytes, bottommost range-tombstone
+  /// drops); additive per-entry counters accumulate from every partition.
+  bool count_merge_stats = true;
+
+  /// Bottommost accounting: how many input range tombstones the whole
+  /// logical merge persists (tombstones_dropped). UINT64_MAX (the
+  /// default) = this run's input_range_tombstones list size, correct for
+  /// unsplit merges; a partitioned merge's primary partition carries the
+  /// pre-clip total instead, so the counter is independent of how many
+  /// partitions a straddling tombstone was clipped into.
+  uint64_t dropped_range_tombstones = UINT64_MAX;
+
+  /// Cooperative abort, checked periodically during the merge loop: when a
+  /// sibling subcompaction fails, the survivors bail out instead of
+  /// finishing doomed outputs. nullptr = never aborts.
+  const std::atomic<bool>* abort = nullptr;
 
   /// For statistics attribution.
   bool is_flush = false;
@@ -89,6 +119,16 @@ Status CollectFileInputs(VersionSet* versions,
                          std::vector<std::unique_ptr<InternalIterator>>* iters,
                          std::vector<RangeTombstone>* rts,
                          uint64_t* total_bytes);
+
+/// Clips each tombstone to the user-key window [begin, end) (nullopt =
+/// ±infinity), dropping pieces that come up empty. Sequence numbers and
+/// insertion times are preserved, so coverage semantics and FADE age
+/// accounting are unchanged — the union of the clips over a disjoint
+/// window partition equals the original coverage.
+std::vector<RangeTombstone> ClipRangeTombstones(
+    const std::vector<RangeTombstone>& rts,
+    const std::optional<std::string>& begin,
+    const std::optional<std::string>& end);
 
 }  // namespace lethe
 

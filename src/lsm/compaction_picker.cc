@@ -48,6 +48,139 @@ double RangeOverlapFraction(const Slice& smallest, const Slice& largest,
   return static_cast<double>(ohi - olo) / static_cast<double>(hi - lo);
 }
 
+std::vector<std::string> CompactionPicker::ComputeSubcompactionBoundaries(
+    const std::vector<std::shared_ptr<FileMeta>>& inputs,
+    int max_partitions) const {
+  std::vector<std::string> boundaries;
+  // A single-file merge gains nothing from splitting (its rewrite already
+  // streams at device speed on one thread), so K collapses to 1.
+  if (max_partitions <= 1 || inputs.size() < 2) {
+    return boundaries;
+  }
+
+  std::string smallest = inputs.front()->smallest_key;
+  std::string largest = inputs.front()->largest_key;
+  uint64_t total_mass = 0;
+  for (const auto& file : inputs) {
+    if (Slice(file->smallest_key).compare(Slice(smallest)) < 0) {
+      smallest = file->smallest_key;
+    }
+    if (Slice(file->largest_key).compare(Slice(largest)) > 0) {
+      largest = file->largest_key;
+    }
+    total_mass += file->file_size;
+  }
+  if (total_mass == 0) {
+    return boundaries;
+  }
+
+  // Interpolate past the common prefix of the combined span (every input
+  // key between smallest and largest shares it); boundary keys are
+  // synthesized as prefix + 8 big-endian bytes, so they compare correctly
+  // against real keys without having to be real keys themselves.
+  size_t prefix = 0;
+  while (prefix < smallest.size() && prefix < largest.size() &&
+         smallest[prefix] == largest[prefix]) {
+    prefix++;
+  }
+  const uint64_t span_lo = KeyToU64At(Slice(smallest), prefix);
+  const uint64_t span_hi = KeyToU64At(Slice(largest), prefix);
+  if (span_hi <= span_lo + 1) {
+    return boundaries;  // too narrow to place an interior boundary
+  }
+
+  // Model each file's bytes as uniform over its key span; a degenerate
+  // (single-point) span becomes a mass jump at its position. Boundaries
+  // are then the quantiles of the resulting piecewise-linear cumulative
+  // byte-mass function — byte-balanced partitions even when the inputs
+  // are two huge overlapping files.
+  struct Span {
+    uint64_t lo, hi;
+    double mass;
+  };
+  std::vector<Span> spans;
+  spans.reserve(inputs.size());
+  std::vector<uint64_t> points;
+  points.reserve(inputs.size() * 2);
+  for (const auto& file : inputs) {
+    uint64_t lo = KeyToU64At(Slice(file->smallest_key), prefix);
+    uint64_t hi = KeyToU64At(Slice(file->largest_key), prefix);
+    hi = std::max(hi, lo);
+    spans.push_back({lo, hi, static_cast<double>(file->file_size)});
+    points.push_back(lo);
+    points.push_back(hi);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  std::vector<double> targets;
+  for (int i = 1; i < max_partitions; i++) {
+    targets.push_back(static_cast<double>(total_mass) * i / max_partitions);
+  }
+
+  auto emit = [&](uint64_t value) {
+    std::string key = smallest.substr(0, prefix);
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      key.push_back(static_cast<char>((value >> shift) & 0xFF));
+    }
+    // Drop boundaries that would leave an empty edge partition or repeat
+    // (several targets can collapse onto one point of a steep mass jump).
+    if (Slice(key).compare(Slice(smallest)) <= 0 ||
+        Slice(key).compare(Slice(largest)) > 0) {
+      return;
+    }
+    if (!boundaries.empty() &&
+        Slice(key).compare(Slice(boundaries.back())) <= 0) {
+      return;
+    }
+    boundaries.push_back(std::move(key));
+  };
+
+  double accumulated = 0;
+  size_t target_index = 0;
+  for (size_t p = 0; p + 1 <= points.size() && target_index < targets.size();
+       p++) {
+    const uint64_t at = points[p];
+    // Point masses (zero-width spans) jump the cumulative function here.
+    for (const Span& span : spans) {
+      if (span.lo == at && span.hi == at) {
+        accumulated += span.mass;
+      }
+    }
+    while (target_index < targets.size() &&
+           accumulated >= targets[target_index]) {
+      emit(at);
+      target_index++;
+    }
+    if (p + 1 >= points.size()) {
+      break;
+    }
+    // Linear segment [points[p], points[p + 1]].
+    const uint64_t seg_begin = at, seg_end = points[p + 1];
+    double slope = 0;  // mass per key-space unit across this segment
+    for (const Span& span : spans) {
+      if (span.lo <= seg_begin && span.hi >= seg_end && span.hi > span.lo) {
+        slope += span.mass / static_cast<double>(span.hi - span.lo);
+      }
+    }
+    const double segment_mass =
+        slope * static_cast<double>(seg_end - seg_begin);
+    while (target_index < targets.size() &&
+           accumulated + segment_mass >= targets[target_index]) {
+      const double need = targets[target_index] - accumulated;
+      uint64_t at_boundary = seg_begin;
+      if (need > 0 && segment_mass > 0) {
+        at_boundary += static_cast<uint64_t>(
+            (need / segment_mass) * static_cast<double>(seg_end - seg_begin));
+      }
+      emit(std::min(at_boundary, seg_end));
+      target_index++;
+    }
+    accumulated += segment_mass;
+  }
+  return boundaries;
+}
+
 uint64_t CompactionPicker::LevelCapacityBytes(int level) const {
   uint64_t capacity = options_.write_buffer_bytes;
   for (int i = 0; i <= level; i++) {

@@ -66,6 +66,21 @@ class CompactionPicker {
   /// measured against tombstone age since memtable insertion; c_last = Dth.
   std::vector<uint64_t> CumulativeTtls(const Version& version) const;
 
+  /// Byte-balanced subcompaction split points for a merge over `inputs`:
+  /// up to `max_partitions - 1` strictly increasing user-key boundaries,
+  /// each strictly inside the inputs' combined key span, partitioning the
+  /// merge into [b_0=-inf, b_1), [b_1, b_2), ... [b_last, +inf). Each
+  /// file's bytes are modeled as uniform over its key span (the same
+  /// big-endian interpolation the selectivity estimates use), so the
+  /// boundaries are the byte-mass quantiles of the input set — partitions
+  /// carry roughly equal merge work even when the inputs are a few huge
+  /// files. Returns empty (no split) when inputs hold fewer than two files,
+  /// when max_partitions <= 1, or when the key span is too narrow to
+  /// interpolate.
+  std::vector<std::string> ComputeSubcompactionBoundaries(
+      const std::vector<std::shared_ptr<FileMeta>>& inputs,
+      int max_partitions) const;
+
   /// FADE's b estimate for `file`: exact point tombstone count plus the
   /// estimated number of tree entries invalidated by the file's range
   /// tombstones (interpolated over per-file key ranges — the "system-wide

@@ -963,9 +963,9 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
 
   // Pool path: claim the flush footprint — the merged-in L0 files plus the
   // output span (memtable span widened over the merged files) — before any
-  // work, deferring if a running compaction holds part of it.
-  uint64_t job_id = 0;
-  bool registered = false;
+  // work, deferring if a running compaction holds part of it. The RAII
+  // guard releases the claim on every exit path below.
+  FootprintClaim claim;
   if (deferred != nullptr && bg_ != nullptr) {
     JobFootprint footprint;
     footprint.is_flush = true;
@@ -978,22 +978,16 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
       *deferred = true;
       return Status::OK();
     }
-    job_id = versions_->RegisterInFlightJob(footprint);
-    registered = true;
+    claim = FootprintClaim(this, footprint);
   }
 
   VersionEdit edit;
   versions_->AddSeqTimeCheckpoint(imm.first_seq, imm.first_time, &edit);
 
-  std::vector<std::unique_ptr<InternalIterator>> iters;
-  iters.push_back(imm.mem->NewIterator());
-
-  Status s;
   if (options_.compaction_style == CompactionStyle::kLeveling) {
-    s = CollectFileInputs(versions_.get(), overlapping, &iters, &rts,
-                          &config.input_bytes);
     for (const auto& file : overlapping) {
       edit.removed_files.push_back({0, file->file_number});
+      config.input_bytes += file->file_size;
     }
     config.output_run_id = 0;
     config.bottommost = version->IsBottommost(0);
@@ -1002,18 +996,30 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
     config.bottommost = version->DeepestNonEmptyLevel() < 0;
   }
 
-  if (s.ok()) {
-    auto merged = NewMergingIterator(std::move(iters));
-    MergeExecutor executor(options_, versions_.get(), &stats_);
-    // The heavy merge runs without the mutex: inputs are immutable (a
-    // frozen memtable + on-disk files) and output file numbers come from
-    // atomics. The write token (inline mode) or the registered footprint
-    // (pool mode) guarantees no conflicting version mutation between the
-    // snapshot above and the commit below.
-    l.unlock();
-    s = executor.Run(merged.get(), rts, config, &edit);
-    l.lock();
+  // Subcompactions: a leveled flush greedily rewrites the overlapping part
+  // of L0, which under a saturated buffer is the single hottest merge in
+  // the engine — split it like any other merge. The memtable participates
+  // in the byte-balance model as one more pseudo-file spanning the
+  // buffered data.
+  std::vector<std::string> boundaries;
+  if (options_.max_subcompactions > 1 && !overlapping.empty() && has_span) {
+    auto mem_span = std::make_shared<FileMeta>();
+    mem_span->smallest_key = smallest;
+    mem_span->largest_key = largest;
+    mem_span->file_size = imm.mem->ApproximateMemoryUsage();
+    std::vector<std::shared_ptr<FileMeta>> span_inputs = overlapping;
+    span_inputs.push_back(std::move(mem_span));
+    boundaries = picker_->ComputeSubcompactionBoundaries(
+        span_inputs, options_.max_subcompactions);
   }
+
+  // The heavy merge runs without the mutex: inputs are immutable (a frozen
+  // memtable + on-disk files) and output file numbers come from atomics.
+  // The write token (inline mode) or the registered footprint (pool mode)
+  // guarantees no conflicting version mutation between the snapshot above
+  // and the commit below.
+  Status s = RunMergePartitioned(overlapping, imm.mem, std::move(rts),
+                                 boundaries, config, &edit, l);
 
   const uint64_t flushed_wal = imm.wal_number;
   if (s.ok() && options_.inline_compactions) {
@@ -1026,9 +1032,7 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
   if (s.ok()) {
     s = versions_->LogAndApply(&edit);
   }
-  if (registered) {
-    UnregisterJobLocked(job_id);
-  }
+  claim.Release();
   if (!s.ok()) {
     RemoveFailedMergeOutputs(options_.env, dbname_, edit);
     return s;
@@ -1165,9 +1169,8 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
   // key span at the target level (outputs never escape it) — and defer if
   // it overlaps a job already in flight. The trivial move commits below
   // without ever releasing the mutex, so it needs the conflict check but
-  // no registration.
-  uint64_t job_id = 0;
-  bool registered = false;
+  // no registration. The RAII guard releases the claim on every exit path.
+  FootprintClaim claim;
   if (deferred != nullptr && bg_ != nullptr) {
     JobFootprint footprint;
     footprint.output_level = target;
@@ -1179,8 +1182,7 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
       return Status::OK();
     }
     if (!trivial_move_possible) {
-      job_id = versions_->RegisterInFlightJob(footprint);
-      registered = true;
+      claim = FootprintClaim(this, footprint);
     }
   }
 
@@ -1196,28 +1198,187 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
     return Status::OK();
   }
 
-  std::vector<std::unique_ptr<InternalIterator>> iters;
-  std::vector<RangeTombstone> rts;
-  Status s = CollectFileInputs(versions_.get(), all_inputs, &iters, &rts,
-                               &config.input_bytes);
-  if (s.ok()) {
-    auto merged = NewMergingIterator(std::move(iters));
-    MergeExecutor executor(options_, versions_.get(), &stats_);
-    l.unlock();
-    s = executor.Run(merged.get(), rts, config, &edit);
-    l.lock();
+  for (const auto& file : all_inputs) {
+    config.input_bytes += file->file_size;
   }
+  // Subcompactions: split the merge into byte-balanced key-range
+  // partitions so idle pool workers can share one saturated level's merge.
+  // Empty boundaries (the default, single-file inputs, or a degenerate key
+  // span) keep the classic single-pass merge.
+  std::vector<std::string> boundaries;
+  if (options_.max_subcompactions > 1) {
+    boundaries = picker_->ComputeSubcompactionBoundaries(
+        all_inputs, options_.max_subcompactions);
+  }
+  Status s = RunMergePartitioned(all_inputs, /*mem=*/nullptr, {}, boundaries,
+                                 config, &edit, l);
   if (s.ok()) {
     s = versions_->LogAndApply(&edit);
   }
-  if (registered) {
-    UnregisterJobLocked(job_id);
-  }
+  claim.Release();
   if (!s.ok()) {
     RemoveFailedMergeOutputs(options_.env, dbname_, edit);
     return s;
   }
   *did_work = true;
+  return Status::OK();
+}
+
+Status DBImpl::RunMergePartitioned(
+    const std::vector<std::shared_ptr<FileMeta>>& inputs,
+    std::shared_ptr<MemTable> mem, std::vector<RangeTombstone> mem_rts,
+    const std::vector<std::string>& boundaries, const MergeConfig& config,
+    VersionEdit* edit, std::unique_lock<std::mutex>& l) {
+  const size_t num_parts = boundaries.size() + 1;
+
+  // Fan-out state shared by this thread and any pool helpers. Heap-owned
+  // via shared_ptr: a helper that only gets scheduled after the barrier
+  // has already released (every partition claimed by faster threads) must
+  // still find live state when it finally runs and finds nothing to do.
+  struct FanOut {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t next = 0;  // next unclaimed partition
+    int active = 0;   // partitions currently executing
+    Status status;    // first failure wins
+    std::atomic<bool> abort{false};
+    std::vector<VersionEdit> edits;  // per-partition outputs
+    std::vector<std::shared_ptr<FileMeta>> inputs;
+    std::shared_ptr<MemTable> mem;  // flush only; pins the frozen buffer
+    std::vector<RangeTombstone> mem_rts;
+    std::vector<std::string> boundaries;
+    MergeConfig config;
+  };
+  auto state = std::make_shared<FanOut>();
+  state->edits.resize(num_parts);
+  state->inputs = inputs;
+  state->mem = std::move(mem);
+  state->mem_rts = std::move(mem_rts);
+  state->boundaries = boundaries;
+  state->config = config;
+
+  // One partition's merge: fresh iterators over the shared sources (a
+  // frozen memtable for flushes; table readers are shared through the
+  // table cache, so re-opening is cheap), range tombstones clipped to the
+  // window, outputs into the partition's own edit. Touches no DB state
+  // that needs mu_: file numbers and tombstone-time resolution go through
+  // VersionSet's own synchronization.
+  auto run_partition = [this](FanOut* fan, size_t index) -> Status {
+    MergeConfig part_config = fan->config;
+    if (index > 0) {
+      part_config.partition_begin = fan->boundaries[index - 1];
+    }
+    if (index < fan->boundaries.size()) {
+      part_config.partition_end = fan->boundaries[index];
+    }
+    part_config.count_merge_stats = index == 0;
+    part_config.abort = &fan->abort;
+    // Source order (memtable first, then files) and tombstone order
+    // (buffered first, then per-file) mirror the unsplit paths exactly, so
+    // a single-partition run stays byte-identical to them.
+    std::vector<std::unique_ptr<InternalIterator>> iters;
+    std::vector<RangeTombstone> rts = fan->mem_rts;
+    if (fan->mem != nullptr) {
+      iters.push_back(fan->mem->NewIterator());
+    }
+    LETHE_RETURN_IF_ERROR(CollectFileInputs(versions_.get(), fan->inputs,
+                                            &iters, &rts, nullptr));
+    if (part_config.count_merge_stats) {
+      // Pre-clip total: a bottommost merge persists each input tombstone
+      // once, however many partition pieces it gets clipped into.
+      part_config.dropped_range_tombstones = rts.size();
+    }
+    const std::vector<RangeTombstone> clipped = ClipRangeTombstones(
+        rts, part_config.partition_begin, part_config.partition_end);
+    auto merged = NewMergingIterator(std::move(iters));
+    MergeExecutor executor(options_, versions_.get(), &stats_);
+    return executor.Run(merged.get(), clipped, part_config,
+                        &fan->edits[index]);
+  };
+
+  // Drain loop shared by this thread and the helpers: claim the next
+  // partition, run it, repeat until the queue is empty or a sibling
+  // failed. The calling thread always participates, so the merge completes
+  // even when every other worker is busy or the pool is gone — helpers
+  // only add bandwidth. This is what makes the fan-out deadlock-free: no
+  // thread ever waits for a partition it could be running itself.
+  auto drain = [this, run_partition](const std::shared_ptr<FanOut>& fan) {
+    std::unique_lock<std::mutex> fl(fan->mu);
+    while (fan->status.ok() && fan->next < fan->edits.size()) {
+      const size_t index = fan->next++;
+      fan->active++;
+      fl.unlock();
+      Status s = run_partition(fan.get(), index);
+      fl.lock();
+      fan->active--;
+      if (!s.ok() && fan->status.ok()) {
+        fan->status = s;
+        // Siblings poll this mid-merge and bail out instead of finishing
+        // outputs the barrier below is going to delete anyway.
+        fan->abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    fan->cv.notify_all();
+  };
+
+  l.unlock();
+  if (num_parts > 1 && bg_ != nullptr) {
+    const auto priority =
+        config.is_flush
+            ? BackgroundScheduler::Priority::kFlush
+            : (config.trigger == CompactionPick::Trigger::kTtlExpiry
+                   ? BackgroundScheduler::Priority::kDeleteDrivenCompaction
+                   : BackgroundScheduler::Priority::kSpaceDrivenCompaction);
+    for (size_t h = 1; h < num_parts; h++) {
+      // Best effort: a rejected job (shutdown) just means this thread
+      // merges that partition itself.
+      bg_->Schedule(priority, [drain, state] { drain(state); });
+    }
+  }
+  drain(state);
+  {
+    // Completion barrier: every claimed partition has finished (successes
+    // and aborts alike) before the combined edit is assembled.
+    std::unique_lock<std::mutex> fl(state->mu);
+    state->cv.wait(fl, [&] {
+      return state->active == 0 && (!state->status.ok() ||
+                                    state->next >= state->edits.size());
+    });
+  }
+  l.lock();
+
+  if (!state->status.ok()) {
+    // No partition's edit was installed; remove every finished output of
+    // every partition. Outputs a crashed process leaves behind instead are
+    // reaped by recovery's orphan sweep.
+    for (const VersionEdit& part : state->edits) {
+      RemoveFailedMergeOutputs(options_.env, dbname_, part);
+    }
+    return state->status;
+  }
+
+  // Assemble the single atomic VersionEdit: partitions are disjoint,
+  // ascending key windows, so appending their outputs in partition order
+  // keeps the level's files key-ordered.
+  uint64_t total_bytes = 0, max_partition_bytes = 0;
+  for (VersionEdit& part : state->edits) {
+    uint64_t part_bytes = 0;
+    for (auto& [level, meta] : part.added_files) {
+      part_bytes += meta.file_size;
+      edit->added_files.emplace_back(level, std::move(meta));
+    }
+    total_bytes += part_bytes;
+    max_partition_bytes = std::max(max_partition_bytes, part_bytes);
+  }
+  if (num_parts > 1) {
+    stats_.partitioned_compactions.fetch_add(1, std::memory_order_relaxed);
+    stats_.subcompactions_dispatched.fetch_add(num_parts,
+                                               std::memory_order_relaxed);
+    if (total_bytes > 0) {
+      stats_.RecordSubcompactionSkew(max_partition_bytes * num_parts * 1000 /
+                                     total_bytes);
+    }
+  }
   return Status::OK();
 }
 
@@ -1393,7 +1554,7 @@ void DBImpl::BackgroundCompaction() {
   bg_work_done_cv_.notify_all();
 }
 
-Status DBImpl::AcquireExclusiveLocked(uint64_t* job_id,
+Status DBImpl::AcquireExclusiveLocked(FootprintClaim* claim,
                                       std::unique_lock<std::mutex>& l) {
   // Announce intent first: MaybeScheduleCompactionLocked stops launching
   // new compaction jobs while an exclusive job waits, so under sustained
@@ -1437,7 +1598,7 @@ Status DBImpl::AcquireExclusiveLocked(uint64_t* job_id,
     if (!versions_->ConflictsWithInFlight(footprint)) {
       // The check and the claim share this mutex hold, so two exclusive
       // jobs can never both slip past an empty registry.
-      *job_id = versions_->RegisterInFlightJob(footprint);
+      *claim = FootprintClaim(this, footprint);
       break;
     }
     bg_work_done_cv_.wait(l);
@@ -1644,11 +1805,9 @@ Status DBImpl::CompactAll() {
   return RunOnWorkerAndWait(
       BackgroundScheduler::Priority::kSpaceDrivenCompaction,
       [this](std::unique_lock<std::mutex>& jl) {
-        uint64_t job_id = 0;
-        LETHE_RETURN_IF_ERROR(AcquireExclusiveLocked(&job_id, jl));
-        Status s = CompactAllLocked(jl);
-        UnregisterJobLocked(job_id);
-        return s;
+        FootprintClaim claim;
+        LETHE_RETURN_IF_ERROR(AcquireExclusiveLocked(&claim, jl));
+        return CompactAllLocked(jl);
       },
       l);
 }
@@ -1714,12 +1873,10 @@ Status DBImpl::SecondaryRangeDelete(const WriteOptions& options,
       BackgroundScheduler::Priority::kSecondaryDelete,
       [this, delete_key_begin,
        delete_key_end](std::unique_lock<std::mutex>& jl) {
-        uint64_t job_id = 0;
-        LETHE_RETURN_IF_ERROR(AcquireExclusiveLocked(&job_id, jl));
-        Status s = SecondaryRangeDeleteLocked(delete_key_begin,
-                                              delete_key_end, jl);
-        UnregisterJobLocked(job_id);
-        return s;
+        FootprintClaim claim;
+        LETHE_RETURN_IF_ERROR(AcquireExclusiveLocked(&claim, jl));
+        return SecondaryRangeDeleteLocked(delete_key_begin, delete_key_end,
+                                          jl);
       },
       l);
 }

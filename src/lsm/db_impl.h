@@ -185,6 +185,50 @@ class DBImpl final : public DB {
   // single-threaded close drain) skips the registry entirely, keeping the
   // paper-faithful inline engine byte-identical.
 
+  /// RAII handle on an in-flight registry claim: releasing (destruction or
+  /// Release()) unregisters the footprint and re-arms work parked on it, so
+  /// no error path can leak a claim. Like every registry operation it must
+  /// be constructed and destroyed with mu_ held; the heavy merge I/O in
+  /// between runs with mu_ released, which is safe precisely because the
+  /// claim is what fences conflicting background work. Default-constructed
+  /// = holds nothing.
+  class FootprintClaim {
+   public:
+    FootprintClaim() = default;
+    /// Claims `footprint`. The caller must have checked
+    /// ConflictsWithInFlight in the same mu_ hold.
+    FootprintClaim(DBImpl* db, const JobFootprint& footprint)
+        : db_(db), job_id_(db->versions_->RegisterInFlightJob(footprint)) {}
+    FootprintClaim(FootprintClaim&& other) noexcept
+        : db_(other.db_), job_id_(other.job_id_) {
+      other.db_ = nullptr;
+    }
+    FootprintClaim& operator=(FootprintClaim&& other) noexcept {
+      if (this != &other) {
+        Release();
+        db_ = other.db_;
+        job_id_ = other.job_id_;
+        other.db_ = nullptr;
+      }
+      return *this;
+    }
+    FootprintClaim(const FootprintClaim&) = delete;
+    FootprintClaim& operator=(const FootprintClaim&) = delete;
+    ~FootprintClaim() { Release(); }
+
+    void Release() {
+      if (db_ != nullptr) {
+        db_->UnregisterJobLocked(job_id_);
+        db_ = nullptr;
+      }
+    }
+    bool held() const { return db_ != nullptr; }
+
+   private:
+    DBImpl* db_ = nullptr;
+    uint64_t job_id_ = 0;
+  };
+
   /// Flushes `imm` (merging with overlapping first-level files under
   /// leveling). Heavy I/O runs with `l` released; the caller must hold the
   /// write token (inline) or be a worker (background). Inline mode
@@ -197,6 +241,25 @@ class DBImpl final : public DB {
   Status CompactOnce(const CompactionPick& pick, bool* did_work,
                      std::unique_lock<std::mutex>& l,
                      bool* deferred = nullptr);
+
+  /// Runs one logical merge over `inputs` (plus, for flushes, the frozen
+  /// memtable `mem` and its buffered range tombstones `mem_rts`), split
+  /// into `boundaries.size() + 1` disjoint key-range partitions (empty
+  /// boundaries = the classic unsplit merge, byte-identical to the
+  /// pre-subcompaction engine). The calling thread works through the
+  /// partition queue itself while sibling partitions are offered to idle
+  /// pool workers, so the fan-out can never deadlock on a saturated pool;
+  /// a completion barrier joins every partition before returning. On
+  /// success the per-partition outputs are appended to `edit` in key order
+  /// (one atomic VersionEdit for the whole merge); on any partition
+  /// failure the siblings abort cooperatively and every finished output
+  /// file of every partition is removed. Called with `l` held; releases it
+  /// around the merge I/O.
+  Status RunMergePartitioned(
+      const std::vector<std::shared_ptr<FileMeta>>& inputs,
+      std::shared_ptr<MemTable> mem, std::vector<RangeTombstone> mem_rts,
+      const std::vector<std::string>& boundaries, const MergeConfig& config,
+      VersionEdit* edit, std::unique_lock<std::mutex>& l);
   Status CompactAllLocked(std::unique_lock<std::mutex>& l);
   Status SecondaryRangeDeleteLocked(uint64_t lo, uint64_t hi,
                                     std::unique_lock<std::mutex>& l);
@@ -223,9 +286,9 @@ class DBImpl final : public DB {
 
   /// Worker-side acquisition for exclusive jobs: drains pending immutable
   /// memtables (flushing them on this thread), waits for every in-flight
-  /// merge to commit, then claims the whole tree. On success *job_id must
-  /// later be released via UnregisterJobLocked.
-  Status AcquireExclusiveLocked(uint64_t* job_id,
+  /// merge to commit, then claims the whole tree. On success *claim holds
+  /// the registration and releases it on destruction.
+  Status AcquireExclusiveLocked(FootprintClaim* claim,
                                 std::unique_lock<std::mutex>& l);
 
   /// Schedules `fn` on the worker at `priority` and blocks until it ran

@@ -93,6 +93,11 @@ void MemTable::AddRangeTombstone(const RangeTombstone& tombstone) {
     rts_ = std::move(next);
   }
   num_range_tombstones_.fetch_add(1, std::memory_order_release);
+  // Logical charge (keys + fixed fields), not the transient COW-clone cost:
+  // it is what the buffered state actually retains until the flush.
+  rts_bytes_.fetch_add(tombstone.begin_key.size() + tombstone.end_key.size() +
+                           sizeof(RangeTombstone),
+                       std::memory_order_release);
   AtomicMin(&oldest_tombstone_time_, tombstone.time);
 }
 

@@ -93,7 +93,15 @@ class MemTable {
   /// entry exists.
   bool KeySpan(std::string* smallest, std::string* largest) const;
 
-  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  /// Buffered memory charged against Options::write_buffer_bytes: the entry
+  /// arena plus the range-tombstone side list. Charging the tombstones
+  /// matters — a pure range-delete workload buffers no arena bytes at all,
+  /// and without this charge it would grow the tombstone list forever
+  /// without ever tripping a flush.
+  size_t ApproximateMemoryUsage() const {
+    return arena_.MemoryUsage() +
+           rts_bytes_.load(std::memory_order_acquire);
+  }
   uint64_t num_entries() const {
     return num_entries_.load(std::memory_order_acquire);
   }
@@ -128,6 +136,7 @@ class MemTable {
   std::atomic<uint64_t> num_entries_{0};
   std::atomic<uint64_t> num_point_tombstones_{0};
   std::atomic<uint64_t> num_range_tombstones_{0};
+  std::atomic<uint64_t> rts_bytes_{0};  // charged range-tombstone memory
   std::atomic<uint64_t> oldest_tombstone_time_;
 };
 

@@ -1614,5 +1614,178 @@ TEST_F(BackgroundDBTest, InlineAndPoolSizesConvergeLogically) {
   EXPECT_FALSE(inline_content.empty());
 }
 
+// ---- subcompactions (max_subcompactions > 1) -------------------------------
+
+TEST_F(DBTest, PureRangeDeleteWorkloadTriggersFlush) {
+  // Pure range deletes buffer no arena bytes at all; the tombstone side
+  // list must be charged against write_buffer_bytes or this loop grows the
+  // list forever without ever tripping a flush.
+  options_.write_buffer_bytes = 4 << 10;
+  Open();
+  for (uint64_t i = 0; i < 300; i++) {
+    clock_.AdvanceMicros(1);
+    ASSERT_TRUE(db_->RangeDelete(WriteOptions(), EncodeKey(i * 10),
+                                 EncodeKey(i * 10 + 5))
+                    .ok());
+  }
+  EXPECT_GT(db_->stats().flushes.load(), 0u);
+}
+
+TEST_F(DBTest, SubcompactionTreesLogicallyIdenticalAcrossK) {
+  // Property: the same seeded workload (puts, deletes, range deletes, with
+  // FADE enabled) produces logically identical trees — entries, tombstone
+  // coverage, delete keys — for max_subcompactions in {1, 2, 4}, in both
+  // the deterministic inline engine (partitions run serially on the write
+  // path) and on a 4-worker pool. A shadow model pins down the expected
+  // content independently, so a bug that corrupts *all* configs the same
+  // way is still caught.
+  auto run = [&](bool inline_mode, int threads, int subcompactions,
+                 std::map<std::string, std::pair<std::string, uint64_t>>*
+                     model_out) {
+    auto base = NewMemEnv();
+    IoCountingEnv env(base.get(), 1024);
+    LogicalClock clock(1);
+    Options opt = options_;
+    opt.env = &env;
+    opt.clock = &clock;
+    opt.inline_compactions = inline_mode;
+    opt.background_threads = threads;
+    opt.max_subcompactions = subcompactions;
+    opt.target_file_bytes = 4 << 10;  // several files per level: real splits
+    opt.delete_persistence_threshold_micros = 500000;
+    opt.file_picking = FilePickingPolicy::kMaxTombstones;
+    std::unique_ptr<DB> db;
+    EXPECT_TRUE(DB::Open(opt, "subeqdb", &db).ok());
+    std::map<std::string, std::pair<std::string, uint64_t>> model;
+    Random rnd(4242);
+    std::string value(60, 's');
+    for (uint64_t i = 0; i < 4000; i++) {
+      clock.AdvanceMicros(5);
+      uint64_t key = rnd.Uniform(600);
+      double roll = rnd.NextDouble();
+      if (roll < 0.66) {
+        EXPECT_TRUE(db->Put(WriteOptions(), EncodeKey(key), i, value).ok());
+        model[EncodeKey(key)] = {value, i};
+      } else if (roll < 0.86) {
+        EXPECT_TRUE(db->Delete(WriteOptions(), EncodeKey(key)).ok());
+        model.erase(EncodeKey(key));
+      } else {
+        EXPECT_TRUE(db->RangeDelete(WriteOptions(), EncodeKey(key),
+                                    EncodeKey(key + 7))
+                        .ok());
+        model.erase(model.lower_bound(EncodeKey(key)),
+                    model.lower_bound(EncodeKey(key + 7)));
+      }
+    }
+    EXPECT_TRUE(db->CompactUntilQuiescent().ok());
+    std::map<std::string, std::pair<std::string, uint64_t>> content;
+    auto it = db->NewIterator(ReadOptions());
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      content[it->key().ToString()] = {it->value().ToString(),
+                                       it->delete_key()};
+    }
+    EXPECT_TRUE(it->status().ok());
+    if (model_out != nullptr) {
+      *model_out = model;
+    }
+    return content;
+  };
+
+  std::map<std::string, std::pair<std::string, uint64_t>> model;
+  auto k1 = run(true, 1, 1, &model);
+  EXPECT_EQ(k1, model) << "baseline diverges from the shadow model";
+  EXPECT_FALSE(k1.empty());
+  EXPECT_EQ(run(true, 1, 2, nullptr), k1);
+  EXPECT_EQ(run(true, 1, 4, nullptr), k1);
+  EXPECT_EQ(run(false, 4, 4, nullptr), k1);
+}
+
+class SubcompactionPoolDBTest : public PoolDBTest {
+ protected:
+  void SetUp() override {
+    PoolDBTest::SetUp();
+    options_.max_subcompactions = 4;
+    options_.target_file_bytes = 4 << 10;
+  }
+};
+
+TEST_F(SubcompactionPoolDBTest, SaturatedLoadSplitsMergesAndStaysConsistent) {
+  Open();
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 1500;
+  std::string value(100, 'p');
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; t++) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerWriter; i++) {
+        uint64_t key = static_cast<uint64_t>(t) * kPerWriter + i;
+        clock_.AdvanceMicros(1);
+        ASSERT_TRUE(
+            db_->Put(WriteOptions(), EncodeKey(key), key, value).ok());
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->WaitForCompact().ok());
+  // Multi-file merges actually fanned out...
+  EXPECT_GT(db_->stats().partitioned_compactions.load(), 0u);
+  EXPECT_GT(db_->stats().subcompactions_dispatched.load(),
+            db_->stats().partitioned_compactions.load());
+  // ...and the tree stayed a valid LSM with every key intact.
+  Status invariants =
+      static_cast<DBImpl*>(db_.get())->TEST_VerifyTreeInvariants();
+  ASSERT_TRUE(invariants.ok()) << invariants.ToString();
+  for (uint64_t k = 0; k < kWriters * kPerWriter; k++) {
+    ASSERT_EQ(Get(k), value) << k;
+  }
+}
+
+TEST_F(SubcompactionPoolDBTest, SubJobFailureAbortsSiblingsAndRecovers) {
+  // Kill table-file writes once partitioned merges are in flight: the
+  // failing partition must abort its siblings, the combined edit must
+  // never install, and every partition's finished outputs must be removed
+  // (reopen then reaps whatever a real crash would have left behind).
+  Open();
+  std::string value(200, 'f');
+  uint64_t k = 0;
+  for (; k < 1500; k++) {
+    ASSERT_TRUE(Put(k, value).ok());
+  }
+  env_->SetFailFilter(".sst");
+  env_->SetFailAfterWrites(25);
+  Status s;
+  for (; k < 20000; k++) {
+    s = Put(k, value);
+    if (!s.ok()) {
+      break;
+    }
+  }
+  EXPECT_FALSE(s.ok());
+  const uint64_t acked = k;
+  db_.reset();
+
+  env_->SetFailAfterWrites(UINT64_MAX);
+  env_->SetFailFilter("");
+  ASSERT_TRUE(Reopen().ok());
+  for (uint64_t i = 0; i < acked; i++) {
+    ASSERT_EQ(Get(i), value) << i;
+  }
+  // Every .sst on disk is referenced by the recovered version.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("testdb", &children).ok());
+  uint64_t ssts = 0;
+  for (const std::string& child : children) {
+    if (child.size() > 4 && child.substr(child.size() - 4) == ".sst") {
+      ssts++;
+    }
+  }
+  EXPECT_EQ(ssts, TotalDiskFiles());
+  EXPECT_TRUE(
+      static_cast<DBImpl*>(db_.get())->TEST_VerifyTreeInvariants().ok());
+}
+
 }  // namespace
 }  // namespace lethe

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "src/env/env.h"
 #include "src/lsm/bg_work.h"
+#include "src/lsm/compaction.h"
 #include "src/lsm/compaction_picker.h"
 #include "src/lsm/merging_iterator.h"
 #include "src/lsm/ttl.h"
@@ -646,6 +650,340 @@ TEST(BackgroundSchedulerTest, PauseIsABarrierAcrossThePool) {
   EXPECT_EQ(completed.load(), after_pause);  // frozen: nothing ran
   scheduler.TEST_Resume();
   scheduler.Shutdown();  // runs or discards the rest; no hang
+}
+
+// ---- subcompaction boundaries ----------------------------------------------
+
+class SubcompactionBoundaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_ = options_.WithDefaults();
+    versions_ = std::make_unique<VersionSet>(options_, "db");
+    picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
+  }
+
+  std::shared_ptr<FileMeta> File(uint64_t number, uint64_t lo, uint64_t hi,
+                                 uint64_t size) {
+    auto meta = std::make_shared<FileMeta>(MakeFile(number, lo, hi));
+    meta->file_size = size;
+    return meta;
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<CompactionPicker> picker_;
+};
+
+TEST_F(SubcompactionBoundaryTest, SingleFileCollapsesToNoSplit) {
+  // One input file: splitting buys nothing, K collapses to 1.
+  std::vector<std::shared_ptr<FileMeta>> one = {File(1, 0, 1000, 4096)};
+  EXPECT_TRUE(picker_->ComputeSubcompactionBoundaries(one, 4).empty());
+
+  // max_partitions 1 never splits either.
+  std::vector<std::shared_ptr<FileMeta>> two = {File(1, 0, 500, 4096),
+                                                File(2, 500, 1000, 4096)};
+  EXPECT_TRUE(picker_->ComputeSubcompactionBoundaries(two, 1).empty());
+}
+
+TEST_F(SubcompactionBoundaryTest, EqualFilesSplitAtTheJoin) {
+  std::vector<std::shared_ptr<FileMeta>> inputs = {File(1, 0, 100, 8192),
+                                                   File(2, 100, 200, 8192)};
+  std::vector<std::string> boundaries =
+      picker_->ComputeSubcompactionBoundaries(inputs, 2);
+  ASSERT_EQ(boundaries.size(), 1u);
+  // Equal byte masses on both sides of key 100: the quantile lands at the
+  // join (the synthesized boundary may extend key 100 with suffix bytes,
+  // which still partitions strictly between user keys 100 and 101).
+  EXPECT_GT(Slice(boundaries[0]).compare(Slice(EncodeKey(99))), 0);
+  EXPECT_LT(Slice(boundaries[0]).compare(Slice(EncodeKey(101))), 0);
+}
+
+TEST_F(SubcompactionBoundaryTest, BoundariesAreOrderedAndInsideTheSpan) {
+  // A heavy file overlapping a light one: every boundary must stay strictly
+  // inside the combined span and strictly increase, and most of the byte
+  // mass (the heavy file) must end up subdivided.
+  std::vector<std::shared_ptr<FileMeta>> inputs = {
+      File(1, 0, 100, 4096), File(2, 100, 500, 3 * 4096)};
+  std::vector<std::string> boundaries =
+      picker_->ComputeSubcompactionBoundaries(inputs, 4);
+  ASSERT_GE(boundaries.size(), 2u);
+  ASSERT_LE(boundaries.size(), 3u);
+  std::string prev = EncodeKey(0);
+  for (const std::string& b : boundaries) {
+    EXPECT_GT(Slice(b).compare(Slice(prev)), 0);
+    EXPECT_LE(Slice(b).compare(Slice(EncodeKey(500))), 0);
+    prev = b;
+  }
+  // With 3/4 of the mass in [100, 500], at least one interior boundary
+  // falls inside the heavy file's span.
+  EXPECT_GT(Slice(boundaries.back()).compare(Slice(EncodeKey(100))), 0);
+}
+
+TEST_F(SubcompactionBoundaryTest, DegenerateSpanDoesNotSplit) {
+  // Both files cover the same single key: no interior boundary exists.
+  std::vector<std::shared_ptr<FileMeta>> inputs = {File(1, 7, 7, 4096),
+                                                   File(2, 7, 7, 4096)};
+  EXPECT_TRUE(picker_->ComputeSubcompactionBoundaries(inputs, 4).empty());
+}
+
+// ---- partitioned merge execution -------------------------------------------
+
+class MergeExecutorPartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.table.page_size_bytes = 1024;
+    options_.table.entries_per_page = 8;
+    options_ = options_.WithDefaults();
+    ASSERT_TRUE(env_->CreateDirIfMissing("mdb").ok());
+    versions_ = std::make_unique<VersionSet>(options_, "mdb");
+    ASSERT_TRUE(versions_->Recover().ok());
+  }
+
+  /// Builds a table holding keys [lo, hi) (value "v<k>", seq = base_seq + k)
+  /// plus the given range tombstones; returns its FileMeta.
+  std::shared_ptr<FileMeta> BuildTable(uint64_t lo, uint64_t hi,
+                                       SequenceNumber base_seq,
+                                       std::vector<RangeTombstone> rts = {}) {
+    const uint64_t number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(options_.env
+                    ->NewWritableFile(TableFileName("mdb", number), &file)
+                    .ok());
+    SSTableBuilder builder(options_.table, file.get());
+    std::string key, value;
+    for (uint64_t k = lo; k < hi; k++) {
+      key = EncodeKey(k);
+      value = "v" + std::to_string(k);
+      ParsedEntry entry;
+      entry.user_key = Slice(key);
+      entry.delete_key = k;
+      entry.seq = base_seq + k;
+      entry.type = ValueType::kValue;
+      entry.value = Slice(value);
+      builder.Add(entry);
+    }
+    for (const RangeTombstone& rt : rts) {
+      builder.AddRangeTombstone(rt);
+    }
+    TableProperties props;
+    EXPECT_TRUE(builder.Finish(&props).ok());
+    EXPECT_TRUE(file->Sync().ok());
+    EXPECT_TRUE(file->Close().ok());
+
+    auto meta = std::make_shared<FileMeta>();
+    meta->file_number = number;
+    meta->file_size = props.file_size;
+    meta->num_entries = props.num_entries;
+    meta->num_range_tombstones = props.num_range_tombstones;
+    meta->smallest_key = props.smallest_key.empty() && !rts.empty()
+                             ? rts.front().begin_key
+                             : props.smallest_key;
+    meta->largest_key = props.largest_key.empty() && !rts.empty()
+                            ? rts.front().end_key
+                            : props.largest_key;
+    meta->smallest_seq = props.smallest_seq;
+    meta->largest_seq = props.largest_seq;
+    meta->num_pages = props.num_pages;
+    meta->oldest_tombstone_time = props.oldest_range_tombstone_time;
+    return meta;
+  }
+
+  /// Merges `files` window by window ([-inf, b_0), [b_0, b_1), ...,
+  /// [b_last, +inf)) exactly as DBImpl::RunMergePartitioned does, returning
+  /// the output FileMetas in partition order.
+  std::vector<FileMeta> RunPartitions(
+      const std::vector<std::shared_ptr<FileMeta>>& files,
+      const std::vector<std::string>& boundaries, bool bottommost) {
+    std::vector<FileMeta> outputs;
+    const size_t num_parts = boundaries.size() + 1;
+    for (size_t i = 0; i < num_parts; i++) {
+      MergeConfig config;
+      config.output_level = 1;
+      config.bottommost = bottommost;
+      config.count_merge_stats = i == 0;
+      if (i > 0) {
+        config.partition_begin = boundaries[i - 1];
+      }
+      if (i < boundaries.size()) {
+        config.partition_end = boundaries[i];
+      }
+      std::vector<std::unique_ptr<InternalIterator>> iters;
+      std::vector<RangeTombstone> rts;
+      EXPECT_TRUE(CollectFileInputs(versions_.get(), files, &iters, &rts,
+                                    nullptr)
+                      .ok());
+      if (config.count_merge_stats) {
+        config.dropped_range_tombstones = rts.size();
+      }
+      const std::vector<RangeTombstone> clipped = ClipRangeTombstones(
+          rts, config.partition_begin, config.partition_end);
+      auto merged = NewMergingIterator(std::move(iters));
+      MergeExecutor executor(options_, versions_.get(), &stats_);
+      VersionEdit edit;
+      EXPECT_TRUE(executor.Run(merged.get(), clipped, config, &edit).ok());
+      for (auto& [level, meta] : edit.added_files) {
+        EXPECT_EQ(level, 1);
+        outputs.push_back(std::move(meta));
+      }
+    }
+    return outputs;
+  }
+
+  /// Logical content of a set of output files: surviving user key → value,
+  /// with range-tombstone coverage applied (newest version wins).
+  std::map<std::string, std::string> ReadBack(
+      const std::vector<FileMeta>& outputs) {
+    std::map<std::string, std::string> content;
+    std::vector<std::shared_ptr<FileMeta>> metas;
+    for (const FileMeta& meta : outputs) {
+      metas.push_back(std::make_shared<FileMeta>(meta));
+    }
+    std::vector<std::unique_ptr<InternalIterator>> iters;
+    std::vector<RangeTombstone> rts;
+    EXPECT_TRUE(
+        CollectFileInputs(versions_.get(), metas, &iters, &rts, nullptr)
+            .ok());
+    RangeTombstoneSet rt_set;
+    rt_set.AddAll(rts);
+    auto merged = NewMergingIterator(std::move(iters));
+    for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+      const ParsedEntry& entry = merged->entry();
+      if (entry.IsTombstone() || rt_set.Covers(entry.user_key, entry.seq)) {
+        continue;
+      }
+      content.emplace(entry.user_key.ToString(), entry.value.ToString());
+    }
+    return content;
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  Statistics stats_;
+  std::unique_ptr<VersionSet> versions_;
+};
+
+TEST_F(MergeExecutorPartitionTest, BoundaryInsideRangeTombstonePreservesAll) {
+  // Two overlapping tables; the newer one carries a range tombstone whose
+  // span [40, 160) straddles every partition boundary below. The merge must
+  // produce the same logical content and the same tombstone coverage no
+  // matter how it is partitioned — including boundaries cutting through the
+  // middle of the tombstone.
+  RangeTombstone rt;
+  rt.begin_key = EncodeKey(40);
+  rt.end_key = EncodeKey(160);
+  rt.seq = 100000;  // newer than every data entry
+  rt.time = 777;
+  auto old_file = BuildTable(0, 200, /*base_seq=*/1);
+  auto new_file = BuildTable(50, 120, /*base_seq=*/10000, {rt});
+  std::vector<std::shared_ptr<FileMeta>> inputs = {old_file, new_file};
+
+  auto unsplit = RunPartitions(inputs, {}, /*bottommost=*/false);
+  auto split2 = RunPartitions(inputs, {EncodeKey(100)}, false);
+  auto split4 = RunPartitions(
+      inputs, {EncodeKey(60), EncodeKey(100), EncodeKey(140)}, false);
+
+  auto expected = ReadBack(unsplit);
+  // The tombstone (seq above everything) covers [40, 160) entirely.
+  ASSERT_EQ(expected.size(), 40u + 40u);  // keys [0,40) and [160,200)
+  EXPECT_EQ(ReadBack(split2), expected);
+  EXPECT_EQ(ReadBack(split4), expected);
+
+  // Tombstone coverage carried forward: the clipped pieces reunite into
+  // exactly [40, 160), and FADE's age accounting is unchanged — every
+  // piece keeps the original insertion time, so the oldest tombstone time
+  // over the outputs matches the unsplit merge.
+  for (const auto& outputs : {split2, split4}) {
+    std::string cover_begin, cover_end;
+    uint64_t oldest = UINT64_MAX;
+    std::vector<std::shared_ptr<FileMeta>> metas;
+    for (const FileMeta& meta : outputs) {
+      metas.push_back(std::make_shared<FileMeta>(meta));
+      if (meta.num_range_tombstones > 0) {
+        oldest = std::min(oldest, meta.oldest_tombstone_time);
+      }
+    }
+    std::vector<std::unique_ptr<InternalIterator>> iters;
+    std::vector<RangeTombstone> rts;
+    ASSERT_TRUE(
+        CollectFileInputs(versions_.get(), metas, &iters, &rts, nullptr)
+            .ok());
+    ASSERT_FALSE(rts.empty());
+    std::sort(rts.begin(), rts.end(),
+              [](const RangeTombstone& a, const RangeTombstone& b) {
+                return Slice(a.begin_key).compare(Slice(b.begin_key)) < 0;
+              });
+    cover_begin = rts.front().begin_key;
+    cover_end = rts.front().end_key;
+    for (size_t i = 1; i < rts.size(); i++) {
+      EXPECT_EQ(rts[i].seq, rt.seq);
+      EXPECT_EQ(rts[i].time, rt.time);
+      // Pieces must tile without a gap.
+      EXPECT_LE(Slice(rts[i].begin_key).compare(Slice(cover_end)), 0);
+      if (Slice(rts[i].end_key).compare(Slice(cover_end)) > 0) {
+        cover_end = rts[i].end_key;
+      }
+    }
+    EXPECT_EQ(cover_begin, EncodeKey(40));
+    EXPECT_EQ(cover_end, EncodeKey(160));
+    EXPECT_EQ(oldest, rt.time);
+  }
+}
+
+TEST_F(MergeExecutorPartitionTest, BottommostDropCountsStraddlingTombstoneOnce) {
+  // A range tombstone straddling the partition boundary is clipped into
+  // one piece per partition, but a bottommost merge persists ONE delete —
+  // the tombstones_dropped statistic must not scale with the fan-out.
+  RangeTombstone rt;
+  rt.begin_key = EncodeKey(20);
+  rt.end_key = EncodeKey(80);
+  rt.seq = 100000;
+  rt.time = 9;
+  auto data = BuildTable(0, 80, 1);
+  auto tombs = BuildTable(70, 80, 10000, {rt});
+  std::vector<std::shared_ptr<FileMeta>> inputs = {data, tombs};
+
+  const uint64_t before = stats_.tombstones_dropped.load();
+  RunPartitions(inputs, {EncodeKey(40)}, /*bottommost=*/true);
+  EXPECT_EQ(stats_.tombstones_dropped.load() - before, 1u);
+}
+
+TEST_F(MergeExecutorPartitionTest, EmptyPartitionEmitsNoFile) {
+  auto left = BuildTable(0, 40, 1);
+  auto right = BuildTable(40, 80, 1000);
+  std::vector<std::shared_ptr<FileMeta>> inputs = {left, right};
+  // Boundary beyond every key: partition 1 is empty and must emit nothing.
+  auto outputs = RunPartitions(inputs, {EncodeKey(500)}, false);
+  auto expected = RunPartitions(inputs, {}, false);
+  EXPECT_EQ(ReadBack(outputs), ReadBack(expected));
+  EXPECT_EQ(outputs.size(), expected.size());
+}
+
+TEST_F(MergeExecutorPartitionTest, FullyCoveredPartitionAtBottomEmitsNoFile) {
+  // The tombstone covers the right half; at the bottommost level nothing
+  // survives there, so that partition produces no output file at all.
+  RangeTombstone rt;
+  rt.begin_key = EncodeKey(40);
+  rt.end_key = EncodeKey(80);
+  rt.seq = 100000;
+  rt.time = 5;
+  auto data = BuildTable(0, 80, 1);
+  auto tombs = BuildTable(70, 80, 10000, {rt});
+  std::vector<std::shared_ptr<FileMeta>> inputs = {data, tombs};
+
+  auto outputs = RunPartitions(inputs, {EncodeKey(40)}, /*bottommost=*/true);
+  auto content = ReadBack(outputs);
+  ASSERT_EQ(content.size(), 40u);  // keys [0, 40) only
+  for (const FileMeta& meta : outputs) {
+    // Bottommost: no range tombstone survives into any output.
+    EXPECT_EQ(meta.num_range_tombstones, 0u);
+    // Every output lies in the left partition.
+    EXPECT_LT(Slice(meta.largest_key).compare(Slice(EncodeKey(40))), 0);
+  }
 }
 
 TEST(VersionSetTest, FileNumbersMonotonic) {

@@ -31,6 +31,7 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/core/lethe.h"
@@ -266,6 +267,9 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
   }
   // Half the seeds exercise the decoded-page cache under concurrency.
   options.page_cache_bytes = config_rnd.Bernoulli(0.5) ? (1 << 20) : 0;
+  // Half the seeds split multi-file merges into range partitions that fan
+  // out across the pool (subcompactions).
+  options.max_subcompactions = config_rnd.Bernoulli(0.5) ? 4 : 1;
 
   SCOPED_TRACE("config: style=" +
                std::string(options.compaction_style ==
@@ -276,7 +280,9 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
                " tiles=" + std::to_string(options.table.pages_per_tile) +
                " dth=" +
                std::to_string(options.delete_persistence_threshold_micros) +
-               " cache=" + std::to_string(options.page_cache_bytes));
+               " cache=" + std::to_string(options.page_cache_bytes) +
+               " subcompactions=" +
+               std::to_string(options.max_subcompactions));
 
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(options, "stressdb", &db).ok())
@@ -338,6 +344,262 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Range(1, NumSeeds() + 1));
+
+// ---- crash-point injection --------------------------------------------------
+//
+// Mid-run, a seed-chosen write fault is armed against either table files
+// (".sst": merges die, WAL appends keep succeeding) or the manifest
+// ("MANIFEST": merges finish but cannot install). Writer threads treat the
+// first failed write as an *ambiguous* op — the engine may or may not have
+// applied it durably (e.g. a group whose WAL append succeeded but whose
+// post-write handling then surfaced the background error) — record it, and
+// stop. After the crash (destructor with the fault still armed, pending
+// flushes failing), the DB reopens with the fault cleared; every key must
+// then match the thread's shadow model, allowing either outcome for keys
+// the single ambiguous op touches. The reopen also proves the orphan
+// sweep: every .sst left in the directory is referenced by the recovered
+// version.
+
+/// The one write whose durability is unknown at the crash point.
+struct AmbiguousOp {
+  enum class Kind { kNone, kPut, kDelete, kRangeDelete };
+  Kind kind = Kind::kNone;
+  uint64_t key = 0;
+  uint64_t end_key = 0;  // kRangeDelete: [key, end_key)
+  std::string value;
+  uint64_t dk = 0;
+
+  bool Covers(uint64_t k) const {
+    switch (kind) {
+      case Kind::kNone:
+        return false;
+      case Kind::kRangeDelete:
+        return k >= key && k < end_key;
+      default:
+        return k == key;
+    }
+  }
+
+  /// Expected state of `k` if the op did commit: {present, value, dk}.
+  std::tuple<bool, std::string, uint64_t> After(uint64_t k) const {
+    if (kind == Kind::kPut && k == key) {
+      return {true, value, dk};
+    }
+    return {false, "", 0};
+  }
+};
+
+void RunCrashWorker(StressState* state, int seed, int thread_id, Model* model,
+                    AmbiguousOp* ambiguous) {
+  DB* db = state->db;
+  Random rnd(static_cast<uint64_t>(seed) * 777767 + thread_id);
+  const uint64_t key_lo = thread_id * kKeysPerThread;
+  const uint64_t key_hi = key_lo + kKeysPerThread;
+  const uint64_t dk_base =
+      (static_cast<uint64_t>(thread_id) + 1) * kDeleteKeyBand;
+  uint64_t local_ts = 0;
+  const int ops = OpsPerThread();
+
+  auto fail = [&](const std::string& what) {
+    ADD_FAILURE() << "crash seed=" << seed << " thread=" << thread_id << ": "
+                  << what;
+    state->failed.store(true, std::memory_order_relaxed);
+  };
+
+  for (int i = 0; i < ops && !state->failed.load(std::memory_order_relaxed);
+       i++) {
+    state->clock->AdvanceMicros(7);
+    const double roll = rnd.NextDouble();
+    const uint64_t k = key_lo + rnd.Uniform(kKeysPerThread);
+
+    if (roll < 0.52) {  // put
+      uint64_t dk = dk_base + (++local_ts);
+      std::string value = "c" + std::to_string(seed) + "-" +
+                          std::to_string(thread_id) + "-" + std::to_string(i);
+      Status s = db->Put(WriteOptions(), EncodeKey(k), dk, value);
+      if (!s.ok()) {
+        *ambiguous = {AmbiguousOp::Kind::kPut, k, 0, value, dk};
+        return;  // crash point reached: outcome of this op is unknown
+      }
+      (*model)[k] = {value, dk};
+    } else if (roll < 0.67) {  // point delete
+      Status s = db->Delete(WriteOptions(), EncodeKey(k));
+      if (!s.ok()) {
+        *ambiguous = {AmbiguousOp::Kind::kDelete, k, 0, "", 0};
+        return;
+      }
+      model->erase(k);
+    } else if (roll < 0.74) {  // range delete, clipped to the slice
+      uint64_t end = std::min(k + 1 + rnd.Uniform(16), key_hi);
+      if (end <= k) {
+        continue;
+      }
+      Status s =
+          db->RangeDelete(WriteOptions(), EncodeKey(k), EncodeKey(end));
+      if (!s.ok()) {
+        *ambiguous = {AmbiguousOp::Kind::kRangeDelete, k, end, "", 0};
+        return;
+      }
+      model->erase(model->lower_bound(k), model->lower_bound(end));
+    } else {  // point lookup vs the model (reads never see the fault)
+      std::string value;
+      uint64_t dk = 0;
+      Status s =
+          db->GetWithDeleteKey(ReadOptions(), EncodeKey(k), &value, &dk);
+      auto it = model->find(k);
+      if (it == model->end()) {
+        if (!s.IsNotFound()) {
+          fail("key " + std::to_string(k) + " should be absent, got " +
+               (s.ok() ? "value '" + value + "'" : s.ToString()));
+          return;
+        }
+      } else if (!s.ok() || value != it->second.first ||
+                 dk != it->second.second) {
+        fail("key " + std::to_string(k) + " mismatch pre-crash: " +
+             (s.ok() ? "got '" + value + "'" : s.ToString()));
+        return;
+      }
+    }
+  }
+}
+
+class CrashStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashStressTest, MidRunWriteFaultRecoversConsistently) {
+  const int seed = GetParam();
+  SCOPED_TRACE("crash seed=" + std::to_string(seed));
+  Random config_rnd(static_cast<uint64_t>(seed) * 7919);
+
+  auto base_env = NewMemEnv();
+  IoCountingEnv env(base_env.get(), 1024);
+  LogicalClock clock(1);
+
+  Options options;
+  options.env = &env;
+  options.clock = &clock;
+  options.write_buffer_bytes = 8 << 10;
+  options.target_file_bytes = 8 << 10;
+  options.size_ratio = 3;
+  options.table.page_size_bytes = 1024;
+  options.table.entries_per_page = 8;
+  options.compaction_style = config_rnd.Bernoulli(0.5)
+                                 ? CompactionStyle::kLeveling
+                                 : CompactionStyle::kTiering;
+  options.inline_compactions = false;
+  static constexpr int kPools[] = {1, 2, 4};
+  options.background_threads = kPools[config_rnd.Uniform(3)];
+  options.max_subcompactions = config_rnd.Bernoulli(0.5) ? 4 : 1;
+
+  const char* fault = config_rnd.Bernoulli(0.5) ? ".sst" : "MANIFEST";
+  const uint64_t fault_after = 30 + config_rnd.Uniform(150);
+  SCOPED_TRACE("config: style=" +
+               std::string(options.compaction_style ==
+                                   CompactionStyle::kLeveling
+                               ? "leveling"
+                               : "tiering") +
+               " pool=" + std::to_string(options.background_threads) +
+               " subcompactions=" +
+               std::to_string(options.max_subcompactions) + " fault=" +
+               fault + " after=" + std::to_string(fault_after));
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "crashdb", &db).ok()) << "seed=" << seed;
+
+  StressState state;
+  state.db = db.get();
+  state.clock = &clock;
+
+  // Arm the fault before the workload so merges die mid-run at a
+  // seed-dependent point.
+  env.SetFailFilter(fault);
+  env.SetFailAfterWrites(fault_after);
+
+  std::vector<Model> models(kThreads);
+  std::vector<AmbiguousOp> ambiguous(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back(RunCrashWorker, &state, seed, t, &models[t],
+                         &ambiguous[t]);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_FALSE(state.failed.load()) << "seed=" << seed;
+
+  // Crash: destroy the DB with the fault still armed (pending flushes may
+  // fail; their WALs survive for recovery).
+  db.reset();
+  env.SetFailAfterWrites(UINT64_MAX);
+  env.SetFailFilter("");
+  ASSERT_TRUE(DB::Open(options, "crashdb", &db).ok()) << "seed=" << seed;
+
+  auto verify_all = [&](const char* phase) {
+    for (int t = 0; t < kThreads; t++) {
+      for (uint64_t k = t * kKeysPerThread; k < (t + 1) * kKeysPerThread;
+           k++) {
+        std::string value;
+        uint64_t dk = 0;
+        Status s =
+            db->GetWithDeleteKey(ReadOptions(), EncodeKey(k), &value, &dk);
+        ASSERT_TRUE(s.ok() || s.IsNotFound())
+            << "seed=" << seed << " " << phase << " key " << k << ": "
+            << s.ToString();
+        auto it = models[t].find(k);
+        const bool matches_before =
+            it == models[t].end()
+                ? s.IsNotFound()
+                : (s.ok() && value == it->second.first &&
+                   dk == it->second.second);
+        bool acceptable = matches_before;
+        if (!acceptable && ambiguous[t].Covers(k)) {
+          const auto [present, avalue, adk] = ambiguous[t].After(k);
+          acceptable = present ? (s.ok() && value == avalue && dk == adk)
+                               : s.IsNotFound();
+        }
+        ASSERT_TRUE(acceptable)
+            << "seed=" << seed << " " << phase << " key " << k << ": got "
+            << (s.ok() ? "'" + value + "'/dk=" + std::to_string(dk)
+                       : "absent")
+            << ", model wants "
+            << (it == models[t].end()
+                    ? std::string("absent")
+                    : "'" + it->second.first + "'/dk=" +
+                          std::to_string(it->second.second))
+            << (ambiguous[t].Covers(k) ? " (ambiguous op considered)" : "");
+      }
+    }
+  };
+  verify_all("post-crash-reopen");
+
+  Status invariants =
+      static_cast<DBImpl*>(db.get())->TEST_VerifyTreeInvariants();
+  ASSERT_TRUE(invariants.ok()) << "seed=" << seed << ": "
+                               << invariants.ToString();
+
+  // Orphan sweep: recovery deleted every table file the dead merges left
+  // behind — whatever remains is referenced by the recovered version.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env.GetChildren("crashdb", &children).ok());
+  uint64_t ssts = 0;
+  for (const std::string& child : children) {
+    if (child.size() > 4 && child.substr(child.size() - 4) == ".sst") {
+      ssts++;
+    }
+  }
+  uint64_t referenced = 0;
+  for (const auto& snap : db->GetLevelSnapshots()) {
+    referenced += snap.num_files;
+  }
+  EXPECT_EQ(ssts, referenced) << "seed=" << seed;
+
+  // A second, fault-free reopen stays stable.
+  db.reset();
+  ASSERT_TRUE(DB::Open(options, "crashdb", &db).ok()) << "seed=" << seed;
+  verify_all("post-second-reopen");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashStressTest,
                          ::testing::Range(1, NumSeeds() + 1));
 
 }  // namespace
