@@ -40,6 +40,21 @@ Status Options::Validate() const {
   if (page_cache_shard_bits < 0 || page_cache_shard_bits > 8) {
     return Status::InvalidArgument("page_cache_shard_bits must be in [0, 8]");
   }
+  if (strict_cache_capacity && memory_budget_bytes == 0 &&
+      page_cache_bytes == 0) {
+    return Status::InvalidArgument(
+        "strict_cache_capacity requires a cache budget "
+        "(memory_budget_bytes or page_cache_bytes)");
+  }
+  if (cache_index_and_filter_blocks && memory_budget_bytes == 0 &&
+      page_cache_bytes == 0) {
+    // Without a cache every metadata access would re-read and re-parse the
+    // table's whole index region from disk — a silent throughput collapse,
+    // better surfaced as a config error.
+    return Status::InvalidArgument(
+        "cache_index_and_filter_blocks requires a cache budget "
+        "(memory_budget_bytes or page_cache_bytes)");
+  }
   if (max_imm_memtables < 1) {
     return Status::InvalidArgument("max_imm_memtables must be >= 1");
   }

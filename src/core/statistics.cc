@@ -82,6 +82,16 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(page_cache_misses, other.page_cache_misses);
   Copy(page_cache_evictions, other.page_cache_evictions);
   Copy(page_cache_charge_bytes, other.page_cache_charge_bytes);
+  Copy(index_block_cache_hits, other.index_block_cache_hits);
+  Copy(index_block_cache_misses, other.index_block_cache_misses);
+  Copy(index_block_reads, other.index_block_reads);
+  Copy(index_block_charge_bytes, other.index_block_charge_bytes);
+  Copy(filter_block_cache_hits, other.filter_block_cache_hits);
+  Copy(filter_block_cache_misses, other.filter_block_cache_misses);
+  Copy(filter_block_reads, other.filter_block_reads);
+  Copy(filter_block_charge_bytes, other.filter_block_charge_bytes);
+  Copy(block_cache_strict_rejections, other.block_cache_strict_rejections);
+  Copy(cache_reservation_bytes, other.cache_reservation_bytes);
   Copy(secondary_range_deletes, other.secondary_range_deletes);
   Copy(full_page_drops, other.full_page_drops);
   Copy(partial_page_drops, other.partial_page_drops);
@@ -103,6 +113,12 @@ std::string Statistics::ToString() const {
       << " lookup_pages=" << point_lookup_pages_read.load()
       << " page_cache_hits=" << page_cache_hits.load()
       << " page_cache_misses=" << page_cache_misses.load()
+      << " filter_block_hits=" << filter_block_cache_hits.load()
+      << " filter_block_misses=" << filter_block_cache_misses.load()
+      << " index_block_hits=" << index_block_cache_hits.load()
+      << " index_block_misses=" << index_block_cache_misses.load()
+      << " strict_rejections=" << block_cache_strict_rejections.load()
+      << " reservation_bytes=" << cache_reservation_bytes.load()
       << " bloom_probes=" << bloom_probes.load()
       << " bloom_fp=" << bloom_false_positives.load()
       << " full_page_drops=" << full_page_drops.load()

@@ -95,12 +95,34 @@ struct Statistics {
   std::atomic<uint64_t> bloom_false_positives{0};
   std::atomic<uint64_t> hash_computations{0};
 
-  // Page cache (decoded-page LRU shared across the read path). Zero unless
-  // Options::page_cache_bytes is set.
+  // Block cache (decoded-page LRU generalized over block types, shared
+  // across the read path). Zero unless Options::page_cache_bytes or
+  // Options::memory_budget_bytes is set. The page_cache_* counters cover
+  // data-page blocks; index/filter blocks (cached only when
+  // Options::cache_index_and_filter_blocks is on) get their own hit/miss
+  // pairs plus *_reads — real Env loads of an uncached metadata block.
+  // page_cache_charge_bytes is the overall resident gauge across every
+  // block type; the per-type charge gauges below decompose it.
   std::atomic<uint64_t> page_cache_hits{0};
   std::atomic<uint64_t> page_cache_misses{0};
   std::atomic<uint64_t> page_cache_evictions{0};
   std::atomic<uint64_t> page_cache_charge_bytes{0};  // gauge: resident bytes
+  std::atomic<uint64_t> index_block_cache_hits{0};
+  std::atomic<uint64_t> index_block_cache_misses{0};
+  std::atomic<uint64_t> index_block_reads{0};
+  std::atomic<uint64_t> index_block_charge_bytes{0};  // gauge
+  std::atomic<uint64_t> filter_block_cache_hits{0};
+  std::atomic<uint64_t> filter_block_cache_misses{0};
+  std::atomic<uint64_t> filter_block_reads{0};
+  std::atomic<uint64_t> filter_block_charge_bytes{0};  // gauge
+
+  // Unified memory budget (Options::memory_budget_bytes). A strict
+  // rejection is an insert that did not fit the remaining budget
+  // (Options::strict_cache_capacity) — the caller fell back to an unpooled
+  // read. cache_reservation_bytes is the budget share currently staked by
+  // the write buffers (memtable + immutable memtables).
+  std::atomic<uint64_t> block_cache_strict_rejections{0};
+  std::atomic<uint64_t> cache_reservation_bytes{0};  // gauge
 
   // Secondary range deletes (KiWi).
   std::atomic<uint64_t> secondary_range_deletes{0};

@@ -6,15 +6,43 @@ namespace lethe {
 
 namespace {
 
-// fixed64 file_number | fixed32 generation | fixed32 page_index. The
-// file-number prefix is what EvictFile matches on.
-constexpr size_t kKeySize = 16;
+// fixed64 file_number | fixed32 generation | type byte | fixed32 id.
+// The file-number prefix is what EvictFile matches on. Data pages use
+// id = page_index under the meta's generation; index/filter blocks are
+// never rewritten in place, so they always use generation 0 (id = 0 for
+// the index, id = tile_index for filters).
+constexpr size_t kKeySize = 17;
 
-void EncodePageKey(uint64_t file_number, uint32_t generation,
-                   uint32_t page_index, char* buf) {
+enum BlockType : char {
+  kDataPage = 0,
+  kIndexBlock = 1,
+  kFilterBlock = 2,
+};
+
+void EncodeBlockKey(uint64_t file_number, uint32_t generation, BlockType type,
+                    uint32_t id, char* buf) {
   EncodeFixed64(buf, file_number);
   EncodeFixed32(buf + 8, generation);
-  EncodeFixed32(buf + 12, page_index);
+  buf[12] = type;
+  EncodeFixed32(buf + 13, id);
+}
+
+/// Cached value for the metadata block types: the shared handle plus the
+/// bookkeeping the deleter needs to roll the per-type charge gauge back.
+template <typename Handle>
+struct BlockValue {
+  Handle handle;
+  size_t charge = 0;
+  std::atomic<uint64_t>* charge_gauge = nullptr;
+};
+
+template <typename Handle>
+void DeleteBlockValue(const Slice&, void* value) {
+  auto* block = static_cast<BlockValue<Handle>*>(value);
+  if (block->charge_gauge != nullptr) {
+    block->charge_gauge->fetch_sub(block->charge, std::memory_order_relaxed);
+  }
+  delete block;
 }
 
 void DeletePageValue(const Slice&, void* value) {
@@ -26,15 +54,57 @@ size_t ChargeOf(const PageContents& contents, size_t raw_bytes) {
          sizeof(PageContents);
 }
 
+/// The shared lookup/insert machinery of the two metadata block types;
+/// they differ only in key tag, per-type counters, and handle type.
+template <typename H>
+bool LookupBlock(Cache* cache, uint64_t file_number, BlockType type,
+                 uint32_t id, std::atomic<uint64_t>* hits,
+                 std::atomic<uint64_t>* misses, H* out) {
+  char key[kKeySize];
+  EncodeBlockKey(file_number, 0, type, id, key);
+  Cache::Handle* handle = cache->Lookup(Slice(key, kKeySize));
+  if (handle == nullptr) {
+    if (misses != nullptr) {
+      misses->fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  *out = static_cast<BlockValue<H>*>(cache->Value(handle))->handle;
+  cache->Release(handle);
+  if (hits != nullptr) {
+    hits->fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+template <typename H>
+Cache::Handle* InsertBlock(Cache* cache, uint64_t file_number, BlockType type,
+                           uint32_t id, const H& block,
+                           std::atomic<uint64_t>* charge_gauge) {
+  char key[kKeySize];
+  EncodeBlockKey(file_number, 0, type, id, key);
+  auto* value = new BlockValue<H>();
+  value->handle = block;
+  value->charge = block->ApproximateMemoryUsage();
+  value->charge_gauge = charge_gauge;
+  if (charge_gauge != nullptr) {
+    charge_gauge->fetch_add(value->charge, std::memory_order_relaxed);
+  }
+  return cache->Insert(Slice(key, kKeySize), value, value->charge,
+                       &DeleteBlockValue<H>, Cache::Priority::kHigh);
+}
+
 }  // namespace
 
-PageCache::PageCache(size_t capacity_bytes, int shard_bits, Statistics* stats)
-    : cache_(NewShardedLRUCache(capacity_bytes, shard_bits)), stats_(stats) {}
+PageCache::PageCache(size_t capacity_bytes, int shard_bits, Statistics* stats,
+                     bool strict_capacity)
+    : cache_(NewShardedLRUCache(capacity_bytes, shard_bits, strict_capacity)),
+      stats_(stats) {}
 
 bool PageCache::Lookup(uint64_t file_number, uint32_t page_index,
                        PageHandle* page, uint32_t generation) {
   char key[kKeySize];
-  EncodePageKey(file_number, generation, page_index, key);
+  EncodeBlockKey(file_number, generation, kDataPage, page_index, key);
   Cache::Handle* handle = cache_->Lookup(Slice(key, kKeySize));
   if (handle == nullptr) {
     if (stats_ != nullptr) {
@@ -50,22 +120,50 @@ bool PageCache::Lookup(uint64_t file_number, uint32_t page_index,
   return true;
 }
 
-void PageCache::Insert(uint64_t file_number, uint32_t page_index,
+bool PageCache::Insert(uint64_t file_number, uint32_t page_index,
                        const PageHandle& page, uint32_t generation) {
   char key[kKeySize];
-  EncodePageKey(file_number, generation, page_index, key);
+  EncodeBlockKey(file_number, generation, kDataPage, page_index, key);
   const size_t charge = ChargeOf(*page, page->raw_size);
   Cache::Handle* handle =
       cache_->Insert(Slice(key, kKeySize), new PageHandle(page), charge,
-                     &DeletePageValue);
-  cache_->Release(handle);
-  PublishGauges();
+                     &DeletePageValue, Cache::Priority::kLow);
+  return FinishInsert(handle);
+}
+
+bool PageCache::LookupIndex(uint64_t file_number, TableIndexHandle* index) {
+  return LookupBlock(cache_.get(), file_number, kIndexBlock, 0,
+                     stats_ ? &stats_->index_block_cache_hits : nullptr,
+                     stats_ ? &stats_->index_block_cache_misses : nullptr,
+                     index);
+}
+
+bool PageCache::InsertIndex(uint64_t file_number,
+                            const TableIndexHandle& index) {
+  return FinishInsert(InsertBlock(
+      cache_.get(), file_number, kIndexBlock, 0, index,
+      stats_ ? &stats_->index_block_charge_bytes : nullptr));
+}
+
+bool PageCache::LookupFilter(uint64_t file_number, uint32_t tile_index,
+                             FilterBlockHandle* filter) {
+  return LookupBlock(cache_.get(), file_number, kFilterBlock, tile_index,
+                     stats_ ? &stats_->filter_block_cache_hits : nullptr,
+                     stats_ ? &stats_->filter_block_cache_misses : nullptr,
+                     filter);
+}
+
+bool PageCache::InsertFilter(uint64_t file_number, uint32_t tile_index,
+                             const FilterBlockHandle& filter) {
+  return FinishInsert(InsertBlock(
+      cache_.get(), file_number, kFilterBlock, tile_index, filter,
+      stats_ ? &stats_->filter_block_charge_bytes : nullptr));
 }
 
 void PageCache::EvictPage(uint64_t file_number, uint32_t page_index,
                           uint32_t generation) {
   char key[kKeySize];
-  EncodePageKey(file_number, generation, page_index, key);
+  EncodeBlockKey(file_number, generation, kDataPage, page_index, key);
   cache_->Erase(Slice(key, kKeySize));
   PublishGauges();
 }
@@ -80,6 +178,18 @@ void PageCache::EvictFile(uint64_t file_number) {
       },
       &target);
   PublishGauges();
+}
+
+bool PageCache::FinishInsert(Cache::Handle* handle) {
+  const bool admitted = handle != nullptr;
+  if (admitted) {
+    cache_->Release(handle);
+  } else if (stats_ != nullptr) {
+    stats_->block_cache_strict_rejections.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  PublishGauges();
+  return admitted;
 }
 
 void PageCache::PublishGauges() {

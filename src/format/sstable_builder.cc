@@ -173,13 +173,26 @@ Status SSTableBuilder::Finish(TableProperties* props) {
   LETHE_RETURN_IF_ERROR(status_);
   LETHE_RETURN_IF_ERROR(FlushTile());
 
+  // Filter section: one contiguous filter block per delete tile — the
+  // concatenated per-page Bloom filters in page order — so each tile's
+  // filters are independently addressable (and independently cacheable /
+  // evictable) without touching any other metadata. Tiles are runs of
+  // consecutive pages, so the section is simply every page's filter in
+  // file order; the per-page lengths below locate the blocks as prefix
+  // sums, costing zero bytes over the inline-filter layout.
+  std::string filter_section;
+  for (const PageMetaRecord& page : pages_) {
+    filter_section += page.bloom;
+  }
+
   // Range tombstone block.
   std::string rt_block;
   EncodeRangeTombstones(range_tombstones_, &rt_block);
 
   // Index block: tile structure (explicit per-tile page counts, since byte
   // budgets can make a tile span more pages than h), then one record per
-  // page in file order.
+  // page in file order. Page records store each filter's length only — the
+  // bytes live in the filter section.
   std::string index_block;
   PutVarint32(&index_block, props_.num_pages);
   PutVarint32(&index_block, options_.pages_per_tile);
@@ -194,7 +207,7 @@ Status SSTableBuilder::Finish(TableProperties* props) {
     PutFixed64(&index_block, page.max_delete_key);
     PutVarint32(&index_block, page.num_entries);
     PutVarint32(&index_block, page.num_tombstones);
-    PutLengthPrefixedSlice(&index_block, page.bloom);
+    PutVarint32(&index_block, static_cast<uint32_t>(page.bloom.size()));
   }
 
   // Properties block.
@@ -213,22 +226,30 @@ Status SSTableBuilder::Finish(TableProperties* props) {
   PutFixed64(&props_block, props_.oldest_point_tombstone_seq);
   PutFixed64(&props_block, props_.oldest_range_tombstone_time);
 
-  const uint64_t rt_offset = data_bytes_written_;
+  const uint64_t filter_offset = data_bytes_written_;
+  const uint64_t rt_offset = filter_offset + filter_section.size();
   const uint64_t index_offset = rt_offset + rt_block.size();
   const uint64_t props_offset = index_offset + index_block.size();
 
+  LETHE_RETURN_IF_ERROR(file_->Append(filter_section));
   LETHE_RETURN_IF_ERROR(file_->Append(rt_block));
   LETHE_RETURN_IF_ERROR(file_->Append(index_block));
   LETHE_RETURN_IF_ERROR(file_->Append(props_block));
 
-  uint32_t crc = crc32c::Value(rt_block.data(), rt_block.size());
+  // The crc covers the whole contiguous metadata region, filters included;
+  // a pinned open verifies it in one pass, and a lazy index load verifies
+  // it while deriving per-tile filter digests for its own later loads.
+  uint32_t crc = crc32c::Value(filter_section.data(), filter_section.size());
+  crc = crc32c::Extend(crc, rt_block.data(), rt_block.size());
   crc = crc32c::Extend(crc, index_block.data(), index_block.size());
   crc = crc32c::Extend(crc, props_block.data(), props_block.size());
 
+  // rt_offset is derivable (index_offset - rt_len), so its footer slot
+  // carries the filter section's offset instead — see sstable_format.h.
   std::string footer;
   PutFixed64(&footer, index_offset);
   PutFixed32(&footer, static_cast<uint32_t>(index_block.size()));
-  PutFixed64(&footer, rt_offset);
+  PutFixed64(&footer, filter_offset);
   PutFixed32(&footer, static_cast<uint32_t>(rt_block.size()));
   PutFixed64(&footer, props_offset);
   PutFixed32(&footer, static_cast<uint32_t>(props_block.size()));

@@ -41,8 +41,9 @@ struct TableProperties {
 /// Writes one SSTable in the Key Weaving Storage Layout (§4.2.1):
 ///
 ///   [page 0][page 1]...[page P-1]          (fixed page_size_bytes each)
+///   [filter section: one Bloom filter block per delete tile]
 ///   [range tombstone block]
-///   [index block: per-page fences + per-page Bloom filters]
+///   [index block: per-page fences + per-page filter lengths]
 ///   [properties block]
 ///   [footer]
 ///

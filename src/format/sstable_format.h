@@ -7,13 +7,30 @@ namespace lethe {
 
 // Shared constants of the SSTable footer, used by builder and reader.
 //
+// File layout:
+//   [data pages][filter section][rt block][index block][props block][footer]
+//
+// The filter section holds one *filter block per delete tile* — the
+// concatenated per-page Bloom filters of that tile's pages, in page order —
+// so a tile's filters form one contiguous, independently addressable unit
+// that can be loaded (and evicted) through the block cache without touching
+// the rest of the metadata. The index block's per-page records carry each
+// filter's length; offsets are prefix sums on the read side, so moving the
+// filter bytes out of the index costs zero extra file bytes. Pinned readers
+// fetch [filter section .. props block] in a single contiguous read,
+// preserving the one-metadata-read open (and the exact file sizes) of the
+// inline-filter format.
+//
 // Footer layout (fixed kFooterSize bytes at the very end of the file):
 //   fixed64 index_offset  | fixed32 index_len
-//   fixed64 rt_offset     | fixed32 rt_len
+//   fixed64 filter_offset | fixed32 rt_len
 //   fixed64 props_offset  | fixed32 props_len
-//   fixed32 meta_crc (crc32c over index+rt+props blocks, masked)
+//   fixed32 meta_crc (crc32c over filter+rt+index+props, masked)
 //   fixed64 magic
-constexpr uint64_t kTableMagic = 0x4c65746865544240ull;
+// The rt block's offset is derivable (index_offset - rt_len; the blocks are
+// contiguous), which frees its fixed64 slot for the filter section's offset
+// — the footer stays the classic 48 bytes.
+constexpr uint64_t kTableMagic = 0x4c65746865544241ull;
 constexpr size_t kFooterSize = 8 + 4 + 8 + 4 + 8 + 4 + 4 + 8;
 
 }  // namespace lethe

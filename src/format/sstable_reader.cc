@@ -13,9 +13,10 @@ Status SSTableReader::Open(const TableOptions& options,
                            std::unique_ptr<RandomAccessFile> file,
                            uint64_t file_size,
                            std::unique_ptr<SSTableReader>* reader,
-                           uint64_t file_number, PageCache* page_cache) {
-  std::unique_ptr<SSTableReader> table(
-      new SSTableReader(options, std::move(file), file_number, page_cache));
+                           uint64_t file_number, PageCache* page_cache,
+                           bool cache_metadata) {
+  std::unique_ptr<SSTableReader> table(new SSTableReader(
+      options, std::move(file), file_number, page_cache, cache_metadata));
   LETHE_RETURN_IF_ERROR(table->Init(file_size));
   *reader = std::move(table);
   return Status::OK();
@@ -33,57 +34,102 @@ Status SSTableReader::Init(uint64_t file_size) {
     return Status::Corruption("short footer read");
   }
 
-  uint64_t index_offset, rt_offset, props_offset, magic;
-  uint32_t index_len, rt_len, props_len, meta_crc;
+  uint64_t magic;
   Slice f = footer;
-  GetFixed64(&f, &index_offset);
-  GetFixed32(&f, &index_len);
-  GetFixed64(&f, &rt_offset);
-  GetFixed32(&f, &rt_len);
-  GetFixed64(&f, &props_offset);
-  GetFixed32(&f, &props_len);
-  GetFixed32(&f, &meta_crc);
+  GetFixed64(&f, &index_offset_);
+  GetFixed32(&f, &index_len_);
+  GetFixed64(&f, &filter_offset_);
+  GetFixed32(&f, &rt_len_);
+  GetFixed64(&f, &props_offset_);
+  GetFixed32(&f, &props_len_);
+  GetFixed32(&f, &meta_crc_);
   GetFixed64(&f, &magic);
   if (magic != kTableMagic) {
     return Status::Corruption("bad table magic");
   }
 
-  // All three metadata blocks are contiguous: [rt][index][props].
-  const uint64_t meta_begin = rt_offset;
-  const uint64_t meta_len =
-      static_cast<uint64_t>(rt_len) + index_len + props_len;
-  if (meta_begin + meta_len + kFooterSize != file_size) {
+  // The metadata blocks are contiguous: [filters][rt][index][props][footer];
+  // rt_offset and the filter section length are derived, not stored. Every
+  // relation is checked via guarded subtraction working back from the known
+  // file size, so a corrupt footer cannot slip through uint64 wraparound
+  // into a multi-exabyte read or allocation.
+  if (props_offset_ > file_size - kFooterSize ||
+      props_len_ != file_size - kFooterSize - props_offset_ ||
+      index_len_ > props_offset_ ||
+      index_offset_ != props_offset_ - index_len_ ||
+      rt_len_ > index_offset_) {
     return Status::Corruption("table metadata geometry mismatch");
   }
-  index_buffer_.resize(meta_len);
-  Slice meta;
+  rt_offset_ = index_offset_ - rt_len_;
+  if (filter_offset_ > rt_offset_ ||
+      rt_offset_ - filter_offset_ > UINT32_MAX) {
+    return Status::Corruption("table metadata geometry mismatch");
+  }
+  filter_len_ = static_cast<uint32_t>(rt_offset_ - filter_offset_);
+
+  if (cache_metadata_) {
+    // Lazy mode: metadata loads through the block cache on first touch.
+    return Status::OK();
+  }
+  return LoadIndex(/*include_filters=*/true, &pinned_index_);
+}
+
+Status SSTableReader::LoadIndex(bool include_filters,
+                                TableIndexHandle* out) const {
+  // A checksum-verifying load must cover the whole crc'd region, filters
+  // included; a lazy load then keeps only the [rt..props] tail resident
+  // (plus per-tile filter digests for its own later block loads). Without
+  // checksums, a lazy load skips the filter bytes entirely.
+  const bool read_filters = include_filters || options_.verify_checksums;
+  const uint64_t region_begin = read_filters ? filter_offset_ : rt_offset_;
+  const uint64_t region_len = props_offset_ + props_len_ - region_begin;
+
+  auto index = std::make_shared<TableIndex>();
+  std::string scratch;  // verified full region for a non-pinning load
+  std::string& region_buffer =
+      include_filters ? index->buffer : (read_filters ? scratch : index->buffer);
+  region_buffer.resize(region_len);
+  Slice region;
   LETHE_RETURN_IF_ERROR(
-      file_->Read(meta_begin, meta_len, &meta, index_buffer_.data()));
-  if (meta.size() != meta_len) {
+      file_->Read(region_begin, region_len, &region, region_buffer.data()));
+  if (region.size() != region_len) {
     return Status::Corruption("short metadata read");
   }
-  if (meta.data() != index_buffer_.data()) {
-    memcpy(index_buffer_.data(), meta.data(), meta_len);
+  if (region.data() != region_buffer.data()) {
+    memcpy(region_buffer.data(), region.data(), region_len);
   }
   if (options_.verify_checksums) {
-    uint32_t actual = crc32c::Value(index_buffer_.data(), meta_len);
-    if (crc32c::Unmask(meta_crc) != actual) {
+    const uint32_t actual =
+        crc32c::Value(region_buffer.data(), region_len);
+    if (crc32c::Unmask(meta_crc_) != actual) {
       return Status::Corruption("table metadata checksum mismatch");
     }
   }
+  if (!include_filters && read_filters) {
+    // Keep only the tail; the filter bytes served their checksum purpose.
+    index->buffer.assign(scratch, filter_len_, std::string::npos);
+  }
+  const uint64_t buffer_begin = include_filters ? region_begin : rt_offset_;
 
-  Slice rt_block(index_buffer_.data(), rt_len);
-  Slice index_block(index_buffer_.data() + rt_len, index_len);
+  const char* rt_begin =
+      index->buffer.data() + (rt_offset_ - buffer_begin);
+  Slice rt_block(rt_begin, rt_len_);
+  Slice index_block(rt_begin + rt_len_, index_len_);
   // The props block duplicates builder-side counters already carried by
   // FileMeta; it is retained on disk for tooling but not re-parsed here.
 
-  LETHE_RETURN_IF_ERROR(DecodeRangeTombstones(rt_block, &range_tombstones_));
+  LETHE_RETURN_IF_ERROR(
+      DecodeRangeTombstones(rt_block, &index->range_tombstones));
 
   uint32_t num_pages, num_tiles;
   if (!GetVarint32(&index_block, &num_pages) ||
-      !GetVarint32(&index_block, &pages_per_tile_) || pages_per_tile_ == 0 ||
-      !GetVarint32(&index_block, &num_tiles)) {
+      !GetVarint32(&index_block, &index->pages_per_tile) ||
+      index->pages_per_tile == 0 || !GetVarint32(&index_block, &num_tiles)) {
     return Status::Corruption("bad index header");
+  }
+  if (static_cast<uint64_t>(num_pages) * options_.page_size_bytes !=
+      filter_offset_) {
+    return Status::Corruption("table data geometry mismatch");
   }
   std::vector<uint32_t> tile_page_counts(num_tiles);
   uint32_t total_tile_pages = 0;
@@ -96,27 +142,30 @@ Status SSTableReader::Init(uint64_t file_size) {
   if (total_tile_pages != num_pages) {
     return Status::Corruption("tile page counts do not cover the file");
   }
-  pages_.reserve(num_pages);
+
+  index->pages.reserve(num_pages);
   for (uint32_t i = 0; i < num_pages; i++) {
     PageInfo page;
-    Slice min_key, max_key, bloom;
+    Slice min_key, max_key;
     if (!GetLengthPrefixedSlice(&index_block, &min_key) ||
         !GetLengthPrefixedSlice(&index_block, &max_key) ||
         !GetFixed64(&index_block, &page.min_delete_key) ||
         !GetFixed64(&index_block, &page.max_delete_key) ||
         !GetVarint32(&index_block, &page.num_entries) ||
         !GetVarint32(&index_block, &page.num_tombstones) ||
-        !GetLengthPrefixedSlice(&index_block, &bloom)) {
+        !GetVarint32(&index_block, &page.filter_len)) {
       return Status::Corruption("bad index record");
     }
     page.min_sort_key = min_key;
     page.max_sort_key = max_key;
-    page.bloom = bloom;
-    pages_.push_back(page);
+    index->pages.push_back(page);
   }
 
-  // Materialize tiles from the explicit per-tile page counts.
+  // Materialize tiles from the explicit per-tile page counts. A tile's
+  // filter block is the contiguous run of its pages' filters, so its
+  // geometry falls out of the per-page lengths as prefix sums.
   uint32_t first = 0;
+  uint64_t tile_filter_offset = filter_offset_;
   for (uint32_t t = 0; t < num_tiles; t++) {
     if (tile_page_counts[t] == 0) {
       continue;
@@ -125,19 +174,149 @@ Status SSTableReader::Init(uint64_t file_size) {
     tile.first_page = first;
     tile.page_count = tile_page_counts[t];
     first += tile.page_count;
-    tile.min_sort_key = pages_[tile.first_page].min_sort_key;
-    tile.max_sort_key = pages_[tile.first_page].max_sort_key;
-    for (uint32_t p = tile.first_page + 1;
+    tile.filter_offset = tile_filter_offset;
+    // 64-bit running sum, capped against the section length at every step:
+    // corrupt per-page lengths must surface as Corruption, never as a
+    // wrapped prefix sum that later drives an out-of-bounds bloom slice.
+    uint64_t in_tile_offset = 0;
+    for (uint32_t p = tile.first_page;
          p < tile.first_page + tile.page_count; p++) {
-      if (pages_[p].min_sort_key.compare(tile.min_sort_key) < 0) {
-        tile.min_sort_key = pages_[p].min_sort_key;
-      }
-      if (pages_[p].max_sort_key.compare(tile.max_sort_key) > 0) {
-        tile.max_sort_key = pages_[p].max_sort_key;
+      index->pages[p].filter_offset = static_cast<uint32_t>(in_tile_offset);
+      in_tile_offset += index->pages[p].filter_len;
+      if (in_tile_offset > filter_len_) {
+        return Status::Corruption("filter lengths exceed the filter section");
       }
     }
-    tiles_.push_back(tile);
+    tile.filter_len = static_cast<uint32_t>(in_tile_offset);
+    tile_filter_offset += tile.filter_len;
+    tile.min_sort_key = index->pages[tile.first_page].min_sort_key;
+    tile.max_sort_key = index->pages[tile.first_page].max_sort_key;
+    for (uint32_t p = tile.first_page + 1;
+         p < tile.first_page + tile.page_count; p++) {
+      if (index->pages[p].min_sort_key.compare(tile.min_sort_key) < 0) {
+        tile.min_sort_key = index->pages[p].min_sort_key;
+      }
+      if (index->pages[p].max_sort_key.compare(tile.max_sort_key) > 0) {
+        tile.max_sort_key = index->pages[p].max_sort_key;
+      }
+    }
+    index->tiles.push_back(tile);
   }
+  if (tile_filter_offset != rt_offset_) {
+    return Status::Corruption("page filters do not tile the filter section");
+  }
+
+  if (include_filters) {
+    // The filter section sits at the head of the buffer; resolve every
+    // page's bloom slice into it.
+    for (const TileInfo& tile : index->tiles) {
+      const char* block =
+          index->buffer.data() + (tile.filter_offset - filter_offset_);
+      for (uint32_t p = tile.first_page;
+           p < tile.first_page + tile.page_count; p++) {
+        PageInfo& page = index->pages[p];
+        page.bloom = Slice(block + page.filter_offset, page.filter_len);
+      }
+    }
+  } else if (read_filters) {
+    // Lazy, checksum-verifying load: the filter bytes in `scratch` were
+    // covered by the region crc above. Derive one digest per tile so a
+    // later per-tile filter load can verify exactly the block it fetched
+    // against a trusted value — no on-disk per-tile crc needed.
+    for (TileInfo& tile : index->tiles) {
+      tile.filter_crc = crc32c::Value(
+          scratch.data() + (tile.filter_offset - filter_offset_),
+          tile.filter_len);
+    }
+    index->filter_crcs_valid = true;
+  }
+
+  *out = std::move(index);
+  return Status::OK();
+}
+
+const TableIndex* SSTableReader::pinned_index() const {
+  assert(pinned_index_ != nullptr &&
+         "metadata accessors require a pinned reader "
+         "(cache_index_and_filter_blocks = false)");
+  return pinned_index_.get();
+}
+
+bool SSTableReader::PeekIndex(TableIndexHandle* index) const {
+  if (!cache_metadata_) {
+    *index = pinned_index_;
+    return true;
+  }
+  return page_cache_ != nullptr &&
+         page_cache_->LookupIndex(file_number_, index);
+}
+
+Status SSTableReader::GetIndex(TableIndexHandle* index) const {
+  if (!cache_metadata_) {
+    *index = pinned_index_;
+    return Status::OK();
+  }
+  if (page_cache_ != nullptr && page_cache_->LookupIndex(file_number_, index)) {
+    return Status::OK();
+  }
+  LETHE_RETURN_IF_ERROR(LoadIndex(/*include_filters=*/false, index));
+  if (page_cache_ != nullptr) {
+    if (page_cache_->stats() != nullptr) {
+      page_cache_->stats()->index_block_reads.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    // A strict-budget rejection leaves the caller serving from its own
+    // (unpooled) handle; nothing further to do.
+    page_cache_->InsertIndex(file_number_, *index);
+  }
+  return Status::OK();
+}
+
+Status SSTableReader::GetTileFilter(const TableIndex& index,
+                                    uint32_t tile_index,
+                                    FilterBlockHandle* filter) const {
+  if (page_cache_ != nullptr &&
+      page_cache_->LookupFilter(file_number_, tile_index, filter)) {
+    return Status::OK();
+  }
+  const TileInfo& tile = index.tiles[tile_index];
+  auto block = std::make_shared<FilterBlock>();
+  block->data.resize(tile.filter_len);
+  Slice raw;
+  LETHE_RETURN_IF_ERROR(
+      file_->Read(tile.filter_offset, tile.filter_len, &raw,
+                  block->data.data()));
+  if (raw.size() != tile.filter_len) {
+    return Status::Corruption("short filter block read");
+  }
+  if (raw.data() != block->data.data()) {
+    memcpy(block->data.data(), raw.data(), tile.filter_len);
+  }
+  if (index.filter_crcs_valid && tile.filter_len > 0 &&
+      tile.filter_crc !=
+          crc32c::Value(block->data.data(), tile.filter_len)) {
+    return Status::Corruption("filter block checksum mismatch");
+  }
+  *filter = std::move(block);
+  if (page_cache_ != nullptr) {
+    if (page_cache_->stats() != nullptr) {
+      page_cache_->stats()->filter_block_reads.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    page_cache_->InsertFilter(file_number_, tile_index, *filter);
+  }
+  return Status::OK();
+}
+
+Status SSTableReader::IndexForOp(TableIndexHandle* scratch,
+                                 const TableIndex** index) const {
+  if (!cache_metadata_) {
+    // Pinned mode: no refcount traffic on the hot path.
+    *index = pinned_index_.get();
+    return Status::OK();
+  }
+  LETHE_RETURN_IF_ERROR(GetIndex(scratch));
+  *index = scratch->get();
   return Status::OK();
 }
 
@@ -169,13 +348,14 @@ class LazyDigest {
 
 }  // namespace
 
-int SSTableReader::FindTile(const Slice& user_key) const {
+int SSTableReader::FindTile(const TableIndex& index, const Slice& user_key) {
   // Tiles partition the sort-key space; binary search the first tile whose
   // max fence is >= key, then confirm its min fence.
-  int lo = 0, hi = static_cast<int>(tiles_.size()) - 1, result = -1;
+  const auto& tiles = index.tiles;
+  int lo = 0, hi = static_cast<int>(tiles.size()) - 1, result = -1;
   while (lo <= hi) {
     int mid = lo + (hi - lo) / 2;
-    if (tiles_[mid].max_sort_key.compare(user_key) >= 0) {
+    if (tiles[mid].max_sort_key.compare(user_key) >= 0) {
       result = mid;
       hi = mid - 1;
     } else {
@@ -185,7 +365,7 @@ int SSTableReader::FindTile(const Slice& user_key) const {
   if (result < 0) {
     return -1;
   }
-  if (tiles_[result].min_sort_key.compare(user_key) > 0) {
+  if (tiles[result].min_sort_key.compare(user_key) > 0) {
     return -1;
   }
   return result;
@@ -228,18 +408,22 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
                           Statistics* stats, bool* found,
                           TableGetResult* result, bool fill_cache) const {
   *found = false;
-  int tile_index = FindTile(user_key);
+  TableIndexHandle index_scratch;
+  const TableIndex* index;
+  LETHE_RETURN_IF_ERROR(IndexForOp(&index_scratch, &index));
+  int tile_index = FindTile(*index, user_key);
   if (tile_index < 0) {
     return Status::OK();
   }
-  const TileInfo& tile = tiles_[tile_index];
+  const TileInfo& tile = index->tiles[tile_index];
   LazyDigest digest(user_key);
+  FilterBlockHandle filter;  // cached-metadata mode: fetched on first probe
   for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
        p++) {
     if (meta != nullptr && meta->IsPageDropped(p)) {
       continue;
     }
-    const PageInfo& page = pages_[p];
+    const PageInfo& page = index->pages[p];
     if (page.min_sort_key.compare(user_key) > 0 ||
         page.max_sort_key.compare(user_key) < 0) {
       continue;
@@ -247,8 +431,11 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
     if (stats != nullptr) {
       stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
     }
-    BloomFilter filter(page.bloom);
-    if (!filter.DigestMayMatch(digest.get(stats))) {
+    if (cache_metadata_ && filter == nullptr) {
+      LETHE_RETURN_IF_ERROR(GetTileFilter(*index, tile_index, &filter));
+    }
+    BloomFilter bloom(BloomOf(page, filter.get()));
+    if (!bloom.DigestMayMatch(digest.get(stats))) {
       if (stats != nullptr) {
         stats->bloom_negatives.fetch_add(1, std::memory_order_relaxed);
       }
@@ -287,18 +474,24 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
 
 bool SSTableReader::KeyMayExist(const Slice& user_key, const FileMeta* meta,
                                 Statistics* stats) const {
-  int tile_index = FindTile(user_key);
+  TableIndexHandle index_scratch;
+  const TableIndex* index;
+  if (!IndexForOp(&index_scratch, &index).ok()) {
+    return true;  // cannot prove absence without the metadata
+  }
+  int tile_index = FindTile(*index, user_key);
   if (tile_index < 0) {
     return false;
   }
-  const TileInfo& tile = tiles_[tile_index];
+  const TileInfo& tile = index->tiles[tile_index];
   LazyDigest digest(user_key);
+  FilterBlockHandle filter;
   for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
        p++) {
     if (meta != nullptr && meta->IsPageDropped(p)) {
       continue;
     }
-    const PageInfo& page = pages_[p];
+    const PageInfo& page = index->pages[p];
     if (page.min_sort_key.compare(user_key) > 0 ||
         page.max_sort_key.compare(user_key) < 0) {
       continue;
@@ -306,8 +499,12 @@ bool SSTableReader::KeyMayExist(const Slice& user_key, const FileMeta* meta,
     if (stats != nullptr) {
       stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
     }
-    BloomFilter filter(page.bloom);
-    if (filter.DigestMayMatch(digest.get(stats))) {
+    if (cache_metadata_ && filter == nullptr &&
+        !GetTileFilter(*index, tile_index, &filter).ok()) {
+      return true;  // conservative: a filter we cannot load may match
+    }
+    BloomFilter bloom(BloomOf(page, filter.get()));
+    if (bloom.DigestMayMatch(digest.get(stats))) {
       return true;
     }
     if (stats != nullptr) {
@@ -317,16 +514,17 @@ bool SSTableReader::KeyMayExist(const Slice& user_key, const FileMeta* meta,
   return false;
 }
 
-void SSTableReader::PlanSecondaryRangeDelete(uint64_t lo, uint64_t hi,
+void SSTableReader::PlanSecondaryRangeDelete(const TableIndex& index,
+                                             uint64_t lo, uint64_t hi,
                                              const FileMeta* meta,
                                              SecondaryDeletePlan* plan) const {
   plan->full_drop_pages.clear();
   plan->partial_pages.clear();
-  for (uint32_t p = 0; p < pages_.size(); p++) {
+  for (uint32_t p = 0; p < index.pages.size(); p++) {
     if (meta != nullptr && meta->IsPageDropped(p)) {
       continue;
     }
-    const PageInfo& page = pages_[p];
+    const PageInfo& page = index.pages[p];
     if (page.num_entries == 0) {
       continue;
     }
@@ -353,23 +551,32 @@ namespace {
 /// up front (the paper's h-factor on short scans); for sort/delete-key
 /// correlation ≈ 1 the pages' sort ranges are disjoint and load one at a
 /// time — delete tiles then cost the same as the classic layout (paper
-/// Fig 6L).
+/// Fig 6L). The iterator pins the table's index handle for its lifetime,
+/// so fence slices stay valid however the block cache churns.
 class SSTableIterator final : public InternalIterator {
  public:
   SSTableIterator(const SSTableReader* table, const FileMeta* meta,
                   bool fill_cache)
-      : table_(table), meta_(meta), fill_cache_(fill_cache) {}
+      : table_(table), meta_(meta), fill_cache_(fill_cache) {
+    status_ = table_->GetIndex(&index_);
+  }
 
   bool Valid() const override { return status_.ok() && current_ != nullptr; }
 
   void SeekToFirst() override {
+    if (index_ == nullptr) {
+      return;  // index load failed at construction; status_ carries it
+    }
     tile_index_ = -1;
     AdvanceTile(nullptr);
   }
 
   void Seek(const Slice& target) override {
+    if (index_ == nullptr) {
+      return;
+    }
     // First tile whose max fence >= target.
-    const auto& tiles = table_->tiles();
+    const auto& tiles = index_->tiles;
     int lo = 0, hi = static_cast<int>(tiles.size()) - 1, result =
         static_cast<int>(tiles.size());
     while (lo <= hi) {
@@ -414,7 +621,7 @@ class SSTableIterator final : public InternalIterator {
 
   /// Moves to the next non-empty tile; `target` positions within it.
   void AdvanceTile(const Slice* target) {
-    const auto& tiles = table_->tiles();
+    const auto& tiles = index_->tiles;
     while (status_.ok()) {
       tile_index_++;
       loaded_.clear();
@@ -430,7 +637,7 @@ class SSTableIterator final : public InternalIterator {
           continue;
         }
         if (target != nullptr &&
-            table_->pages()[p].max_sort_key.compare(*target) < 0) {
+            index_->pages[p].max_sort_key.compare(*target) < 0) {
           continue;  // page entirely before the seek target: never load
         }
         pending_.push_back(p);
@@ -438,8 +645,8 @@ class SSTableIterator final : public InternalIterator {
       // Pages load in fence order.
       std::sort(pending_.begin(), pending_.end(),
                 [this](uint32_t a, uint32_t b) {
-                  return table_->pages()[a].min_sort_key.compare(
-                             table_->pages()[b].min_sort_key) < 0;
+                  return index_->pages[a].min_sort_key.compare(
+                             index_->pages[b].min_sort_key) < 0;
                 });
       FindNext();
       if (current_ == nullptr) {
@@ -467,7 +674,7 @@ class SSTableIterator final : public InternalIterator {
       bool must_load =
           !pending_.empty() &&
           (best == nullptr ||
-           table_->pages()[pending_.front()].min_sort_key.compare(
+           index_->pages[pending_.front()].min_sort_key.compare(
                best->contents->entries[best->pos].user_key) <= 0);
       if (!must_load) {
         current_ = best;
@@ -491,6 +698,7 @@ class SSTableIterator final : public InternalIterator {
   const SSTableReader* table_;
   const FileMeta* meta_;
   bool fill_cache_;
+  TableIndexHandle index_;
   Status status_;
   int tile_index_ = -1;
   std::vector<std::unique_ptr<PageCursor>> loaded_;

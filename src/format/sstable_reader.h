@@ -15,33 +15,11 @@
 #include "src/format/page.h"
 #include "src/format/page_cache.h"
 #include "src/format/range_tombstone.h"
+#include "src/format/table_blocks.h"
 #include "src/format/table_options.h"
 #include "src/util/status.h"
 
 namespace lethe {
-
-/// Decoded per-page index record. Sort-key fences may be conservatively wide
-/// after partial page drops (the on-disk index is immutable; see
-/// FileMeta::dropped_pages).
-struct PageInfo {
-  Slice min_sort_key;
-  Slice max_sort_key;
-  uint64_t min_delete_key = UINT64_MAX;
-  uint64_t max_delete_key = 0;
-  uint32_t num_entries = 0;
-  uint32_t num_tombstones = 0;
-  Slice bloom;
-};
-
-/// One delete tile: `page_count` consecutive pages starting at `first_page`,
-/// internally ordered by delete key. Tiles partition the file's sort-key
-/// space; `min/max_sort_key` are the tile-level fence pointers on S.
-struct TileInfo {
-  uint32_t first_page = 0;
-  uint32_t page_count = 0;
-  Slice min_sort_key;
-  Slice max_sort_key;
-};
 
 /// Result of a point lookup inside one table. `value` aliases the decoded
 /// page pinned by `page`, so returning a result costs no copy; callers
@@ -66,33 +44,67 @@ struct SecondaryDeletePlan {
 /// Read-side SSTable handle. Immutable and thread-safe after Open; the
 /// page-liveness bitmap lives in FileMeta (owned by the version) and is
 /// passed into each call so that one cached reader serves all versions.
+///
+/// Metadata residency has two modes (Options::cache_index_and_filter_blocks):
+///
+///   *Pinned* (cache_metadata = false, the default): Open performs one
+///   contiguous read of [filter section .. props block] and keeps the parsed
+///   TableIndex — fences, tiles, range tombstones, and every page's Bloom
+///   filter — resident for the reader's lifetime, exactly the paper's
+///   memory-resident-filter assumption. The pages()/tiles()/... accessors
+///   are valid only in this mode.
+///
+///   *Cached* (cache_metadata = true): Open reads only the footer. The
+///   fence/index block and each tile's filter block load lazily through the
+///   shared block cache (admitted at high priority), so metadata memory is
+///   bounded by the cache budget and ages out under pressure; every
+///   operation re-acquires what it needs via GetIndex/GetTileFilter, and a
+///   strict-budget rejection simply leaves the freshly loaded block
+///   unpooled for the duration of the call.
 class SSTableReader {
  public:
   /// `file_number` + `page_cache` (both optional) connect the reader to the
-  /// engine-wide decoded-page cache; a nullptr cache means every ReadPage
-  /// performs a real Env read.
+  /// engine-wide block cache; a nullptr cache means every ReadPage performs
+  /// a real Env read (and, with cache_metadata, every metadata access
+  /// performs a real metadata load).
   static Status Open(const TableOptions& options,
                      std::unique_ptr<RandomAccessFile> file,
                      uint64_t file_size,
                      std::unique_ptr<SSTableReader>* reader,
                      uint64_t file_number = 0,
-                     PageCache* page_cache = nullptr);
+                     PageCache* page_cache = nullptr,
+                     bool cache_metadata = false);
 
   SSTableReader(const SSTableReader&) = delete;
   SSTableReader& operator=(const SSTableReader&) = delete;
 
-  uint32_t num_pages() const {
-    return static_cast<uint32_t>(pages_.size());
-  }
-  uint32_t num_tiles() const {
-    return static_cast<uint32_t>(tiles_.size());
-  }
-  const std::vector<PageInfo>& pages() const { return pages_; }
-  const std::vector<TileInfo>& tiles() const { return tiles_; }
+  /// The table's fence/index metadata: the pinned copy, the cached block,
+  /// or a freshly loaded one (inserted into the cache when allowed). The
+  /// handle keeps every contained Slice alive.
+  Status GetIndex(TableIndexHandle* index) const;
+
+  /// Non-loading variant of GetIndex: the pinned index, or a
+  /// cache-resident one. Returns false instead of performing any I/O —
+  /// for best-effort callers (the picker's invalidation estimate) that
+  /// run under the DB mutex and must not read from disk there.
+  bool PeekIndex(TableIndexHandle* index) const;
+
+  /// Tile `tile_index`'s Bloom filter block, via the cache when possible.
+  /// Unused in pinned mode (filters live in the index buffer there).
+  Status GetTileFilter(const TableIndex& index, uint32_t tile_index,
+                       FilterBlockHandle* filter) const;
+
+  // Pinned-mode conveniences (used by format tests and tools); invalid when
+  // the reader was opened with cache_metadata = true — use GetIndex there.
+  const TableIndex& index() const { return *pinned_index(); }
+  uint32_t num_pages() const { return uint32_t(pinned_index()->pages.size()); }
+  uint32_t num_tiles() const { return uint32_t(pinned_index()->tiles.size()); }
+  const std::vector<PageInfo>& pages() const { return pinned_index()->pages; }
+  const std::vector<TileInfo>& tiles() const { return pinned_index()->tiles; }
   const std::vector<RangeTombstone>& range_tombstones() const {
-    return range_tombstones_;
+    return pinned_index()->range_tombstones;
   }
-  uint32_t pages_per_tile() const { return pages_per_tile_; }
+  uint32_t pages_per_tile() const { return pinned_index()->pages_per_tile; }
 
   /// Point lookup: locates the candidate tile via the sort-key fences, then
   /// probes each live page's Bloom filter (one hash digest per probe) and
@@ -104,9 +116,11 @@ class SSTableReader {
              bool* found, TableGetResult* result,
              bool fill_cache = true) const;
 
-  /// Filter-only membership probe: fences + Bloom filters, no page I/O.
-  /// False means the key is definitely absent from this table. Used by
-  /// FADE's blind-delete guard (§4.1.5).
+  /// Filter-only membership probe: fences + Bloom filters, no page I/O
+  /// (cached-metadata mode may load the index/filter blocks). False means
+  /// the key is definitely absent from this table; metadata load errors
+  /// conservatively answer true. Used by FADE's blind-delete guard
+  /// (§4.1.5).
   bool KeyMayExist(const Slice& user_key, const FileMeta* meta,
                    Statistics* stats) const;
 
@@ -124,9 +138,11 @@ class SSTableReader {
                   bool fill_cache = true) const;
 
   /// Computes which pages a secondary range delete over delete keys
-  /// [lo, hi) fully covers vs. partially overlaps. Metadata-only; performs
-  /// no I/O. Already-dropped pages are excluded.
-  void PlanSecondaryRangeDelete(uint64_t lo, uint64_t hi, const FileMeta* meta,
+  /// [lo, hi) fully covers vs. partially overlaps, against the caller's
+  /// index handle. Metadata-only; performs no page I/O. Already-dropped
+  /// pages are excluded.
+  void PlanSecondaryRangeDelete(const TableIndex& index, uint64_t lo,
+                                uint64_t hi, const FileMeta* meta,
                                 SecondaryDeletePlan* plan) const;
 
   /// Byte offset of a page within the file (pages are fixed-size).
@@ -136,7 +152,9 @@ class SSTableReader {
 
   /// Iterator over all live entries in internal-key order. Reads one delete
   /// tile at a time (h pages), sorting it back to sort-key order in memory —
-  /// compactions stream through files this way. `fill_cache` = false keeps
+  /// compactions stream through files this way. The iterator pins the index
+  /// handle for its lifetime; an index load failure surfaces as a
+  /// never-valid iterator carrying the status. `fill_cache` = false keeps
   /// the bulk read from populating (and churning) the decoded-page LRU;
   /// compaction inputs always pass false, user scans pass
   /// ReadOptions::fill_page_cache.
@@ -148,28 +166,51 @@ class SSTableReader {
  private:
   SSTableReader(const TableOptions& options,
                 std::unique_ptr<RandomAccessFile> file, uint64_t file_number,
-                PageCache* page_cache)
+                PageCache* page_cache, bool cache_metadata)
       : options_(options),
         file_(std::move(file)),
         file_number_(file_number),
-        page_cache_(page_cache) {}
+        page_cache_(page_cache),
+        cache_metadata_(cache_metadata) {}
 
   Status Init(uint64_t file_size);
 
+  /// The pinned index; asserts the reader is in pinned mode.
+  const TableIndex* pinned_index() const;
+
+  /// Cheap per-operation index acquisition: pinned mode hands out the
+  /// resident index without touching `*scratch`; cached mode fills
+  /// `*scratch` (cache hit or load) and points `*index` into it.
+  Status IndexForOp(TableIndexHandle* scratch,
+                    const TableIndex** index) const;
+
+  /// Reads and parses the metadata region. `include_filters` selects the
+  /// pinned layout (one contiguous [filters..props] read, bloom slices set)
+  /// vs the lazy one ([rt..props] only, filters addressed by offset).
+  Status LoadIndex(bool include_filters, TableIndexHandle* out) const;
+
   /// Index of the unique tile whose fence range may contain `user_key`, or
   /// -1 if none.
-  int FindTile(const Slice& user_key) const;
+  static int FindTile(const TableIndex& index, const Slice& user_key);
 
   TableOptions options_;
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t file_number_;
   PageCache* page_cache_;  // may be nullptr (cache disabled)
+  bool cache_metadata_;
 
-  std::string index_buffer_;  // backing store for PageInfo/TileInfo slices
-  std::vector<PageInfo> pages_;
-  std::vector<TileInfo> tiles_;
-  std::vector<RangeTombstone> range_tombstones_;
-  uint32_t pages_per_tile_ = 1;
+  // Footer geometry (fixed at Open).
+  uint64_t filter_offset_ = 0;
+  uint32_t filter_len_ = 0;
+  uint64_t rt_offset_ = 0;
+  uint32_t rt_len_ = 0;
+  uint64_t index_offset_ = 0;
+  uint32_t index_len_ = 0;
+  uint64_t props_offset_ = 0;
+  uint32_t props_len_ = 0;
+  uint32_t meta_crc_ = 0;
+
+  TableIndexHandle pinned_index_;  // set iff !cache_metadata_
 
   friend class SSTableIterator;
 };

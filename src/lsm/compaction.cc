@@ -38,8 +38,12 @@ Status CollectFileInputs(VersionSet* versions,
       std::unique_ptr<InternalIterator> iter_;
     };
     iters->push_back(std::make_unique<OwningIterator>(table, meta));
-    for (const RangeTombstone& rt : table->range_tombstones()) {
-      rts->push_back(rt);
+    if (meta->num_range_tombstones > 0) {
+      TableIndexHandle index;
+      LETHE_RETURN_IF_ERROR(table->GetIndex(&index));
+      for (const RangeTombstone& rt : index->range_tombstones) {
+        rts->push_back(rt);
+      }
     }
     if (total_bytes != nullptr) {
       *total_bytes += meta->file_size;

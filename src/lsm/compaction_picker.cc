@@ -48,26 +48,171 @@ double RangeOverlapFraction(const Slice& smallest, const Slice& largest,
   return static_cast<double>(ohi - olo) / static_cast<double>(hi - lo);
 }
 
+namespace {
+
+/// Combined [smallest, largest] sort-key span of a merge's inputs.
+void CombinedKeySpan(const std::vector<std::shared_ptr<FileMeta>>& inputs,
+                     std::string* smallest, std::string* largest) {
+  *smallest = inputs.front()->smallest_key;
+  *largest = inputs.front()->largest_key;
+  for (const auto& file : inputs) {
+    if (Slice(file->smallest_key).compare(Slice(*smallest)) < 0) {
+      *smallest = file->smallest_key;
+    }
+    if (Slice(file->largest_key).compare(Slice(*largest)) > 0) {
+      *largest = file->largest_key;
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<std::string> CompactionPicker::ComputeSubcompactionBoundaries(
     const std::vector<std::shared_ptr<FileMeta>>& inputs,
     int max_partitions) const {
-  std::vector<std::string> boundaries;
   // A single-file merge gains nothing from splitting (its rewrite already
   // streams at device speed on one thread), so K collapses to 1.
   if (max_partitions <= 1 || inputs.size() < 2) {
+    return {};
+  }
+  std::vector<std::string> boundaries =
+      ComputeFenceSampledBoundaries(inputs, max_partitions);
+  if (!boundaries.empty()) {
     return boundaries;
   }
+  return ComputeInterpolatedBoundaries(inputs, max_partitions);
+}
 
-  std::string smallest = inputs.front()->smallest_key;
-  std::string largest = inputs.front()->largest_key;
+std::vector<std::string> CompactionPicker::ComputeFenceSampledBoundaries(
+    const std::vector<std::shared_ptr<FileMeta>>& inputs,
+    int max_partitions) const {
+  // Combined span, for the edge guards below.
+  std::string smallest, largest;
+  CombinedKeySpan(inputs, &smallest, &largest);
+
+  struct WeightedKey {
+    std::string key;
+    double mass;
+  };
+  std::vector<WeightedKey> samples;
+  size_t fence_samples = 0;
+  for (const auto& file : inputs) {
+    if (file->file_number == 0) {
+      // A flush's memtable pseudo-file: no fences exist yet, so spread its
+      // mass over synthetic interpolated sample points (its share is
+      // typically small next to the on-disk inputs, whose real fences
+      // dominate the quantiles).
+      const int kSynthetic = 2 * max_partitions;
+      size_t prefix = 0;
+      const std::string& lo_key = file->smallest_key;
+      const std::string& hi_key = file->largest_key;
+      while (prefix < lo_key.size() && prefix < hi_key.size() &&
+             lo_key[prefix] == hi_key[prefix]) {
+        prefix++;
+      }
+      const uint64_t lo = KeyToU64At(Slice(lo_key), prefix);
+      const uint64_t hi = KeyToU64At(Slice(hi_key), prefix);
+      const double mass =
+          static_cast<double>(file->file_size) / kSynthetic;
+      for (int i = 0; i < kSynthetic; i++) {
+        const uint64_t at =
+            lo + static_cast<uint64_t>((static_cast<double>(hi - lo) * i) /
+                                       kSynthetic);
+        std::string key = lo_key.substr(0, prefix);
+        for (int shift = 56; shift >= 0; shift -= 8) {
+          key.push_back(static_cast<char>((at >> shift) & 0xFF));
+        }
+        samples.push_back({std::move(key), mass});
+      }
+      continue;
+    }
+    // Callers release the DB mutex around boundary computation (the
+    // merge's claim fences conflicts), so opening the reader and loading
+    // its index here — one-time work the imminent merge needs anyway — is
+    // off the engine's critical path.
+    std::shared_ptr<SSTableReader> table;
+    if (!versions_->table_cache()->GetTable(*file, &table).ok()) {
+      return {};  // cannot sample this input: fall back to interpolation
+    }
+    TableIndexHandle index;
+    if (!table->GetIndex(&index).ok()) {
+      return {};
+    }
+    if (index->pages.empty()) {
+      continue;
+    }
+    const double page_mass = static_cast<double>(file->file_size) /
+                             static_cast<double>(index->pages.size());
+    for (const TileInfo& tile : index->tiles) {
+      samples.push_back({tile.min_sort_key.ToString(),
+                         tile.page_count * page_mass});
+      fence_samples++;
+    }
+  }
+  // Too few real fences to place max_partitions - 1 boundaries with any
+  // confidence (e.g. two single-tile files): let interpolation decide.
+  if (fence_samples < 2 * static_cast<size_t>(max_partitions)) {
+    return {};
+  }
+
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const WeightedKey& a, const WeightedKey& b) {
+                     return Slice(a.key).compare(Slice(b.key)) < 0;
+                   });
+  double total_mass = 0;
+  for (const WeightedKey& sample : samples) {
+    total_mass += sample.mass;
+  }
+  if (total_mass <= 0) {
+    return {};
+  }
+
+  std::vector<std::string> boundaries;
+  auto emit = [&](const std::string& key) {
+    // Drop boundaries that would leave an empty edge partition or repeat
+    // (several quantiles can collapse onto one fence).
+    if (Slice(key).compare(Slice(smallest)) <= 0 ||
+        Slice(key).compare(Slice(largest)) > 0) {
+      return;
+    }
+    if (!boundaries.empty() &&
+        Slice(key).compare(Slice(boundaries.back())) <= 0) {
+      return;
+    }
+    boundaries.push_back(key);
+  };
+
+  // Quantile walk: a boundary lands on the first fence *after* the
+  // cumulative mass crosses each target, so whole tiles stay on one side.
+  double accumulated = 0;
+  size_t target_index = 1;
+  for (size_t i = 0;
+       i < samples.size() &&
+       target_index < static_cast<size_t>(max_partitions);
+       i++) {
+    accumulated += samples[i].mass;
+    while (target_index < static_cast<size_t>(max_partitions) &&
+           accumulated >=
+               total_mass * static_cast<double>(target_index) /
+                   static_cast<double>(max_partitions)) {
+      if (i + 1 < samples.size()) {
+        emit(samples[i + 1].key);
+      }
+      target_index++;
+    }
+  }
+  return boundaries;
+}
+
+std::vector<std::string> CompactionPicker::ComputeInterpolatedBoundaries(
+    const std::vector<std::shared_ptr<FileMeta>>& inputs,
+    int max_partitions) const {
+  std::vector<std::string> boundaries;
+
+  std::string smallest, largest;
+  CombinedKeySpan(inputs, &smallest, &largest);
   uint64_t total_mass = 0;
   for (const auto& file : inputs) {
-    if (Slice(file->smallest_key).compare(Slice(smallest)) < 0) {
-      smallest = file->smallest_key;
-    }
-    if (Slice(file->largest_key).compare(Slice(largest)) > 0) {
-      largest = file->largest_key;
-    }
     total_mass += file->file_size;
   }
   if (total_mass == 0) {
@@ -199,7 +344,17 @@ double CompactionPicker::EstimateInvalidation(const Version& version,
   if (!versions_->table_cache()->GetTable(file, &table).ok()) {
     return b;
   }
-  for (const RangeTombstone& rt : table->range_tombstones()) {
+  // Pick runs under the DB mutex, so only memory-resident range tombstones
+  // feed the estimate: the pinned index, or a block-cache hit. A lazy
+  // index that is not resident right now degrades the estimate to the
+  // exact point-tombstone count — the b model is a histogram stand-in
+  // (§4.1.3) and tolerates that — instead of reading metadata under the
+  // lock.
+  TableIndexHandle index;
+  if (!table->PeekIndex(&index)) {
+    return b;
+  }
+  for (const RangeTombstone& rt : index->range_tombstones) {
     for (const auto& [level, other] : version.AllFiles()) {
       if (other->num_entries == 0) {
         continue;

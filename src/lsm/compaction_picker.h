@@ -69,14 +69,25 @@ class CompactionPicker {
   /// Byte-balanced subcompaction split points for a merge over `inputs`:
   /// up to `max_partitions - 1` strictly increasing user-key boundaries,
   /// each strictly inside the inputs' combined key span, partitioning the
-  /// merge into [b_0=-inf, b_1), [b_1, b_2), ... [b_last, +inf). Each
-  /// file's bytes are modeled as uniform over its key span (the same
-  /// big-endian interpolation the selectivity estimates use), so the
-  /// boundaries are the byte-mass quantiles of the input set — partitions
-  /// carry roughly equal merge work even when the inputs are a few huge
-  /// files. Returns empty (no split) when inputs hold fewer than two files,
-  /// when max_partitions <= 1, or when the key span is too narrow to
-  /// interpolate.
+  /// merge into [b_0=-inf, b_1), [b_1, b_2), ... [b_last, +inf).
+  ///
+  /// Preferred model: *per-file fence samples*. Each input file's delete
+  /// tiles contribute their min-sort-key fences, weighted by the tile's
+  /// share of the file's bytes, and the boundaries are the byte-mass
+  /// quantiles of the sampled keys — real keys from the actual
+  /// distribution, so arbitrary key spaces (hex-ASCII with its '9'→'a'
+  /// gap, clustered inserts) partition evenly. A flush's memtable
+  /// pseudo-file (file_number 0) has no fences and contributes
+  /// interpolated synthetic samples instead.
+  ///
+  /// Fallback: when any input's fences are unavailable (unopenable file)
+  /// or the inputs carry too few fences to place max_partitions - 1
+  /// boundaries meaningfully, each file's bytes are modeled as uniform
+  /// over its key span via big-endian interpolation (the same model the
+  /// selectivity estimates use).
+  ///
+  /// Returns empty (no split) when inputs hold fewer than two files, when
+  /// max_partitions <= 1, or when the key span is too narrow to split.
   std::vector<std::string> ComputeSubcompactionBoundaries(
       const std::vector<std::shared_ptr<FileMeta>>& inputs,
       int max_partitions) const;
@@ -89,6 +100,17 @@ class CompactionPicker {
                               const FileMeta& file) const;
 
  private:
+  /// The fence-sample model; returns empty when it cannot be applied (some
+  /// file unreadable, or too few fences) and the caller should interpolate.
+  std::vector<std::string> ComputeFenceSampledBoundaries(
+      const std::vector<std::shared_ptr<FileMeta>>& inputs,
+      int max_partitions) const;
+
+  /// The uniform-interpolation model (fallback).
+  std::vector<std::string> ComputeInterpolatedBoundaries(
+      const std::vector<std::shared_ptr<FileMeta>>& inputs,
+      int max_partitions) const;
+
   CompactionPick PickTtlExpired(const Version& version, uint64_t now,
                                 const std::set<uint64_t>* in_flight) const;
   CompactionPick PickSaturated(const Version& version,

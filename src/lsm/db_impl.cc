@@ -112,19 +112,26 @@ class RunIterator final : public InternalIterator {
 /// range-tombstone-covered entries out of the merged internal stream.
 class DBIter final : public Iterator {
  public:
+  /// `setup_status`, when not OK, poisons the iterator: the tombstone set
+  /// could not be assembled completely (a table or its metadata failed to
+  /// load), and iterating anyway could resurrect range-deleted keys.
   DBIter(std::vector<std::shared_ptr<MemTable>> pinned_mems,
          std::shared_ptr<const Version> version,
          std::unique_ptr<InternalIterator> internal, RangeTombstoneSet rts,
-         Statistics* stats)
+         Statistics* stats, Status setup_status)
       : pinned_mems_(std::move(pinned_mems)),
         version_(std::move(version)),
         internal_(std::move(internal)),
         rts_(std::move(rts)),
-        stats_(stats) {}
+        stats_(stats),
+        setup_status_(std::move(setup_status)) {}
 
   bool Valid() const override { return valid_; }
 
   void SeekToFirst() override {
+    if (!setup_status_.ok()) {
+      return;
+    }
     stats_->range_lookups.fetch_add(1, std::memory_order_relaxed);
     internal_->SeekToFirst();
     last_key_.clear();
@@ -133,6 +140,9 @@ class DBIter final : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    if (!setup_status_.ok()) {
+      return;
+    }
     stats_->range_lookups.fetch_add(1, std::memory_order_relaxed);
     internal_->Seek(target);
     last_key_.clear();
@@ -148,7 +158,9 @@ class DBIter final : public Iterator {
   Slice key() const override { return Slice(key_); }
   Slice value() const override { return Slice(value_); }
   uint64_t delete_key() const override { return delete_key_; }
-  Status status() const override { return internal_->status(); }
+  Status status() const override {
+    return setup_status_.ok() ? internal_->status() : setup_status_;
+  }
 
  private:
   void FindNextLiveEntry() {
@@ -178,6 +190,7 @@ class DBIter final : public Iterator {
   std::unique_ptr<InternalIterator> internal_;
   RangeTombstoneSet rts_;
   Statistics* stats_;
+  Status setup_status_;
 
   bool valid_ = false;
   std::string last_key_;
@@ -279,9 +292,19 @@ DBImpl::~DBImpl() {
 }
 
 Status DBImpl::Init() {
-  if (options_.page_cache_bytes > 0) {
+  // One budget number: memory_budget_bytes sizes the block cache and, via
+  // the reservation below, also accounts the write buffers against it;
+  // page_cache_bytes alone is the legacy data-page-only configuration.
+  const uint64_t cache_capacity = options_.memory_budget_bytes > 0
+                                      ? options_.memory_budget_bytes
+                                      : options_.page_cache_bytes;
+  if (cache_capacity > 0) {
     page_cache_ = std::make_unique<PageCache>(
-        options_.page_cache_bytes, options_.page_cache_shard_bits, &stats_);
+        cache_capacity, options_.page_cache_shard_bits, &stats_,
+        options_.strict_cache_capacity);
+    if (options_.memory_budget_bytes > 0) {
+      memtable_reservation_ = CacheReservation(page_cache_->cache());
+    }
   }
   versions_ =
       std::make_unique<VersionSet>(options_, dbname_, page_cache_.get());
@@ -298,6 +321,11 @@ Status DBImpl::Init() {
   if (options_.enable_wal) {
     LETHE_RETURN_IF_ERROR(ReplayWalsLocked());
   }
+  // Replay refills the memtable without passing the write path; stake its
+  // bytes against the budget before the first user write (single-threaded
+  // here, so sizing mem_ directly is safe).
+  mem_staked_bytes_ = mem_->ApproximateMemoryUsage();
+  UpdateMemtableReservationLocked();
   RefreshTriggerStateLocked();
   return Status::OK();
 }
@@ -804,6 +832,21 @@ void DBImpl::MaybeSlowdownLocked(std::unique_lock<std::mutex>& l) {
 }
 
 Status DBImpl::HandlePostWriteLocked(std::unique_lock<std::mutex>& l) {
+  // Sizing mem_ requires the write token (held here); the measured value
+  // is cached so token-less paths (background flush commit) can re-stake
+  // without touching the arena. The stake is quantized *up* to 4 KB: the
+  // budget bound stays conservative, and the common write's cost here is
+  // one comparison instead of a walk over every cache shard.
+  if (memtable_reservation_.active()) {
+    constexpr size_t kStakeQuantum = 4096;
+    const size_t staked =
+        (mem_->ApproximateMemoryUsage() + kStakeQuantum - 1) /
+        kStakeQuantum * kStakeQuantum;
+    if (staked != mem_staked_bytes_) {
+      mem_staked_bytes_ = staked;
+      UpdateMemtableReservationLocked();
+    }
+  }
   const uint64_t now = options_.clock->NowMicros();
   auto buffer_needs_flush = [&] {
     const bool buffer_full =
@@ -885,6 +928,8 @@ Status DBImpl::SwitchMemTableLocked() {
   }
   imm_.push_back(std::move(imm));
   mem_ = std::make_shared<MemTable>();
+  mem_staked_bytes_ = 0;  // fresh memtable; the frozen one counts as imm
+  UpdateMemtableReservationLocked();
   MaybeScheduleFlushLocked();
   return Status::OK();
 }
@@ -1009,8 +1054,14 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
     mem_span->file_size = imm.mem->ApproximateMemoryUsage();
     std::vector<std::shared_ptr<FileMeta>> span_inputs = overlapping;
     span_inputs.push_back(std::move(mem_span));
+    // Fence sampling opens the inputs and may read their metadata; that
+    // must not happen under mu_. The claim above (or the write token in
+    // inline mode) already fences conflicting work, and the inputs are
+    // immutable snapshots, so the mutex can drop for the duration.
+    l.unlock();
     boundaries = picker_->ComputeSubcompactionBoundaries(
         span_inputs, options_.max_subcompactions);
+    l.lock();
   }
 
   // The heavy merge runs without the mutex: inputs are immutable (a frozen
@@ -1039,6 +1090,7 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
   }
   if (options_.inline_compactions) {
     mem_ = std::make_shared<MemTable>();
+    mem_staked_bytes_ = 0;  // inline flush holds the token; mem_ is fresh
   } else {
     imm_.pop_front();
   }
@@ -1046,8 +1098,21 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
     // Everything the flushed WAL covered is durable in the new version.
     options_.env->RemoveFile(WalFileName(dbname_, flushed_wal)).ok();
   }
+  UpdateMemtableReservationLocked();
   RefreshTriggerStateLocked();
   return Status::OK();
+}
+
+void DBImpl::UpdateMemtableReservationLocked() {
+  if (!memtable_reservation_.active()) {
+    return;
+  }
+  size_t total = mem_staked_bytes_;
+  for (const ImmMemTable& imm : imm_) {
+    total += imm.mem->ApproximateMemoryUsage();
+  }
+  memtable_reservation_.Set(total);
+  stats_.cache_reservation_bytes.store(total, std::memory_order_relaxed);
 }
 
 void DBImpl::RefreshTriggerStateLocked() {
@@ -1207,8 +1272,13 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
   // span) keep the classic single-pass merge.
   std::vector<std::string> boundaries;
   if (options_.max_subcompactions > 1) {
+    // Off-mutex: fence sampling opens the inputs and may read metadata.
+    // The registered claim (or the inline write token) fences conflicting
+    // work while the lock is down.
+    l.unlock();
     boundaries = picker_->ComputeSubcompactionBoundaries(
         all_inputs, options_.max_subcompactions);
+    l.lock();
   }
   Status s = RunMergePartitioned(all_inputs, /*mem=*/nullptr, {}, boundaries,
                                  config, &edit, l);
@@ -1931,9 +2001,15 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions& options, const Slice& key,
         LETHE_RETURN_IF_ERROR(
             versions_->table_cache()->GetTable(*file, &table));
         // Accumulate this file's range-tombstone coverage before deciding.
-        for (const RangeTombstone& rt : table->range_tombstones()) {
-          if (rt.Contains(key)) {
-            max_rt_seq = std::max(max_rt_seq, rt.seq);
+        // The FileMeta count gates the index fetch, so rt-free files cost
+        // no metadata access at all on this hot path.
+        if (file->num_range_tombstones > 0) {
+          TableIndexHandle index;
+          LETHE_RETURN_IF_ERROR(table->GetIndex(&index));
+          for (const RangeTombstone& rt : index->range_tombstones) {
+            if (rt.Contains(key)) {
+              max_rt_seq = std::max(max_rt_seq, rt.seq);
+            }
           }
         }
         bool found = false;
@@ -1966,6 +2042,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
 std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
   ReadSnapshot snap = GetReadSnapshot();
+  Status setup_status;
 
   std::vector<std::unique_ptr<InternalIterator>> children;
   children.push_back(snap.mem->NewIterator());
@@ -1989,9 +2066,19 @@ std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
         if (file->num_range_tombstones == 0) {
           continue;
         }
+        // A failure here may not be swallowed: missing range tombstones
+        // would silently resurrect deleted keys, so it poisons the
+        // iterator instead (surfaced through status()).
         std::shared_ptr<SSTableReader> table;
-        if (versions_->table_cache()->GetTable(*file, &table).ok()) {
-          rts.AddAll(table->range_tombstones());
+        TableIndexHandle index;
+        Status s = versions_->table_cache()->GetTable(*file, &table);
+        if (s.ok()) {
+          s = table->GetIndex(&index);
+        }
+        if (s.ok()) {
+          rts.AddAll(index->range_tombstones);
+        } else if (setup_status.ok()) {
+          setup_status = s;
         }
       }
     }
@@ -1999,7 +2086,8 @@ std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
 
   return std::make_unique<DBIter>(std::move(pinned), std::move(snap.version),
                                   NewMergingIterator(std::move(children)),
-                                  std::move(rts), &stats_);
+                                  std::move(rts), &stats_,
+                                  std::move(setup_status));
 }
 
 Status DBImpl::SecondaryRangeLookup(const ReadOptions& options,
@@ -2034,11 +2122,13 @@ Status DBImpl::SecondaryRangeLookup(const ReadOptions& options,
     }
     std::shared_ptr<SSTableReader> table;
     LETHE_RETURN_IF_ERROR(versions_->table_cache()->GetTable(*file, &table));
-    for (uint32_t p = 0; p < table->num_pages(); p++) {
+    TableIndexHandle index;
+    LETHE_RETURN_IF_ERROR(table->GetIndex(&index));
+    for (uint32_t p = 0; p < index->pages.size(); p++) {
       if (file->IsPageDropped(p)) {
         continue;
       }
-      const PageInfo& page = table->pages()[p];
+      const PageInfo& page = index->pages[p];
       if (page.min_delete_key >= delete_key_end ||
           page.max_delete_key < delete_key_begin) {
         continue;  // delete fences prune the read
@@ -2175,6 +2265,21 @@ Status DBImpl::TEST_VerifyTreeInvariants() {
                                     TableFileName(dbname_, file.file_number));
         }
       }
+    }
+  }
+  // Unified-budget invariant: in strict mode the resident block charge plus
+  // the write-buffer reservation must never exceed the budget. (Non-strict
+  // caches may legitimately overflow while entries are pinned.)
+  if (page_cache_ != nullptr && page_cache_->strict()) {
+    const size_t capacity = page_cache_->capacity();
+    const size_t charge = page_cache_->TotalCharge();
+    const size_t reserved =
+        std::min(page_cache_->ReservedBytes(), capacity);
+    if (charge + reserved > capacity) {
+      return Status::Corruption(
+          "strict cache budget exceeded: charge " + std::to_string(charge) +
+          " + reservation " + std::to_string(reserved) + " > capacity " +
+          std::to_string(capacity));
     }
   }
   return Status::OK();

@@ -102,6 +102,9 @@ class DBImpl final : public DB {
   /// Test hook: the background worker pool, or nullptr in inline mode.
   BackgroundScheduler* TEST_scheduler() { return bg_.get(); }
 
+  /// Test hook: the shared block cache, or nullptr when no budget is set.
+  PageCache* TEST_page_cache() { return page_cache_.get(); }
+
   /// Test hook: structural invariants of the current tree — within every
   /// sorted run files are ordered and non-overlapping, leveling keeps at
   /// most one run per level, and every referenced table file exists on the
@@ -311,6 +314,18 @@ class DBImpl final : public DB {
 
   void RefreshTriggerStateLocked();
 
+  /// Re-stakes the write buffers' share of the unified memory budget
+  /// (Options::memory_budget_bytes): the active memtable (via
+  /// mem_staked_bytes_, measured only by write-token holders — the arena
+  /// is token-guarded, so the background flush path must not size mem_
+  /// directly) plus every pending immutable memtable (frozen, safe to
+  /// measure under mu_). Raising the stake evicts cached blocks, so
+  /// pages/filters/indexes and write buffers stay jointly bounded by the
+  /// one budget. No-op without a budget. Called at every point the set or
+  /// size of memtables changes: post-write, memtable switch, flush commit,
+  /// and WAL replay.
+  void UpdateMemtableReservationLocked();
+
   /// Recovery-time garbage collection: deletes table files not referenced
   /// by the recovered version (outputs of a merge that crashed before its
   /// manifest install) and manifests superseded by the current one, bumping
@@ -328,8 +343,15 @@ class DBImpl final : public DB {
   std::string dbname_;
   Statistics stats_;
 
-  // Must outlive versions_ (the table cache hands it to every open reader).
+  // Must outlive versions_ (the table cache hands it to every open reader)
+  // and memtable_reservation_ (which returns its stake on destruction —
+  // member order below page_cache_ guarantees it).
   std::unique_ptr<PageCache> page_cache_;
+  CacheReservation memtable_reservation_;  // write buffers' budget stake
+  // Active memtable's contribution to the stake. Guarded by mu_ for
+  // reads; written only while also holding the write token (or
+  // single-threaded: replay, memtable switch, inline flush).
+  size_t mem_staked_bytes_ = 0;
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<CompactionPicker> picker_;
   std::unique_ptr<BackgroundScheduler> bg_;  // background mode only

@@ -11,11 +11,11 @@ namespace {
 
 /// Ensures the per-page live-count vectors are populated from the file's
 /// index metadata (first touch only).
-void EnsurePageCounts(FileMeta* meta, const SSTableReader& table) {
+void EnsurePageCounts(FileMeta* meta, const TableIndex& index) {
   if (meta->page_live_entries.empty()) {
-    meta->page_live_entries.reserve(table.num_pages());
-    meta->page_live_tombstones.reserve(table.num_pages());
-    for (const PageInfo& page : table.pages()) {
+    meta->page_live_entries.reserve(index.pages.size());
+    meta->page_live_tombstones.reserve(index.pages.size());
+    for (const PageInfo& page : index.pages) {
       meta->page_live_entries.push_back(page.num_entries);
       meta->page_live_tombstones.push_back(page.num_tombstones);
     }
@@ -34,15 +34,20 @@ Status ExecuteSecondaryRangeDelete(const Options& resolved_options,
     }
     std::shared_ptr<SSTableReader> table;
     LETHE_RETURN_IF_ERROR(versions->table_cache()->GetTable(*file, &table));
+    // One index handle serves the plan and the live-count bootstrap; it
+    // pins the fence metadata across the rewrite loop below however the
+    // block cache churns.
+    TableIndexHandle index;
+    LETHE_RETURN_IF_ERROR(table->GetIndex(&index));
 
     SecondaryDeletePlan plan;
-    table->PlanSecondaryRangeDelete(lo, hi, file.get(), &plan);
+    table->PlanSecondaryRangeDelete(*index, lo, hi, file.get(), &plan);
     if (plan.full_drop_pages.empty() && plan.partial_pages.empty()) {
       continue;
     }
 
     FileMeta updated = *file;
-    EnsurePageCounts(&updated, *table);
+    EnsurePageCounts(&updated, *index);
     PageCache* page_cache = versions->table_cache()->page_cache();
     // Only partial pages rewrite bytes in place; full drops are fenced by
     // IsPageDropped and never invalidate a decode. When a rewrite happens,

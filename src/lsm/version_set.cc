@@ -52,7 +52,8 @@ Status TableCache::GetTable(const FileMeta& meta,
   std::unique_ptr<SSTableReader> reader;
   LETHE_RETURN_IF_ERROR(SSTableReader::Open(table_options_, std::move(file),
                                             meta.file_size, &reader,
-                                            meta.file_number, page_cache_));
+                                            meta.file_number, page_cache_,
+                                            cache_metadata_));
   std::shared_ptr<SSTableReader> shared(std::move(reader));
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -77,7 +78,8 @@ VersionSet::VersionSet(const Options& resolved_options, std::string dbname,
     : options_(resolved_options),
       dbname_(std::move(dbname)),
       table_cache_(resolved_options.env, resolved_options.table, dbname_,
-                   page_cache) {}
+                   page_cache,
+                   resolved_options.cache_index_and_filter_blocks) {}
 
 Status VersionSet::Recover() {
   Env* env = options_.env;

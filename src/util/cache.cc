@@ -15,7 +15,7 @@ namespace lethe {
 namespace {
 
 /// An entry is a variable-length heap allocation: the struct followed by the
-/// key bytes. Entries sit in one of the shard's two circular lists (see
+/// key bytes. Entries sit in one of the shard's three circular lists (see
 /// LRUShard) while resident and are destroyed when the last reference —
 /// the cache's own or a client handle's — goes away.
 struct LRUHandle {
@@ -25,8 +25,9 @@ struct LRUHandle {
   LRUHandle* prev;
   size_t charge;
   size_t key_length;
-  bool in_cache;   // whether the shard's table still points at this entry
-  uint32_t refs;   // client handles, plus one for the cache while in_cache
+  bool in_cache;     // whether the shard's table still points at this entry
+  bool high_priority;  // which evictable pool the entry parks in
+  uint32_t refs;     // client handles, plus one for the cache while in_cache
   char key_data[1];
 
   Slice key() const { return Slice(key_data, key_length); }
@@ -42,36 +43,46 @@ struct SliceEqual {
   bool operator()(const Slice& a, const Slice& b) const { return a == b; }
 };
 
-/// One independently locked LRU cache. Invariant (LevelDB's): a resident
-/// entry is on exactly one of two lists — `lru_` (refs == 1: only the cache
-/// references it, evictable, oldest first) or `in_use_` (refs >= 2: pinned
-/// by at least one client handle).
+/// One independently locked LRU cache. Invariant (LevelDB's, split in two):
+/// a resident entry is on exactly one of three lists — `lru_low_` /
+/// `lru_high_` (refs == 1: only the cache references it, evictable, oldest
+/// first, pool chosen by the entry's admission priority) or `in_use_`
+/// (refs >= 2: pinned by at least one client handle). Capacity pressure
+/// drains `lru_low_` completely before touching `lru_high_`, so metadata
+/// blocks survive data-page churn.
 class LRUShard {
  public:
   LRUShard() {
-    lru_.next = &lru_;
-    lru_.prev = &lru_;
+    lru_low_.next = &lru_low_;
+    lru_low_.prev = &lru_low_;
+    lru_high_.next = &lru_high_;
+    lru_high_.prev = &lru_high_;
     in_use_.next = &in_use_;
     in_use_.prev = &in_use_;
   }
 
   ~LRUShard() {
     assert(in_use_.next == &in_use_);  // no outstanding handles
-    for (LRUHandle* e = lru_.next; e != &lru_;) {
-      LRUHandle* next = e->next;
-      assert(e->in_cache && e->refs == 1);
-      e->in_cache = false;
-      if (Unref(e)) {
-        Free(e);
+    for (LRUHandle* list : {&lru_low_, &lru_high_}) {
+      for (LRUHandle* e = list->next; e != list;) {
+        LRUHandle* next = e->next;
+        assert(e->in_cache && e->refs == 1);
+        e->in_cache = false;
+        if (Unref(e)) {
+          Free(e);
+        }
+        e = next;
       }
-      e = next;
     }
   }
 
-  void SetCapacity(size_t capacity) { capacity_ = capacity; }
+  void Configure(size_t capacity, bool strict) {
+    capacity_ = capacity;
+    strict_ = strict;
+  }
 
   Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
-                        Cache::Deleter deleter) {
+                        Cache::Deleter deleter, Cache::Priority priority) {
     LRUHandle* e = static_cast<LRUHandle*>(
         malloc(sizeof(LRUHandle) - 1 + key.size()));
     e->value = value;
@@ -79,39 +90,75 @@ class LRUShard {
     e->charge = charge;
     e->key_length = key.size();
     e->in_cache = false;
+    e->high_priority = priority == Cache::Priority::kHigh;
     e->refs = 1;  // the returned handle
     memcpy(e->key_data, key.data(), key.size());
 
     std::vector<LRUHandle*> dead;  // deleters run after the lock is dropped
+    bool rejected = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (capacity_ > 0) {
-        e->refs++;
-        e->in_cache = true;
-        Append(&in_use_, e);
-        usage_.fetch_add(charge, std::memory_order_relaxed);
-        auto it = table_.find(key);
-        LRUHandle* old = nullptr;
-        if (it != table_.end()) {
-          old = it->second;
-          table_.erase(it);
+        if (strict_) {
+          // An entry that can never fit is rejected up front — evicting
+          // for it would pointlessly drain the shard (metadata blocks
+          // included) on every oversized insert. Otherwise make room and
+          // admit only if the charge actually fits the block budget
+          // (capacity minus reservation) — the strict invariant is that
+          // resident charge + reservation never exceeds capacity. A
+          // resident entry under the same key is *credited* (its charge
+          // leaves with the replacement, so a same-sized re-insert always
+          // fits) but stays untouched unless the insert is admitted: a
+          // rejection must not destroy the copy the cache already has.
+          const size_t budget = BlockBudget();
+          if (charge > budget) {
+            rejected = true;
+            rejections_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            auto it = table_.find(key);
+            LRUHandle* old = it != table_.end() ? it->second : nullptr;
+            const size_t credit = old != nullptr ? old->charge : 0;
+            if (old != nullptr) {
+              Ref(old);  // shields it from the eviction pass below
+            }
+            EvictWhileOver(charge, &dead, credit);
+            if (usage_.load(std::memory_order_relaxed) + charge >
+                budget + credit) {
+              rejected = true;
+              rejections_.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (old != nullptr) {
+              Unref(old);  // refs >= 1 remains: cannot die here
+            }
+          }
         }
-        table_.emplace(e->key(), e);
-        if (old != nullptr) {
-          Detach(old, &dead);
+        if (!rejected) {
+          e->refs++;
+          e->in_cache = true;
+          Append(&in_use_, e);
+          usage_.fetch_add(charge, std::memory_order_relaxed);
+          auto it = table_.find(key);
+          LRUHandle* old = nullptr;
+          if (it != table_.end()) {
+            old = it->second;
+            table_.erase(it);
+          }
+          table_.emplace(e->key(), e);
+          if (old != nullptr) {
+            Detach(old, &dead);
+          }
+          EvictWhileOver(0, &dead);
         }
       }  // capacity 0: pass-through — the entry lives only as the handle
-
-      while (usage_.load(std::memory_order_relaxed) > capacity_ &&
-             lru_.next != &lru_) {
-        LRUHandle* oldest = lru_.next;
-        assert(oldest->refs == 1);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-        table_.erase(oldest->key());
-        Detach(oldest, &dead);
-      }
     }
     FreeAll(dead);
+    if (rejected) {
+      // The caller's value still has to die exactly once; run its deleter
+      // here (outside the lock) and report the rejection with nullptr.
+      (*deleter)(key, value);
+      free(e);
+      return nullptr;
+    }
     return reinterpret_cast<Cache::Handle*>(e);
   }
 
@@ -127,14 +174,23 @@ class LRUShard {
 
   void Release(Cache::Handle* handle) {
     LRUHandle* e = reinterpret_cast<LRUHandle*>(handle);
+    std::vector<LRUHandle*> dead;
     bool is_dead;
     {
       std::lock_guard<std::mutex> lock(mu_);
       is_dead = Unref(e);
+      if (!is_dead && strict_) {
+        // A reservation raise may have found this entry pinned and skipped
+        // it; re-check on release so the strict invariant (charge +
+        // reservation <= capacity) is restored the moment the pin drops,
+        // not at some later insert.
+        EvictWhileOver(0, &dead);
+      }
     }
     if (is_dead) {
       Free(e);
     }
+    FreeAll(dead);
   }
 
   void Erase(const Slice& key) {
@@ -170,6 +226,18 @@ class LRUShard {
     FreeAll(dead);
   }
 
+  /// Re-points this shard's slice of the reservation; a raise evicts down
+  /// to the shrunken block budget.
+  void SetReservation(size_t bytes) {
+    std::vector<LRUHandle*> dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reserved_ = bytes;
+      EvictWhileOver(0, &dead);
+    }
+    FreeAll(dead);
+  }
+
   // The counters are plain atomics so gauge publication (which sums every
   // shard on each insert) never touches the shard mutexes.
   size_t TotalCharge() const {
@@ -178,6 +246,10 @@ class LRUShard {
 
   uint64_t NumEvictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t NumStrictRejections() const {
+    return rejections_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -192,6 +264,31 @@ class LRUShard {
     e->prev = list->prev;
     e->prev->next = e;
     e->next->prev = e;
+  }
+
+  size_t BlockBudget() const {
+    return capacity_ - (reserved_ < capacity_ ? reserved_ : capacity_);
+  }
+
+  /// Evicts unpinned entries — low pool first, then high — while the
+  /// resident charge plus `incoming` exceeds the block budget plus
+  /// `credit` (charge about to leave with a same-key replacement). Must
+  /// be called with mu_ held.
+  void EvictWhileOver(size_t incoming, std::vector<LRUHandle*>* dead,
+                      size_t credit = 0) {
+    const size_t budget = BlockBudget() + credit;
+    while (usage_.load(std::memory_order_relaxed) + incoming > budget) {
+      LRUHandle* oldest = lru_low_.next != &lru_low_   ? lru_low_.next
+                          : lru_high_.next != &lru_high_ ? lru_high_.next
+                                                         : nullptr;
+      if (oldest == nullptr) {
+        break;  // everything left is pinned
+      }
+      assert(oldest->refs == 1);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      table_.erase(oldest->key());
+      Detach(oldest, dead);
+    }
   }
 
   void Ref(LRUHandle* e) {
@@ -213,9 +310,10 @@ class LRUShard {
       return true;
     }
     if (e->in_cache && e->refs == 1) {
-      // Last client handle released: becomes evictable, most recent.
+      // Last client handle released: becomes evictable, most recent of its
+      // priority pool.
       Remove(e);
-      Append(&lru_, e);
+      Append(e->high_priority ? &lru_high_ : &lru_low_, e);
     }
     return false;
   }
@@ -246,28 +344,34 @@ class LRUShard {
 
   mutable std::mutex mu_;
   size_t capacity_ = 0;
+  bool strict_ = false;
+  size_t reserved_ = 0;  // this shard's slice of the global reservation
   std::atomic<size_t> usage_{0};
   std::atomic<uint64_t> evictions_{0};
-  LRUHandle lru_;     // dummy head; lru_.next is the eviction candidate
-  LRUHandle in_use_;  // dummy head; order within is irrelevant
+  std::atomic<uint64_t> rejections_{0};
+  LRUHandle lru_low_;   // dummy head; lru_low_.next is the first victim
+  LRUHandle lru_high_;  // dummy head; evicted only once lru_low_ is empty
+  LRUHandle in_use_;    // dummy head; order within is irrelevant
   std::unordered_map<Slice, LRUHandle*, SliceHasher, SliceEqual> table_;
 };
 
 class ShardedLRUCache final : public Cache {
  public:
-  ShardedLRUCache(size_t capacity, int shard_bits)
-      : shard_bits_(shard_bits), shards_(size_t{1} << shard_bits) {
+  ShardedLRUCache(size_t capacity, int shard_bits, bool strict_capacity)
+      : shard_bits_(shard_bits),
+        strict_(strict_capacity),
+        shards_(size_t{1} << shard_bits) {
     const size_t per_shard =
         (capacity + shards_.size() - 1) / shards_.size();
     for (LRUShard& shard : shards_) {
-      shard.SetCapacity(per_shard);
+      shard.Configure(per_shard, strict_capacity);
     }
     capacity_ = per_shard * shards_.size();
   }
 
   Handle* Insert(const Slice& key, void* value, size_t charge,
-                 Deleter deleter) override {
-    return ShardFor(key).Insert(key, value, charge, deleter);
+                 Deleter deleter, Priority priority) override {
+    return ShardFor(key).Insert(key, value, charge, deleter, priority);
   }
 
   Handle* Lookup(const Slice& key) override {
@@ -292,6 +396,27 @@ class ShardedLRUCache final : public Cache {
     }
   }
 
+  void AdjustReservation(int64_t delta) override {
+    std::lock_guard<std::mutex> lock(reservation_mu_);
+    int64_t total = static_cast<int64_t>(reserved_) + delta;
+    if (total < 0) {
+      total = 0;
+    }
+    reserved_ = static_cast<size_t>(total);
+    // Spread evenly, rounding up: the per-shard sum may over-reserve by up
+    // to (num_shards - 1) bytes, which errs on the strict side.
+    const size_t per_shard =
+        (reserved_ + shards_.size() - 1) / shards_.size();
+    for (LRUShard& shard : shards_) {
+      shard.SetReservation(per_shard);
+    }
+  }
+
+  size_t ReservedBytes() const override {
+    std::lock_guard<std::mutex> lock(reservation_mu_);
+    return reserved_;
+  }
+
   size_t TotalCharge() const override {
     size_t total = 0;
     for (const LRUShard& shard : shards_) {
@@ -308,7 +433,16 @@ class ShardedLRUCache final : public Cache {
     return total;
   }
 
+  uint64_t NumStrictRejections() const override {
+    uint64_t total = 0;
+    for (const LRUShard& shard : shards_) {
+      total += shard.NumStrictRejections();
+    }
+    return total;
+  }
+
   size_t capacity() const override { return capacity_; }
+  bool strict_capacity() const override { return strict_; }
 
  private:
   LRUShard& ShardFor(const Slice& key) {
@@ -323,14 +457,19 @@ class ShardedLRUCache final : public Cache {
 
   int shard_bits_;
   size_t capacity_;
+  bool strict_;
+  mutable std::mutex reservation_mu_;  // serializes reservation updates
+  size_t reserved_ = 0;
   std::vector<LRUShard> shards_;
 };
 
 }  // namespace
 
-std::unique_ptr<Cache> NewShardedLRUCache(size_t capacity, int shard_bits) {
+std::unique_ptr<Cache> NewShardedLRUCache(size_t capacity, int shard_bits,
+                                          bool strict_capacity) {
   assert(shard_bits >= 0 && shard_bits <= 8);
-  return std::make_unique<ShardedLRUCache>(capacity, shard_bits);
+  return std::make_unique<ShardedLRUCache>(capacity, shard_bits,
+                                           strict_capacity);
 }
 
 }  // namespace lethe

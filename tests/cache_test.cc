@@ -157,6 +157,173 @@ TEST_F(LRUCacheTest, ZeroCapacityIsPassThrough) {
   EXPECT_EQ(cache->TotalCharge(), 0u);
 }
 
+TEST_F(LRUCacheTest, HighPriorityOutlivesLowPriorityChurn) {
+  // A high-priority (metadata) entry admitted once must survive an
+  // arbitrary stream of low-priority (data page) inserts: pressure drains
+  // the low pool first.
+  cache_->Release(
+      cache_->Insert("meta", new int(99), 1, &DeleteIntValue,
+                     Cache::Priority::kHigh));
+  for (int i = 0; i < 32; i++) {
+    Insert("page" + std::to_string(i), i);
+  }
+  EXPECT_EQ(Lookup("meta"), 99);
+  // The low pool was churned down to the remaining budget.
+  EXPECT_EQ(Lookup("page0"), -1);
+  EXPECT_EQ(Lookup("page31"), 31);
+}
+
+TEST_F(LRUCacheTest, HighPriorityEvictsLRUAmongItself) {
+  auto insert_high = [&](const std::string& key, int value) {
+    cache_->Release(cache_->Insert(key, new int(value), 1, &DeleteIntValue,
+                                   Cache::Priority::kHigh));
+  };
+  insert_high("m1", 1);
+  insert_high("m2", 2);
+  insert_high("m3", 3);
+  insert_high("m4", 4);
+  EXPECT_EQ(Lookup("m1"), 1);  // refresh m1: m2 is the oldest
+  insert_high("m5", 5);        // no low entries: evicts within the high pool
+  EXPECT_EQ(Lookup("m2"), -1);
+  EXPECT_EQ(Lookup("m1"), 1);
+  EXPECT_EQ(Lookup("m5"), 5);
+}
+
+TEST_F(LRUCacheTest, LowInsertEvictsHighOnlyWhenLowPoolIsEmpty) {
+  cache_->Release(cache_->Insert("m1", new int(1), 2, &DeleteIntValue,
+                                 Cache::Priority::kHigh));
+  cache_->Release(cache_->Insert("m2", new int(2), 2, &DeleteIntValue,
+                                 Cache::Priority::kHigh));
+  // Capacity 4 is full of high-priority entries; a low insert has no low
+  // victims left, so the oldest high entry goes.
+  Insert("page", 7, 2);
+  EXPECT_EQ(Lookup("m1"), -1);
+  EXPECT_EQ(Lookup("m2"), 2);
+  EXPECT_EQ(Lookup("page"), 7);
+}
+
+class StrictLRUCacheTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kCapacity = 4;
+
+  StrictLRUCacheTest()
+      : cache_(NewShardedLRUCache(kCapacity, /*shard_bits=*/0,
+                                  /*strict_capacity=*/true)) {
+    g_deletions.store(0);
+  }
+
+  /// Returns whether the insert was admitted.
+  bool Insert(const std::string& key, int value, size_t charge = 1) {
+    Cache::Handle* handle =
+        cache_->Insert(key, new int(value), charge, &DeleteIntValue);
+    if (handle == nullptr) {
+      return false;
+    }
+    cache_->Release(handle);
+    return true;
+  }
+
+  int Lookup(const std::string& key) {
+    Cache::Handle* handle = cache_->Lookup(key);
+    if (handle == nullptr) {
+      return -1;
+    }
+    int value = *static_cast<int*>(cache_->Value(handle));
+    cache_->Release(handle);
+    return value;
+  }
+
+  std::unique_ptr<Cache> cache_;
+};
+
+TEST_F(StrictLRUCacheTest, OversizedInsertIsRejectedCleanly) {
+  EXPECT_TRUE(Insert("fits", 1, kCapacity));
+  EXPECT_FALSE(Insert("too-big", 2, kCapacity + 1));
+  // The rejected value was destroyed exactly once, and a can-never-fit
+  // insert is turned away up front: it must not have evicted anything.
+  EXPECT_EQ(g_deletions.load(), 1);
+  EXPECT_LE(cache_->TotalCharge(), kCapacity);
+  EXPECT_EQ(cache_->NumStrictRejections(), 1u);
+  EXPECT_EQ(Lookup("too-big"), -1);
+  EXPECT_EQ(Lookup("fits"), 1);
+  EXPECT_EQ(cache_->NumEvictions(), 0u);
+}
+
+TEST_F(StrictLRUCacheTest, RejectedReplacementKeepsResidentEntry) {
+  ASSERT_TRUE(Insert("k", 1, 2));
+  // A same-key insert that can never fit is rejected without touching the
+  // resident copy — a rejection must not leave the cache with neither.
+  EXPECT_FALSE(Insert("k", 2, kCapacity + 1));
+  EXPECT_EQ(Lookup("k"), 1);
+
+  // With the budget full, a same-size replacement still fits: the charge
+  // of the entry it displaces is credited, and nothing else is evicted.
+  ASSERT_TRUE(Insert("fill", 3, 2));
+  EXPECT_EQ(cache_->TotalCharge(), kCapacity);
+  EXPECT_TRUE(Insert("k", 4, 2));
+  EXPECT_EQ(Lookup("k"), 4);
+  EXPECT_EQ(Lookup("fill"), 3);
+  EXPECT_EQ(cache_->NumEvictions(), 0u);
+}
+
+TEST_F(StrictLRUCacheTest, PinnedEntriesBlockAdmission) {
+  Cache::Handle* pinned =
+      cache_->Insert("pin", new int(1), kCapacity, &DeleteIntValue);
+  ASSERT_NE(pinned, nullptr);
+  // The pinned entry cannot be evicted, so nothing else fits.
+  EXPECT_FALSE(Insert("blocked", 2, 1));
+  EXPECT_EQ(cache_->TotalCharge(), kCapacity);
+  cache_->Release(pinned);
+  // Unpinned: the next insert evicts it and is admitted.
+  EXPECT_TRUE(Insert("unblocked", 3, 1));
+  EXPECT_EQ(Lookup("pin"), -1);
+}
+
+TEST_F(StrictLRUCacheTest, ReservationShrinksBlockBudget) {
+  ASSERT_TRUE(Insert("a", 1, 2));
+  ASSERT_TRUE(Insert("b", 2, 2));
+  EXPECT_EQ(cache_->TotalCharge(), 4u);
+
+  // Reserving 3 of the 4 bytes evicts down to a 1-byte block budget.
+  cache_->AdjustReservation(3);
+  EXPECT_EQ(cache_->ReservedBytes(), 3u);
+  EXPECT_LE(cache_->TotalCharge() + 3, kCapacity);
+
+  // A 2-byte insert no longer fits; a returned reservation re-admits it.
+  EXPECT_FALSE(Insert("c", 3, 2));
+  cache_->AdjustReservation(-3);
+  EXPECT_EQ(cache_->ReservedBytes(), 0u);
+  EXPECT_TRUE(Insert("c", 3, 2));
+}
+
+TEST_F(StrictLRUCacheTest, ReservationBeyondCapacityZeroesTheBudget) {
+  ASSERT_TRUE(Insert("a", 1, 1));
+  // Forced reservations may exceed capacity (a memtable the engine cannot
+  // drop); every block is evicted and every insert rejected until it
+  // shrinks.
+  cache_->AdjustReservation(kCapacity * 2);
+  EXPECT_EQ(cache_->TotalCharge(), 0u);
+  EXPECT_FALSE(Insert("b", 2, 1));
+  cache_->AdjustReservation(-static_cast<int64_t>(kCapacity * 2));
+  EXPECT_TRUE(Insert("b", 2, 1));
+}
+
+TEST(CacheReservationTest, SetAndDestructionReturnTheStake) {
+  auto cache = NewShardedLRUCache(1024, /*shard_bits=*/2);
+  {
+    CacheReservation reservation(cache.get());
+    reservation.Set(600);
+    EXPECT_EQ(cache->ReservedBytes(), 600u);
+    reservation.Set(200);  // shrink re-points, not accumulates
+    EXPECT_EQ(cache->ReservedBytes(), 200u);
+  }
+  EXPECT_EQ(cache->ReservedBytes(), 0u);  // destructor released it
+
+  CacheReservation inactive;  // no cache: every call is a no-op
+  inactive.Set(1 << 20);
+  EXPECT_EQ(inactive.bytes(), 0u);
+}
+
 TEST(ShardedLRUCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
   auto cache = NewShardedLRUCache(512, /*shard_bits=*/4);
   g_deletions.store(0);
@@ -280,6 +447,98 @@ TEST(PageCacheTest, CapacityPressureEvictsAndCounts) {
   // The most recently inserted page is still resident.
   PageHandle page;
   EXPECT_TRUE(cache.Lookup(1, 15, &page));
+}
+
+TableIndexHandle MakeIndex(size_t buffer_bytes) {
+  auto index = std::make_shared<TableIndex>();
+  index->buffer.assign(buffer_bytes, 'x');
+  return index;
+}
+
+FilterBlockHandle MakeFilter(size_t bytes) {
+  auto filter = std::make_shared<FilterBlock>();
+  filter->data.assign(bytes, 'f');
+  return filter;
+}
+
+TEST(PageCacheTest, BlockTypesAreDistinctEntries) {
+  // Data page 0, the index block, and filter block 0 of one file must not
+  // collide even though they share (file, id) — the type tag separates
+  // them.
+  Statistics stats;
+  PageCache cache(1 << 20, 2, &stats);
+  cache.Insert(1, 0, MakePage(100));
+  ASSERT_TRUE(cache.InsertIndex(1, MakeIndex(50)));
+  ASSERT_TRUE(cache.InsertFilter(1, 0, MakeFilter(25)));
+
+  PageHandle page;
+  TableIndexHandle index;
+  FilterBlockHandle filter;
+  ASSERT_TRUE(cache.Lookup(1, 0, &page));
+  ASSERT_TRUE(cache.LookupIndex(1, &index));
+  ASSERT_TRUE(cache.LookupFilter(1, 0, &filter));
+  EXPECT_EQ(page->raw_size, 100u);
+  EXPECT_EQ(index->buffer.size(), 50u);
+  EXPECT_EQ(filter->data.size(), 25u);
+  EXPECT_EQ(stats.index_block_cache_hits.load(), 1u);
+  EXPECT_EQ(stats.filter_block_cache_hits.load(), 1u);
+  EXPECT_GT(stats.index_block_charge_bytes.load(), 0u);
+  EXPECT_GT(stats.filter_block_charge_bytes.load(), 0u);
+}
+
+TEST(PageCacheTest, EvictFileDropsEveryBlockType) {
+  Statistics stats;
+  PageCache cache(1 << 20, 2, &stats);
+  cache.Insert(3, 0, MakePage(100));
+  cache.InsertIndex(3, MakeIndex(50));
+  cache.InsertFilter(3, 0, MakeFilter(25));
+  cache.InsertFilter(3, 1, MakeFilter(25));
+  cache.InsertIndex(4, MakeIndex(60));  // other file: untouched
+
+  cache.EvictFile(3);
+  PageHandle page;
+  TableIndexHandle index;
+  FilterBlockHandle filter;
+  EXPECT_FALSE(cache.Lookup(3, 0, &page));
+  EXPECT_FALSE(cache.LookupIndex(3, &index));
+  EXPECT_FALSE(cache.LookupFilter(3, 0, &filter));
+  EXPECT_FALSE(cache.LookupFilter(3, 1, &filter));
+  EXPECT_TRUE(cache.LookupIndex(4, &index));
+  // The per-type charge gauges rolled back with the evictions.
+  EXPECT_EQ(stats.filter_block_charge_bytes.load(), 0u);
+  EXPECT_EQ(stats.index_block_charge_bytes.load(),
+            index->ApproximateMemoryUsage());
+}
+
+TEST(PageCacheTest, StrictBudgetRejectsAndCounts) {
+  Statistics stats;
+  PageCache cache(4096, /*shard_bits=*/0, &stats, /*strict_capacity=*/true);
+  // A page whose decoded footprint exceeds the whole budget is rejected.
+  EXPECT_FALSE(cache.Insert(1, 0, MakePage(8192)));
+  EXPECT_EQ(stats.block_cache_strict_rejections.load(), 1u);
+  PageHandle page;
+  EXPECT_FALSE(cache.Lookup(1, 0, &page));
+  // A fitting metadata block is still admitted.
+  EXPECT_TRUE(cache.InsertFilter(1, 0, MakeFilter(256)));
+  EXPECT_LE(cache.TotalCharge(), 4096u);
+}
+
+TEST(PageCacheTest, MetadataOutlivesDataPageChurnUnderPressure) {
+  // The priority split at the PageCache layer: one small filter + index
+  // block, then a stream of pages several times the budget. The metadata
+  // must still be resident afterwards.
+  Statistics stats;
+  PageCache cache(16384, /*shard_bits=*/0, &stats);
+  ASSERT_TRUE(cache.InsertIndex(1, MakeIndex(512)));
+  ASSERT_TRUE(cache.InsertFilter(1, 0, MakeFilter(256)));
+  for (uint32_t p = 0; p < 64; p++) {
+    cache.Insert(1, p, MakePage(2048));
+  }
+  TableIndexHandle index;
+  FilterBlockHandle filter;
+  EXPECT_TRUE(cache.LookupIndex(1, &index));
+  EXPECT_TRUE(cache.LookupFilter(1, 0, &filter));
+  EXPECT_GT(stats.page_cache_evictions.load(), 0u);
 }
 
 }  // namespace

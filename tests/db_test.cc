@@ -1018,6 +1018,193 @@ TEST_F(PageCacheDBTest, CompactionAndBulkScansDoNotPopulateCache) {
   EXPECT_EQ(db_->stats().page_cache_misses.load(), misses);
 }
 
+// ---------------------------------------------------------------------------
+// Unified memory budget: filters/indexes behind the block cache, write
+// buffers reserved against the same number.
+
+class MemoryBudgetDBTest : public DBTest {
+ protected:
+  void SetUp() override {
+    DBTest::SetUp();
+    options_.memory_budget_bytes = 4 << 20;
+    options_.cache_index_and_filter_blocks = true;
+  }
+
+  void Load(uint64_t n) {
+    std::string value(100, 'x');
+    for (uint64_t k = 0; k < n; k++) {
+      ASSERT_TRUE(Put(k, value + std::to_string(k), /*dk=*/k).ok());
+    }
+    ASSERT_TRUE(db_->CompactUntilQuiescent().ok());
+  }
+
+  PageCache* Cache() {
+    return static_cast<DBImpl*>(db_.get())->TEST_page_cache();
+  }
+};
+
+TEST_F(MemoryBudgetDBTest, ColdReopenServesGetsAndReloadsEvictedFilters) {
+  Open();
+  const uint64_t n = 1500;
+  Load(n);
+  std::string value(100, 'x');
+
+  // Cold reopen: nothing pinned, nothing cached — the first Gets pull the
+  // fence/index and filter blocks through the cache.
+  ASSERT_TRUE(Reopen().ok());
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k)) << k;
+  }
+  EXPECT_GT(db_->stats().filter_block_reads.load(), 0u);
+  EXPECT_GT(db_->stats().index_block_reads.load(), 0u);
+  EXPECT_GT(db_->stats().filter_block_charge_bytes.load(), 0u);
+
+  // Force-evict every resident block (a transient full-budget reservation
+  // flushes both priority pools), then read again: filters re-load on
+  // demand and every answer stays correct.
+  Cache()->cache()->AdjustReservation(
+      static_cast<int64_t>(Cache()->capacity()));
+  EXPECT_EQ(Cache()->TotalCharge(), 0u);
+  Cache()->cache()->AdjustReservation(
+      -static_cast<int64_t>(Cache()->capacity()));
+  const uint64_t reloads_before = db_->stats().filter_block_reads.load();
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k)) << k;
+  }
+  EXPECT_GT(db_->stats().filter_block_reads.load(), reloads_before);
+
+  // Steady state after the re-warm: metadata served from cache again.
+  const uint64_t reloads_warm = db_->stats().filter_block_reads.load();
+  for (uint64_t k = 0; k < n; k += 7) {
+    ASSERT_EQ(Get(k), value + std::to_string(k));
+  }
+  EXPECT_EQ(db_->stats().filter_block_reads.load(), reloads_warm);
+}
+
+TEST_F(MemoryBudgetDBTest, FileDeletionEvictsEveryBlockTypeOfTheFile) {
+  Open();
+  Load(1200);
+  std::string value(100, 'x');
+  // Warm every block type.
+  for (uint64_t k = 0; k < 1200; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k));
+  }
+  ASSERT_GT(db_->stats().index_block_charge_bytes.load(), 0u);
+  ASSERT_GT(db_->stats().filter_block_charge_bytes.load(), 0u);
+  const uint64_t index_charge_warm =
+      db_->stats().index_block_charge_bytes.load();
+  const uint64_t filter_charge_warm =
+      db_->stats().filter_block_charge_bytes.load();
+
+  // CompactAll rewrites the whole tree: every pre-existing file is deleted,
+  // and deletion must drop its pages, its index block, and its filter
+  // blocks from the cache. The merge reads inputs without filling pages,
+  // and nothing has read the new output files yet, so the per-type charges
+  // fall strictly below the warm values.
+  ASSERT_TRUE(db_->CompactAll().ok());
+  ASSERT_TRUE(db_->WaitForCompact().ok());
+  EXPECT_LT(db_->stats().index_block_charge_bytes.load(), index_charge_warm);
+  EXPECT_LT(db_->stats().filter_block_charge_bytes.load(),
+            filter_charge_warm);
+
+  // The tree still answers correctly through freshly loaded metadata.
+  for (uint64_t k = 0; k < 1200; k += 11) {
+    ASSERT_EQ(Get(k), value + std::to_string(k));
+  }
+}
+
+TEST_F(MemoryBudgetDBTest, ReservationTracksWriteBuffers) {
+  Open();
+  // Buffered-but-unflushed writes stake their bytes against the budget.
+  std::string value(200, 'v');
+  for (uint64_t k = 0; k < 40; k++) {
+    ASSERT_TRUE(Put(k, value, k).ok());
+  }
+  const uint64_t staked = db_->stats().cache_reservation_bytes.load();
+  EXPECT_GT(staked, 0u);
+  EXPECT_EQ(Cache()->ReservedBytes(), staked);
+
+  // Flushing empties the memtable; the stake shrinks with it.
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->WaitForCompact().ok());
+  EXPECT_LT(db_->stats().cache_reservation_bytes.load(), staked);
+}
+
+TEST_F(MemoryBudgetDBTest, TinyStrictBudgetStaysCorrectAndWithinCapacity) {
+  // A budget smaller than one memtable: the reservation zeroes the block
+  // budget, every insert is rejected, and the engine falls back to
+  // unpooled reads everywhere — correctness must not depend on admission.
+  options_.memory_budget_bytes = 8 << 10;
+  options_.strict_cache_capacity = true;
+  Open();
+  const uint64_t n = 600;
+  std::string value(100, 'x');
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_TRUE(Put(k, value + std::to_string(k), k).ok());
+  }
+  ASSERT_TRUE(db_->CompactUntilQuiescent().ok());
+  for (uint64_t k = 0; k < n; k++) {
+    ASSERT_EQ(Get(k), value + std::to_string(k)) << k;
+  }
+  EXPECT_GT(db_->stats().block_cache_strict_rejections.load(), 0u);
+  // The strict invariant: resident charge + reservation never exceeds the
+  // budget (TEST_VerifyTreeInvariants checks exactly this).
+  ASSERT_TRUE(
+      static_cast<DBImpl*>(db_.get())->TEST_VerifyTreeInvariants().ok());
+  EXPECT_LE(Cache()->TotalCharge() +
+                std::min(Cache()->ReservedBytes(), Cache()->capacity()),
+            Cache()->capacity());
+}
+
+TEST_F(MemoryBudgetDBTest, ResultsIdenticalWithCachedAndPinnedMetadata) {
+  // Two engines over the same operation sequence — metadata cached vs
+  // pinned — must agree on every lookup, including deletes and secondary
+  // range deletes.
+  Options cached = options_;
+  Options pinned = options_;
+  pinned.cache_index_and_filter_blocks = false;
+  pinned.memory_budget_bytes = 0;
+  pinned.page_cache_bytes = 0;
+
+  std::unique_ptr<DB> db_cached, db_pinned;
+  ASSERT_TRUE(DB::Open(cached, "testdb-cachedmeta", &db_cached).ok());
+  ASSERT_TRUE(DB::Open(pinned, "testdb-pinnedmeta", &db_pinned).ok());
+
+  auto apply = [&](DB* db) {
+    std::string value(80, 'y');
+    for (uint64_t k = 0; k < 900; k++) {
+      clock_.AdvanceMicros(1);
+      ASSERT_TRUE(
+          db->Put(WriteOptions(), EncodeKey(k), k, value + std::to_string(k))
+              .ok());
+    }
+    for (uint64_t k = 0; k < 900; k += 5) {
+      clock_.AdvanceMicros(1);
+      ASSERT_TRUE(db->Delete(WriteOptions(), EncodeKey(k)).ok());
+    }
+    ASSERT_TRUE(db->CompactUntilQuiescent().ok());
+    ASSERT_TRUE(
+        db->SecondaryRangeDelete(WriteOptions(), 400, 500).ok());
+    ASSERT_TRUE(db->WaitForCompact().ok());
+  };
+  apply(db_cached.get());
+  apply(db_pinned.get());
+
+  for (uint64_t k = 0; k < 900; k++) {
+    std::string a, b;
+    Status sa = db_cached->Get(ReadOptions(), EncodeKey(k), &a);
+    Status sb = db_pinned->Get(ReadOptions(), EncodeKey(k), &b);
+    ASSERT_EQ(sa.ok(), sb.ok()) << "key " << k;
+    ASSERT_EQ(sa.IsNotFound(), sb.IsNotFound()) << "key " << k;
+    if (sa.ok()) {
+      ASSERT_EQ(a, b) << "key " << k;
+    }
+  }
+  EXPECT_GT(db_cached->stats().filter_block_cache_hits.load() +
+                db_cached->stats().filter_block_cache_misses.load(),
+            0u);
+}
+
 TEST_F(DBTest, PageCacheDisabledReproducesExactIoCounts) {
   // Two identical cache-less runs must produce byte-identical I/O counters
   // (the Fig 6 benches depend on this determinism), and enabling the cache

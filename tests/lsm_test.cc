@@ -729,6 +729,160 @@ TEST_F(SubcompactionBoundaryTest, DegenerateSpanDoesNotSplit) {
   EXPECT_TRUE(picker_->ComputeSubcompactionBoundaries(inputs, 4).empty());
 }
 
+/// Boundaries from *real* files: fences sampled from the on-disk tile
+/// structure, so key spaces the raw-byte interpolation mismodels (hex-ASCII
+/// and its '9'→'a' gap) still partition evenly.
+class FenceSampledBoundaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    options_.env = env_.get();
+    options_.table.page_size_bytes = 256;
+    options_.table.entries_per_page = 8;
+    options_.table.pages_per_tile = 2;
+    options_ = options_.WithDefaults();
+    ASSERT_TRUE(env_->CreateDirIfMissing("fdb").ok());
+    versions_ = std::make_unique<VersionSet>(options_, "fdb");
+    picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
+  }
+
+  static std::string HexKey(uint64_t k) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%05llx", static_cast<unsigned long long>(k));
+    return buf;
+  }
+
+  /// Builds a real table holding HexKey(k) for every k in `keys`.
+  std::shared_ptr<FileMeta> BuildHexFile(const std::vector<uint64_t>& keys) {
+    const uint64_t number = versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(options_.env
+                    ->NewWritableFile(TableFileName("fdb", number), &file)
+                    .ok());
+    SSTableBuilder builder(options_.table, file.get());
+    for (uint64_t k : keys) {
+      std::string key = HexKey(k);
+      ParsedEntry entry;
+      entry.user_key = Slice(key);
+      entry.delete_key = k;
+      entry.seq = k + 1;
+      entry.type = ValueType::kValue;
+      entry.value = Slice("v");
+      builder.Add(entry);
+    }
+    TableProperties props;
+    EXPECT_TRUE(builder.Finish(&props).ok());
+    EXPECT_TRUE(file->Sync().ok());
+    EXPECT_TRUE(file->Close().ok());
+    auto meta = std::make_shared<FileMeta>();
+    meta->file_number = number;
+    meta->file_size = props.file_size;
+    meta->num_entries = props.num_entries;
+    meta->smallest_key = props.smallest_key;
+    meta->largest_key = props.largest_key;
+    meta->num_pages = props.num_pages;
+    return meta;
+  }
+
+  /// Max partition weight over the ideal (total / K), given boundary keys.
+  static double Skew(const std::vector<uint64_t>& all_keys,
+                     const std::vector<std::string>& boundaries, int k) {
+    std::vector<size_t> counts(boundaries.size() + 1, 0);
+    for (uint64_t key : all_keys) {
+      const std::string hex = HexKey(key);
+      size_t partition = 0;
+      while (partition < boundaries.size() &&
+             Slice(hex).compare(Slice(boundaries[partition])) >= 0) {
+        partition++;
+      }
+      counts[partition]++;
+    }
+    const double ideal = static_cast<double>(all_keys.size()) / k;
+    size_t max_count = 0;
+    for (size_t c : counts) {
+      max_count = std::max(max_count, c);
+    }
+    return static_cast<double>(max_count) / ideal;
+  }
+
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<VersionSet> versions_;
+  std::unique_ptr<CompactionPicker> picker_;
+};
+
+TEST_F(FenceSampledBoundaryTest, HexKeySpacePartitionsEvenly) {
+  // Uniform hex-ASCII keys. Raw-byte interpolation sees the unused codes
+  // between '9' (0x39) and 'a' (0x61) as populated key space and lands its
+  // quantiles off-mass (~1.3x skew); fence samples come from the real
+  // distribution and stay near-balanced.
+  std::vector<uint64_t> evens, odds, all;
+  for (uint64_t k = 0; k < 4096; k++) {
+    (k % 2 == 0 ? evens : odds).push_back(k);
+    all.push_back(k);
+  }
+  std::vector<std::shared_ptr<FileMeta>> inputs = {BuildHexFile(evens),
+                                                   BuildHexFile(odds)};
+  constexpr int kPartitions = 4;
+  std::vector<std::string> boundaries =
+      picker_->ComputeSubcompactionBoundaries(inputs, kPartitions);
+  ASSERT_EQ(boundaries.size(), static_cast<size_t>(kPartitions - 1));
+
+  // Ordered, strictly inside the span.
+  std::string prev = inputs[0]->smallest_key;
+  for (const std::string& b : boundaries) {
+    EXPECT_GT(Slice(b).compare(Slice(prev)), 0);
+    EXPECT_LE(Slice(b).compare(Slice(inputs[1]->largest_key)), 0);
+    prev = b;
+  }
+
+  const double skew = Skew(all, boundaries, kPartitions);
+  EXPECT_LT(skew, 1.15) << "fence-sampled partitions should be near-even";
+}
+
+TEST_F(FenceSampledBoundaryTest, MemtablePseudoFileBlendsWithFences) {
+  // A leveled flush offers the memtable as a fence-less pseudo-file
+  // (file_number 0) next to real overlapping files; the sampled model must
+  // still split, and still evenly — the real files carry the mass.
+  std::vector<uint64_t> evens, all;
+  for (uint64_t k = 0; k < 4096; k++) {
+    if (k % 2 == 0) {
+      evens.push_back(k);
+    }
+    all.push_back(k);
+  }
+  auto disk = BuildHexFile(evens);
+  auto mem_span = std::make_shared<FileMeta>();
+  mem_span->smallest_key = HexKey(1);
+  mem_span->largest_key = HexKey(4095);
+  mem_span->file_size = disk->file_size / 8;  // one buffer vs a big level
+  std::vector<std::shared_ptr<FileMeta>> inputs = {disk, mem_span};
+
+  constexpr int kPartitions = 4;
+  std::vector<std::string> boundaries =
+      picker_->ComputeSubcompactionBoundaries(inputs, kPartitions);
+  ASSERT_GE(boundaries.size(), 2u);
+  EXPECT_LT(Skew(all, boundaries, kPartitions), 1.25);
+}
+
+TEST_F(FenceSampledBoundaryTest, UnreadableFilesFallBackToInterpolation) {
+  // Metas that point at no real file (the unit-test idiom, but also any
+  // open failure) must not split via fences; the interpolation fallback
+  // still produces the old behavior.
+  auto fake = [](uint64_t number, uint64_t lo, uint64_t hi) {
+    auto meta = std::make_shared<FileMeta>(MakeFile(number, lo, hi));
+    meta->file_size = 8192;
+    return meta;
+  };
+  std::vector<std::shared_ptr<FileMeta>> inputs = {fake(901, 0, 100),
+                                                   fake(902, 100, 200)};
+  std::vector<std::string> boundaries =
+      picker_->ComputeSubcompactionBoundaries(inputs, 2);
+  ASSERT_EQ(boundaries.size(), 1u);
+  EXPECT_GT(Slice(boundaries[0]).compare(Slice(EncodeKey(99))), 0);
+  EXPECT_LT(Slice(boundaries[0]).compare(Slice(EncodeKey(101))), 0);
+}
+
 // ---- partitioned merge execution -------------------------------------------
 
 class MergeExecutorPartitionTest : public ::testing::Test {

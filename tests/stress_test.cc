@@ -270,6 +270,28 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
   // Half the seeds split multi-file merges into range partitions that fan
   // out across the pool (subcompactions).
   options.max_subcompactions = config_rnd.Bernoulli(0.5) ? 4 : 1;
+  // Unified-budget configs: metadata behind the cache, write buffers
+  // reserved, sometimes a budget tiny enough that the reservation zeroes
+  // the block budget (every insert rejected, unpooled fallback everywhere)
+  // and sometimes strict admission on top. Cached metadata requires some
+  // cache budget (Options::Validate enforces it).
+  if (config_rnd.Bernoulli(0.4)) {
+    static constexpr uint64_t kBudgets[] = {4 << 10, 64 << 10, 1 << 20};
+    options.memory_budget_bytes = kBudgets[config_rnd.Uniform(3)];
+    options.strict_cache_capacity = config_rnd.Bernoulli(0.5);
+  }
+  options.cache_index_and_filter_blocks =
+      (options.memory_budget_bytes > 0 || options.page_cache_bytes > 0) &&
+      config_rnd.Bernoulli(0.5);
+  // CI's low-memory lane: force every seed through the tiny-budget
+  // machinery — strict admission, cached metadata, a budget smaller than
+  // one memtable — so the rejection/fallback paths run under the
+  // sanitizers on every push.
+  if (EnvInt("LETHE_STRESS_LOW_MEMORY", 0) > 0) {
+    options.memory_budget_bytes = 16 << 10;
+    options.strict_cache_capacity = true;
+    options.cache_index_and_filter_blocks = true;
+  }
 
   SCOPED_TRACE("config: style=" +
                std::string(options.compaction_style ==
@@ -282,7 +304,11 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
                std::to_string(options.delete_persistence_threshold_micros) +
                " cache=" + std::to_string(options.page_cache_bytes) +
                " subcompactions=" +
-               std::to_string(options.max_subcompactions));
+               std::to_string(options.max_subcompactions) +
+               " budget=" + std::to_string(options.memory_budget_bytes) +
+               " cachemeta=" +
+               std::to_string(options.cache_index_and_filter_blocks) +
+               " strict=" + std::to_string(options.strict_cache_capacity));
 
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(options, "stressdb", &db).ok())
@@ -490,6 +516,18 @@ TEST_P(CrashStressTest, MidRunWriteFaultRecoversConsistently) {
   static constexpr int kPools[] = {1, 2, 4};
   options.background_threads = kPools[config_rnd.Uniform(3)];
   options.max_subcompactions = config_rnd.Bernoulli(0.5) ? 4 : 1;
+  // Crash + reopen must hold with metadata behind the cache and a unified
+  // budget too (the reopen rebuilds reservations from the replayed WALs).
+  if (config_rnd.Bernoulli(0.4)) {
+    options.memory_budget_bytes = 64 << 10;
+    options.strict_cache_capacity = config_rnd.Bernoulli(0.5);
+    options.cache_index_and_filter_blocks = config_rnd.Bernoulli(0.6);
+  }
+  if (EnvInt("LETHE_STRESS_LOW_MEMORY", 0) > 0) {
+    options.memory_budget_bytes = 16 << 10;
+    options.strict_cache_capacity = true;
+    options.cache_index_and_filter_blocks = true;
+  }
 
   const char* fault = config_rnd.Bernoulli(0.5) ? ".sst" : "MANIFEST";
   const uint64_t fault_after = 30 + config_rnd.Uniform(150);
