@@ -83,8 +83,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       for (int j = 0; j < 4; j++) {
-        db->Delete(lethe::WriteOptions(),
-                   OrderKey(victim, rnd.Uniform(kOrders)));
+        status = db->Delete(lethe::WriteOptions(),
+                            OrderKey(victim, rnd.Uniform(kOrders)));
+        if (!status.ok()) {
+          fprintf(stderr, "delete failed: %s\n", status.ToString().c_str());
+          return 1;
+        }
       }
       forgotten_users++;
     }

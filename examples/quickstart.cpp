@@ -31,16 +31,31 @@ int main(int argc, char** argv) {
   // Every entry carries a sort key (bytes) and a delete key (uint64, e.g. a
   // timestamp).
   lethe::WriteOptions write_options;
-  db->Put(write_options, "user:1001", /*delete_key=*/1717000000, "alice");
-  db->Put(write_options, "user:1002", /*delete_key=*/1717000050, "bob");
-  db->Put(write_options, "user:1003", /*delete_key=*/1717000100, "carol");
+  status =
+      db->Put(write_options, "user:1001", /*delete_key=*/1717000000, "alice");
+  if (status.ok()) {
+    status =
+        db->Put(write_options, "user:1002", /*delete_key=*/1717000050, "bob");
+  }
+  if (status.ok()) {
+    status = db->Put(write_options, "user:1003", /*delete_key=*/1717000100,
+                     "carol");
+  }
+  if (!status.ok()) {
+    fprintf(stderr, "put failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
 
   std::string value;
   status = db->Get(lethe::ReadOptions(), "user:1002", &value);
   printf("GET user:1002 -> %s\n", status.ok() ? value.c_str() : "(miss)");
 
   // Point delete: inserts a tombstone. The key disappears immediately...
-  db->Delete(write_options, "user:1002");
+  status = db->Delete(write_options, "user:1002");
+  if (!status.ok()) {
+    fprintf(stderr, "delete failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
   status = db->Get(lethe::ReadOptions(), "user:1002", &value);
   printf("GET user:1002 after delete -> %s\n",
          status.IsNotFound() ? "NotFound" : value.c_str());
@@ -48,7 +63,11 @@ int main(int argc, char** argv) {
   // ...but the *physical* data is only gone once the tombstone reaches the
   // last level. CompactUntilQuiescent honors FADE's TTLs; CompactAll forces
   // full persistence now.
-  db->CompactAll();
+  status = db->CompactAll();
+  if (!status.ok()) {
+    fprintf(stderr, "compact failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
   printf("tombstones persisted so far: %" PRIu64 "\n",
          db->stats().tombstones_dropped.load());
 
@@ -63,7 +82,12 @@ int main(int argc, char** argv) {
 
   // Secondary range delete: physically drop everything with delete key
   // below a threshold — no tombstones, no full-tree compaction.
-  db->SecondaryRangeDelete(write_options, 0, 1717000100);
+  status = db->SecondaryRangeDelete(write_options, 0, 1717000100);
+  if (!status.ok()) {
+    fprintf(stderr, "secondary range delete failed: %s\n",
+            status.ToString().c_str());
+    return 1;
+  }
   printf("after SecondaryRangeDelete([0, 1717000100)):\n");
   it = db->NewIterator(lethe::ReadOptions());
   for (it->SeekToFirst(); it->Valid(); it->Next()) {

@@ -86,6 +86,16 @@ class DB {
   static Status Open(const Options& options, const std::string& name,
                      std::unique_ptr<DB>* db);
 
+  /// Last-resort salvage for a database whose MANIFEST (and fallbacks) are
+  /// unreadable: rebuilds a fresh manifest from the table files themselves.
+  /// Every .sst whose metadata checksum verifies is re-adopted (placed by
+  /// its sequence range); damaged tables are quarantined as `<name>.bad`.
+  /// Unflushed WAL data is preserved — the surviving logs replay at the
+  /// next Open. FADE tombstone ages are reconstructed conservatively (a
+  /// salvaged tombstone's persistence deadline never moves later). Call
+  /// only on a database no process has open.
+  static Status Repair(const Options& options, const std::string& name);
+
   virtual ~DB() = default;
 
   DB() = default;

@@ -71,6 +71,17 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "l0_slowdown_trigger must not exceed l0_stop_trigger");
   }
+  if (max_bg_error_retries < 0) {
+    return Status::InvalidArgument("max_bg_error_retries must be >= 0");
+  }
+  if (bg_error_base_backoff_micros == 0) {
+    return Status::InvalidArgument(
+        "bg_error_base_backoff_micros must be > 0");
+  }
+  if (bg_error_max_backoff_micros < bg_error_base_backoff_micros) {
+    return Status::InvalidArgument(
+        "bg_error_max_backoff_micros must be >= bg_error_base_backoff_micros");
+  }
   return Status::OK();
 }
 

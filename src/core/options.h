@@ -34,6 +34,29 @@ enum class FilePickingPolicy {
   kMaxTombstones,
 };
 
+/// How strictly WAL replay treats damage found while scanning the log
+/// directory on recovery (cf. the recovery-correctness modes mature LSM
+/// engines expose).
+///   kAbsoluteConsistency   — any torn tail or checksum mismatch anywhere
+///                            fails Open with Corruption. For deployments
+///                            where a missing suffix is unacceptable.
+///   kTolerateTruncatedTail — a torn tail (truncated frame, as a crash or
+///                            power loss leaves behind) is accepted at the
+///                            end of the *newest* WAL only; a checksum
+///                            mismatch anywhere, or damage in an older WAL,
+///                            still fails Open. The default: crash-safe
+///                            without silently skipping interior records.
+///   kSkipCorruptRecords    — best-effort salvage: on a bad frame the
+///                            scanner resynchronizes byte-by-byte to the
+///                            next frame whose CRC verifies and keeps
+///                            replaying; skipped bytes/records are counted
+///                            in Statistics (wal_records_skipped_corrupt).
+enum class WalRecoveryMode {
+  kAbsoluteConsistency,
+  kTolerateTruncatedTail,
+  kSkipCorruptRecords,
+};
+
 /// All engine configuration. Defaults mirror the paper's Table 1 / §5 setup
 /// where practical (T = 10, 10 bloom bits/key, 1 MB buffer). Each knob notes
 /// the paper symbol it corresponds to (when one exists) and its default.
@@ -213,6 +236,31 @@ struct Options {
   /// false (sync on every commit group when true).
   bool enable_wal = true;
   bool sync_wal = false;
+
+  /// Damage tolerance for WAL replay on Open. See WalRecoveryMode.
+  /// Default: kTolerateTruncatedTail.
+  WalRecoveryMode wal_recovery_mode = WalRecoveryMode::kTolerateTruncatedTail;
+
+  /// Background-error retry policy (see src/lsm/error_handler.h). When a
+  /// background job fails with a retryable error (transient I/O error,
+  /// ENOSPC) the DB enters kDegraded and the recovery thread probes the
+  /// storage with exponential backoff + jitter. Every retryable job
+  /// failure and every failed probe consumes one attempt of a budget of
+  /// max_bg_error_retries; only a *committed* background job refills it
+  /// (a successful probe does not — it cannot prove the failing job's own
+  /// path healed). Once the budget drains the DB falls to kReadOnly
+  /// (writes rejected, reads keep serving) but keeps probing at the max
+  /// backoff so it can still self-heal when the fault clears. Backoff for
+  /// attempt n is min(base << n, max) micros, each multiplied by a jitter
+  /// in [0.5, 1.0].
+  int max_bg_error_retries = 8;
+  uint64_t bg_error_base_backoff_micros = 1000;
+  uint64_t bg_error_max_backoff_micros = 1000000;
+
+  /// Master switch for automatic resume from background errors. false keeps
+  /// the pre-error-handler behaviour: the first background failure pins
+  /// bg_error and the DB stays read-only until reopened. Default: true.
+  bool auto_recovery = true;
 
   /// Safety valve for pathological configs. Default: 16.
   int max_levels = 16;

@@ -92,6 +92,15 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(filter_block_charge_bytes, other.filter_block_charge_bytes);
   Copy(block_cache_strict_rejections, other.block_cache_strict_rejections);
   Copy(cache_reservation_bytes, other.cache_reservation_bytes);
+  for (size_t i = 0; i < bg_errors_by_class.size(); i++) {
+    Copy(bg_errors_by_class[i], other.bg_errors_by_class[i]);
+  }
+  Copy(auto_recovery_attempts, other.auto_recovery_attempts);
+  Copy(auto_recovery_successes, other.auto_recovery_successes);
+  Copy(time_in_degraded_micros, other.time_in_degraded_micros);
+  Copy(wal_records_skipped_corrupt, other.wal_records_skipped_corrupt);
+  Copy(wal_bytes_skipped_corrupt, other.wal_bytes_skipped_corrupt);
+  Copy(manifest_fallbacks, other.manifest_fallbacks);
   Copy(secondary_range_deletes, other.secondary_range_deletes);
   Copy(full_page_drops, other.full_page_drops);
   Copy(partial_page_drops, other.partial_page_drops);
@@ -131,7 +140,16 @@ std::string Statistics::ToString() const {
       << " bg_jobs_deferred_overlap=" << bg_jobs_deferred_overlap.load()
       << " write_stalls=" << write_stalls.load()
       << " write_slowdowns=" << write_slowdowns.load()
-      << " stall_micros=" << stall_micros.load();
+      << " stall_micros=" << stall_micros.load()
+      << " bg_errors=[transient=" << bg_errors_by_class[0].load()
+      << ",nospace=" << bg_errors_by_class[1].load()
+      << ",corruption=" << bg_errors_by_class[2].load()
+      << ",fatal=" << bg_errors_by_class[3].load() << "]"
+      << " auto_recovery_attempts=" << auto_recovery_attempts.load()
+      << " auto_recovery_successes=" << auto_recovery_successes.load()
+      << " time_in_degraded_micros=" << time_in_degraded_micros.load()
+      << " wal_records_skipped_corrupt=" << wal_records_skipped_corrupt.load()
+      << " manifest_fallbacks=" << manifest_fallbacks.load();
   return out.str();
 }
 

@@ -124,6 +124,25 @@ struct Statistics {
   std::atomic<uint64_t> block_cache_strict_rejections{0};
   std::atomic<uint64_t> cache_reservation_bytes{0};  // gauge
 
+  // Background-error handling (src/lsm/error_handler.h). bg_errors_by_class
+  // is indexed by ErrorClass (0 transient, 1 no-space, 2 corruption,
+  // 3 fatal). auto_recovery_attempts counts probe writes issued by the
+  // recovery thread; auto_recovery_successes counts probes that restored
+  // kHealthy. time_in_degraded_micros accumulates wall-clock time the DB
+  // spent outside kHealthy (degraded or read-only).
+  std::array<std::atomic<uint64_t>, 4> bg_errors_by_class{};
+  std::atomic<uint64_t> auto_recovery_attempts{0};
+  std::atomic<uint64_t> auto_recovery_successes{0};
+  std::atomic<uint64_t> time_in_degraded_micros{0};
+
+  // Recovery hardening. wal_records_skipped_corrupt / _bytes count damage
+  // skipped by WalRecoveryMode::kSkipCorruptRecords resync;
+  // manifest_fallbacks counts Opens that recovered from an older intact
+  // manifest after the current one failed to replay.
+  std::atomic<uint64_t> wal_records_skipped_corrupt{0};
+  std::atomic<uint64_t> wal_bytes_skipped_corrupt{0};
+  std::atomic<uint64_t> manifest_fallbacks{0};
+
   // Secondary range deletes (KiWi).
   std::atomic<uint64_t> secondary_range_deletes{0};
   std::atomic<uint64_t> full_page_drops{0};

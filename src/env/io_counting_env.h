@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 
 #include "src/env/env.h"
@@ -37,10 +38,41 @@ struct IoStats {
   }
 };
 
+/// Declarative fault injection for failure tests. A policy selects which
+/// operation classes can fail, what error they fail with, and when: every
+/// call of an enabled class on a matching path consumes one "fault op";
+/// ops 1..start_after_ops always pass (lets a test get past Open), ops in
+/// (start_after_ops, start_after_ops + fail_window_ops] roll `probability`,
+/// and ops beyond the window always pass — so a bounded window models a
+/// *transient* fault that clears on its own, while the default unbounded
+/// window models a permanent one until ClearFaults().
+struct FaultPolicy {
+  enum class Kind {
+    kIOError,     // Status::IOError, nothing written
+    kNoSpace,     // Status::NoSpace (ENOSPC), nothing written
+    kShortWrite,  // half the payload reaches the file, then Status::IOError
+  };
+  Kind kind = Kind::kIOError;
+
+  // Operation classes the policy applies to.
+  bool fail_appends = true;   // WritableFile::Append / RandomWriteFile::WriteAt
+  bool fail_syncs = false;    // WritableFile::Sync / RandomWriteFile::Sync
+  bool fail_creates = false;  // NewWritableFile
+  bool fail_reads = false;    // RandomAccessFile / SequentialFile reads
+  bool fail_renames = false;  // RenameFile
+
+  double probability = 1.0;            // chance each in-window op fails
+  uint64_t start_after_ops = 0;        // grace ops before the window opens
+  uint64_t fail_window_ops = UINT64_MAX;  // window length; UINT64_MAX = forever
+  std::string path_substring;          // empty = every file
+  uint64_t seed = 0;                   // probability RNG seed (deterministic)
+};
+
 /// Wraps a target Env, forwarding all calls while counting traffic into an
 /// IoStats. Also supports write-fault injection for crash/failure tests:
-/// after `fail_after_writes` successful Append calls, every further Append
-/// returns an IOError.
+/// either the legacy one-shot knobs (SetFailAfterWrites/SetFailFilter) or a
+/// full FaultPolicy (InjectFaults) with a per-operation error taxonomy,
+/// probabilities, and transient fail windows.
 class IoCountingEnv final : public Env {
  public:
   explicit IoCountingEnv(Env* target, uint64_t page_size = 4096)
@@ -64,6 +96,22 @@ class IoCountingEnv final : public Env {
   void SetFailFilter(std::string substring) {
     std::lock_guard<std::mutex> lock(filter_mu_);
     fail_filter_ = std::move(substring);
+  }
+
+  /// Installs a fault policy (replacing any previous one) and resets the
+  /// fault-op counter, so window offsets are relative to this call. Thread-
+  /// safe; may be called while the DB is running — the fault stress lane
+  /// injects and clears policies mid-run.
+  void InjectFaults(const FaultPolicy& policy);
+
+  /// Removes any installed fault policy. In-flight operations that already
+  /// rolled a failure still fail.
+  void ClearFaults();
+
+  /// Number of operations actually failed (or short-written) by the policy
+  /// machinery since construction. Lets tests assert a fault really fired.
+  uint64_t injected_failures() const {
+    return injected_failures_.load(std::memory_order_relaxed);
   }
 
   /// Latency injection: every Append sleeps this long before writing.
@@ -106,6 +154,16 @@ class IoCountingEnv final : public Env {
   /// remain).
   bool ShouldFailWrite(const std::string& fname);
 
+  /// Operation classes the FaultPolicy machinery distinguishes.
+  enum class FaultOp { kAppend, kSync, kCreate, kRead, kRename };
+
+  /// Consults the installed FaultPolicy for one operation. Returns true if
+  /// the op must fail and sets `*error` to the policy's error kind; for
+  /// kShortWrite the caller appends half the payload first. No-op (false)
+  /// when no policy is installed or the op is out of scope/window.
+  bool MaybeInjectFault(FaultOp op, const std::string& fname, Status* error,
+                        FaultPolicy::Kind* kind);
+
   /// Sleeps for the configured append delay (no-op when 0).
   void MaybeDelayAppend();
 
@@ -116,6 +174,15 @@ class IoCountingEnv final : public Env {
   std::atomic<uint64_t> append_delay_micros_{0};
   mutable std::mutex filter_mu_;
   std::string fail_filter_;  // guarded by filter_mu_
+
+  // FaultPolicy machinery. fault_armed_ mirrors (fault_ != nullptr) so the
+  // no-policy fast path stays lock-free.
+  std::atomic<bool> fault_armed_{false};
+  std::atomic<uint64_t> injected_failures_{0};
+  mutable std::mutex fault_mu_;
+  std::unique_ptr<FaultPolicy> fault_;  // guarded by fault_mu_
+  uint64_t fault_ops_ = 0;              // guarded by fault_mu_
+  std::mt19937_64 fault_rng_;           // guarded by fault_mu_
 };
 
 }  // namespace lethe

@@ -265,6 +265,12 @@ DBImpl::~DBImpl() {
     // for them.
     bg_work_done_cv_.notify_all();
   }
+  if (err_ != nullptr) {
+    // Join the recovery thread before the scheduler: its resume callback may
+    // be blocked on mu_ (not held here), and it must not probe an env the
+    // owner is about to tear down.
+    err_->Shutdown();
+  }
   if (bg_ != nullptr) {
     // Finish the in-flight job, discard the queued ones, join the worker.
     bg_->Shutdown();
@@ -306,14 +312,29 @@ Status DBImpl::Init() {
       memtable_reservation_ = CacheReservation(page_cache_->cache());
     }
   }
-  versions_ =
-      std::make_unique<VersionSet>(options_, dbname_, page_cache_.get());
+  versions_ = std::make_unique<VersionSet>(options_, dbname_,
+                                           page_cache_.get(), &stats_);
   picker_ = std::make_unique<CompactionPicker>(options_, versions_.get());
   LETHE_RETURN_IF_ERROR(versions_->Recover());
   mem_ = std::make_shared<MemTable>();
   if (!options_.inline_compactions) {
     bg_ = std::make_unique<BackgroundScheduler>(options_.background_threads,
                                                 &stats_);
+    ErrorHandler::RetryPolicy policy;
+    policy.max_retries = options_.max_bg_error_retries;
+    policy.base_backoff_micros = options_.bg_error_base_backoff_micros;
+    policy.max_backoff_micros = options_.bg_error_max_backoff_micros;
+    policy.auto_recovery = options_.auto_recovery;
+    // Backoff is wall-clock even when options_.clock is logical: recovery
+    // waits for the outside world (disk, space), not for DB-internal time.
+    err_ = std::make_unique<ErrorHandler>(
+        policy, SystemClock::Default(), &stats_,
+        /*probe=*/[this] { return ProbeStorage(); },
+        /*resume=*/[this] { ResumeFromBackgroundError(); },
+        /*notify=*/[this] {
+          std::lock_guard<std::mutex> lock(mu_);
+          bg_work_done_cv_.notify_all();
+        });
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -344,6 +365,11 @@ Status DBImpl::RemoveOrphanFilesLocked() {
   std::set<uint64_t> live;
   for (const auto& [level, file] : versions_->current()->AllFiles()) {
     live.insert(file->file_number);
+  }
+  // Empty at Init; populated when the resume path re-runs this sweep on a
+  // live DB, where retired-but-pinned files are not garbage.
+  for (uint64_t number : versions_->GraveyardFiles()) {
+    live.insert(number);
   }
   for (const std::string& child : children) {
     uint64_t number = 0;
@@ -402,19 +428,83 @@ Status DBImpl::ReplayWalsLocked() {
     versions_->EnsureFileNumberPast(number);
   }
 
+  // Scan each log under the configured recovery mode. A torn tail (an
+  // append cut short by the crash) is distinct from corruption (a CRC or
+  // decode failure with intact framing after it): the default mode forgives
+  // the former in the newest log only, kSkipCorruptRecords resyncs past any
+  // damage, and kAbsoluteConsistency forgives nothing.
+  const WalRecoveryMode mode = options_.wal_recovery_mode;
   std::vector<WalRecord> replayed;
-  for (uint64_t number : to_replay) {
-    std::unique_ptr<SequentialFile> file;
-    LETHE_RETURN_IF_ERROR(options_.env->NewSequentialFile(
-        WalFileName(dbname_, number), &file));
-    WalReader reader(std::move(file));
-    WalRecord record;
-    Status read_status;
-    while (reader.ReadRecord(&record, &read_status)) {
-      replayed.push_back(record);
+  for (size_t wal_idx = 0; wal_idx < to_replay.size(); wal_idx++) {
+    const uint64_t number = to_replay[wal_idx];
+    const bool newest = wal_idx + 1 == to_replay.size();
+    const std::string fname = WalFileName(dbname_, number);
+    std::string contents;
+    LETHE_RETURN_IF_ERROR(ReadFileToString(options_.env, fname, &contents));
+    RecordLogScanner scanner{Slice(contents)};
+    bool done = false;
+    while (!done) {
+      Slice payload;
+      switch (scanner.Next(&payload)) {
+        case RecordLogScanner::Result::kRecord: {
+          WalRecord record;
+          if (DecodeWalRecord(payload, &record)) {
+            replayed.push_back(std::move(record));
+          } else if (mode == WalRecoveryMode::kSkipCorruptRecords) {
+            // Frame CRC passed but the payload does not decode — count it
+            // as a corrupt record and move on.
+            stats_.wal_records_skipped_corrupt.fetch_add(
+                1, std::memory_order_relaxed);
+            stats_.wal_bytes_skipped_corrupt.fetch_add(
+                payload.size(), std::memory_order_relaxed);
+          } else {
+            return Status::Corruption("WAL record malformed in " + fname);
+          }
+          break;
+        }
+        case RecordLogScanner::Result::kEnd:
+          done = true;
+          break;
+        case RecordLogScanner::Result::kTornTail:
+          if (mode != WalRecoveryMode::kAbsoluteConsistency && newest) {
+            // The crash interrupted the final append; everything acked
+            // before it is already replayed.
+            done = true;
+            break;
+          }
+          if (mode == WalRecoveryMode::kSkipCorruptRecords) {
+            const uint64_t skipped = scanner.Resync();
+            if (skipped == 0) {
+              done = true;  // damage runs to EOF
+              break;
+            }
+            stats_.wal_records_skipped_corrupt.fetch_add(
+                1, std::memory_order_relaxed);
+            stats_.wal_bytes_skipped_corrupt.fetch_add(
+                skipped, std::memory_order_relaxed);
+            break;
+          }
+          return Status::Corruption(
+              "WAL truncated before its end (torn tail in a non-final log "
+              "or kAbsoluteConsistency): " +
+              fname);
+        case RecordLogScanner::Result::kCorrupt:
+          if (mode == WalRecoveryMode::kSkipCorruptRecords) {
+            const uint64_t skipped = scanner.Resync();
+            if (skipped == 0) {
+              done = true;
+              break;
+            }
+            stats_.wal_records_skipped_corrupt.fetch_add(
+                1, std::memory_order_relaxed);
+            stats_.wal_bytes_skipped_corrupt.fetch_add(
+                skipped, std::memory_order_relaxed);
+            break;
+          }
+          return Status::Corruption("WAL record checksum mismatch in " +
+                                    fname);
+      }
     }
-    // A torn tail is expected after a crash; real mid-log corruption would
-    // also surface here and we accept the prefix (standard WAL semantics).
   }
 
   // Re-apply into the fresh memtable, tracking checkpoint info.
@@ -643,6 +733,12 @@ Status DBImpl::ApplyGroup(const std::vector<Writer*>& group,
   // per-op map inserts.
   const bool track_liveness = options_.filter_blind_deletes;
   std::unordered_map<std::string, bool> group_live;
+  // Sequences are allocated locally and published only once the WAL accepts
+  // the group: a failed append must not advance the visible sequence, or the
+  // numbers it burned would be acked to no one yet replayable by nobody.
+  // Token-guarded (only the token holder allocates), so the read-modify-
+  // write of LastSequence is unsynchronized but safe.
+  SequenceNumber next_seq = versions_->LastSequence();
   for (const Writer* writer : group) {
     for (const WriteBatch::Op& op : writer->batch->ops()) {
       uint64_t delete_key = op.delete_key;
@@ -687,7 +783,7 @@ Status DBImpl::ApplyGroup(const std::vector<Writer*>& group,
       }
       // Only the token holder allocates sequences, so filtered deletes
       // consume none — identical to the inline engine's numbering.
-      const SequenceNumber seq = versions_->NextSequence();
+      const SequenceNumber seq = ++next_seq;
       if (pending.empty() && snap.mem->empty()) {
         mem_first_seq_ = seq;  // token-guarded, like all memtable state
         mem_first_time_ = now;
@@ -717,13 +813,29 @@ Status DBImpl::ApplyGroup(const std::vector<Writer*>& group,
   // Pass 2: one physical WAL append (and at most one sync) for the whole
   // group — the group-commit amortization.
   if (wal != nullptr) {
-    LETHE_RETURN_IF_ERROR(
-        wal->AddRecords(records.data(), records.size(), force_sync));
-    stats_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+    bool appended = false;
+    Status ws =
+        wal->AddRecords(records.data(), records.size(), force_sync, &appended);
+    if (appended) {
+      stats_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ws.ok()) {
+      // Every writer in the group fails with this status (CompleteGroup
+      // propagates it to all members). If bytes may have reached the log
+      // (append succeeded, sync failed) the sequences must be burned —
+      // published so recovery's replay of those bytes cannot collide with a
+      // later ack — but they become visible to no read until then. A pure
+      // append failure left nothing on disk, so the numbers are reused.
+      if (appended) {
+        versions_->SetLastSequence(next_seq);
+      }
+      return ws;
+    }
     if (force_sync || options_.sync_wal) {
       stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  versions_->SetLastSequence(next_seq);
 
   // Pass 3: apply to the memtable in order.
   for (const PendingOp& p : pending) {
@@ -776,7 +888,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
   }
 
   // This writer holds the write token.
-  Status s = bg_error_;
+  Status s = WaitForWritableLocked(l);
   Writer* last_writer = &w;
   if (s.ok()) {
     MaybeSlowdownLocked(l);
@@ -796,13 +908,54 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
       l.unlock();
       s = ApplyGroup(group, snap, wal, now, force_sync);
       l.lock();
+      if (!s.ok() && err_ != nullptr) {
+        // The group's WAL append/sync failed: feed the state machine so
+        // recovery probes the storage and, on success, resumes writes.
+        RecordBackgroundErrorLocked(BackgroundJobKind::kWalWrite, s);
+      }
     }
     if (s.ok()) {
-      s = HandlePostWriteLocked(l);
+      Status post = HandlePostWriteLocked(l);
+      if (!post.ok()) {
+        if (err_ != nullptr) {
+          // The group is already durable and applied — failing the acked
+          // batch over post-write maintenance (a memtable switch that could
+          // not start, or health falling to read-only mid-write) would
+          // misreport applied data as lost. Feed genuine failures to the
+          // state machine; the next write rejects at entry instead.
+          if (bg_error_.ok() && !post.IsInvalidArgument()) {
+            RecordBackgroundErrorLocked(BackgroundJobKind::kWalWrite, post);
+          }
+        } else {
+          s = post;  // inline mode: errors pin the DB as before
+        }
+      }
     }
   }
   CompleteGroup(&w, last_writer, s, l);
   return s;
+}
+
+Status DBImpl::WaitForWritableLocked(std::unique_lock<std::mutex>&) {
+  if (bg_error_.ok()) {
+    return Status::OK();
+  }
+  if (err_ == nullptr) {
+    return bg_error_;  // inline mode: errors pin the DB as before
+  }
+  // Degraded does not gate the write path: the WAL and the memtable are not
+  // the failing component (a WAL failure fails its own write group), so
+  // writes keep landing while recovery retries the background job. Waiting
+  // here would also be unfair — the resume's retry re-fails and re-sets
+  // bg_error_ faster than a parked writer can win the mutex, starving it.
+  // The bounded stall lives at the imm-cap/L0 gate in HandlePostWriteLocked;
+  // only read-only and fatal reject.
+  const DBHealth health = err_->health();
+  if (health == DBHealth::kDegraded || health == DBHealth::kHealthy) {
+    return Status::OK();
+  }
+  return Status::IOError("DB is read-only after background error: " +
+                         err_->cause().ToString());
 }
 
 int DBImpl::EffectiveL0StopTrigger() const {
@@ -874,8 +1027,18 @@ Status DBImpl::HandlePostWriteLocked(std::unique_lock<std::mutex>& l) {
   uint64_t stall_start = 0;
   while (buffer_needs_flush()) {
     if (!bg_error_.ok()) {
-      s = bg_error_;
-      break;
+      const DBHealth health =
+          err_ != nullptr ? err_->health() : DBHealth::kFatal;
+      if (health != DBHealth::kDegraded && health != DBHealth::kHealthy) {
+        s = err_ != nullptr
+                ? Status::IOError("DB is read-only after background error: " +
+                                  err_->cause().ToString())
+                : bg_error_;
+        break;
+      }
+      // Degraded (or the probe→resume window): the memtable can still
+      // absorb writes, so fall through — switch while the imm list has
+      // room, stall at the cap below like any other backlogged writer.
     }
     if (closed_) {
       s = Status::InvalidArgument("DB is closed");
@@ -1100,6 +1263,9 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
   }
   UpdateMemtableReservationLocked();
   RefreshTriggerStateLocked();
+  if (err_ != nullptr) {
+    err_->ReportSuccess();  // a committed flush refills the retry budget
+  }
   return Status::OK();
 }
 
@@ -1260,6 +1426,9 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
     LETHE_RETURN_IF_ERROR(versions_->LogAndApply(&edit));
     stats_.trivial_moves.fetch_add(1, std::memory_order_relaxed);
     *did_work = true;
+    if (err_ != nullptr) {
+      err_->ReportSuccess();  // the manifest committed: storage is working
+    }
     return Status::OK();
   }
 
@@ -1291,6 +1460,9 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
     return s;
   }
   *did_work = true;
+  if (err_ != nullptr) {
+    err_->ReportSuccess();  // a committed merge refills the retry budget
+  }
   return Status::OK();
 }
 
@@ -1566,7 +1738,7 @@ void DBImpl::BackgroundFlush() {
   if (!closed_ && bg_error_.ok()) {
     Status s = FlushOldestImmLocked(l, &deferred);
     if (!s.ok()) {
-      bg_error_ = s;
+      RecordBackgroundErrorLocked(BackgroundJobKind::kFlush, s);
     }
     if (deferred) {
       flush_deferred_ = true;
@@ -1579,6 +1751,7 @@ void DBImpl::BackgroundFlush() {
     MaybeScheduleFlushLocked();  // next link in the chain
   }
   bg_jobs_inflight_--;
+  MaybeRunPendingOrphanSweepLocked();
   bg_work_done_cv_.notify_all();
 }
 
@@ -1594,7 +1767,7 @@ void DBImpl::BackgroundCompaction() {
       bool did_work = false;
       Status s = CompactOnce(pick, &did_work, l, &deferred);
       if (!s.ok()) {
-        bg_error_ = s;
+        RecordBackgroundErrorLocked(BackgroundJobKind::kCompaction, s);
       }
     } else if (versions_->InFlightJobCount() > 0) {
       // Nothing unclaimed to work on; stop trigger-based scheduling until
@@ -1621,6 +1794,7 @@ void DBImpl::BackgroundCompaction() {
     compaction_jobs_--;
   }
   bg_jobs_inflight_--;
+  MaybeRunPendingOrphanSweepLocked();
   bg_work_done_cv_.notify_all();
 }
 
@@ -1684,7 +1858,7 @@ Status DBImpl::AcquireExclusiveLocked(FootprintClaim* claim,
 }
 
 Status DBImpl::RunOnWorkerAndWait(
-    BackgroundScheduler::Priority priority,
+    BackgroundScheduler::Priority priority, BackgroundJobKind kind,
     const std::function<Status(std::unique_lock<std::mutex>&)>& fn,
     std::unique_lock<std::mutex>& l) {
   struct JobResult {
@@ -1692,13 +1866,13 @@ Status DBImpl::RunOnWorkerAndWait(
     bool done = false;
   } result;  // guarded by mu_; outlives the job because we wait for done
   bg_jobs_inflight_++;
-  const bool scheduled = bg_->Schedule(priority, [this, &result, &fn] {
+  const bool scheduled = bg_->Schedule(priority, [this, &result, &fn, kind] {
     std::unique_lock<std::mutex> jl(mu_);
     Status s;
     if (!closed_ && bg_error_.ok()) {
       s = fn(jl);
-      if (!s.ok() && bg_error_.ok()) {
-        bg_error_ = s;
+      if (!s.ok()) {
+        RecordBackgroundErrorLocked(kind, s);
       }
     } else {
       s = bg_error_;
@@ -1706,6 +1880,7 @@ Status DBImpl::RunOnWorkerAndWait(
     result.status = s;
     result.done = true;
     bg_jobs_inflight_--;
+    MaybeRunPendingOrphanSweepLocked();
     bg_work_done_cv_.notify_all();
   });
   if (!scheduled) {
@@ -1714,6 +1889,69 @@ Status DBImpl::RunOnWorkerAndWait(
   }
   bg_work_done_cv_.wait(l, [&result] { return result.done; });
   return result.status;
+}
+
+void DBImpl::RecordBackgroundErrorLocked(BackgroundJobKind kind,
+                                         const Status& s) {
+  if (bg_error_.ok()) {
+    bg_error_ = s;  // first error wins, as before the handler existed
+  }
+  if (err_ != nullptr) {
+    // Safe with mu_ held: ReportError never invokes callbacks synchronously.
+    err_->ReportError(kind, s);
+  }
+  bg_work_done_cv_.notify_all();
+}
+
+Status DBImpl::ProbeStorage() {
+  // Runs on the recovery thread with no DB lock held; the probe file name is
+  // fixed and never collides with numbered DB files.
+  const std::string probe_name = dbname_ + "/HEALTHCHECK";
+  std::unique_ptr<WritableFile> file;
+  LETHE_RETURN_IF_ERROR(options_.env->NewWritableFile(probe_name, &file));
+  LETHE_RETURN_IF_ERROR(file->Append(Slice("lethe-health-probe")));
+  LETHE_RETURN_IF_ERROR(file->Sync());
+  LETHE_RETURN_IF_ERROR(file->Close());
+  options_.env->RemoveFile(probe_name).ok();
+  return Status::OK();
+}
+
+void DBImpl::MaybeRunPendingOrphanSweepLocked() {
+  if (orphan_sweep_pending_ && !closed_ && bg_error_.ok() &&
+      bg_jobs_inflight_ == 0 && versions_->InFlightJobCount() == 0) {
+    orphan_sweep_pending_ = false;
+    RemoveOrphanFilesLocked().ok();
+  }
+}
+
+void DBImpl::ResumeFromBackgroundError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || bg_error_.ok()) {
+    return;
+  }
+  bg_error_ = Status::OK();
+  // The failed job may have left its park/backoff latches set with no
+  // commit coming to clear them; release the gates (compaction_deferred_ is
+  // a schedule *trigger*, consumed below, so it stays). Re-stake the
+  // memtable reservation, re-arm both chains, wake stalled writers.
+  compaction_backoff_ = false;
+  flush_deferred_ = false;
+  if (bg_jobs_inflight_ == 0 && versions_->InFlightJobCount() == 0) {
+    // Reclaim outputs the aborted merges left behind (partially written
+    // files their failure path could not name). Only safe with no job in
+    // flight: a running merge's outputs are not yet referenced anywhere.
+    RemoveOrphanFilesLocked().ok();
+  } else {
+    // A job is still draining (or a retry is already queued): defer the
+    // sweep to the moment the registry empties, or the aborted outputs of
+    // every failed attempt accumulate until the next reopen.
+    orphan_sweep_pending_ = true;
+  }
+  UpdateMemtableReservationLocked();
+  RefreshTriggerStateLocked();
+  MaybeScheduleFlushLocked();
+  MaybeScheduleCompactionLocked();
+  bg_work_done_cv_.notify_all();
 }
 
 Status DBImpl::FlushOldestImmLocked(std::unique_lock<std::mutex>& l,
@@ -1874,6 +2112,7 @@ Status DBImpl::CompactAll() {
   // first drains the registry and claims the whole tree (exclusive).
   return RunOnWorkerAndWait(
       BackgroundScheduler::Priority::kSpaceDrivenCompaction,
+      BackgroundJobKind::kCompaction,
       [this](std::unique_lock<std::mutex>& jl) {
         FootprintClaim claim;
         LETHE_RETURN_IF_ERROR(AcquireExclusiveLocked(&claim, jl));
@@ -1902,21 +2141,35 @@ Status DBImpl::SecondaryRangeDelete(const WriteOptions& options,
   // request like any other write — an acknowledged delete must not vanish
   // in a torn WAL tail.
   if (options_.enable_wal && wal_ != nullptr) {
+    // Same allocate-locally / publish-on-success discipline as ApplyGroup:
+    // the token guards sequence allocation, and a failed append must not
+    // advance the visible sequence.
+    SequenceNumber next_seq = versions_->LastSequence();
     WalRecord record;
     record.kind = WalRecord::Kind::kSecondaryRangeDelete;
-    record.seq = versions_->NextSequence();
+    record.seq = ++next_seq;
     record.time = options_.clock->NowMicros();
     record.delete_key = delete_key_begin;
     record.delete_key_end = delete_key_end;
-    Status ws = wal_->AddRecords(&record, 1, options.sync);
-    stats_.wal_appends.fetch_add(1, std::memory_order_relaxed);
-    if (options.sync || options_.sync_wal) {
-      stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+    bool appended = false;
+    Status ws = wal_->AddRecords(&record, 1, options.sync, &appended);
+    if (appended) {
+      stats_.wal_appends.fetch_add(1, std::memory_order_relaxed);
     }
     if (!ws.ok()) {
+      if (appended) {
+        versions_->SetLastSequence(next_seq);  // burn: bytes may be on disk
+      }
+      if (err_ != nullptr) {
+        RecordBackgroundErrorLocked(BackgroundJobKind::kWalWrite, ws);
+      }
       CompleteGroup(&w, &w, ws, l);
       return ws;
     }
+    if (options.sync || options_.sync_wal) {
+      stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+    }
+    versions_->SetLastSequence(next_seq);
   }
 
   // The active memtable is mutable, so buffered entries are purged in place
@@ -1941,6 +2194,7 @@ Status DBImpl::SecondaryRangeDelete(const WriteOptions& options,
   }
   return RunOnWorkerAndWait(
       BackgroundScheduler::Priority::kSecondaryDelete,
+      BackgroundJobKind::kSecondaryDelete,
       [this, delete_key_begin,
        delete_key_end](std::unique_lock<std::mutex>& jl) {
         FootprintClaim claim;

@@ -15,6 +15,7 @@
 #include "src/lsm/bg_work.h"
 #include "src/lsm/compaction.h"
 #include "src/lsm/compaction_picker.h"
+#include "src/lsm/error_handler.h"
 #include "src/lsm/version_set.h"
 #include "src/memtable/memtable.h"
 #include "src/memtable/wal.h"
@@ -101,6 +102,14 @@ class DBImpl final : public DB {
 
   /// Test hook: the background worker pool, or nullptr in inline mode.
   BackgroundScheduler* TEST_scheduler() { return bg_.get(); }
+
+  /// Test hook: the background-error state machine, or nullptr in inline
+  /// mode (inline errors return synchronously to their callers).
+  ErrorHandler* TEST_error_handler() { return err_.get(); }
+
+  /// Test hook: the published (acknowledged) sequence number — lets tests
+  /// assert that failed WAL appends do not advance it.
+  SequenceNumber TEST_LastSequence() const { return versions_->LastSequence(); }
 
   /// Test hook: the shared block cache, or nullptr when no budget is set.
   PageCache* TEST_page_cache() { return page_cache_.get(); }
@@ -297,15 +306,43 @@ class DBImpl final : public DB {
   /// Schedules `fn` on the worker at `priority` and blocks until it ran
   /// (mu_ held on entry and return; released while waiting). `fn` receives
   /// the worker's lock and may release it around I/O; a failure status is
-  /// also recorded as the background error.
+  /// also recorded as the background error under `kind`.
   Status RunOnWorkerAndWait(
-      BackgroundScheduler::Priority priority,
+      BackgroundScheduler::Priority priority, BackgroundJobKind kind,
       const std::function<Status(std::unique_lock<std::mutex>&)>& fn,
       std::unique_lock<std::mutex>& l);
 
   /// Oldest pending flush, executed on a worker (or inline at close).
   Status FlushOldestImmLocked(std::unique_lock<std::mutex>& l,
                               bool* deferred = nullptr);
+
+  // ---- background-error handling (background mode only) ----------------
+
+  /// Records a failed background operation: pins bg_error_ (first error
+  /// wins), feeds the error-handler state machine, and wakes stalled
+  /// writers. mu_ must be held.
+  void RecordBackgroundErrorLocked(BackgroundJobKind kind, const Status& s);
+
+  /// Write-path gate while bg_error_ is set. kDegraded: blocks (bounded —
+  /// the state resolves within the retry budget) until recovery clears the
+  /// error or the DB falls to read-only. kReadOnly/kFatal: returns an
+  /// IOError wrapping the cause. Without an error handler (inline mode, or
+  /// pre-handler pinning) returns bg_error_ as-is.
+  Status WaitForWritableLocked(std::unique_lock<std::mutex>& l);
+
+  /// Recovery probe (error-handler callback, runs off every lock): a small
+  /// create + append + sync + remove in the DB directory.
+  Status ProbeStorage();
+
+  /// Resume after a successful probe (error-handler callback): clears
+  /// bg_error_, re-stakes the memtable reservation, re-arms the flush chain
+  /// and compaction scheduling, and wakes stalled writers.
+  void ResumeFromBackgroundError();
+
+  /// Runs the orphan sweep a resume deferred because jobs were still in
+  /// flight, once the registry has actually drained and the DB is healthy.
+  /// Called from every background-job completion path. mu_ must be held.
+  void MaybeRunPendingOrphanSweepLocked();
 
   /// Blocks until imm_ is drained (or a background error is set).
   Status WaitForFlushLocked(std::unique_lock<std::mutex>& l);
@@ -355,6 +392,7 @@ class DBImpl final : public DB {
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<CompactionPicker> picker_;
   std::unique_ptr<BackgroundScheduler> bg_;  // background mode only
+  std::unique_ptr<ErrorHandler> err_;        // background mode only
 
   mutable std::mutex mu_;
   std::deque<Writer*> writers_;
@@ -383,6 +421,9 @@ class DBImpl final : public DB {
   // the registry non-empty and starve the exclusive job indefinitely.
   int exclusive_waiters_ = 0;
   int bg_jobs_inflight_ = 0;        // all queued/running jobs, every class
+  // A resume-time orphan sweep was skipped because jobs were in flight;
+  // the next completion that empties the registry runs it.
+  bool orphan_sweep_pending_ = false;
   Status bg_error_;
   bool closed_ = false;
 

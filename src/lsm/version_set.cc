@@ -74,12 +74,13 @@ void TableCache::Evict(uint64_t file_number) {
 }
 
 VersionSet::VersionSet(const Options& resolved_options, std::string dbname,
-                       PageCache* page_cache)
+                       PageCache* page_cache, Statistics* stats)
     : options_(resolved_options),
       dbname_(std::move(dbname)),
       table_cache_(resolved_options.env, resolved_options.table, dbname_,
                    page_cache,
-                   resolved_options.cache_index_and_filter_blocks) {}
+                   resolved_options.cache_index_and_filter_blocks),
+      stats_(stats) {}
 
 Status VersionSet::Recover() {
   Env* env = options_.env;
@@ -98,14 +99,59 @@ Status VersionSet::Recover() {
     manifest_name.pop_back();
   }
 
+  Status s = LoadManifest(dbname_ + "/" + manifest_name);
+  if (!s.ok() &&
+      options_.wal_recovery_mode != WalRecoveryMode::kAbsoluteConsistency) {
+    // The manifest CURRENT names is unreadable or damaged. Every snapshot
+    // manifest is self-contained (one record describing the whole tree), so
+    // an older intact one still yields a consistent — if stale — database.
+    // Try them newest-first; newer snapshots supersede older ones.
+    uint64_t failed = 0;
+    sscanf(manifest_name.c_str(), "MANIFEST-%" SCNu64, &failed);
+    std::vector<uint64_t> candidates;
+    std::vector<std::string> children;
+    if (env->GetChildren(dbname_, &children).ok()) {
+      for (const std::string& child : children) {
+        uint64_t number = 0;
+        if (sscanf(child.c_str(), "MANIFEST-%" SCNu64, &number) == 1 &&
+            number != failed) {
+          candidates.push_back(number);
+        }
+      }
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    for (uint64_t number : candidates) {
+      Status fallback = LoadManifest(ManifestFileName(dbname_, number));
+      if (fallback.ok()) {
+        if (stats_ != nullptr) {
+          stats_->manifest_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        }
+        s = Status::OK();
+        break;
+      }
+    }
+  }
+  if (!s.ok()) {
+    return Status::Corruption("no readable MANIFEST (" + s.ToString() +
+                              "); run DB::Repair to rebuild one from the "
+                              "table files");
+  }
+  // Start a fresh manifest holding one snapshot record, so the log does not
+  // grow across restarts.
+  return WriteSnapshotManifest();
+}
+
+Status VersionSet::LoadManifest(const std::string& path) {
+  Env* env = options_.env;
   std::unique_ptr<SequentialFile> file;
-  LETHE_RETURN_IF_ERROR(
-      env->NewSequentialFile(dbname_ + "/" + manifest_name, &file));
+  LETHE_RETURN_IF_ERROR(env->NewSequentialFile(path, &file));
   RecordLogReader reader(std::move(file));
 
   std::shared_ptr<const Version> version = std::make_shared<Version>();
+  std::vector<std::pair<SequenceNumber, uint64_t>> seq_time;
   std::string record;
   Status read_status;
+  size_t records = 0;
   while (reader.ReadRecord(&record, &read_status)) {
     VersionEdit edit;
     LETHE_RETURN_IF_ERROR(edit.DecodeFrom(Slice(record)));
@@ -113,24 +159,34 @@ Status VersionSet::Recover() {
     version = Version::Apply(version.get(), edit, &apply_status);
     LETHE_RETURN_IF_ERROR(apply_status);
     ApplyCounters(edit);
-    std::lock_guard<std::mutex> lock(seq_time_mu_);
     for (const auto& [seq, time] : edit.seq_time_checkpoints) {
-      seq_time_map_.emplace_back(seq, time);
+      seq_time.emplace_back(seq, time);
     }
+    records++;
   }
   LETHE_RETURN_IF_ERROR(read_status);
+  if (records == 0) {
+    // Every manifest opens with a snapshot record, so "no complete records"
+    // means the file is damage masquerading as a torn tail. Installing the
+    // empty tree it implies would let the recovery orphan sweep delete
+    // every table file as unreferenced — refuse, and let the caller fall
+    // back to an older manifest or DB::Repair.
+    return Status::Corruption("manifest contains no complete records: " +
+                              path);
+  }
+  // Counters only ever max-merge (monotonic, so a partially-applied failed
+  // attempt stays safe), but the version and the checkpoint map are
+  // installed atomically here, after the whole log parsed.
+  std::sort(seq_time.begin(), seq_time.end());
   {
     std::lock_guard<std::mutex> lock(seq_time_mu_);
-    std::sort(seq_time_map_.begin(), seq_time_map_.end());
+    seq_time_map_ = std::move(seq_time);
   }
-
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = version;
   }
-  // Start a fresh manifest holding one snapshot record, so the log does not
-  // grow across restarts.
-  return WriteSnapshotManifest();
+  return Status::OK();
 }
 
 Status VersionSet::CreateFresh() {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/core/options.h"
+#include "src/core/statistics.h"
 #include "src/format/sstable_reader.h"
 #include "src/lsm/version.h"
 #include "src/lsm/version_edit.h"
@@ -106,9 +107,10 @@ struct JobFootprint {
 /// calls; current() hands out immutable snapshots and is thread-safe.
 class VersionSet {
  public:
-  /// `page_cache` may be nullptr (decoded-page caching disabled).
+  /// `page_cache` may be nullptr (decoded-page caching disabled);
+  /// `stats` may be nullptr (recovery counters dropped).
   VersionSet(const Options& resolved_options, std::string dbname,
-             PageCache* page_cache = nullptr);
+             PageCache* page_cache = nullptr, Statistics* stats = nullptr);
 
   VersionSet(const VersionSet&) = delete;
   VersionSet& operator=(const VersionSet&) = delete;
@@ -202,6 +204,12 @@ class VersionSet {
 
   size_t InFlightJobCount() const { return inflight_jobs_.size(); }
 
+  /// Table files retired from the current version but not yet reaped
+  /// (possibly still pinned by snapshots). The resume-time orphan sweep
+  /// must not treat these as garbage. Same external synchronization as the
+  /// registry (the DB mutex).
+  const std::set<uint64_t>& GraveyardFiles() const { return graveyard_; }
+
   TableCache* table_cache() { return &table_cache_; }
   const std::string& dbname() const { return dbname_; }
   uint64_t manifest_number() const { return manifest_number_; }
@@ -219,6 +227,11 @@ class VersionSet {
 
  private:
   Status CreateFresh();
+  /// Replays one manifest log into current_/counters/seq_time_map_
+  /// (resetting the map first, so a retry on a different manifest starts
+  /// clean). Corruption statuses are returned, not fatal: Recover may fall
+  /// back to an older manifest.
+  Status LoadManifest(const std::string& path);
   Status WriteSnapshotManifest();
   void ApplyCounters(const VersionEdit& edit);
 
@@ -233,6 +246,7 @@ class VersionSet {
   Options options_;
   std::string dbname_;
   TableCache table_cache_;
+  Statistics* stats_;  // may be nullptr
 
   mutable std::mutex mu_;  // guards current_ swap only
   std::shared_ptr<const Version> current_;

@@ -53,8 +53,12 @@ class WalWriter {
 
   /// Group-commit append: logs `n` records with one physical Append (and at
   /// most one Sync — issued when `force_sync` or the writer's sync mode is
-  /// set). Byte-identical to n sequential AddRecord calls.
-  Status AddRecords(const WalRecord* records, size_t n, bool force_sync);
+  /// set). Byte-identical to n sequential AddRecord calls. `appended`
+  /// (optional) reports whether bytes may have reached the log even when the
+  /// returned status is an error (Append succeeded, Sync failed) — see
+  /// RecordLogWriter::AddRecords.
+  Status AddRecords(const WalRecord* records, size_t n, bool force_sync,
+                    bool* appended = nullptr);
 
   Status Close() { return log_.Close(); }
 

@@ -23,7 +23,14 @@ class RecordLogWriter {
   /// single Sync when `force_sync` or the writer's sync mode is set). The
   /// bytes written are identical to n sequential AddRecord calls — this is
   /// the group-commit fast path.
-  Status AddRecords(const Slice* payloads, size_t n, bool force_sync);
+  ///
+  /// `appended` (optional) reports whether any bytes may have reached the
+  /// file: set true once the Append succeeds, so a subsequent Sync failure
+  /// still reports appended=true. Callers that allocate sequence numbers
+  /// before logging use this to decide whether the numbers must be burned
+  /// (bytes on disk could replay) or may be reused (nothing was written).
+  Status AddRecords(const Slice* payloads, size_t n, bool force_sync,
+                    bool* appended = nullptr);
 
   Status Sync() { return file_->Sync(); }
   Status Close() { return file_->Close(); }
@@ -46,6 +53,43 @@ class RecordLogReader {
 
  private:
   std::unique_ptr<SequentialFile> file_;
+};
+
+/// Frame-level scanner over an in-memory copy of a record log. Unlike
+/// RecordLogReader it distinguishes *why* iteration stopped — torn tail vs
+/// interior checksum damage — and can resynchronize past damage, which is
+/// what Options::wal_recovery_mode needs:
+///   kRecord   — `*record` points at a CRC-verified payload (into the buffer)
+///   kEnd      — clean end of buffer
+///   kTornTail — a truncated final frame (header, length, or payload cut
+///               short), as a crash leaves behind
+///   kCorrupt  — a complete frame whose checksum does not match
+/// After kTornTail or kCorrupt the scanner stays positioned at the bad
+/// frame; Resync() advances byte-by-byte until a fully CRC-valid frame
+/// starts (or the buffer ends) and returns how many bytes were skipped.
+class RecordLogScanner {
+ public:
+  enum class Result { kRecord, kEnd, kTornTail, kCorrupt };
+
+  explicit RecordLogScanner(Slice buffer) : buffer_(buffer) {}
+
+  Result Next(Slice* record);
+
+  /// Skips past damage to the next byte offset where a complete, CRC-valid
+  /// frame begins. Returns the number of bytes skipped (0 if already at a
+  /// valid frame or at end).
+  uint64_t Resync();
+
+  /// Byte offset of the next frame to be scanned.
+  uint64_t offset() const { return pos_; }
+
+ private:
+  /// Tries to parse one frame at `pos`; on kRecord fills `*record` and
+  /// `*next_pos`.
+  Result ParseAt(uint64_t pos, Slice* record, uint64_t* next_pos) const;
+
+  Slice buffer_;
+  uint64_t pos_ = 0;
 };
 
 }  // namespace lethe

@@ -25,6 +25,9 @@ std::string Status::ToString() const {
     case Code::kBusy:
       type = "Busy";
       break;
+    case Code::kNoSpace:
+      type = "NoSpace";
+      break;
   }
   std::string result(type);
   if (!msg_.empty()) {

@@ -11,7 +11,12 @@ namespace lethe {
 /// Status represents the outcome of an operation. It is either OK or carries
 /// an error code plus a human-readable message. All fallible public APIs in
 /// lethe return Status; exceptions are not used.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status is exactly how a
+/// background failure goes unnoticed, so every call site must consume the
+/// result. Deliberate fire-and-forget (best-effort file removal, close on a
+/// teardown path) stays legal by observing the result: `Remove(f).ok();`.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -21,6 +26,7 @@ class Status {
     kInvalidArgument = 4,
     kIOError = 5,
     kBusy = 6,
+    kNoSpace = 7,
   };
 
   Status() : code_(Code::kOk) {}
@@ -44,6 +50,11 @@ class Status {
   static Status Busy(const Slice& msg = Slice()) {
     return Status(Code::kBusy, msg);
   }
+  /// Device-full (ENOSPC) — distinct from kIOError so the background-error
+  /// state machine can classify it as retryable-once-space-frees.
+  static Status NoSpace(const Slice& msg = Slice()) {
+    return Status(Code::kNoSpace, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -52,6 +63,7 @@ class Status {
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
 
   Code code() const { return code_; }
 
