@@ -371,12 +371,25 @@ Status DBImpl::RemoveOrphanFilesLocked() {
   for (uint64_t number : versions_->GraveyardFiles()) {
     live.insert(number);
   }
+  // After a manifest fallback the recovered snapshot is older than the tree
+  // on disk: "unreferenced" tables may hold acknowledged data the damaged
+  // manifest referenced. The Init-time sweep quarantines them (DB::Repair
+  // can readopt a .bad file once renamed back) instead of deleting; later
+  // resume sweeps only ever see genuinely aborted outputs.
+  const bool quarantine =
+      versions_->recovered_via_fallback() && !fallback_sweep_done_;
+  fallback_sweep_done_ = true;
   for (const std::string& child : children) {
     uint64_t number = 0;
     if (ParseNumberedFileName(child, ".sst", &number)) {
       versions_->EnsureFileNumberPast(number);
       if (live.count(number) == 0) {
-        options_.env->RemoveFile(TableFileName(dbname_, number)).ok();
+        const std::string fname = TableFileName(dbname_, number);
+        if (quarantine) {
+          options_.env->RenameFile(fname, fname + ".bad").ok();
+        } else {
+          options_.env->RemoveFile(fname).ok();
+        }
       }
     } else if (child.rfind("MANIFEST-", 0) == 0) {
       uint64_t manifest = 0;

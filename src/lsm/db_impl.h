@@ -323,10 +323,11 @@ class DBImpl final : public DB {
   /// writers. mu_ must be held.
   void RecordBackgroundErrorLocked(BackgroundJobKind kind, const Status& s);
 
-  /// Write-path gate while bg_error_ is set. kDegraded: blocks (bounded —
-  /// the state resolves within the retry budget) until recovery clears the
-  /// error or the DB falls to read-only. kReadOnly/kFatal: returns an
-  /// IOError wrapping the cause. Without an error handler (inline mode, or
+  /// Write-path gate while bg_error_ is set. kDegraded does NOT block here:
+  /// writes keep landing while recovery retries the failed background job
+  /// (the bounded stall lives at the imm-cap/L0 gate in
+  /// HandlePostWriteLocked). Only kReadOnly/kFatal reject, with an IOError
+  /// wrapping the cause. Without an error handler (inline mode, or
   /// pre-handler pinning) returns bg_error_ as-is.
   Status WaitForWritableLocked(std::unique_lock<std::mutex>& l);
 
@@ -367,7 +368,9 @@ class DBImpl final : public DB {
   /// by the recovered version (outputs of a merge that crashed before its
   /// manifest install) and manifests superseded by the current one, bumping
   /// the file-number counter past every orphan so fresh allocations cannot
-  /// collide.
+  /// collide. When recovery fell back to an older manifest snapshot, the
+  /// Init-time sweep quarantines unreferenced tables (rename to .bad)
+  /// instead — they may hold acked data the damaged manifest referenced.
   Status RemoveOrphanFilesLocked();
 
   Status RotateWalLocked(VersionEdit* edit);
@@ -424,6 +427,9 @@ class DBImpl final : public DB {
   // A resume-time orphan sweep was skipped because jobs were in flight;
   // the next completion that empties the registry runs it.
   bool orphan_sweep_pending_ = false;
+  // Set by the first (Init-time) orphan sweep: only that sweep can meet
+  // tables a manifest fallback stranded, so only it quarantines.
+  bool fallback_sweep_done_ = false;
   Status bg_error_;
   bool closed_ = false;
 

@@ -10,9 +10,9 @@
 //     fails verification is renamed to `<name>.bad` (invisible to the
 //     engine's file-name parser) for offline inspection,
 //   - leveling rebuilds the one-run-per-level invariant greedily: files are
-//     placed newest-first (by largest_seq) into the shallowest level where
-//     they overlap nothing, so recency ordering between overlapping files
-//     is preserved,
+//     placed newest-first (by largest_seq), each strictly below every
+//     already-placed file it overlaps, so an older file can never shadow a
+//     newer overlapping one on the shallow-to-deep read path,
 //   - tiering gives each file its own run, run ids assigned in seq order
 //     (run recency is id order),
 //   - FADE metadata is reconstructed conservatively: with the seq→time
@@ -164,12 +164,17 @@ Status DB::Repair(const Options& options, const std::string& name) {
         continue;
       }
       salvaged.push_back(std::move(meta));
-    } else if (sscanf(child.c_str(), "%" SCNu64 ".wal", &number) == 1) {
+    } else if (sscanf(child.c_str(), "%" SCNu64 ".wal", &number) == 1 &&
+               child == std::string(WalFileName("", number), 1)) {
+      // The round-trip name check matters: sscanf's return value counts
+      // conversions, not trailing literal matches, so without it a
+      // quarantined "000123.sst.bad" would parse as WAL 123.
       max_number = std::max(max_number, number);
       if (min_wal == 0 || number < min_wal) {
         min_wal = number;  // oldest surviving log: replay starts here
       }
-    } else if (sscanf(child.c_str(), "MANIFEST-%" SCNu64, &number) == 1) {
+    } else if (sscanf(child.c_str(), "MANIFEST-%" SCNu64, &number) == 1 &&
+               child == std::string(ManifestFileName("", number), 1)) {
       max_number = std::max(max_number, number);
       old_manifests.push_back(number);
     }
@@ -204,13 +209,21 @@ Status DB::Repair(const Options& options, const std::string& name) {
     std::vector<std::vector<FileMeta>> levels;
     for (FileMeta& meta : salvaged) {
       last_sequence = std::max(last_sequence, meta.largest_seq);
+      // Get returns the first hit scanning shallow→deep, so every file must
+      // sit strictly below every newer (= already-placed) file it overlaps.
+      // The shallowest level satisfying that is 1 + the deepest overlapping
+      // placement — NOT the shallowest overlap-free slot, which could park
+      // an old file above a newer overlapping one and serve stale values.
+      // That level is itself overlap-free: any placed file there would have
+      // pushed the search deeper.
       size_t level = 0;
-      while (level < levels.size() &&
-             std::any_of(levels[level].begin(), levels[level].end(),
-                         [&](const FileMeta& placed) {
-                           return KeyRangesOverlap(placed, meta);
-                         })) {
-        level++;
+      for (size_t l = 0; l < levels.size(); l++) {
+        if (std::any_of(levels[l].begin(), levels[l].end(),
+                        [&](const FileMeta& placed) {
+                          return KeyRangesOverlap(placed, meta);
+                        })) {
+          level = l + 1;
+        }
       }
       if (level == levels.size()) {
         levels.emplace_back();

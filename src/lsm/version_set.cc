@@ -100,6 +100,13 @@ Status VersionSet::Recover() {
   }
 
   Status s = LoadManifest(dbname_ + "/" + manifest_name);
+  if (!s.ok() && !s.IsCorruption()) {
+    // A transient failure (EIO opening or reading the file) is not damage:
+    // falling back to an older snapshot here would silently roll the DB
+    // back and let the orphan sweep destroy the newer tables over an error
+    // a retry could clear. Surface it and let the caller retry Open.
+    return s;
+  }
   if (!s.ok() &&
       options_.wal_recovery_mode != WalRecoveryMode::kAbsoluteConsistency) {
     // The manifest CURRENT names is unreadable or damaged. Every snapshot
@@ -126,8 +133,15 @@ Status VersionSet::Recover() {
         if (stats_ != nullptr) {
           stats_->manifest_fallbacks.fetch_add(1, std::memory_order_relaxed);
         }
+        // The recovered snapshot may predate tables the damaged manifest
+        // referenced; the flag tells the recovery orphan sweep to
+        // quarantine those instead of deleting acked data.
+        recovered_via_fallback_ = true;
         s = Status::OK();
         break;
+      }
+      if (!fallback.IsCorruption()) {
+        return fallback;  // transient: a retry may still read this snapshot
       }
     }
   }

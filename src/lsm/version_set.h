@@ -214,6 +214,13 @@ class VersionSet {
   const std::string& dbname() const { return dbname_; }
   uint64_t manifest_number() const { return manifest_number_; }
 
+  /// True when Recover could not read the manifest CURRENT named and fell
+  /// back to an older intact snapshot. Tables the lost manifest referenced
+  /// look unreferenced to the recovery orphan sweep, which must then
+  /// quarantine them (they hold acked data DB::Repair can readopt) instead
+  /// of deleting them.
+  bool recovered_via_fallback() const { return recovered_via_fallback_; }
+
   /// Deletes every table file still parked in the graveyard, regardless of
   /// pins. Called at DB close, when no reader can remain.
   void SweepAllObsoleteFiles();
@@ -253,6 +260,7 @@ class VersionSet {
 
   std::unique_ptr<RecordLogWriter> manifest_;
   uint64_t manifest_number_ = 0;
+  bool recovered_via_fallback_ = false;  // set once during Recover
 
   std::atomic<uint64_t> next_file_number_{1};
   std::atomic<uint64_t> next_run_id_{1};

@@ -667,6 +667,116 @@ TEST(ManifestFallbackTest, OlderIntactManifestRecoversTheTree) {
   EXPECT_EQ(got, "one");
 }
 
+TEST(ManifestFallbackTest, TransientReadErrorSurfacesInsteadOfFallingBack) {
+  auto base = NewMemEnv();
+  IoCountingEnv env(base.get());
+  Options options;
+  options.env = &env;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "transient_db", &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(1), 1, "one").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  db.reset();
+
+  // Keep a stale-but-intact snapshot that predates key 2's table…
+  std::string current;
+  ASSERT_TRUE(
+      ReadFileToString(&env, "transient_db/CURRENT", &current).ok());
+  std::string stale_bytes;
+  ASSERT_TRUE(ReadFileToString(
+                  &env, "transient_db/" + current.substr(0, current.find('\n')),
+                  &stale_bytes)
+                  .ok());
+
+  // …then acknowledge newer state only the current manifest references.
+  ASSERT_TRUE(DB::Open(options, "transient_db", &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(2), 2, "two").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  db.reset();
+  ASSERT_TRUE(
+      ReadFileToString(&env, "transient_db/CURRENT", &current).ok());
+  uint64_t current_number = 0;
+  ASSERT_EQ(sscanf(current.c_str(), "MANIFEST-%" SCNu64, &current_number), 1);
+  RewriteFile(&env, ManifestFileName("transient_db", current_number - 1),
+              stale_bytes);
+
+  // One transient EIO on the first read of the current manifest. Open must
+  // surface it — NOT silently fall back to the stale snapshot and let the
+  // orphan sweep destroy key 2's acked table.
+  FaultPolicy policy;
+  policy.kind = FaultPolicy::Kind::kIOError;
+  policy.fail_appends = false;
+  policy.fail_reads = true;
+  policy.path_substring = "MANIFEST-";
+  policy.fail_window_ops = 1;
+  env.InjectFaults(policy);
+  Status s = DB::Open(options, "transient_db", &db);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  env.ClearFaults();
+
+  // The retry reads the intact manifest and serves everything acknowledged.
+  ASSERT_TRUE(DB::Open(options, "transient_db", &db).ok());
+  EXPECT_EQ(db->stats().manifest_fallbacks.load(), 0u);
+  std::string got;
+  ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(1), &got).ok());
+  ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(2), &got).ok());
+  EXPECT_EQ(got, "two");
+  EXPECT_TRUE(FindFileWithSuffix(&env, "transient_db", ".bad").empty());
+}
+
+TEST(ManifestFallbackTest, FallbackQuarantinesTablesTheLostManifestHeld) {
+  auto env = NewMemEnv();
+  Options options;
+  options.env = env.get();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "fallback_q_db", &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(1), 1, "one").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  db.reset();
+
+  std::string current;
+  ASSERT_TRUE(
+      ReadFileToString(env.get(), "fallback_q_db/CURRENT", &current).ok());
+  std::string stale_bytes;
+  ASSERT_TRUE(
+      ReadFileToString(env.get(),
+                       "fallback_q_db/" + current.substr(0, current.find('\n')),
+                       &stale_bytes)
+          .ok());
+
+  ASSERT_TRUE(DB::Open(options, "fallback_q_db", &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(2), 2, "two").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  db.reset();
+
+  // Plant the stale snapshot, then corrupt the current manifest so the open
+  // genuinely must fall back.
+  ASSERT_TRUE(
+      ReadFileToString(env.get(), "fallback_q_db/CURRENT", &current).ok());
+  const std::string manifest_path =
+      "fallback_q_db/" + current.substr(0, current.find('\n'));
+  uint64_t current_number = 0;
+  ASSERT_EQ(sscanf(current.c_str(), "MANIFEST-%" SCNu64, &current_number), 1);
+  RewriteFile(env.get(), ManifestFileName("fallback_q_db", current_number - 1),
+              stale_bytes);
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(env.get(), manifest_path, &bytes).ok());
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[12] = static_cast<char>(bytes[12] ^ 0xff);
+  RewriteFile(env.get(), manifest_path, bytes);
+
+  ASSERT_TRUE(DB::Open(options, "fallback_q_db", &db).ok());
+  EXPECT_GE(db->stats().manifest_fallbacks.load(), 1u);
+  std::string got;
+  ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(1), &got).ok());
+  EXPECT_TRUE(db->Get(ReadOptions(), EncodeKey(2), &got).IsNotFound());
+  // Key 2's table is stranded by the rollback but NOT destroyed: the sweep
+  // quarantined it for DB::Repair to readopt (after renaming .bad back).
+  EXPECT_FALSE(
+      FindFileWithSuffix(env.get(), "fallback_q_db", ".sst.bad").empty())
+      << "stranded table was deleted instead of quarantined";
+}
+
 // ---- DB::Repair -------------------------------------------------------------
 
 class RepairTest : public ::testing::Test {
@@ -765,6 +875,64 @@ TEST_F(RepairTest, QuarantinesTablesWithDamagedMetadata) {
     ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(k), &got).ok()) << k;
     ASSERT_EQ(got, "walonly") << k;
   }
+
+  // A second Repair must not misread the quarantined "<n>.sst.bad" file as
+  // a WAL or table (sscanf counts conversions, not trailing literals — the
+  // parser needs the exact-name round-trip), and must leave it quarantined.
+  ASSERT_TRUE(DB::Repair(options_, "repair_bad_db").ok());
+  EXPECT_FALSE(
+      FindFileWithSuffix(env_.get(), "repair_bad_db", ".sst.bad").empty());
+  EXPECT_TRUE(
+      FindFileWithSuffix(env_.get(), "repair_bad_db", ".bad.bad").empty());
+  ASSERT_TRUE(DB::Open(options_, "repair_bad_db", &db).ok());
+  for (uint64_t k = 10; k < 20; k++) {
+    std::string got;
+    ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(k), &got).ok()) << k;
+    ASSERT_EQ(got, "walonly") << k;
+  }
+}
+
+TEST_F(RepairTest, LevelingPlacementPreservesRecencyOfOverlappingTables) {
+  // Three standalone overlapping tables, as a leveling tree's L0/L1/L2 runs
+  // would present to Repair (seeded via tiering so each flush keeps its own
+  // file): oldest O=[80,90], newer N=[10,90] overwriting key 90, newest
+  // A=[10,20] overlapping N but NOT O.
+  env_ = NewMemEnv();
+  options_ = Options();
+  options_.env = env_.get();
+  Options tiering = options_;
+  tiering.compaction_style = CompactionStyle::kTiering;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(tiering, "repair_recency_db", &db).ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(80), 80, "old").ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(90), 90, "old").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(10), 10, "mid").ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(90), 90, "new").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(10), 10, "newest").ok());
+  ASSERT_TRUE(db->Put(WriteOptions(), EncodeKey(20), 20, "newest").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  db.reset();
+  ASSERT_EQ(CountTableFiles(env_.get(), "repair_recency_db"), 3u);
+
+  CorruptManifest("repair_recency_db");
+  ASSERT_TRUE(DB::Repair(options_, "repair_recency_db").ok());
+
+  // O overlaps nothing at L0, but placing it there would shadow N's newer
+  // value for key 90 — it must land strictly below N.
+  ASSERT_TRUE(DB::Open(options_, "repair_recency_db", &db).ok());
+  std::string got;
+  ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(90), &got).ok());
+  EXPECT_EQ(got, "new");
+  ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(10), &got).ok());
+  EXPECT_EQ(got, "newest");
+  ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(20), &got).ok());
+  EXPECT_EQ(got, "newest");
+  ASSERT_TRUE(db->Get(ReadOptions(), EncodeKey(80), &got).ok());
+  EXPECT_EQ(got, "old");
+  ASSERT_TRUE(
+      static_cast<DBImpl*>(db.get())->TEST_VerifyTreeInvariants().ok());
 }
 
 // ---- sustained-fault stress -------------------------------------------------
