@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/options.h"
+#include "src/core/snapshot.h"
 #include "src/core/statistics.h"
 #include "src/memtable/write_batch.h"
 #include "src/util/slice.h"
@@ -124,7 +125,9 @@ class DB {
   /// Secondary range delete (KiWi): physically and immediately removes every
   /// entry whose delete key lies in [delete_key_begin, delete_key_end),
   /// dropping fully-covered pages without reading them. Not
-  /// snapshot-isolated: iterators opened earlier may observe the deletion.
+  /// snapshot-isolated: iterators opened earlier and live Snapshot handles
+  /// may observe the deletion — physical removal is the operation's whole
+  /// point, so it does not preserve pinned versions.
   virtual Status SecondaryRangeDelete(const WriteOptions& options,
                                       uint64_t delete_key_begin,
                                       uint64_t delete_key_end) = 0;
@@ -138,7 +141,21 @@ class DB {
                                   std::string* value,
                                   uint64_t* delete_key) = 0;
 
+  /// Returns a snapshot-isolated scan: the iterator is pinned at creation to
+  /// ReadOptions::snapshot (when set) or to the last committed sequence, so
+  /// concurrent writes never leak into an open scan. The sole exception is
+  /// SecondaryRangeDelete, which removes data physically (see above).
   virtual std::unique_ptr<Iterator> NewIterator(const ReadOptions& options) = 0;
+
+  /// Pins the current last committed sequence: reads through
+  /// ReadOptions::snapshot see exactly the state as of this call, and
+  /// compaction retains any entry version or tombstone the snapshot can
+  /// still observe. Must be returned via ReleaseSnapshot before Close.
+  virtual const Snapshot* GetSnapshot() = 0;
+
+  /// Releases a snapshot handle obtained from GetSnapshot. Entries retained
+  /// only for this snapshot become droppable by subsequent compactions.
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
 
   /// Secondary range lookup (§4.2.5): returns the live entries whose delete
   /// key lies in [delete_key_begin, delete_key_end), sorted by sort key.

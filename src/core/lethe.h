@@ -17,6 +17,7 @@
 #include "src/core/statistics.h"
 #include "src/core/tuner.h"
 #include "src/env/env.h"
+#include "src/lsm/txn.h"
 #include "src/env/io_counting_env.h"
 #include "src/memtable/write_batch.h"
 #include "src/util/clock.h"

@@ -284,9 +284,18 @@ struct WriteOptions {
   bool sync = false;
 };
 
+class Snapshot;
+
 /// Per-read knobs.
 struct ReadOptions {
   bool verify_checksums = true;
+
+  /// Read as of this snapshot: only entries with seq <= snapshot->sequence()
+  /// are visible, including through iterators and secondary range lookups.
+  /// nullptr (the default) reads the latest committed state. The snapshot
+  /// must stay live (not released) for the duration of the read, and for an
+  /// iterator, for the iterator's whole lifetime.
+  const Snapshot* snapshot = nullptr;
 
   /// Insert the pages this read decodes into the decoded-page LRU. Cache
   /// *hits* are always served; this only controls population. Set false for

@@ -38,6 +38,10 @@ struct Statistics {
   std::atomic<uint64_t> wal_appends{0};           // physical WAL Append calls
   std::atomic<uint64_t> wal_syncs{0};             // physical WAL Sync calls
 
+  // Optimistic transactions (validated commits through WriteValidated).
+  std::atomic<uint64_t> txn_commits{0};    // validations that passed
+  std::atomic<uint64_t> txn_conflicts{0};  // aborted with Status::Busy
+
   // Background worker pool (background mode only). A job is *dispatched*
   // when a pool worker starts executing it; it is *deferred* when its
   // file/key-range footprint overlaps a job already in flight, in which

@@ -47,6 +47,18 @@ struct FileMeta {
   /// tombstone in the file, kNoTombstoneTime if there are none.
   uint64_t oldest_tombstone_time = kNoTombstoneTime;
 
+  /// Sequence of the oldest tombstone in the file. Lets the delete-driven
+  /// trigger tell whether a bottommost file's tombstones are reclaimable
+  /// at all: a tombstone can only be dropped once no live snapshot pins it
+  /// (seq <= oldest snapshot), and when even the file's *oldest* tombstone
+  /// is pinned, a TTL compaction of the file cannot make progress and must
+  /// not be scheduled (it would re-trigger forever until the snapshot is
+  /// released). In-memory only — not persisted in the MANIFEST: snapshots
+  /// do not survive a reopen, so after recovery every on-disk tombstone is
+  /// older than any snapshot that can ever be taken, and the decoded
+  /// default 0 ("reclaimable") is exact.
+  SequenceNumber oldest_tombstone_seq = 0;
+
   /// Total data pages in the file and the liveness bitmap maintained by
   /// secondary range deletes. A *full page drop* flips a bit here (a
   /// metadata-only operation, the moral equivalent of a filesystem hole

@@ -55,30 +55,46 @@ void RangeTombstoneSet::AddAll(const std::vector<RangeTombstone>& tombstones) {
   }
 }
 
-bool RangeTombstoneSet::Covers(const Slice& user_key,
-                               SequenceNumber seq) const {
+bool RangeTombstoneSet::Covers(const Slice& user_key, SequenceNumber seq,
+                               SequenceNumber max_seq) const {
   for (const RangeTombstone& t : tombstones_) {
     if (Slice(t.begin_key).compare(user_key) > 0) {
       break;  // sorted by begin; no later tombstone can contain user_key
     }
-    if (t.Contains(user_key) && t.seq > seq) {
+    if (t.Contains(user_key) && t.seq > seq && t.seq <= max_seq) {
       return true;
     }
   }
   return false;
 }
 
-SequenceNumber RangeTombstoneSet::MaxCoverSeq(const Slice& user_key) const {
-  SequenceNumber max_seq = 0;
+SequenceNumber RangeTombstoneSet::MaxCoverSeq(const Slice& user_key,
+                                              SequenceNumber max_seq) const {
+  SequenceNumber cover = 0;
   for (const RangeTombstone& t : tombstones_) {
     if (Slice(t.begin_key).compare(user_key) > 0) {
       break;
     }
-    if (t.Contains(user_key)) {
-      max_seq = std::max(max_seq, t.seq);
+    if (t.Contains(user_key) && t.seq <= max_seq) {
+      cover = std::max(cover, t.seq);
     }
   }
-  return max_seq;
+  return cover;
+}
+
+SequenceNumber RangeTombstoneSet::MinCoverSeqAbove(const Slice& user_key,
+                                                   SequenceNumber seq) const {
+  SequenceNumber cover = 0;
+  for (const RangeTombstone& t : tombstones_) {
+    if (Slice(t.begin_key).compare(user_key) > 0) {
+      break;
+    }
+    if (t.Contains(user_key) && t.seq > seq &&
+        (cover == 0 || t.seq < cover)) {
+      cover = t.seq;
+    }
+  }
+  return cover;
 }
 
 }  // namespace lethe

@@ -46,11 +46,24 @@ class RangeTombstoneSet {
   size_t size() const { return tombstones_.size(); }
   const std::vector<RangeTombstone>& tombstones() const { return tombstones_; }
 
-  /// True if some tombstone with seq > `seq` contains `user_key`.
-  bool Covers(const Slice& user_key, SequenceNumber seq) const;
+  /// True if some tombstone with `seq` < tombstone seq <= `max_seq`
+  /// contains `user_key`. `max_seq` bounds visibility for snapshot reads:
+  /// tombstones written after the snapshot must not delete entries under it.
+  bool Covers(const Slice& user_key, SequenceNumber seq,
+              SequenceNumber max_seq = kMaxSequenceNumber) const;
 
-  /// Highest tombstone seq covering `user_key`, or 0 if none.
-  SequenceNumber MaxCoverSeq(const Slice& user_key) const;
+  /// Highest tombstone seq <= `max_seq` covering `user_key`, or 0 if none.
+  SequenceNumber MaxCoverSeq(
+      const Slice& user_key,
+      SequenceNumber max_seq = kMaxSequenceNumber) const;
+
+  /// Smallest tombstone seq strictly greater than `seq` covering
+  /// `user_key`, or 0 if none. Compaction's snapshot-aware drop rule wants
+  /// the *nearest* covering delete above a version: if even that one is
+  /// separated from the version by a pinned snapshot, every higher cover
+  /// is too, and the version must survive for that snapshot.
+  SequenceNumber MinCoverSeqAbove(const Slice& user_key,
+                                  SequenceNumber seq) const;
 
  private:
   std::vector<RangeTombstone> tombstones_;  // sorted by begin_key

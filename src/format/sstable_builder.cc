@@ -32,6 +32,13 @@ void SSTableBuilder::Add(const ParsedEntry& entry) {
 
   if (props_.num_entries == 0) {
     props_.smallest_key = entry.user_key.ToString();
+  } else if (entry.user_key == Slice(props_.largest_key)) {
+    // Entries arrive in internal-key order, so versions of one user key are
+    // adjacent here even though the weave will scatter them across a tile's
+    // pages by delete key. A file holding two versions of a key can only
+    // exist when a pinned snapshot kept the older one alive; flag it so the
+    // reader knows "first match in page order" is not "newest version".
+    props_.multi_version = true;
   }
   props_.largest_key = entry.user_key.ToString();
   props_.num_entries++;
@@ -196,6 +203,7 @@ Status SSTableBuilder::Finish(TableProperties* props) {
   std::string index_block;
   PutVarint32(&index_block, props_.num_pages);
   PutVarint32(&index_block, options_.pages_per_tile);
+  PutVarint32(&index_block, props_.multi_version ? 1 : 0);
   PutVarint32(&index_block, static_cast<uint32_t>(tile_page_counts_.size()));
   for (uint32_t count : tile_page_counts_) {
     PutVarint32(&index_block, count);

@@ -35,6 +35,13 @@ struct TableProperties {
   /// Smallest insertion time among range tombstones; kNoTombstoneTime-like
   /// UINT64_MAX if none.
   uint64_t oldest_range_tombstone_time = UINT64_MAX;
+  /// True when some user key has more than one version in this file (only
+  /// possible when a pinned snapshot kept an older version alive through a
+  /// flush or compaction). Point lookups on such a file must compare every
+  /// candidate page's match by sequence instead of taking the first hit,
+  /// because the key weave orders a tile's pages by delete key, not by
+  /// version recency.
+  bool multi_version = false;
   uint64_t file_size = 0;
 };
 

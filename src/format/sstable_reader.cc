@@ -121,12 +121,15 @@ Status SSTableReader::LoadIndex(bool include_filters,
   LETHE_RETURN_IF_ERROR(
       DecodeRangeTombstones(rt_block, &index->range_tombstones));
 
-  uint32_t num_pages, num_tiles;
+  uint32_t num_pages, num_tiles, multi_version;
   if (!GetVarint32(&index_block, &num_pages) ||
       !GetVarint32(&index_block, &index->pages_per_tile) ||
-      index->pages_per_tile == 0 || !GetVarint32(&index_block, &num_tiles)) {
+      index->pages_per_tile == 0 ||
+      !GetVarint32(&index_block, &multi_version) || multi_version > 1 ||
+      !GetVarint32(&index_block, &num_tiles)) {
     return Status::Corruption("bad index header");
   }
+  index->multi_version = multi_version != 0;
   if (static_cast<uint64_t>(num_pages) * options_.page_size_bytes !=
       filter_offset_) {
     return Status::Corruption("table data geometry mismatch");
@@ -406,7 +409,8 @@ Status SSTableReader::ReadPage(uint32_t page_index, PageHandle* contents,
 
 Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
                           Statistics* stats, bool* found,
-                          TableGetResult* result, bool fill_cache) const {
+                          TableGetResult* result, bool fill_cache,
+                          SequenceNumber max_seq) const {
   *found = false;
   TableIndexHandle index_scratch;
   const TableIndex* index;
@@ -415,59 +419,93 @@ Status SSTableReader::Get(const Slice& user_key, const FileMeta* meta,
   if (tile_index < 0) {
     return Status::OK();
   }
-  const TileInfo& tile = index->tiles[tile_index];
   LazyDigest digest(user_key);
-  FilterBlockHandle filter;  // cached-metadata mode: fetched on first probe
-  for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
-       p++) {
-    if (meta != nullptr && meta->IsPageDropped(p)) {
-      continue;
-    }
-    const PageInfo& page = index->pages[p];
-    if (page.min_sort_key.compare(user_key) > 0 ||
-        page.max_sort_key.compare(user_key) < 0) {
-      continue;
-    }
-    if (stats != nullptr) {
-      stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (cache_metadata_ && filter == nullptr) {
-      LETHE_RETURN_IF_ERROR(GetTileFilter(*index, tile_index, &filter));
-    }
-    BloomFilter bloom(BloomOf(page, filter.get()));
-    if (!bloom.DigestMayMatch(digest.get(stats))) {
-      if (stats != nullptr) {
-        stats->bloom_negatives.fetch_add(1, std::memory_order_relaxed);
+  // A key's versions may straddle a page — or with small tiles even a tile
+  // — boundary, so a lookup that exhausts one page's matches keeps walking
+  // into the next page (and the next tile, while its min fence still admits
+  // the key). In a single-version file the first visible match is the
+  // answer and returns immediately — no extra I/O over the pre-snapshot
+  // read path. A multi-version file (flagged at build time) gives up that
+  // early exit: the weave orders a tile's pages by delete key, so the first
+  // match in page order need not be the newest visible version, and every
+  // candidate page must be compared by sequence.
+  bool best_found = false;
+  PageHandle best_page;
+  for (int t = tile_index;
+       t < static_cast<int>(index->tiles.size()) &&
+       index->tiles[t].min_sort_key.compare(user_key) <= 0;
+       t++) {
+    const TileInfo& tile = index->tiles[t];
+    FilterBlockHandle filter;  // cached-metadata mode: fetched on first probe
+    for (uint32_t p = tile.first_page; p < tile.first_page + tile.page_count;
+         p++) {
+      if (meta != nullptr && meta->IsPageDropped(p)) {
+        continue;
       }
-      continue;
+      const PageInfo& page = index->pages[p];
+      if (page.min_sort_key.compare(user_key) > 0 ||
+          page.max_sort_key.compare(user_key) < 0) {
+        continue;
+      }
+      if (stats != nullptr) {
+        stats->bloom_probes.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (cache_metadata_ && filter == nullptr) {
+        LETHE_RETURN_IF_ERROR(GetTileFilter(*index, t, &filter));
+      }
+      BloomFilter bloom(BloomOf(page, filter.get()));
+      if (!bloom.DigestMayMatch(digest.get(stats))) {
+        if (stats != nullptr) {
+          stats->bloom_negatives.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      PageHandle contents;
+      bool from_cache = false;
+      LETHE_RETURN_IF_ERROR(
+          ReadPage(p, &contents, meta != nullptr ? meta->page_generation : 0,
+                   &from_cache, fill_cache));
+      if (stats != nullptr && !from_cache) {
+        stats->point_lookup_pages_read.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
+      // Binary search within the page; entries are sorted by sort key.
+      const auto& entries = contents->entries;
+      auto it = std::lower_bound(
+          entries.begin(), entries.end(), user_key,
+          [](const ParsedEntry& e, const Slice& k) {
+            return e.user_key.compare(k) < 0;
+          });
+      if (it != entries.end() && it->user_key == user_key) {
+        for (; it != entries.end() && it->user_key == user_key; ++it) {
+          if (it->seq > max_seq) {
+            continue;  // invisible to this read's snapshot
+          }
+          if (!best_found || it->seq > result->seq) {
+            best_found = true;
+            result->type = it->type;
+            result->seq = it->seq;
+            result->delete_key = it->delete_key;
+            result->value = it->value;
+            best_page = contents;  // pins result->value
+          }
+          if (!index->multi_version) {
+            // One version per key: this is it.
+            *found = true;
+            result->page = std::move(best_page);
+            return Status::OK();
+          }
+        }
+        continue;  // more versions may hide in later pages of the weave
+      }
+      if (stats != nullptr) {
+        stats->bloom_false_positives.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    PageHandle contents;
-    bool from_cache = false;
-    LETHE_RETURN_IF_ERROR(
-        ReadPage(p, &contents, meta != nullptr ? meta->page_generation : 0,
-                 &from_cache, fill_cache));
-    if (stats != nullptr && !from_cache) {
-      stats->point_lookup_pages_read.fetch_add(1, std::memory_order_relaxed);
-    }
-    // Binary search within the page; entries are sorted by sort key.
-    const auto& entries = contents->entries;
-    auto it = std::lower_bound(
-        entries.begin(), entries.end(), user_key,
-        [](const ParsedEntry& e, const Slice& k) {
-          return e.user_key.compare(k) < 0;
-        });
-    if (it != entries.end() && it->user_key == user_key) {
-      *found = true;
-      result->type = it->type;
-      result->seq = it->seq;
-      result->delete_key = it->delete_key;
-      result->value = it->value;
-      result->page = std::move(contents);  // pins result->value
-      return Status::OK();
-    }
-    if (stats != nullptr) {
-      stats->bloom_false_positives.fetch_add(1, std::memory_order_relaxed);
-    }
+  }
+  if (best_found) {
+    *found = true;
+    result->page = std::move(best_page);
   }
   return Status::OK();
 }

@@ -112,9 +112,12 @@ class SSTableReader {
   /// is not in this table. `meta` supplies page liveness (may be nullptr).
   /// `fill_cache` = false serves cache hits but never inserts
   /// (ReadOptions::fill_page_cache).
+  /// `max_seq` bounds visibility for snapshot reads: the newest version with
+  /// seq <= max_seq is returned; newer versions are skipped. The default
+  /// reads the latest version in the table.
   Status Get(const Slice& user_key, const FileMeta* meta, Statistics* stats,
-             bool* found, TableGetResult* result,
-             bool fill_cache = true) const;
+             bool* found, TableGetResult* result, bool fill_cache = true,
+             SequenceNumber max_seq = kMaxSequenceNumber) const;
 
   /// Filter-only membership probe: fences + Bloom filters, no page I/O
   /// (cached-metadata mode may load the index/filter blocks). False means

@@ -59,6 +59,12 @@ struct TableIndex {
   std::vector<RangeTombstone> range_tombstones;
   uint32_t pages_per_tile = 1;
 
+  /// Some user key has >1 version in this file (possible only when a pinned
+  /// snapshot forced retention). Point lookups must then select the best
+  /// visible version across all candidate pages instead of returning the
+  /// first match, since the weave orders pages by delete key.
+  bool multi_version = false;
+
   /// True when the tiles' filter_crc fields hold digests derived from a
   /// checksum-verified read of the filter section (the on-disk crc covers
   /// the whole metadata region; per-tile digests are computed at index

@@ -91,11 +91,21 @@ Status MergeExecutor::FinishOutput(Output* output,
                                    const MergeConfig& config,
                                    VersionEdit* edit) {
   // Clip each surviving range tombstone to this output's window so the set
-  // of output files covers exactly the union of input tombstone ranges.
+  // of output files covers exactly the union of input tombstone ranges. At
+  // the bottommost level tombstones are normally persistent (not written),
+  // but one pinned by a live snapshot still has versions to hide and must
+  // be carried forward until the snapshot is released.
+  const SequenceNumber oldest_snapshot = config.snapshots.empty()
+                                             ? kMaxSequenceNumber
+                                             : config.snapshots.front();
   std::string min_piece_begin, max_piece_end;
   bool has_piece = false;
-  if (!config.bottommost) {
+  SequenceNumber min_written_rt_seq = kMaxSequenceNumber;
+  {
     for (const RangeTombstone& rt : rts) {
+      if (config.bottommost && rt.seq <= oldest_snapshot) {
+        continue;  // persistent: nothing below the last level to invalidate
+      }
       std::string begin = rt.begin_key;
       if (output->window_begin &&
           Slice(*output->window_begin).compare(Slice(begin)) > 0) {
@@ -119,6 +129,7 @@ Status MergeExecutor::FinishOutput(Output* output,
         max_piece_end = end;
       }
       has_piece = true;
+      min_written_rt_seq = std::min(min_written_rt_seq, rt.seq);
     }
   }
 
@@ -174,6 +185,13 @@ Status MergeExecutor::FinishOutput(Output* output,
     oldest = std::min(oldest, props.oldest_range_tombstone_time);
   }
   meta.oldest_tombstone_time = oldest;
+  if (meta.HasTombstones()) {
+    SequenceNumber oldest_seq = min_written_rt_seq;
+    if (props.num_point_tombstones > 0) {
+      oldest_seq = std::min(oldest_seq, props.oldest_point_tombstone_seq);
+    }
+    meta.oldest_tombstone_seq = oldest_seq;
+  }
 
   if (config.is_flush) {
     stats_->flush_bytes_written.fetch_add(props.file_size,
@@ -216,11 +234,26 @@ Status MergeExecutor::Run(
   RangeTombstoneSet rt_set;
   rt_set.AddAll(input_range_tombstones);
 
+  // Snapshot stripes: two sequences are in the same stripe when no pinned
+  // snapshot separates them (no S with lo <= S < hi), in which case no
+  // reader can ever see the older one without the newer one also applying.
+  const std::vector<SequenceNumber>& snapshots = config.snapshots;
+  const SequenceNumber oldest_snapshot =
+      snapshots.empty() ? kMaxSequenceNumber : snapshots.front();
+  auto same_stripe = [&snapshots](SequenceNumber a, SequenceNumber b) {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    auto it = std::lower_bound(snapshots.begin(), snapshots.end(), a);
+    return it == snapshots.end() || *it >= b;
+  };
+
   std::unique_ptr<Output> current;
   std::unique_ptr<Output> pending;  // awaits its window-end boundary
 
   std::string last_user_key;
   bool has_last_key = false;
+  SequenceNumber last_version_seq = 0;
   uint64_t entries_in = 0, entries_out = 0;
   uint64_t invalid_purged = 0, tombstones_dropped = 0;
 
@@ -243,20 +276,40 @@ Status MergeExecutor::Run(
 
     bool drop = false;
     if (has_last_key && entry.user_key == Slice(last_user_key)) {
-      // Older version of a key we already emitted or decided about.
-      drop = true;
-      invalid_purged++;
+      // Older version of a key we already emitted or decided about. It is
+      // obsolete unless a pinned snapshot separates it from that newer
+      // version — such a snapshot sees this version and not the newer one.
+      if (same_stripe(entry.seq, last_version_seq)) {
+        drop = true;
+        invalid_purged++;
+      }
     } else {
       last_user_key = entry.user_key.ToString();
       has_last_key = true;
-      if (rt_set.Covers(entry.user_key, entry.seq)) {
+    }
+    last_version_seq = entry.seq;
+    if (!drop) {
+      // The *nearest* covering tombstone above the version decides: if no
+      // pinned snapshot separates them, every snapshot that could see the
+      // version sees that delete instead, so the version is dead even when
+      // a still-newer tombstone sits on the far side of a snapshot. (Using
+      // the max cover seq here would disagree with FinishOutput's
+      // rt-persistence rule and resurrect the version once the nearer
+      // tombstone is retired at the bottommost level.)
+      const SequenceNumber cover_seq =
+          rt_set.MinCoverSeqAbove(entry.user_key, entry.seq);
+      if (cover_seq != 0 && same_stripe(entry.seq, cover_seq)) {
+        // Covered by a newer range tombstone no snapshot can see past.
         drop = true;
         invalid_purged++;
         if (entry.IsTombstone()) {
           tombstones_dropped++;  // superseded by a newer range tombstone
         }
-      } else if (entry.IsTombstone() && config.bottommost) {
-        // The tombstone reaches the last level: the delete is persistent.
+      } else if (entry.IsTombstone() && config.bottommost &&
+                 entry.seq <= oldest_snapshot) {
+        // The tombstone reaches the last level and sits in the oldest
+        // stripe (every older version of the key is dropped with it): the
+        // delete is persistent.
         drop = true;
         tombstones_dropped++;
       }
@@ -265,6 +318,19 @@ Status MergeExecutor::Run(
       continue;
     }
 
+    // Cut the output once it is full — but never between two versions of
+    // the same user key. A run's point-lookup routing (SortedRun::FindFile)
+    // probes exactly one file per key, so a version chain straddling a file
+    // boundary would hide its newer versions from reads; and a tail output
+    // holding only that key would tie another file's smallest key, making
+    // the run's sort order — and its non-overlap invariant — ambiguous.
+    // Chains longer than one entry exist only under pinned snapshots, so
+    // without snapshots the cut lands exactly where it always did.
+    if (current != nullptr &&
+        current->builder->EstimatedSize() >= options_.target_file_bytes &&
+        entry.user_key != Slice(current->last_key)) {
+      pending = std::move(current);
+    }
     if (current == nullptr) {
       std::optional<std::string> window_begin;
       if (pending != nullptr) {
@@ -283,10 +349,6 @@ Status MergeExecutor::Run(
     current->last_key = entry.user_key.ToString();
     current->has_entries = true;
     entries_out++;
-
-    if (current->builder->EstimatedSize() >= options_.target_file_bytes) {
-      pending = std::move(current);
-    }
   }
   LETHE_RETURN_IF_ERROR(input->status());
 
@@ -296,23 +358,36 @@ Status MergeExecutor::Run(
   } else if (pending != nullptr) {
     LETHE_RETURN_IF_ERROR(FinishOutput(pending.get(), input_range_tombstones,
                                        std::nullopt, config, edit));
-  } else if (!input_range_tombstones.empty() && !config.bottommost) {
+  } else if (!input_range_tombstones.empty()) {
     // No data survived but range tombstones must be carried forward in a
-    // tombstone-only file.
-    std::unique_ptr<Output> rt_only;
-    LETHE_RETURN_IF_ERROR(OpenOutput(&rt_only, std::nullopt));
-    LETHE_RETURN_IF_ERROR(FinishOutput(rt_only.get(), input_range_tombstones,
-                                       std::nullopt, config, edit));
+    // tombstone-only file (at bottommost, only when a snapshot pins some).
+    bool carry = !config.bottommost;
+    for (size_t i = 0; !carry && i < input_range_tombstones.size(); i++) {
+      carry = input_range_tombstones[i].seq > oldest_snapshot;
+    }
+    if (carry) {
+      std::unique_ptr<Output> rt_only;
+      LETHE_RETURN_IF_ERROR(OpenOutput(&rt_only, std::nullopt));
+      LETHE_RETURN_IF_ERROR(FinishOutput(rt_only.get(), input_range_tombstones,
+                                         std::nullopt, config, edit));
+    }
   }
 
   if (config.bottommost && config.count_merge_stats) {
-    // Range tombstones attached to outputs were not persisted (skipped in
-    // FinishOutput); count them as persisted deletes — once per logical
-    // merge, not once per partition piece.
-    const uint64_t dropped =
-        config.dropped_range_tombstones != UINT64_MAX
-            ? config.dropped_range_tombstones
-            : input_range_tombstones.size();
+    // Range tombstones that reached the last level unpinned were not
+    // persisted (skipped in FinishOutput); count them as persisted deletes
+    // — once per logical merge, not once per partition piece.
+    uint64_t dropped;
+    if (config.dropped_range_tombstones != UINT64_MAX) {
+      dropped = config.dropped_range_tombstones;
+    } else {
+      dropped = 0;
+      for (const RangeTombstone& rt : input_range_tombstones) {
+        if (rt.seq <= oldest_snapshot) {
+          dropped++;
+        }
+      }
+    }
     stats_->tombstones_dropped.fetch_add(dropped, std::memory_order_relaxed);
   }
   stats_->compaction_entries_in.fetch_add(entries_in,

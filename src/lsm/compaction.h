@@ -29,6 +29,15 @@ struct MergeConfig {
   /// the deletes persistent.
   bool bottommost = false;
 
+  /// Sequence numbers of the snapshots live when the merge was scheduled,
+  /// ascending. Consolidation must not discard any version a live snapshot
+  /// can still observe: an obsolete version is dropped only when the entry
+  /// that supersedes it (newer version, covering range tombstone) falls in
+  /// the same snapshot stripe, and a bottommost tombstone only when it is
+  /// at or below the oldest pinned sequence. Empty (the default) means no
+  /// pins — today's drop-everything-obsolete behavior.
+  std::vector<SequenceNumber> snapshots;
+
   /// Subcompaction window [partition_begin, partition_end) over user keys:
   /// the executor seeks to partition_begin and stops at partition_end, so K
   /// disjoint windows over the same inputs together consume every entry

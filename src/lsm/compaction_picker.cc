@@ -392,16 +392,21 @@ uint64_t CompactionPicker::BufferTtl(const Version& version) const {
   return options_.delete_persistence_threshold_micros / 2;
 }
 
-uint64_t CompactionPicker::EarliestTtlExpiry(const Version& version) const {
+uint64_t CompactionPicker::EarliestTtlExpiry(
+    const Version& version, SequenceNumber oldest_snapshot) const {
   if (!options_.fade_enabled()) {
     return UINT64_MAX;
   }
   std::vector<uint64_t> ttls = CumulativeTtls(version);
+  const int deepest = version.DeepestNonEmptyLevel();
   uint64_t earliest = UINT64_MAX;
   for (const auto& [level, file] : version.AllFiles()) {
     if (!file->HasTombstones() ||
         file->oldest_tombstone_time == kNoTombstoneTime) {
       continue;
+    }
+    if (level == deepest && file->oldest_tombstone_seq > oldest_snapshot) {
+      continue;  // every tombstone snapshot-pinned: nothing reclaimable yet
     }
     size_t slot = std::min<size_t>(level, ttls.size() - 1);
     uint64_t expiry = file->oldest_tombstone_time + ttls[slot];
@@ -435,13 +440,14 @@ bool AnyClaimedInLevel(const Version& version, int level,
 }  // namespace
 
 CompactionPick CompactionPicker::PickTtlExpired(
-    const Version& version, uint64_t now,
-    const std::set<uint64_t>* in_flight) const {
+    const Version& version, uint64_t now, const std::set<uint64_t>* in_flight,
+    SequenceNumber oldest_snapshot) const {
   CompactionPick pick;
   if (!options_.fade_enabled()) {
     return pick;
   }
   std::vector<uint64_t> ttls = CumulativeTtls(version);
+  const int deepest = version.DeepestNonEmptyLevel();
 
   // Smallest level with an expired file wins (paper: level ties go to the
   // smallest level); within the level, the expired file with the oldest
@@ -456,6 +462,14 @@ CompactionPick CompactionPicker::PickTtlExpired(
     for (const SortedRun& run : version.levels()[level]) {
       for (const auto& file : run.files) {
         if (!file->HasTombstones() || Claimed(in_flight, *file)) {
+          continue;
+        }
+        if (level == deepest &&
+            file->oldest_tombstone_seq > oldest_snapshot) {
+          // A bottommost file whose oldest tombstone is still pinned by a
+          // live snapshot cannot drop *any* tombstone; compacting it would
+          // change nothing and the trigger would re-fire forever. It
+          // becomes eligible the moment the pinning snapshot is released.
           continue;
         }
         if (!TtlExpired(ttls, level, file->TombstoneAge(now))) {
@@ -576,12 +590,13 @@ CompactionPick CompactionPicker::PickSaturated(
 }
 
 CompactionPick CompactionPicker::Pick(
-    const Version& version, uint64_t now,
-    const std::set<uint64_t>* in_flight) const {
+    const Version& version, uint64_t now, const std::set<uint64_t>* in_flight,
+    SequenceNumber oldest_snapshot) const {
   // TTL expiry takes precedence over saturation (§4.1.4: "FADE triggers a
   // compaction in a level that has at least one file with expired TTL
   // regardless of its saturation").
-  CompactionPick pick = PickTtlExpired(version, now, in_flight);
+  CompactionPick pick = PickTtlExpired(version, now, in_flight,
+                                       oldest_snapshot);
   if (pick.valid()) {
     return pick;
   }

@@ -46,16 +46,28 @@ class CompactionPicker {
   /// than re-picked — under leveling a claimed candidate is passed over,
   /// under tiering a level with any claimed file cannot merge (a tiering
   /// merge needs every run of the level) and is skipped entirely.
+  ///
+  /// `oldest_snapshot` is the oldest live snapshot's sequence
+  /// (kMaxSequenceNumber when none are pinned). The delete-driven trigger
+  /// skips a bottommost file whose tombstones are all newer: they cannot
+  /// be dropped until that snapshot is released, so a TTL compaction of
+  /// the file would make no progress and re-trigger indefinitely.
   CompactionPick Pick(const Version& version, uint64_t now,
-                      const std::set<uint64_t>* in_flight = nullptr) const;
+                      const std::set<uint64_t>* in_flight = nullptr,
+                      SequenceNumber oldest_snapshot = kMaxSequenceNumber)
+      const;
 
   /// Capacity of disk level `level` (0-based) in bytes: M · T^(level+1).
   uint64_t LevelCapacityBytes(int level) const;
 
   /// Earliest clock time at which some file's TTL expires, or UINT64_MAX if
   /// FADE is off or no file holds tombstones. The write path compares this
-  /// against "now" as an O(1) trigger pre-check.
-  uint64_t EarliestTtlExpiry(const Version& version) const;
+  /// against "now" as an O(1) trigger pre-check. Applies the same
+  /// bottommost snapshot-pin exclusion as Pick, so a file whose tombstones
+  /// cannot be reclaimed yet does not arm the trigger.
+  uint64_t EarliestTtlExpiry(
+      const Version& version,
+      SequenceNumber oldest_snapshot = kMaxSequenceNumber) const;
 
   /// Idle-buffer flush guard (Dth/2): a memtable whose oldest tombstone is
   /// older than this must flush so an idle database still meets the
@@ -112,7 +124,8 @@ class CompactionPicker {
       int max_partitions) const;
 
   CompactionPick PickTtlExpired(const Version& version, uint64_t now,
-                                const std::set<uint64_t>* in_flight) const;
+                                const std::set<uint64_t>* in_flight,
+                                SequenceNumber oldest_snapshot) const;
   CompactionPick PickSaturated(const Version& version,
                                const std::set<uint64_t>* in_flight) const;
 

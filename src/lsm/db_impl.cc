@@ -115,14 +115,18 @@ class DBIter final : public Iterator {
   /// `setup_status`, when not OK, poisons the iterator: the tombstone set
   /// could not be assembled completely (a table or its metadata failed to
   /// load), and iterating anyway could resurrect range-deleted keys.
+  /// `bound` pins the scan to a point in time: entries (and range
+  /// tombstones) with seq > bound are invisible, so writes committed after
+  /// creation can never leak into an open scan.
   DBIter(std::vector<std::shared_ptr<MemTable>> pinned_mems,
          std::shared_ptr<const Version> version,
          std::unique_ptr<InternalIterator> internal, RangeTombstoneSet rts,
-         Statistics* stats, Status setup_status)
+         SequenceNumber bound, Statistics* stats, Status setup_status)
       : pinned_mems_(std::move(pinned_mems)),
         version_(std::move(version)),
         internal_(std::move(internal)),
         rts_(std::move(rts)),
+        bound_(bound),
         stats_(stats),
         setup_status_(std::move(setup_status)) {}
 
@@ -167,13 +171,18 @@ class DBIter final : public Iterator {
     valid_ = false;
     while (internal_->Valid()) {
       const ParsedEntry& entry = internal_->entry();
+      if (entry.seq > bound_) {
+        internal_->Next();  // committed after this scan's snapshot
+        continue;
+      }
       if (has_last_key_ && entry.user_key == Slice(last_key_)) {
         internal_->Next();  // older version of an already-decided key
         continue;
       }
       last_key_ = entry.user_key.ToString();
       has_last_key_ = true;
-      if (entry.IsTombstone() || rts_.Covers(entry.user_key, entry.seq)) {
+      if (entry.IsTombstone() ||
+          rts_.Covers(entry.user_key, entry.seq, bound_)) {
         internal_->Next();  // deleted key: skip all its versions
         continue;
       }
@@ -189,6 +198,7 @@ class DBIter final : public Iterator {
   std::shared_ptr<const Version> version_;              // pins file set
   std::unique_ptr<InternalIterator> internal_;
   RangeTombstoneSet rts_;
+  SequenceNumber bound_;
   Statistics* stats_;
   Status setup_status_;
 
@@ -704,6 +714,9 @@ std::vector<DBImpl::Writer*> DBImpl::BuildBatchGroup(Writer** last) {
     if (writer->batch == nullptr) {
       break;  // exclusive op (flush/SRD): never merged into a group
     }
+    if (writer->validate) {
+      break;  // txn commit: must run its own validation before applying
+    }
     if (!group.empty() && writer->sync && !group.front()->sync) {
       break;  // do not impose a sync on writers that did not ask for one
     }
@@ -848,8 +861,6 @@ Status DBImpl::ApplyGroup(const std::vector<Writer*>& group,
       stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  versions_->SetLastSequence(next_seq);
-
   // Pass 3: apply to the memtable in order.
   for (const PendingOp& p : pending) {
     const WriteBatch::Op& op = *p.op;
@@ -873,6 +884,10 @@ Status DBImpl::ApplyGroup(const std::vector<Writer*>& group,
       }
     }
   }
+  // Publish the group's sequences only after every memtable insert: a
+  // snapshot pinned at LastSequence must observe each batch atomically
+  // (all of its entries or none), never a half-applied group.
+  versions_->SetLastSequence(next_seq);
   stats_.group_commit_batches.fetch_add(1, std::memory_order_relaxed);
   stats_.group_commit_entries.fetch_add(pending.size(),
                                         std::memory_order_relaxed);
@@ -946,6 +961,93 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* batch) {
     }
   }
   CompleteGroup(&w, last_writer, s, l);
+  return s;
+}
+
+Status DBImpl::WriteValidated(const WriteOptions& options, WriteBatch* batch,
+                              SequenceNumber read_snapshot_seq,
+                              const std::vector<std::string>& validation_keys,
+                              SequenceNumber* commit_seq) {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("null WriteBatch");
+  }
+  for (const WriteBatch::Op& op : batch->ops()) {
+    if (op.kind == WriteBatch::OpKind::kRangeDelete) {
+      // Validation is per-key; a staged range delete would need range
+      // conflict tracking. OptimisticTransaction never stages one.
+      return Status::NotSupported("range deletes in validated writes");
+    }
+  }
+
+  Writer w(batch, options.sync);
+  w.validate = true;
+  std::unique_lock<std::mutex> l(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("DB is closed");
+  }
+  JoinWriterQueue(&w, l);
+  // Validating writers are never absorbed into a leader's group
+  // (BuildBatchGroup stops at them), so reaching here means holding the
+  // token: no other commit can land between validation and apply.
+
+  Status s = WaitForWritableLocked(l);
+  if (s.ok()) {
+    MaybeSlowdownLocked(l);
+    l.unlock();
+    // Reads take mu_ briefly themselves; run the lookups without it.
+    for (const std::string& key : validation_keys) {
+      SequenceNumber latest = 0;
+      s = LatestSeqForKey(Slice(key), &latest);
+      if (!s.ok()) {
+        break;
+      }
+      if (latest > read_snapshot_seq) {
+        s = Status::Busy("transaction conflict: key written since snapshot");
+        break;
+      }
+    }
+    if (s.ok()) {
+      stats_.txn_commits.fetch_add(1, std::memory_order_relaxed);
+    } else if (s.IsBusy()) {
+      stats_.txn_conflicts.fetch_add(1, std::memory_order_relaxed);
+    }
+    l.lock();
+  }
+  if (s.ok() && batch->Count() == 0 && commit_seq != nullptr) {
+    // Read-only transaction: its serialization point is now (validated
+    // under the token with nothing to apply).
+    *commit_seq = versions_->LastSequence();
+  }
+  if (s.ok() && batch->Count() > 0) {
+    const std::vector<Writer*> group{&w};
+    const uint64_t now = options_.clock->NowMicros();
+    ReadSnapshot snap = GetReadSnapshotLocked();
+    WalWriter* wal = wal_.get();
+    l.unlock();
+    s = ApplyGroup(group, snap, wal, now, w.sync);
+    l.lock();
+    if (s.ok() && commit_seq != nullptr) {
+      // Solo group: the batch owns the tail of the sequence space, and the
+      // token serializes commits, so this is the group's last sequence.
+      *commit_seq = versions_->LastSequence();
+    }
+    if (!s.ok() && err_ != nullptr) {
+      RecordBackgroundErrorLocked(BackgroundJobKind::kWalWrite, s);
+    }
+    if (s.ok()) {
+      Status post = HandlePostWriteLocked(l);
+      if (!post.ok()) {
+        if (err_ != nullptr) {
+          if (bg_error_.ok() && !post.IsInvalidArgument()) {
+            RecordBackgroundErrorLocked(BackgroundJobKind::kWalWrite, post);
+          }
+        } else {
+          s = post;
+        }
+      }
+    }
+  }
+  CompleteGroup(&w, &w, s, l);
   return s;
 }
 
@@ -1157,6 +1259,7 @@ Status DBImpl::FlushMemTable(const ImmMemTable& imm,
   MergeConfig config;
   config.is_flush = true;
   config.output_level = 0;
+  config.snapshots = SnapshotSeqsLocked();
 
   // Sort-key span of the buffered data (entries + range tombstones). The
   // skiplist is key-ordered, so this is one cheap walk — no second decoding
@@ -1296,7 +1399,8 @@ void DBImpl::UpdateMemtableReservationLocked() {
 
 void DBImpl::RefreshTriggerStateLocked() {
   std::shared_ptr<const Version> version = versions_->current();
-  earliest_ttl_expiry_ = picker_->EarliestTtlExpiry(*version);
+  earliest_ttl_expiry_ =
+      picker_->EarliestTtlExpiry(*version, OldestSnapshotSeqLocked());
   buffer_ttl_ = picker_->BufferTtl(*version);
   l0_runs_ = version->num_levels() > 0 ? version->LevelRunCount(0) : 0;
   saturation_pending_ = false;
@@ -1322,7 +1426,8 @@ Status DBImpl::MaybeCompactLocked(std::unique_lock<std::mutex>& l) {
       return Status::OK();  // O(1) fast path on the write path
     }
     std::shared_ptr<const Version> version = versions_->current();
-    CompactionPick pick = picker_->Pick(*version, now);
+    CompactionPick pick =
+        picker_->Pick(*version, now, nullptr, OldestSnapshotSeqLocked());
     if (!pick.valid()) {
       RefreshTriggerStateLocked();
       if (!saturation_pending_ && now < earliest_ttl_expiry_) {
@@ -1349,6 +1454,7 @@ Status DBImpl::CompactOnce(const CompactionPick& pick, bool* did_work,
   MergeConfig config;
   config.trigger = pick.trigger;
   config.input_files = pick.inputs.size();
+  config.snapshots = SnapshotSeqsLocked();
 
   int target;
   if (options_.compaction_style == CompactionStyle::kTiering) {
@@ -1540,8 +1646,19 @@ Status DBImpl::RunMergePartitioned(
                                             &iters, &rts, nullptr));
     if (part_config.count_merge_stats) {
       // Pre-clip total: a bottommost merge persists each input tombstone
-      // once, however many partition pieces it gets clipped into.
-      part_config.dropped_range_tombstones = rts.size();
+      // once, however many partition pieces it gets clipped into. Pieces a
+      // live snapshot pins (seq above the oldest pin) are carried forward,
+      // not persisted, so they do not count.
+      const SequenceNumber oldest_pin = part_config.snapshots.empty()
+                                            ? kMaxSequenceNumber
+                                            : part_config.snapshots.front();
+      uint64_t droppable = 0;
+      for (const RangeTombstone& rt : rts) {
+        if (rt.seq <= oldest_pin) {
+          droppable++;
+        }
+      }
+      part_config.dropped_range_tombstones = droppable;
     }
     const std::vector<RangeTombstone> clipped = ClipRangeTombstones(
         rts, part_config.partition_begin, part_config.partition_end);
@@ -1648,6 +1765,7 @@ Status DBImpl::CompactAllLocked(std::unique_lock<std::mutex>& l) {
   config.trigger = CompactionPick::Trigger::kSaturation;
   config.output_level = deepest;
   config.bottommost = true;
+  config.snapshots = SnapshotSeqsLocked();
   config.output_run_id =
       options_.compaction_style == CompactionStyle::kTiering
           ? versions_->NewRunId()
@@ -1775,7 +1893,8 @@ void DBImpl::BackgroundCompaction() {
     std::shared_ptr<const Version> version = versions_->current();
     CompactionPick pick =
         picker_->Pick(*version, options_.clock->NowMicros(),
-                      &versions_->InFlightInputFiles());
+                      &versions_->InFlightInputFiles(),
+                      OldestSnapshotSeqLocked());
     if (pick.valid()) {
       bool did_work = false;
       Status s = CompactOnce(pick, &did_work, l, &deferred);
@@ -2050,7 +2169,9 @@ Status DBImpl::WaitForCompact() {
     if (!busy) {
       RefreshTriggerStateLocked();
       std::shared_ptr<const Version> version = versions_->current();
-      if (!picker_->Pick(*version, options_.clock->NowMicros()).valid()) {
+      if (!picker_->Pick(*version, options_.clock->NowMicros(), nullptr,
+                         OldestSnapshotSeqLocked())
+               .valid()) {
         // Quiescent: nothing queued, nothing to pick. Reap obsolete files
         // whose pinning snapshots have since been released — no future
         // commit may come to do it.
@@ -2086,8 +2207,8 @@ Status DBImpl::CompactUntilQuiescent() {
   Status s = FlushMemTable(current, l);
   while (s.ok()) {
     std::shared_ptr<const Version> version = versions_->current();
-    CompactionPick pick =
-        picker_->Pick(*version, options_.clock->NowMicros());
+    CompactionPick pick = picker_->Pick(*version, options_.clock->NowMicros(),
+                                        nullptr, OldestSnapshotSeqLocked());
     if (!pick.valid()) {
       RefreshTriggerStateLocked();
       break;
@@ -2225,10 +2346,16 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions& options, const Slice& key,
   ReadSnapshot snap = GetReadSnapshot();
   stats_.point_lookups.fetch_add(1, std::memory_order_relaxed);
 
-  SequenceNumber max_rt_seq = snap.mem->MaxRangeTombstoneCoverSeq(key);
+  // Snapshot reads bound visibility: versions and tombstones committed
+  // after the pinned sequence do not exist for this lookup.
+  const SequenceNumber bound = options.snapshot != nullptr
+                                   ? options.snapshot->sequence()
+                                   : kMaxSequenceNumber;
+
+  SequenceNumber max_rt_seq = snap.mem->MaxRangeTombstoneCoverSeq(key, bound);
 
   ParsedEntry mem_entry;
-  if (snap.mem->Get(key, &mem_entry)) {
+  if (snap.mem->Get(key, &mem_entry, bound)) {
     if (max_rt_seq > mem_entry.seq || mem_entry.IsTombstone()) {
       return Status::NotFound(key);
     }
@@ -2241,8 +2368,9 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions& options, const Slice& key,
   // coverage on the way down (sources are strictly ordered by sequence).
   for (auto it = snap.imm.rbegin(); it != snap.imm.rend(); ++it) {
     const MemTable& imm = **it;
-    max_rt_seq = std::max(max_rt_seq, imm.MaxRangeTombstoneCoverSeq(key));
-    if (imm.Get(key, &mem_entry)) {
+    max_rt_seq =
+        std::max(max_rt_seq, imm.MaxRangeTombstoneCoverSeq(key, bound));
+    if (imm.Get(key, &mem_entry, bound)) {
       if (max_rt_seq > mem_entry.seq || mem_entry.IsTombstone()) {
         return Status::NotFound(key);
       }
@@ -2274,7 +2402,7 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions& options, const Slice& key,
           TableIndexHandle index;
           LETHE_RETURN_IF_ERROR(table->GetIndex(&index));
           for (const RangeTombstone& rt : index->range_tombstones) {
-            if (rt.Contains(key)) {
+            if (rt.Contains(key) && rt.seq <= bound) {
               max_rt_seq = std::max(max_rt_seq, rt.seq);
             }
           }
@@ -2282,8 +2410,8 @@ Status DBImpl::GetWithDeleteKey(const ReadOptions& options, const Slice& key,
         bool found = false;
         TableGetResult result;
         LETHE_RETURN_IF_ERROR(table->Get(key, file.get(), &stats_, &found,
-                                         &result,
-                                         options.fill_page_cache));
+                                         &result, options.fill_page_cache,
+                                         bound));
         if (found) {
           if (max_rt_seq > result.seq ||
               result.type == ValueType::kTombstone) {
@@ -2307,8 +2435,95 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   return GetWithDeleteKey(options, key, value, &delete_key);
 }
 
-std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // LastSequence is published only after its group is fully applied
+  // (ApplyGroup pass 3), so the pinned view never splits a batch.
+  return snapshots_.New(versions_->LastSequence());
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.Delete(snapshot);
+  // Entries retained only for this snapshot become droppable at the next
+  // merge that sees them; no eager rewrite is triggered (mirrors how
+  // graveyard files wait for the next sweep).
+}
+
+Status DBImpl::LatestSeqForKey(const Slice& key, SequenceNumber* seq) {
   ReadSnapshot snap = GetReadSnapshot();
+
+  // Newest-first walk, mirroring GetWithDeleteKey: the first point entry
+  // found is the newest version; range-tombstone coverage accumulates on
+  // the way down and may postdate it.
+  SequenceNumber latest = snap.mem->MaxRangeTombstoneCoverSeq(key);
+  ParsedEntry entry;
+  if (snap.mem->Get(key, &entry)) {
+    *seq = std::max(latest, entry.seq);
+    return Status::OK();
+  }
+  for (auto it = snap.imm.rbegin(); it != snap.imm.rend(); ++it) {
+    const MemTable& imm = **it;
+    latest = std::max(latest, imm.MaxRangeTombstoneCoverSeq(key));
+    if (imm.Get(key, &entry)) {
+      *seq = std::max(latest, entry.seq);
+      return Status::OK();
+    }
+  }
+  for (int level = 0; level < snap.version->num_levels(); level++) {
+    const auto& runs = snap.version->levels()[level];
+    for (auto run = runs.rbegin(); run != runs.rend(); ++run) {
+      int idx = run->FindFile(key);
+      if (idx < 0) {
+        continue;
+      }
+      for (size_t i = idx;
+           i < run->files.size() &&
+           Slice(run->files[i]->smallest_key).compare(key) <= 0;
+           i++) {
+        const auto& file = run->files[i];
+        std::shared_ptr<SSTableReader> table;
+        LETHE_RETURN_IF_ERROR(versions_->table_cache()->GetTable(*file, &table));
+        if (file->num_range_tombstones > 0) {
+          TableIndexHandle index;
+          LETHE_RETURN_IF_ERROR(table->GetIndex(&index));
+          for (const RangeTombstone& rt : index->range_tombstones) {
+            if (rt.Contains(key)) {
+              latest = std::max(latest, rt.seq);
+            }
+          }
+        }
+        bool found = false;
+        TableGetResult result;
+        LETHE_RETURN_IF_ERROR(table->Get(key, file.get(), &stats_, &found,
+                                         &result, /*fill_cache=*/false));
+        if (found) {
+          *seq = std::max(latest, result.seq);
+          return Status::OK();
+        }
+      }
+    }
+  }
+  *seq = latest;  // 0 when the key has never been written
+  return Status::OK();
+}
+
+std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
+  // The sequence bound and the source pointers must be captured in one mu_
+  // hold: LastSequence is published only after a group is fully applied, so
+  // every entry at or below the bound is present in these sources, and the
+  // scan observes exactly the state as of creation (or of the snapshot).
+  ReadSnapshot snap;
+  SequenceNumber bound;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = GetReadSnapshotLocked();
+    bound = options.snapshot != nullptr ? options.snapshot->sequence()
+                                        : versions_->LastSequence();
+  }
   Status setup_status;
 
   std::vector<std::unique_ptr<InternalIterator>> children;
@@ -2353,7 +2568,7 @@ std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
 
   return std::make_unique<DBIter>(std::move(pinned), std::move(snap.version),
                                   NewMergingIterator(std::move(children)),
-                                  std::move(rts), &stats_,
+                                  std::move(rts), bound, &stats_,
                                   std::move(setup_status));
 }
 

@@ -90,6 +90,20 @@ class DBImpl final : public DB {
                               uint64_t delete_key_begin,
                               uint64_t delete_key_end,
                               std::vector<SecondaryHit>* hits) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+
+  /// Commit path for optimistic transactions (see src/lsm/txn.h): behaves
+  /// like Write, but first validates, while holding the write token, that
+  /// no key in `validation_keys` has a committed version newer than
+  /// `read_snapshot_seq`. On conflict returns Status::Busy and applies
+  /// nothing. On success *commit_seq (may be nullptr) receives the last
+  /// sequence of the applied batch; token order makes commit sequences the
+  /// serialization order of validated commits.
+  Status WriteValidated(const WriteOptions& options, WriteBatch* batch,
+                        SequenceNumber read_snapshot_seq,
+                        const std::vector<std::string>& validation_keys,
+                        SequenceNumber* commit_seq);
   Status Flush() override;
   Status WaitForCompact() override;
   Status CompactUntilQuiescent() override;
@@ -114,6 +128,13 @@ class DBImpl final : public DB {
   /// Test hook: the shared block cache, or nullptr when no budget is set.
   PageCache* TEST_page_cache() { return page_cache_.get(); }
 
+  /// Test hook: FADE's seq→time resolution (VersionSet::TimeOfSeq) — lets
+  /// tests assert that checkpoint replay keeps the mapping stable for
+  /// pinned sequences across a reopen.
+  uint64_t TEST_TimeOfSeq(SequenceNumber seq) const {
+    return versions_->TimeOfSeq(seq);
+  }
+
   /// Test hook: structural invariants of the current tree — within every
   /// sorted run files are ordered and non-overlapping, leveling keeps at
   /// most one run per level, and every referenced table file exists on the
@@ -127,6 +148,10 @@ class DBImpl final : public DB {
     Writer(WriteBatch* b, bool s) : batch(b), sync(s) {}
     WriteBatch* batch;  // nullptr = exclusive op (flush/SRD/compact-all)
     bool sync;
+    // Optimistic-transaction commit: validate before applying. Validating
+    // writers form solo groups (BuildBatchGroup stops at them) — a leader
+    // must not apply a batch whose validation it has not run.
+    bool validate = false;
     bool done = false;
     Status status;
     std::condition_variable cv;
@@ -379,6 +404,25 @@ class DBImpl final : public DB {
   ReadSnapshot GetReadSnapshot() const;
   ReadSnapshot GetReadSnapshotLocked() const;
 
+  /// Pinned snapshot sequences, ascending. Captured into MergeConfig under
+  /// mu_ when a merge is scheduled.
+  std::vector<SequenceNumber> SnapshotSeqsLocked() const {
+    return snapshots_.Seqs();
+  }
+
+  /// Oldest pinned snapshot sequence, kMaxSequenceNumber when none. Fed to
+  /// the compaction picker so the delete-driven trigger skips bottommost
+  /// files whose tombstones are all still snapshot-pinned (unreclaimable).
+  SequenceNumber OldestSnapshotSeqLocked() const {
+    return snapshots_.empty() ? kMaxSequenceNumber : snapshots_.Oldest();
+  }
+
+  /// Sequence of the newest committed version of `key` (max over point
+  /// entries and covering range tombstones), or 0 when the key has never
+  /// been written. Used by WriteValidated's conflict check; the caller must
+  /// hold the write token so no commit can race the lookup.
+  Status LatestSeqForKey(const Slice& key, SequenceNumber* seq);
+
   Options options_;  // resolved (env/clock non-null)
   std::string dbname_;
   Statistics stats_;
@@ -399,6 +443,7 @@ class DBImpl final : public DB {
 
   mutable std::mutex mu_;
   std::deque<Writer*> writers_;
+  SnapshotList snapshots_;  // live snapshot pins, oldest first (mu_)
   std::shared_ptr<MemTable> mem_;
   std::deque<ImmMemTable> imm_;  // oldest first
   std::unique_ptr<WalWriter> wal_;

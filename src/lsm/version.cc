@@ -190,13 +190,25 @@ std::shared_ptr<Version> Version::Apply(const Version* base,
                 return Slice(a->smallest_key).compare(
                            Slice(b->smallest_key)) < 0;
               });
-    // Sanity: files within a run must not overlap. Equal boundaries are
-    // legal: a range tombstone's exclusive end extends a file's advertised
-    // largest key, which may equal the next file's smallest.
+    // Sanity: files within a run must not overlap. Equal *boundaries* are
+    // legal — a range tombstone's exclusive end extends a file's advertised
+    // largest key, which may equal the next file's smallest — but two files
+    // must never share a smallest key: the sort above would be ambiguous,
+    // and point lookups walk a run's files in this order assuming each user
+    // key lives in exactly one file (the merge loop guarantees it by never
+    // cutting an output between two versions of a key).
     for (size_t i = 1; i < files.size(); i++) {
       if (Slice(files[i - 1]->largest_key)
-              .compare(Slice(files[i]->smallest_key)) > 0) {
-        *status = Status::Corruption("overlapping files within a sorted run");
+              .compare(Slice(files[i]->smallest_key)) > 0 ||
+          Slice(files[i - 1]->smallest_key)
+              .compare(Slice(files[i]->smallest_key)) == 0) {
+        *status = Status::Corruption(
+            "overlapping files within a sorted run: level " +
+            std::to_string(key.first) + " run " + std::to_string(key.second) +
+            " file " + std::to_string(files[i - 1]->file_number) + " [" +
+            files[i - 1]->smallest_key + ".." + files[i - 1]->largest_key +
+            "] vs file " + std::to_string(files[i]->file_number) + " [" +
+            files[i]->smallest_key + ".." + files[i]->largest_key + "]");
         return result;
       }
     }

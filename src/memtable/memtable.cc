@@ -101,12 +101,13 @@ void MemTable::AddRangeTombstone(const RangeTombstone& tombstone) {
   AtomicMin(&oldest_tombstone_time_, tombstone.time);
 }
 
-bool MemTable::Get(const Slice& user_key, ParsedEntry* entry) const {
-  // Seek to the first record with this user key (any seq); records for the
-  // same key are ordered newest-first.
+bool MemTable::Get(const Slice& user_key, ParsedEntry* entry,
+                   SequenceNumber max_seq) const {
+  // Seek to the first record with this user key and seq <= max_seq; records
+  // for the same key are ordered newest-first.
   ParsedEntry probe;
   probe.user_key = user_key;
-  probe.seq = kMaxSequenceNumber;
+  probe.seq = max_seq;
   probe.type = ValueType::kValue;
   std::string encoded;
   encoded.push_back(static_cast<char>(kLive));

@@ -51,10 +51,13 @@ class MemTable {
 
   void AddRangeTombstone(const RangeTombstone& tombstone);
 
-  /// Finds the most recent live entry for `user_key`. Returns true and fills
-  /// `*entry` (aliasing arena memory valid for the memtable's lifetime) if
-  /// present. A returned tombstone means "deleted here".
-  bool Get(const Slice& user_key, ParsedEntry* entry) const;
+  /// Finds the most recent live entry for `user_key` with seq <= `max_seq`.
+  /// Returns true and fills `*entry` (aliasing arena memory valid for the
+  /// memtable's lifetime) if present. A returned tombstone means "deleted
+  /// here". `max_seq` bounds visibility for snapshot reads; the default
+  /// reads the latest version.
+  bool Get(const Slice& user_key, ParsedEntry* entry,
+           SequenceNumber max_seq = kMaxSequenceNumber) const;
 
   /// Iterator over live entries in internal-key order. Multiple versions of
   /// a key may be yielded (newest first); flush consolidates them.
@@ -69,16 +72,17 @@ class MemTable {
     return rts_;
   }
 
-  /// Highest seq of a buffered range tombstone covering `key`, 0 if none.
-  /// Point-lookup fast path: the common no-range-tombstones case is one
-  /// atomic load — no lock, no shared_ptr refcount traffic. (The counter
-  /// is bumped after the snapshot publish, so a nonzero count always finds
-  /// the tombstone in the snapshot.)
-  SequenceNumber MaxRangeTombstoneCoverSeq(const Slice& key) const {
+  /// Highest seq <= `max_seq` of a buffered range tombstone covering `key`,
+  /// 0 if none. Point-lookup fast path: the common no-range-tombstones case
+  /// is one atomic load — no lock, no shared_ptr refcount traffic. (The
+  /// counter is bumped after the snapshot publish, so a nonzero count
+  /// always finds the tombstone in the snapshot.)
+  SequenceNumber MaxRangeTombstoneCoverSeq(
+      const Slice& key, SequenceNumber max_seq = kMaxSequenceNumber) const {
     if (num_range_tombstones_.load(std::memory_order_acquire) == 0) {
       return 0;
     }
-    return range_tombstones()->set.MaxCoverSeq(key);
+    return range_tombstones()->set.MaxCoverSeq(key, max_seq);
   }
 
   /// Marks every live entry with delete key in [lo, hi) dead. Returns the

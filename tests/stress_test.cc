@@ -26,8 +26,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <iterator>
 #include <map>
 #include <string>
 #include <thread>
@@ -36,6 +38,7 @@
 
 #include "src/core/lethe.h"
 #include "src/lsm/db_impl.h"
+#include "src/lsm/txn.h"
 #include "src/workload/generator.h"
 
 namespace lethe {
@@ -639,6 +642,251 @@ TEST_P(CrashStressTest, MidRunWriteFaultRecoversConsistently) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashStressTest,
                          ::testing::Range(1, NumSeeds() + 1));
+
+// ---- serializability-checked transaction lane -------------------------------
+//
+// N threads run optimistic read-modify-write transactions over one small,
+// deliberately overlapping key set, so conflicts are frequent. Each
+// successful commit logs {commit_sequence, observed reads, writes}. Because
+// commits are validated and applied under the write token, commit_sequence
+// order IS the serialization order: after the threads join, the harness
+// replays the committed transactions in that order through a serial shadow
+// map and asserts that every transaction's observed reads equal the shadow
+// state at its commit point. The final shadow must then equal the DB's
+// contents exactly — which simultaneously proves that aborted transactions
+// (Status::Busy) left no trace — and must survive a clean reopen.
+//
+// LETHE_TXN_SEEDS (default 6) and LETHE_TXN_OPS (default 120 transactions
+// per thread) scale the lane; CI raises both under ASan and TSan.
+// Reproduce one seed with
+// --gtest_filter=Seeds/TxnStressTest.SerializableCommitHistory/<N-1>.
+
+int NumTxnSeeds() { return EnvInt("LETHE_TXN_SEEDS", 6); }
+int TxnsPerThread() { return EnvInt("LETHE_TXN_OPS", 120); }
+
+constexpr int kTxnThreads = 4;
+constexpr uint64_t kTxnKeys = 64;  // shared by every thread: conflicts galore
+
+/// One committed transaction, as observed by the thread that ran it.
+struct CommitRecord {
+  SequenceNumber commit_seq = 0;
+  // key → value observed at the transaction's snapshot ("" + found=false
+  // encodes NotFound).
+  std::vector<std::tuple<uint64_t, bool, std::string>> reads;
+  // key → staged write (deleted=true for a staged point delete).
+  std::vector<std::tuple<uint64_t, bool, std::string>> writes;
+};
+
+void RunTxnWorker(StressState* state, int seed, int thread_id,
+                  std::vector<CommitRecord>* log,
+                  std::atomic<uint64_t>* conflicts) {
+  DB* db = state->db;
+  Random rnd(static_cast<uint64_t>(seed) * 60013 + thread_id);
+  const int txns = TxnsPerThread();
+
+  auto fail = [&](const std::string& what) {
+    ADD_FAILURE() << "seed=" << seed << " thread=" << thread_id << ": "
+                  << what;
+    state->failed.store(true, std::memory_order_relaxed);
+  };
+
+  for (int i = 0; i < txns && !state->failed.load(std::memory_order_relaxed);
+       i++) {
+    state->clock->AdvanceMicros(5);
+    if (rnd.Bernoulli(0.03)) {  // occasional barrier to churn the tree
+      Status s = rnd.Bernoulli(0.5) ? db->Flush() : db->WaitForCompact();
+      if (!s.ok()) {
+        fail("barrier failed: " + s.ToString());
+        return;
+      }
+    }
+
+    OptimisticTransaction txn(db);
+    CommitRecord record;
+
+    // Read-modify-write over two distinct random keys.
+    const uint64_t k1 = rnd.Uniform(kTxnKeys);
+    uint64_t k2 = rnd.Uniform(kTxnKeys);
+    if (k2 == k1) {
+      k2 = (k2 + 1) % kTxnKeys;
+    }
+    for (uint64_t k : {k1, k2}) {
+      std::string value;
+      Status s = txn.Get(ReadOptions(), EncodeKey(k), &value);
+      if (s.ok()) {
+        record.reads.emplace_back(k, true, value);
+      } else if (s.IsNotFound()) {
+        record.reads.emplace_back(k, false, "");
+      } else {
+        fail("txn get failed: " + s.ToString());
+        return;
+      }
+      if (rnd.Bernoulli(0.15)) {
+        s = txn.Delete(EncodeKey(k));
+        record.writes.emplace_back(k, true, "");
+      } else {
+        std::string next = "s" + std::to_string(seed) + "t" +
+                           std::to_string(thread_id) + "n" +
+                           std::to_string(i) + "k" + std::to_string(k);
+        s = txn.Put(EncodeKey(k), /*delete_key=*/0, next);
+        record.writes.emplace_back(k, false, next);
+      }
+      if (!s.ok()) {
+        fail("txn write failed: " + s.ToString());
+        return;
+      }
+    }
+
+    Status s = txn.Commit();
+    if (s.ok()) {
+      record.commit_seq = txn.commit_sequence();
+      log->push_back(std::move(record));
+    } else if (s.IsBusy()) {
+      conflicts->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      fail("commit failed: " + s.ToString());
+      return;
+    }
+  }
+}
+
+class TxnStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TxnStressTest, SerializableCommitHistory) {
+  const int seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  Random config_rnd(static_cast<uint64_t>(seed) * 31337);
+
+  auto base_env = NewMemEnv();
+  IoCountingEnv env(base_env.get(), 1024);
+  LogicalClock clock(1);
+
+  Options options;
+  options.env = &env;
+  options.clock = &clock;
+  options.write_buffer_bytes = 8 << 10;  // constant flush pressure
+  options.target_file_bytes = 8 << 10;
+  options.size_ratio = 3;
+  options.table.page_size_bytes = 1024;
+  options.table.entries_per_page = 8;
+  options.compaction_style = config_rnd.Bernoulli(0.5)
+                                 ? CompactionStyle::kLeveling
+                                 : CompactionStyle::kTiering;
+  options.inline_compactions = false;
+  static constexpr int kPools[] = {1, 2, 4};
+  options.background_threads = kPools[config_rnd.Uniform(3)];
+  if (config_rnd.Bernoulli(0.4)) {
+    options.delete_persistence_threshold_micros = 300000;
+    options.file_picking = FilePickingPolicy::kMaxTombstones;
+  }
+  SCOPED_TRACE("config: style=" +
+               std::string(options.compaction_style ==
+                                   CompactionStyle::kLeveling
+                               ? "leveling"
+                               : "tiering") +
+               " pool=" + std::to_string(options.background_threads) +
+               " dth=" +
+               std::to_string(options.delete_persistence_threshold_micros));
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "txnstressdb", &db).ok()) << "seed=" << seed;
+
+  StressState state;
+  state.db = db.get();
+  state.clock = &clock;
+
+  std::vector<std::vector<CommitRecord>> logs(kTxnThreads);
+  std::atomic<uint64_t> conflicts{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTxnThreads; t++) {
+    threads.emplace_back(RunTxnWorker, &state, seed, t, &logs[t], &conflicts);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  ASSERT_FALSE(state.failed.load()) << "seed=" << seed;
+  ASSERT_TRUE(db->WaitForCompact().ok()) << "seed=" << seed;
+
+  // Merge the per-thread logs into one history ordered by commit sequence.
+  std::vector<CommitRecord> history;
+  for (auto& log : logs) {
+    history.insert(history.end(), std::make_move_iterator(log.begin()),
+                   std::make_move_iterator(log.end()));
+  }
+  std::sort(history.begin(), history.end(),
+            [](const CommitRecord& a, const CommitRecord& b) {
+              return a.commit_seq < b.commit_seq;
+            });
+  for (size_t i = 1; i < history.size(); i++) {
+    ASSERT_LT(history[i - 1].commit_seq, history[i].commit_seq)
+        << "seed=" << seed << ": two commits share a sequence";
+  }
+  ASSERT_GT(history.size(), 0u) << "seed=" << seed << ": nothing committed";
+  EXPECT_EQ(db->stats().txn_commits.load(), history.size())
+      << "seed=" << seed;
+  EXPECT_EQ(db->stats().txn_conflicts.load(), conflicts.load())
+      << "seed=" << seed;
+
+  // Serial replay: every committed transaction's observed reads must match
+  // the shadow at its position in commit order (validation guarantees the
+  // read snapshot was still current at the commit point).
+  std::map<uint64_t, std::string> shadow;
+  for (const CommitRecord& record : history) {
+    for (const auto& [k, found, value] : record.reads) {
+      auto it = shadow.find(k);
+      if (found) {
+        ASSERT_NE(it, shadow.end())
+            << "seed=" << seed << " commit_seq=" << record.commit_seq
+            << ": read key " << k << " saw '" << value
+            << "' but the serial shadow has it absent";
+        ASSERT_EQ(it->second, value)
+            << "seed=" << seed << " commit_seq=" << record.commit_seq
+            << ": read key " << k << " diverges from the serial shadow";
+      } else {
+        ASSERT_EQ(it, shadow.end())
+            << "seed=" << seed << " commit_seq=" << record.commit_seq
+            << ": read key " << k << " saw NotFound but the shadow has '"
+            << it->second << "'";
+      }
+    }
+    for (const auto& [k, deleted, value] : record.writes) {
+      if (deleted) {
+        shadow.erase(k);
+      } else {
+        shadow[k] = value;
+      }
+    }
+  }
+
+  // The DB's final state must equal the serial shadow exactly — any stray
+  // effect from an aborted transaction would surface here.
+  auto verify_all = [&](const char* phase) {
+    for (uint64_t k = 0; k < kTxnKeys; k++) {
+      std::string value;
+      Status s = db->Get(ReadOptions(), EncodeKey(k), &value);
+      auto it = shadow.find(k);
+      if (it == shadow.end()) {
+        ASSERT_TRUE(s.IsNotFound())
+            << "seed=" << seed << " " << phase << " key " << k
+            << " should be absent: "
+            << (s.ok() ? "'" + value + "'" : s.ToString());
+      } else {
+        ASSERT_TRUE(s.ok()) << "seed=" << seed << " " << phase << " key "
+                            << k << ": " << s.ToString();
+        ASSERT_EQ(value, it->second)
+            << "seed=" << seed << " " << phase << " key " << k;
+      }
+    }
+  };
+  verify_all("post-join");
+
+  db.reset();
+  ASSERT_TRUE(DB::Open(options, "txnstressdb", &db).ok()) << "seed=" << seed;
+  verify_all("post-reopen");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnStressTest,
+                         ::testing::Range(1, NumTxnSeeds() + 1));
 
 }  // namespace
 }  // namespace lethe
