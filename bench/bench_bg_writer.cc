@@ -311,6 +311,130 @@ void RunSingleLevelSweep() {
   }
 }
 
+// ---- sharded saturated-ingest sweep ----------------------------------------
+//
+// ShardedDB vs a single tree at equal total resources: the same 4-worker
+// pool, the same total write-buffer bytes (split across shards), the same
+// device model (a fixed per-page write latency), and the adversarial
+// one-file-per-level shape with subcompactions off — a single tree can run
+// at most one merge at a time, so its flush chain serializes behind every
+// compaction, while N shards run N independent merge chains on the shared
+// pool. Writers drive the facade's hash router, so the comparison includes
+// the real cross-shard write path (per-shard writer queues and WALs).
+
+constexpr int kShardSweepWriters = 4;
+constexpr uint64_t kShardSweepOps = 40000;  // per writer, unpaced
+constexpr uint64_t kShardAppendDelayMicros = 40;
+constexpr uint64_t kShardTotalBufferBytes = 512 << 10;
+
+struct ShardSweepResult {
+  int shards = 0;
+  double seconds = 0;
+  double puts_per_sec = 0;
+  double merge_mb_s = 0;
+  uint64_t stall_micros = 0;
+};
+
+ShardSweepResult RunShardedIngest(int num_shards) {
+  auto base_env = NewMemEnv();
+  IoCountingEnv env(base_env.get(), 4096);
+  env.SetAppendDelayMicros(kShardAppendDelayMicros);
+
+  Options options;
+  options.env = &env;
+  // Equal TOTAL budget: the buffer bytes are split across the shards, and
+  // every configuration shares the same 4-worker pool.
+  options.write_buffer_bytes = kShardTotalBufferBytes / num_shards;
+  options.target_file_bytes = 64ull << 20;  // one file per level
+  options.size_ratio = 4;
+  options.table.page_size_bytes = 4096;
+  options.table.entries_per_page = 16;
+  options.table.bloom_bits_per_key = 10;
+  options.inline_compactions = false;
+  options.background_threads = 4;
+  options.max_subcompactions = 1;
+  options.max_imm_memtables = 4;
+  options.enable_wal = false;
+  options.num_shards = num_shards;
+
+  std::unique_ptr<DB> db;
+  CheckOk(DB::Open(options, "shardsweepdb", &db), "open");
+
+  SystemClock wall;
+  const uint64_t start = wall.NowMicros();
+  constexpr uint64_t kKeySpace = 4 * kShardSweepOps;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kShardSweepWriters; t++) {
+    threads.emplace_back([&, t] {
+      std::string value(104, 'v');
+      Random rng(static_cast<uint64_t>(t) + 17);
+      for (uint64_t i = 0; i < kShardSweepOps; i++) {
+        CheckOk(db->Put(WriteOptions(),
+                        workload::EncodeKey(rng.Next() % kKeySpace), i,
+                        value),
+                "put");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  CheckOk(db->Flush(), "flush");
+  CheckOk(db->WaitForCompact(), "wait for compact");
+
+  ShardSweepResult result;
+  result.shards = num_shards;
+  result.seconds = static_cast<double>(wall.NowMicros() - start) / 1e6;
+  result.puts_per_sec =
+      kShardSweepWriters * kShardSweepOps / result.seconds;
+  const Statistics& stats = db->stats();
+  result.merge_mb_s = static_cast<double>(stats.flush_bytes_written.load() +
+                                          stats.compaction_bytes_written
+                                              .load()) /
+                      (1 << 20) / result.seconds;
+  result.stall_micros = stats.stall_micros.load();
+  return result;
+}
+
+void RunShardedSweep() {
+  printf("\n# Sharded saturated-ingest sweep: %d unpaced writers x %" PRIu64
+         " ops, shards in {1, 4} on one 4-worker pool,\n",
+         kShardSweepWriters, kShardSweepOps);
+  printf("# equal total write buffer (%" PRIu64
+         " KB split across shards), one file per level, %" PRIu64
+         " us/page device latency.\n",
+         kShardTotalBufferBytes >> 10, kShardAppendDelayMicros);
+  printf("shards,seconds,puts_per_sec,merge_mb_s,speedup,stall_s\n");
+  std::vector<ShardSweepResult> rows;
+  for (int shards : {1, 4}) {
+    rows.push_back(RunShardedIngest(shards));
+  }
+  const double base = rows[0].puts_per_sec;
+  for (const ShardSweepResult& r : rows) {
+    printf("%d,%.2f,%.0f,%.1f,%.2fx,%.2f\n", r.shards, r.seconds,
+           r.puts_per_sec, r.merge_mb_s, r.puts_per_sec / base,
+           static_cast<double>(r.stall_micros) / 1e6);
+  }
+  // Machine-readable copy for the CI artifact.
+  FILE* json = fopen("bench_shards.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "[\n");
+    for (size_t i = 0; i < rows.size(); i++) {
+      const ShardSweepResult& r = rows[i];
+      fprintf(json,
+              "  {\"shards\": %d, \"seconds\": %.3f, \"puts_per_sec\": "
+              "%.0f, \"merge_mb_s\": %.2f, \"speedup_vs_1_shard\": %.3f, "
+              "\"stall_s\": %.3f}%s\n",
+              r.shards, r.seconds, r.puts_per_sec, r.merge_mb_s,
+              r.puts_per_sec / base,
+              static_cast<double>(r.stall_micros) / 1e6,
+              i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(json, "]\n");
+    fclose(json);
+  }
+}
+
 void Run() {
   printf("# Multi-threaded writers (%d threads x %" PRIu64
          " ops, one Put per %" PRIu64
@@ -326,13 +450,20 @@ void Run() {
   Report("background", RunOne(false));
   RunSweep();
   RunSingleLevelSweep();
+  RunShardedSweep();
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace lethe
 
-int main() {
+int main(int argc, char** argv) {
+  // --shards-only: just the sharded ingest sweep (and its JSON artifact),
+  // for CI jobs that only need the sharding datapoint.
+  if (argc > 1 && std::string(argv[1]) == "--shards-only") {
+    lethe::bench::RunShardedSweep();
+    return 0;
+  }
   lethe::bench::Run();
   return 0;
 }

@@ -2,13 +2,19 @@
 #define LETHE_CORE_OPTIONS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/env/env.h"
 #include "src/format/table_options.h"
 #include "src/util/clock.h"
 
 namespace lethe {
+
+class BackgroundScheduler;
+class KeyRouter;
+class PageCache;
 
 /// Merging policy (§2): leveling keeps at most one sorted run per level and
 /// greedily merges; tiering accumulates T runs per level before merging them
@@ -55,6 +61,18 @@ enum class WalRecoveryMode {
   kAbsoluteConsistency,
   kTolerateTruncatedTail,
   kSkipCorruptRecords,
+};
+
+/// Built-in key→shard routing policies for ShardedDB (num_shards > 1).
+///   kHash  — shard = Hash32(key) % num_shards: uniform load spread, range
+///            operations fan out to every shard.
+///   kRange — num_shards-1 ascending split keys partition the key space
+///            into contiguous bands; range operations touch only the
+///            overlapping shards. Requires shard_split_keys.
+/// A custom Options::key_router overrides both.
+enum class ShardRouterKind {
+  kHash,
+  kRange,
 };
 
 /// All engine configuration. Defaults mirror the paper's Table 1 / §5 setup
@@ -264,6 +282,44 @@ struct Options {
 
   /// Safety valve for pathological configs. Default: 16.
   int max_levels = 16;
+
+  /// Number of independent LSM shards behind DB::Open. 1 (the default)
+  /// opens the classic single-tree engine, byte-identical to every prior
+  /// release. > 1 opens a ShardedDB facade (src/lsm/sharded_db.h): N full
+  /// DBImpls under `<name>/shard-<i>`, keys routed by shard_router /
+  /// key_router, all shards sharing ONE background worker pool
+  /// (background_threads total, per-shard fair), ONE block cache, and ONE
+  /// memory_budget_bytes. See docs/architecture.md ("Sharding").
+  int num_shards = 1;
+
+  /// Built-in routing policy when num_shards > 1 and key_router is unset.
+  /// Default: kHash.
+  ShardRouterKind shard_router = ShardRouterKind::kHash;
+
+  /// Range routing (shard_router == kRange): exactly num_shards - 1
+  /// strictly ascending split keys. Shard i owns [split[i-1], split[i]);
+  /// shard 0 owns everything below split[0], the last shard everything at
+  /// or above the final split.
+  std::vector<std::string> shard_split_keys;
+
+  /// Fully custom router; overrides shard_router when set. Must be
+  /// deterministic and stable for the lifetime of the on-disk database —
+  /// rerouting keys of an existing DB silently orphans their old copies.
+  std::shared_ptr<KeyRouter> key_router;
+
+  /// Internal (set by ShardedDB when opening its shards; not for users).
+  /// When non-null the DBImpl uses this scheduler / block cache instead of
+  /// constructing its own, detaching from the scheduler as an owner on
+  /// close rather than shutting it down.
+  std::shared_ptr<BackgroundScheduler> shared_scheduler;
+  std::shared_ptr<PageCache> shared_block_cache;
+
+  /// Internal: first file number this DBImpl may allocate (its manifest,
+  /// WALs, and tables all number upward from here). ShardedDB gives each
+  /// shard a disjoint band (shard index << 40) so file-number-keyed state
+  /// in the shared block cache can never collide across shards. 0 (the
+  /// default) numbers from 1, the classic behaviour.
+  uint64_t file_number_origin = 0;
 
   /// Returns a copy with env/clock defaults resolved.
   Options WithDefaults() const;

@@ -8,6 +8,10 @@ namespace {
 void Copy(std::atomic<uint64_t>& dst, const std::atomic<uint64_t>& src) {
   dst.store(src.load(std::memory_order_relaxed), std::memory_order_relaxed);
 }
+void Add(std::atomic<uint64_t>& dst, const std::atomic<uint64_t>& src) {
+  dst.fetch_add(src.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
 }  // namespace
 
 void Statistics::RecordStall(uint64_t micros) {
@@ -106,6 +110,85 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(partial_page_drops, other.partial_page_drops);
   Copy(pages_scanned_for_srd, other.pages_scanned_for_srd);
   Copy(entries_purged_by_srd, other.entries_purged_by_srd);
+}
+
+void Statistics::AddFrom(const Statistics& other) {
+  Add(user_puts, other.user_puts);
+  Add(user_bytes_written, other.user_bytes_written);
+  Add(user_deletes, other.user_deletes);
+  Add(user_range_deletes, other.user_range_deletes);
+  Add(blind_deletes_avoided, other.blind_deletes_avoided);
+  Add(flushes, other.flushes);
+  Add(flush_bytes_written, other.flush_bytes_written);
+  Add(group_commit_batches, other.group_commit_batches);
+  Add(group_commit_entries, other.group_commit_entries);
+  Add(wal_appends, other.wal_appends);
+  Add(wal_syncs, other.wal_syncs);
+  Add(txn_commits, other.txn_commits);
+  Add(txn_conflicts, other.txn_conflicts);
+  Add(bg_jobs_dispatched, other.bg_jobs_dispatched);
+  Add(bg_jobs_deferred_overlap, other.bg_jobs_deferred_overlap);
+  for (size_t i = 0; i < bg_jobs_active.size(); i++) {
+    Add(bg_jobs_active[i], other.bg_jobs_active[i]);
+  }
+  Add(write_slowdowns, other.write_slowdowns);
+  Add(write_stalls, other.write_stalls);
+  Add(stall_micros, other.stall_micros);
+  {
+    std::scoped_lock lock(stall_hist_mu_, other.stall_hist_mu_);
+    stall_hist_.Merge(other.stall_hist_);
+    subcompaction_skew_hist_.Merge(other.subcompaction_skew_hist_);
+  }
+  Add(compactions, other.compactions);
+  Add(compactions_saturation_triggered,
+      other.compactions_saturation_triggered);
+  Add(compactions_ttl_triggered, other.compactions_ttl_triggered);
+  Add(compaction_bytes_read, other.compaction_bytes_read);
+  Add(compaction_bytes_written, other.compaction_bytes_written);
+  Add(compaction_entries_in, other.compaction_entries_in);
+  Add(compaction_entries_out, other.compaction_entries_out);
+  Add(trivial_moves, other.trivial_moves);
+  Add(subcompactions_dispatched, other.subcompactions_dispatched);
+  Add(partitioned_compactions, other.partitioned_compactions);
+  Add(tombstones_written, other.tombstones_written);
+  Add(tombstones_dropped, other.tombstones_dropped);
+  Add(invalid_entries_purged, other.invalid_entries_purged);
+  Add(point_lookups, other.point_lookups);
+  Add(point_lookup_pages_read, other.point_lookup_pages_read);
+  Add(range_lookups, other.range_lookups);
+  Add(range_lookup_pages_read, other.range_lookup_pages_read);
+  Add(bloom_probes, other.bloom_probes);
+  Add(bloom_negatives, other.bloom_negatives);
+  Add(bloom_false_positives, other.bloom_false_positives);
+  Add(hash_computations, other.hash_computations);
+  Add(page_cache_hits, other.page_cache_hits);
+  Add(page_cache_misses, other.page_cache_misses);
+  Add(page_cache_evictions, other.page_cache_evictions);
+  Add(page_cache_charge_bytes, other.page_cache_charge_bytes);
+  Add(index_block_cache_hits, other.index_block_cache_hits);
+  Add(index_block_cache_misses, other.index_block_cache_misses);
+  Add(index_block_reads, other.index_block_reads);
+  Add(index_block_charge_bytes, other.index_block_charge_bytes);
+  Add(filter_block_cache_hits, other.filter_block_cache_hits);
+  Add(filter_block_cache_misses, other.filter_block_cache_misses);
+  Add(filter_block_reads, other.filter_block_reads);
+  Add(filter_block_charge_bytes, other.filter_block_charge_bytes);
+  Add(block_cache_strict_rejections, other.block_cache_strict_rejections);
+  Add(cache_reservation_bytes, other.cache_reservation_bytes);
+  for (size_t i = 0; i < bg_errors_by_class.size(); i++) {
+    Add(bg_errors_by_class[i], other.bg_errors_by_class[i]);
+  }
+  Add(auto_recovery_attempts, other.auto_recovery_attempts);
+  Add(auto_recovery_successes, other.auto_recovery_successes);
+  Add(time_in_degraded_micros, other.time_in_degraded_micros);
+  Add(wal_records_skipped_corrupt, other.wal_records_skipped_corrupt);
+  Add(wal_bytes_skipped_corrupt, other.wal_bytes_skipped_corrupt);
+  Add(manifest_fallbacks, other.manifest_fallbacks);
+  Add(secondary_range_deletes, other.secondary_range_deletes);
+  Add(full_page_drops, other.full_page_drops);
+  Add(partial_page_drops, other.partial_page_drops);
+  Add(pages_scanned_for_srd, other.pages_scanned_for_srd);
+  Add(entries_purged_by_srd, other.entries_purged_by_srd);
 }
 
 std::string Statistics::ToString() const {

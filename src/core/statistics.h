@@ -174,6 +174,11 @@ struct Statistics {
     *this = Statistics();
   }
 
+  /// Adds every counter and gauge of `other` into this object and merges
+  /// the histograms. Used by ShardedDB to aggregate per-shard statistics
+  /// into one engine-wide view. Thread-safe.
+  void AddFrom(const Statistics& other);
+
   Statistics() = default;
   Statistics(const Statistics& other) { CopyFrom(other); }
   Statistics& operator=(const Statistics& other) {

@@ -245,6 +245,10 @@ bool IoCountingEnv::MaybeInjectFault(FaultOp op, const std::string& fname,
       fname.find(p.path_substring) == std::string::npos) {
     return false;
   }
+  if (!p.path_substring2.empty() &&
+      fname.find(p.path_substring2) == std::string::npos) {
+    return false;
+  }
   const uint64_t op_index = ++fault_ops_;
   if (op_index <= p.start_after_ops) {
     return false;  // grace period before the fail window opens

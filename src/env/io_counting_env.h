@@ -65,6 +65,9 @@ struct FaultPolicy {
   uint64_t start_after_ops = 0;        // grace ops before the window opens
   uint64_t fail_window_ops = UINT64_MAX;  // window length; UINT64_MAX = forever
   std::string path_substring;          // empty = every file
+  std::string path_substring2;         // second filter; both must match
+                                       // (e.g. "shard-2" + ".sst" targets one
+                                       // shard's table writes)
   uint64_t seed = 0;                   // probability RNG seed (deterministic)
 };
 

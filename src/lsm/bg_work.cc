@@ -6,6 +6,7 @@ namespace lethe {
 
 BackgroundScheduler::BackgroundScheduler(int num_threads, Statistics* stats)
     : stats_(stats) {
+  owners_[kDefaultOwner];  // owner 0 always exists
   num_threads = std::max(num_threads, 1);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; i++) {
@@ -15,18 +16,53 @@ BackgroundScheduler::BackgroundScheduler(int num_threads, Statistics* stats)
 
 BackgroundScheduler::~BackgroundScheduler() { Shutdown(); }
 
-bool BackgroundScheduler::Schedule(Priority priority,
-                                   std::function<void()> fn) {
+bool BackgroundScheduler::Schedule(Priority priority, std::function<void()> fn,
+                                   OwnerId owner) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       return false;
     }
-    queues_[static_cast<int>(priority)].push_back(std::move(fn));
+    auto it = owners_.find(owner);
+    if (it == owners_.end() || it->second.detached) {
+      return false;
+    }
+    const int cls = static_cast<int>(priority);
+    auto& q = it->second.queues[cls];
+    if (q.empty()) {
+      rotation_[cls].push_back(owner);
+    }
+    q.push_back(std::move(fn));
     queued_++;
   }
   work_cv_.notify_one();
   return true;
+}
+
+BackgroundScheduler::OwnerId BackgroundScheduler::RegisterOwner() {
+  std::lock_guard<std::mutex> lock(mu_);
+  OwnerId id = next_owner_++;
+  owners_[id];
+  return id;
+}
+
+void BackgroundScheduler::DetachOwner(OwnerId owner) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = owners_.find(owner);
+  if (it == owners_.end()) {
+    return;  // already detached and erased
+  }
+  it->second.detached = true;
+  for (int cls = 0; cls < kNumPriorities; cls++) {
+    queued_ -= it->second.queues[cls].size();
+    it->second.queues[cls].clear();
+    auto& rot = rotation_[cls];
+    rot.erase(std::remove(rot.begin(), rot.end(), owner), rot.end());
+  }
+  // Wait out this owner's in-flight jobs; siblings keep dispatching. Jobs
+  // in flight complete even during Shutdown, so this cannot hang.
+  idle_cv_.wait(lock, [&] { return it->second.active == 0; });
+  owners_.erase(it);
 }
 
 void BackgroundScheduler::Shutdown() {
@@ -34,9 +70,15 @@ void BackgroundScheduler::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
     paused_ = false;
-    for (auto& q : queues_) {
-      queued_ -= q.size();
-      q.clear();
+    for (auto& [id, owner] : owners_) {
+      (void)id;
+      for (auto& q : owner.queues) {
+        queued_ -= q.size();
+        q.clear();
+      }
+    }
+    for (auto& rot : rotation_) {
+      rot.clear();
     }
   }
   work_cv_.notify_all();
@@ -74,16 +116,30 @@ void BackgroundScheduler::WorkerLoop() {
       return;
     }
     std::function<void()> job;
+    OwnerState* owner_state = nullptr;
     int job_class = 0;
-    for (int i = 0; i < kNumPriorities; i++) {
-      if (!queues_[i].empty()) {
-        job = std::move(queues_[i].front());
-        queues_[i].pop_front();
-        queued_--;
-        job_class = i;
-        break;
+    for (int cls = 0; cls < kNumPriorities; cls++) {
+      auto& rot = rotation_[cls];
+      if (rot.empty()) {
+        continue;
       }
+      // Take one job from the owner at the rotation front, then rotate it
+      // to the back while it still has work of this class — per-owner
+      // fairness within the class. With one owner this is plain FIFO.
+      OwnerId owner = rot.front();
+      rot.pop_front();
+      owner_state = &owners_[owner];
+      auto& q = owner_state->queues[cls];
+      job = std::move(q.front());
+      q.pop_front();
+      queued_--;
+      if (!q.empty()) {
+        rot.push_back(owner);
+      }
+      job_class = cls;
+      break;
     }
+    owner_state->active++;
     active_++;
     if (stats_ != nullptr) {
       stats_->bg_jobs_dispatched.fetch_add(1, std::memory_order_relaxed);
@@ -97,8 +153,11 @@ void BackgroundScheduler::WorkerLoop() {
       stats_->bg_jobs_active[job_class].fetch_sub(1,
                                                   std::memory_order_relaxed);
     }
+    // owner_state stays valid: DetachOwner only erases an owner once its
+    // active count is zero, which cannot happen before this decrement.
+    owner_state->active--;
     active_--;
-    if (active_ == 0) {
+    if (active_ == 0 || owner_state->active == 0) {
       idle_cv_.notify_all();
     }
   }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -38,6 +39,18 @@ namespace lethe {
 /// a job that would overlap an in-flight footprint defers itself and is
 /// re-armed when the conflicting job completes. See docs/architecture.md.
 ///
+/// Multi-owner pools: one scheduler may serve several DBImpls (ShardedDB
+/// shares a single pool across all shards). Each shard registers an owner
+/// id and tags its jobs with it; within a priority class the dispatcher
+/// round-robins across owners with pending work, so a write-hot shard
+/// cannot starve a sibling's flushes of the same class. With a single
+/// owner the rotation degenerates to plain FIFO — byte-identical to the
+/// pre-sharding scheduler. DetachOwner drains one owner without touching
+/// the others: its queued jobs are discarded, its in-flight jobs are waited
+/// out, and subsequent Schedule calls for that owner are rejected — so
+/// closing one shard can never strand or run jobs of a half-destroyed
+/// sibling.
+///
 /// Thread-safety: all public methods are thread-safe. Jobs run without any
 /// scheduler lock held, so they may freely call Schedule().
 class BackgroundScheduler {
@@ -50,6 +63,11 @@ class BackgroundScheduler {
   };
   static constexpr int kNumPriorities = 4;
 
+  /// Identifies one job source (one DBImpl) in a shared pool. Owner 0
+  /// always exists, for single-owner use.
+  using OwnerId = uint64_t;
+  static constexpr OwnerId kDefaultOwner = 0;
+
   /// Starts `num_threads` workers (clamped to >= 1). `stats` (optional)
   /// receives bg_jobs_dispatched and the per-class bg_jobs_active gauges.
   explicit BackgroundScheduler(int num_threads = 1,
@@ -61,14 +79,26 @@ class BackgroundScheduler {
   BackgroundScheduler(const BackgroundScheduler&) = delete;
   BackgroundScheduler& operator=(const BackgroundScheduler&) = delete;
 
-  /// Enqueues `fn` at `priority` and wakes a worker. Returns false (and
-  /// drops the job) after Shutdown has begun.
-  bool Schedule(Priority priority, std::function<void()> fn);
+  /// Enqueues `fn` at `priority` on behalf of `owner` and wakes a worker.
+  /// Returns false (and drops the job) after Shutdown has begun or after
+  /// the owner was detached.
+  bool Schedule(Priority priority, std::function<void()> fn,
+                OwnerId owner = kDefaultOwner);
+
+  /// Registers a new job source in this pool and returns its id. Thread-safe
+  /// with respect to running workers.
+  OwnerId RegisterOwner();
+
+  /// Drains one owner out of a live pool: rejects its future Schedule
+  /// calls, discards its queued jobs, and blocks until its in-flight jobs
+  /// have finished. Jobs of other owners are untouched and keep running.
+  /// The caller is responsible for any cleanup the discarded jobs would
+  /// have done (DBImpl drains pending flushes inline at close). Idempotent;
+  /// detaching kDefaultOwner is allowed (it stays rejected thereafter).
+  void DetachOwner(OwnerId owner);
 
   /// Rejects further Schedule calls, lets the currently running jobs finish,
   /// discards still-queued jobs, and joins every worker thread. Idempotent.
-  /// The caller is responsible for any cleanup the discarded jobs would have
-  /// done (DBImpl drains pending flushes inline at close).
   void Shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -84,14 +114,29 @@ class BackgroundScheduler {
   void TEST_Resume();
 
  private:
+  struct OwnerState {
+    std::array<std::deque<std::function<void()>>, kNumPriorities> queues;
+    int active = 0;     // this owner's jobs currently executing
+    bool detached = false;
+  };
+
   void WorkerLoop();
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals the workers
-  std::condition_variable idle_cv_;  // signals the TEST_Pause barrier
-  std::array<std::deque<std::function<void()>>, kNumPriorities> queues_;
+  std::condition_variable idle_cv_;  // signals TEST_Pause / DetachOwner
+  // Owner id → its per-class queues. References stay valid while the owner
+  // is registered (node-based map); DetachOwner erases only once the
+  // owner's active count hits zero.
+  std::map<OwnerId, OwnerState> owners_;
+  // Round-robin rotation per priority class: owners with at least one
+  // queued job of that class, in dispatch order. An owner appears at most
+  // once per class; the dispatcher pops the front, takes one job, and
+  // re-appends the owner while it still has work of that class.
+  std::array<std::deque<OwnerId>, kNumPriorities> rotation_;
   size_t queued_ = 0;
   int active_ = 0;  // jobs currently executing across the pool
+  OwnerId next_owner_ = 1;
   bool paused_ = false;
   bool shutdown_ = false;
   Statistics* stats_;

@@ -11,6 +11,7 @@
 
 #include "src/lsm/merging_iterator.h"
 #include "src/lsm/secondary_delete.h"
+#include "src/lsm/sharded_db.h"
 
 namespace lethe {
 
@@ -257,6 +258,9 @@ void RemoveFailedMergeOutputs(Env* env, const std::string& dbname,
 Status DB::Open(const Options& options, const std::string& name,
                 std::unique_ptr<DB>* db) {
   LETHE_RETURN_IF_ERROR(options.Validate());
+  if (options.num_shards > 1) {
+    return OpenShardedDB(options, name, db);
+  }
   auto impl = std::make_unique<DBImpl>(options, name);
   LETHE_RETURN_IF_ERROR(impl->Init());
   *db = std::move(impl);
@@ -282,8 +286,14 @@ DBImpl::~DBImpl() {
     err_->Shutdown();
   }
   if (bg_ != nullptr) {
-    // Finish the in-flight job, discard the queued ones, join the worker.
-    bg_->Shutdown();
+    // Leave the pool as an owner: discard this DB's queued jobs and wait
+    // out its in-flight ones. In a shared pool (ShardedDB) sibling shards'
+    // jobs keep running untouched; when this DBImpl owns the scheduler
+    // alone, shut the pool down afterwards exactly as before.
+    bg_->DetachOwner(bg_owner_);
+    if (options_.shared_scheduler == nullptr) {
+      bg_->Shutdown();
+    }
   }
   {
     // Single-threaded from here on. Drain the memtables whose flush jobs
@@ -314,8 +324,15 @@ Status DBImpl::Init() {
   const uint64_t cache_capacity = options_.memory_budget_bytes > 0
                                       ? options_.memory_budget_bytes
                                       : options_.page_cache_bytes;
-  if (cache_capacity > 0) {
-    page_cache_ = std::make_unique<PageCache>(
+  if (options_.shared_block_cache != nullptr) {
+    // ShardedDB: every shard stakes reservations against the one facade-
+    // owned cache, so a single budget bounds the whole sharded engine.
+    page_cache_ = options_.shared_block_cache;
+    if (options_.memory_budget_bytes > 0) {
+      memtable_reservation_ = CacheReservation(page_cache_->cache());
+    }
+  } else if (cache_capacity > 0) {
+    page_cache_ = std::make_shared<PageCache>(
         cache_capacity, options_.page_cache_shard_bits, &stats_,
         options_.strict_cache_capacity);
     if (options_.memory_budget_bytes > 0) {
@@ -328,8 +345,13 @@ Status DBImpl::Init() {
   LETHE_RETURN_IF_ERROR(versions_->Recover());
   mem_ = std::make_shared<MemTable>();
   if (!options_.inline_compactions) {
-    bg_ = std::make_unique<BackgroundScheduler>(options_.background_threads,
-                                                &stats_);
+    if (options_.shared_scheduler != nullptr) {
+      bg_ = options_.shared_scheduler;
+      bg_owner_ = bg_->RegisterOwner();
+    } else {
+      bg_ = std::make_shared<BackgroundScheduler>(options_.background_threads,
+                                                  &stats_);
+    }
     ErrorHandler::RetryPolicy policy;
     policy.max_retries = options_.max_bg_error_retries;
     policy.base_backoff_micros = options_.bg_error_base_backoff_micros;
@@ -1166,9 +1188,10 @@ Status DBImpl::HandlePostWriteLocked(std::unique_lock<std::mutex>& l) {
       // imm_full guarantees the flush chain is alive (scheduled or parked
       // behind an in-flight merge); l0_stopped implies the saturation
       // trigger fired (see clamp above) — but re-arm both defensively so
-      // the wait below always has a wakeup source.
-      MaybeScheduleFlushLocked();
+      // the wait below always has a wakeup source. Compaction first so a
+      // yielding flush chain sees the job it is yielding to.
       MaybeScheduleCompactionLocked();
+      MaybeScheduleFlushLocked();
       if (!stalled) {
         stalled = true;
         stall_start = NowSteadyMicros();
@@ -1237,10 +1260,23 @@ void DBImpl::MaybeScheduleFlushLocked() {
   if (flush_scheduled_) {
     return;  // the chain is alive; it re-arms itself after each flush
   }
+  if (l0_saturated_ && compaction_jobs_ > 0 &&
+      static_cast<int>(imm_.size()) < options_.max_imm_memtables) {
+    // L0 is over capacity and a compaction job is queued or running: yield
+    // one round so the compaction's pick can claim the L0 run. A leveled
+    // flush rewrites the whole run, so an unyielding chain re-claims L0 the
+    // instant each flush commits and the compaction never finds it free —
+    // the run then snowballs and every flush rewrites the growing pile.
+    // Bounded: a full imm backlog flushes regardless (writers are already
+    // paying the stall either way), and the chain is re-armed by the
+    // compaction's commit (UnregisterJobLocked), by BackgroundCompaction's
+    // exit when the pick came up empty, and by every memtable switch.
+    return;
+  }
   flush_scheduled_ = true;
   bg_jobs_inflight_++;
   if (!bg_->Schedule(BackgroundScheduler::Priority::kFlush,
-                     [this] { BackgroundFlush(); })) {
+                     [this] { BackgroundFlush(); }, bg_owner_)) {
     flush_scheduled_ = false;
     bg_jobs_inflight_--;  // shutting down; the destructor drains imm_
   }
@@ -1404,16 +1440,19 @@ void DBImpl::RefreshTriggerStateLocked() {
   buffer_ttl_ = picker_->BufferTtl(*version);
   l0_runs_ = version->num_levels() > 0 ? version->LevelRunCount(0) : 0;
   saturation_pending_ = false;
+  l0_saturated_ = false;
   for (int level = 0; level < version->num_levels(); level++) {
     if (options_.compaction_style == CompactionStyle::kTiering) {
       if (version->LevelRunCount(level) >=
           static_cast<int>(options_.size_ratio)) {
         saturation_pending_ = true;
+        l0_saturated_ = level == 0;
         return;
       }
     } else if (version->LevelBytes(level) >
                picker_->LevelCapacityBytes(level)) {
       saturation_pending_ = true;
+      l0_saturated_ = level == 0;
       return;
     }
   }
@@ -1704,7 +1743,7 @@ Status DBImpl::RunMergePartitioned(
     for (size_t h = 1; h < num_parts; h++) {
       // Best effort: a rejected job (shutdown) just means this thread
       // merges that partition itself.
-      bg_->Schedule(priority, [drain, state] { drain(state); });
+      bg_->Schedule(priority, [drain, state] { drain(state); }, bg_owner_);
     }
   }
   drain(state);
@@ -1842,7 +1881,8 @@ void DBImpl::MaybeScheduleCompactionLocked() {
   compaction_deferred_ = false;
   compaction_jobs_++;
   bg_jobs_inflight_++;
-  if (!bg_->Schedule(priority, [this] { BackgroundCompaction(); })) {
+  if (!bg_->Schedule(priority, [this] { BackgroundCompaction(); },
+                     bg_owner_)) {
     compaction_jobs_--;
     bg_jobs_inflight_--;
   }
@@ -1858,8 +1898,10 @@ void DBImpl::UnregisterJobLocked(uint64_t job_id) {
   // chains.
   compaction_backoff_ = false;
   flush_deferred_ = false;
-  MaybeScheduleFlushLocked();
+  // Compaction first: if this commit left L0 over capacity, the flush
+  // chain sees compaction_jobs_ > 0 and yields the claim race to it.
   MaybeScheduleCompactionLocked();
+  MaybeScheduleFlushLocked();
   bg_work_done_cv_.notify_all();
 }
 
@@ -1925,6 +1967,10 @@ void DBImpl::BackgroundCompaction() {
   } else {
     compaction_jobs_--;
   }
+  // Un-park a flush chain that yielded its L0 claim to this job: if the
+  // pick came up empty (no commit, so no UnregisterJobLocked re-arm) and
+  // no further compaction is queued, the flush must not stay parked.
+  MaybeScheduleFlushLocked();
   bg_jobs_inflight_--;
   MaybeRunPendingOrphanSweepLocked();
   bg_work_done_cv_.notify_all();
@@ -1998,23 +2044,26 @@ Status DBImpl::RunOnWorkerAndWait(
     bool done = false;
   } result;  // guarded by mu_; outlives the job because we wait for done
   bg_jobs_inflight_++;
-  const bool scheduled = bg_->Schedule(priority, [this, &result, &fn, kind] {
-    std::unique_lock<std::mutex> jl(mu_);
-    Status s;
-    if (!closed_ && bg_error_.ok()) {
-      s = fn(jl);
-      if (!s.ok()) {
-        RecordBackgroundErrorLocked(kind, s);
-      }
-    } else {
-      s = bg_error_;
-    }
-    result.status = s;
-    result.done = true;
-    bg_jobs_inflight_--;
-    MaybeRunPendingOrphanSweepLocked();
-    bg_work_done_cv_.notify_all();
-  });
+  const bool scheduled = bg_->Schedule(
+      priority,
+      [this, &result, &fn, kind] {
+        std::unique_lock<std::mutex> jl(mu_);
+        Status s;
+        if (!closed_ && bg_error_.ok()) {
+          s = fn(jl);
+          if (!s.ok()) {
+            RecordBackgroundErrorLocked(kind, s);
+          }
+        } else {
+          s = bg_error_;
+        }
+        result.status = s;
+        result.done = true;
+        bg_jobs_inflight_--;
+        MaybeRunPendingOrphanSweepLocked();
+        bg_work_done_cv_.notify_all();
+      },
+      bg_owner_);
   if (!scheduled) {
     bg_jobs_inflight_--;
     return Status::InvalidArgument("DB is closing");
@@ -2451,6 +2500,29 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
   // Entries retained only for this snapshot become droppable at the next
   // merge that sees them; no eager rewrite is triggered (mirrors how
   // graveyard files wait for the next sweep).
+}
+
+Status DBImpl::PauseWrites() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (closed_) {
+    return Status::InvalidArgument("DB is closed");
+  }
+  // An exclusive Writer at the queue front holds the write token: leaders
+  // never merge past a null batch (BuildBatchGroup stops there), so once
+  // this writer reaches the front every earlier write has fully committed
+  // and published its sequences, and no later one can start.
+  pause_writer_ = std::make_unique<Writer>(nullptr, false);
+  JoinWriterQueue(pause_writer_.get(), l);
+  return Status::OK();
+}
+
+void DBImpl::ResumeWrites() {
+  std::unique_lock<std::mutex> l(mu_);
+  if (pause_writer_ == nullptr) {
+    return;
+  }
+  CompleteGroup(pause_writer_.get(), pause_writer_.get(), Status::OK(), l);
+  pause_writer_.reset();
 }
 
 Status DBImpl::LatestSeqForKey(const Slice& key, SequenceNumber* seq) {

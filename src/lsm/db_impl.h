@@ -104,6 +104,15 @@ class DBImpl final : public DB {
                         SequenceNumber read_snapshot_seq,
                         const std::vector<std::string>& validation_keys,
                         SequenceNumber* commit_seq);
+
+  /// Cross-shard snapshot support (see ShardedDB::GetSnapshot): acquires
+  /// and holds this DB's write token, so no write can commit — and
+  /// LastSequence cannot advance — until ResumeWrites. Every write acked
+  /// before PauseWrites returns has published its sequence (token order).
+  /// Reads, including GetSnapshot, proceed normally while paused. Not
+  /// reentrant; each PauseWrites must be paired with one ResumeWrites.
+  Status PauseWrites();
+  void ResumeWrites();
   Status Flush() override;
   Status WaitForCompact() override;
   Status CompactUntilQuiescent() override;
@@ -429,8 +438,9 @@ class DBImpl final : public DB {
 
   // Must outlive versions_ (the table cache hands it to every open reader)
   // and memtable_reservation_ (which returns its stake on destruction —
-  // member order below page_cache_ guarantees it).
-  std::unique_ptr<PageCache> page_cache_;
+  // member order below page_cache_ guarantees it). shared_ptr: under
+  // ShardedDB one cache is co-owned by every shard and the facade.
+  std::shared_ptr<PageCache> page_cache_;
   CacheReservation memtable_reservation_;  // write buffers' budget stake
   // Active memtable's contribution to the stake. Guarded by mu_ for
   // reads; written only while also holding the write token (or
@@ -438,11 +448,18 @@ class DBImpl final : public DB {
   size_t mem_staked_bytes_ = 0;
   std::unique_ptr<VersionSet> versions_;
   std::unique_ptr<CompactionPicker> picker_;
-  std::unique_ptr<BackgroundScheduler> bg_;  // background mode only
+  // Background mode only. Owned alone (classic) or co-owned by every shard
+  // (Options::shared_scheduler); each DBImpl is one scheduler *owner* and
+  // detaches itself — not the pool — at close.
+  std::shared_ptr<BackgroundScheduler> bg_;
+  BackgroundScheduler::OwnerId bg_owner_ = BackgroundScheduler::kDefaultOwner;
   std::unique_ptr<ErrorHandler> err_;        // background mode only
 
   mutable std::mutex mu_;
   std::deque<Writer*> writers_;
+  // Live PauseWrites token holder (an exclusive Writer parked at the queue
+  // front), released by ResumeWrites. Guarded by mu_.
+  std::unique_ptr<Writer> pause_writer_;
   SnapshotList snapshots_;  // live snapshot pins, oldest first (mu_)
   std::shared_ptr<MemTable> mem_;
   std::deque<ImmMemTable> imm_;  // oldest first
@@ -482,6 +499,13 @@ class DBImpl final : public DB {
   uint64_t earliest_ttl_expiry_ = UINT64_MAX;
   uint64_t buffer_ttl_ = UINT64_MAX;  // FADE's d_0 for the memtable
   bool saturation_pending_ = false;
+  // L0 specifically is over capacity. The flush chain consults this to
+  // yield one round to a scheduled compaction: a leveled flush greedily
+  // rewrites the whole L0 run, so under saturated ingest back-to-back
+  // flushes would re-claim L0 the instant each one commits and the
+  // compaction's pick would never find it unclaimed — L0 then snowballs
+  // and every flush rewrites the growing run. See MaybeScheduleFlushLocked.
+  bool l0_saturated_ = false;
   int l0_runs_ = 0;
 };
 

@@ -124,6 +124,22 @@ bool KeyRangesOverlap(const FileMeta& a, const FileMeta& b) {
 Status DB::Repair(const Options& options, const std::string& name) {
   const Options resolved = options.WithDefaults();
   LETHE_RETURN_IF_ERROR(resolved.Validate());
+  if (resolved.num_shards > 1) {
+    // Shards are independent single-shard databases under <name>/shard-<i>;
+    // repair each in turn. A shard directory that never got created (crash
+    // before first open finished) is not an error to the siblings.
+    Options shard_options = resolved;
+    shard_options.num_shards = 1;
+    Status result;
+    for (int i = 0; i < resolved.num_shards; i++) {
+      const std::string shard_name = name + "/shard-" + std::to_string(i);
+      Status s = DB::Repair(shard_options, shard_name);
+      if (!s.ok() && result.ok()) {
+        result = s;
+      }
+    }
+    return result;
+  }
   Env* env = resolved.env;
   std::vector<std::string> children;
   LETHE_RETURN_IF_ERROR(env->GetChildren(name, &children));

@@ -80,7 +80,15 @@ VersionSet::VersionSet(const Options& resolved_options, std::string dbname,
       table_cache_(resolved_options.env, resolved_options.table, dbname_,
                    page_cache,
                    resolved_options.cache_index_and_filter_blocks),
-      stats_(stats) {}
+      stats_(stats) {
+  if (resolved_options.file_number_origin > 0) {
+    // Shard bands: every file this set allocates (tables, WALs, manifests)
+    // numbers upward from the origin, so file-number-keyed state in a
+    // cache shared across shards can never collide. Recovery max-merges
+    // the persisted counter on top, keeping reopens inside the band.
+    EnsureFileNumberPast(resolved_options.file_number_origin);
+  }
+}
 
 Status VersionSet::Recover() {
   Env* env = options_.env;
