@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/memtable/memtable.h"
 #include "src/util/histogram.h"
 #include "src/util/random.h"
 
@@ -435,6 +436,331 @@ void RunShardedSweep() {
   }
 }
 
+// ---- range-delete scale-out sweeps -----------------------------------------
+//
+// Three panels for the fragmented range-tombstone index:
+//
+//  1. Tombstone-density sweep: one table holding D overlapping range
+//     tombstones plus the live keys, point-Get throughput with the
+//     fragmented index (O(log F) per file probe) vs the naive linear walk
+//     (O(D)). The tombstones all share a begin key, so the naive walk can
+//     never early-exit — the worst case the fragmented index removes.
+//  2. Memtable publish-cost sweep: ns per RangeDelete publish across
+//     windows of a long tombstone burst. The chunked immutable-tail
+//     structure keeps the per-publish copy bounded by the active chunk
+//     (O(1) amortized), so the curve is flat; the old full-clone COW grew
+//     linearly with the resident tombstone count.
+//  3. Mixed Put/RangeDelete/Get lane at configurable tombstone density,
+//     reporting throughput plus the rt_* statistics (fragment builds,
+//     fragment counts, cover probes) so regressions in the lazy-build or
+//     cache path show up in the CI artifact.
+
+constexpr uint64_t kRdKeySpace = 4096;     // probe key space
+constexpr uint64_t kRdProbeGets = 20000;   // timed Gets per configuration
+
+struct RangeDelDensityRow {
+  uint64_t density = 0;
+  double frag_gets_per_sec = 0;
+  double naive_gets_per_sec = 0;
+  uint64_t fragments = 0;        // rt_fragments_total after the frag run
+  uint64_t fragment_builds = 0;  // lazy builds (once per table)
+  uint64_t cover_probes = 0;     // per-file fragmented probes during Gets
+};
+
+// Builds one tombstone-bearing table above a seed run (tombstones survive a
+// flush only when data exists below them — a bottommost merge retires them)
+// and times random point Gets. Every Get visits the tombstone table first,
+// accumulates range-tombstone coverage, and finds the newer put there — so
+// the measured cost difference is exactly the per-file coverage probe.
+double TimeRangeDelGets(uint64_t density, bool fragmented,
+                        RangeDelDensityRow* row) {
+  auto base_env = NewMemEnv();
+  IoCountingEnv env(base_env.get(), 4096);
+
+  Options options;
+  options.env = &env;
+  // Large buffer/file so each generation flushes into a single table, and
+  // tiering so the two flushed runs stack instead of merging (a merge of
+  // the whole tree would be bottommost and drop the tombstones).
+  options.write_buffer_bytes = 64ull << 20;
+  options.target_file_bytes = 64ull << 20;
+  options.size_ratio = 10;
+  options.compaction_style = CompactionStyle::kTiering;
+  options.table.page_size_bytes = 4096;
+  options.table.entries_per_page = 16;
+  options.table.bloom_bits_per_key = 10;
+  options.enable_wal = false;
+  // Wall-clock bench: cache decoded pages (and the fragmented RT block)
+  // so the timed Gets measure in-memory probe cost, not page decoding.
+  options.page_cache_bytes = 64ull << 20;
+  options.fragmented_range_tombstones = fragmented;
+
+  std::unique_ptr<DB> db;
+  CheckOk(DB::Open(options, "rangedeldb", &db), "open");
+
+  // Seed run: an older generation of every key, flushed first so the
+  // tombstone flush below is not bottommost.
+  std::string value(kValueSize, 'v');
+  for (uint64_t k = 0; k < kRdKeySpace; k++) {
+    CheckOk(db->Put(WriteOptions(), workload::EncodeKey(k), k, value),
+            "seed put");
+  }
+  CheckOk(db->Flush(), "seed flush");
+
+  // Nested tombstones: identical begin key, ends cycling over 64 steps.
+  // Every probe is covered-checked against all D tombstones by the linear
+  // walk (no begin-key early exit is possible), while the fragmented index
+  // collapses the duplicates to ~65 fragments with O(D) total seqs — the
+  // tombstone-pileup shape from repeated deletes of the same span. The
+  // re-puts are newer than every tombstone, so the timed Gets still return
+  // values.
+  for (uint64_t i = 0; i < density; i++) {
+    CheckOk(db->RangeDelete(WriteOptions(), workload::EncodeKey(0),
+                            workload::EncodeKey(kRdKeySpace / 2 +
+                                                (i % 64) * 32)),
+            "range delete");
+  }
+  for (uint64_t k = 0; k < kRdKeySpace; k++) {
+    CheckOk(db->Put(WriteOptions(), workload::EncodeKey(k), k, value),
+            "put");
+  }
+  CheckOk(db->Flush(), "flush");
+  CheckOk(db->WaitForCompact(), "wait for compact");
+
+  SystemClock wall;
+  std::string out;
+  Random rng(314159);
+  // Warm-up triggers the one-time lazy fragmentation build so the timed
+  // region measures steady-state probes for both configurations.
+  for (int i = 0; i < 100; i++) {
+    CheckOk(db->Get(ReadOptions(), workload::EncodeKey(rng.Next() %
+                                                       kRdKeySpace),
+                    &out),
+            "warmup get");
+  }
+  const uint64_t start = wall.NowMicros();
+  for (uint64_t i = 0; i < kRdProbeGets; i++) {
+    CheckOk(db->Get(ReadOptions(), workload::EncodeKey(rng.Next() %
+                                                       kRdKeySpace),
+                    &out),
+            "get");
+  }
+  const double seconds =
+      static_cast<double>(wall.NowMicros() - start) / 1e6;
+  if (fragmented && row != nullptr) {
+    const Statistics& stats = db->stats();
+    row->fragments = stats.rt_fragments_total.load();
+    row->fragment_builds = stats.rt_fragment_builds.load();
+    row->cover_probes = stats.rt_cover_probes.load();
+  }
+  return kRdProbeGets / seconds;
+}
+
+// Memtable publish sweep: drives AddRangeTombstone directly (the publish
+// path under the Write mutex) and reports mean ns/publish per window. A
+// flat curve across windows is the O(1)-amortized acceptance check.
+constexpr uint64_t kPublishTotal = 1 << 16;   // 65536 publishes
+constexpr uint64_t kPublishWindows = 8;
+
+struct PublishWindowRow {
+  uint64_t upto = 0;      // cumulative publishes at window end
+  double ns_per_op = 0;
+};
+
+std::vector<PublishWindowRow> RunPublishSweep() {
+  MemTable mem;
+  SystemClock wall;
+  std::vector<PublishWindowRow> rows;
+  constexpr uint64_t kWindow = kPublishTotal / kPublishWindows;
+  uint64_t published = 0;
+  for (uint64_t w = 0; w < kPublishWindows; w++) {
+    const uint64_t start = wall.NowMicros();
+    for (uint64_t i = 0; i < kWindow; i++) {
+      RangeTombstone rt;
+      rt.begin_key = workload::EncodeKey(published % kRdKeySpace);
+      rt.end_key = workload::EncodeKey(published % kRdKeySpace + 64);
+      rt.seq = ++published;
+      mem.AddRangeTombstone(rt);
+    }
+    const uint64_t micros = wall.NowMicros() - start;
+    rows.push_back({published,
+                    static_cast<double>(micros) * 1000.0 / kWindow});
+  }
+  return rows;
+}
+
+// Mixed lane: unpaced Put/RangeDelete/Get threads against the default
+// (fragmented) configuration with small buffers, so tombstones continuously
+// flush into tables and the read side exercises the lazy build + probe
+// path under churn.
+constexpr int kRdMixedThreads = 2;
+constexpr uint64_t kRdMixedOpsPerThread = 30000;
+
+struct RangeDelMixedRow {
+  double rd_fraction = 0;
+  double ops_per_sec = 0;
+  uint64_t fragment_builds = 0;
+  uint64_t fragments_total = 0;
+  uint64_t cover_probes = 0;
+  double fragments_avg = 0;  // per-build fragment count (histogram mean)
+};
+
+RangeDelMixedRow RunRangeDelMixed(double rd_fraction) {
+  auto base_env = NewMemEnv();
+  IoCountingEnv env(base_env.get(), 4096);
+
+  Options options;
+  options.env = &env;
+  options.write_buffer_bytes = 256 << 10;
+  options.target_file_bytes = 256 << 10;
+  options.size_ratio = 10;
+  // Tiering keeps flushed runs stacked, so tombstones stay resident in
+  // tables (and get probed by Gets) instead of retiring at the first
+  // whole-tree merge.
+  options.compaction_style = CompactionStyle::kTiering;
+  options.table.page_size_bytes = 4096;
+  options.table.entries_per_page = 16;
+  options.table.bloom_bits_per_key = 10;
+  options.enable_wal = false;
+
+  std::unique_ptr<DB> db;
+  CheckOk(DB::Open(options, "rangedelmixeddb", &db), "open");
+
+  SystemClock wall;
+  const uint64_t start = wall.NowMicros();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRdMixedThreads; t++) {
+    threads.emplace_back([&, t] {
+      std::string value(kValueSize, 'v');
+      std::string out;
+      Random rng(static_cast<uint64_t>(t) + 7);
+      for (uint64_t i = 0; i < kRdMixedOpsPerThread; i++) {
+        const double roll = rng.NextDouble();
+        const uint64_t key = rng.Next() % kRdKeySpace;
+        if (roll < rd_fraction) {
+          CheckOk(db->RangeDelete(WriteOptions(), workload::EncodeKey(key),
+                                  workload::EncodeKey(key + 64)),
+                  "range delete");
+        } else if (roll < rd_fraction + 0.5) {
+          CheckOk(db->Put(WriteOptions(), workload::EncodeKey(key), i,
+                          value),
+                  "put");
+        } else {
+          Status s = db->Get(ReadOptions(), workload::EncodeKey(key), &out);
+          if (!s.ok() && !s.IsNotFound()) {
+            CheckOk(s, "get");
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  CheckOk(db->Flush(), "flush");
+  CheckOk(db->WaitForCompact(), "wait for compact");
+
+  RangeDelMixedRow row;
+  row.rd_fraction = rd_fraction;
+  row.ops_per_sec = kRdMixedThreads * kRdMixedOpsPerThread /
+                    (static_cast<double>(wall.NowMicros() - start) / 1e6);
+  const Statistics& stats = db->stats();
+  row.fragment_builds = stats.rt_fragment_builds.load();
+  row.fragments_total = stats.rt_fragments_total.load();
+  row.cover_probes = stats.rt_cover_probes.load();
+  row.fragments_avg = stats.RtFragmentHistogram().Average();
+  return row;
+}
+
+void RunRangeDelSweep() {
+  // Panel 1: density sweep.
+  printf("\n# Range-delete density sweep: one table, D nested tombstones "
+         "under %" PRIu64 " keys, %" PRIu64 " point Gets.\n",
+         kRdKeySpace, kRdProbeGets);
+  printf("# fragmented = per-file O(log F) probe against the cached "
+         "fragmented index; naive = O(D) linear walk.\n");
+  printf("density,frag_gets_per_sec,naive_gets_per_sec,speedup,fragments,"
+         "fragment_builds,cover_probes\n");
+  std::vector<RangeDelDensityRow> density_rows;
+  for (uint64_t density : {64ull, 256ull, 1024ull, 4096ull}) {
+    RangeDelDensityRow row;
+    row.density = density;
+    row.frag_gets_per_sec = TimeRangeDelGets(density, true, &row);
+    row.naive_gets_per_sec = TimeRangeDelGets(density, false, nullptr);
+    printf("%" PRIu64 ",%.0f,%.0f,%.2fx,%" PRIu64 ",%" PRIu64 ",%" PRIu64
+           "\n",
+           row.density, row.frag_gets_per_sec, row.naive_gets_per_sec,
+           row.frag_gets_per_sec / row.naive_gets_per_sec, row.fragments,
+           row.fragment_builds, row.cover_probes);
+    density_rows.push_back(row);
+  }
+
+  // Panel 2: publish-cost sweep.
+  printf("\n# Memtable publish-cost sweep: %" PRIu64
+         " RangeDelete publishes, mean ns/publish per window of %" PRIu64
+         ".\n",
+         kPublishTotal, kPublishTotal / kPublishWindows);
+  printf("# Flat across windows = O(1) amortized (chunked immutable tail); "
+         "the old full-clone grew with the count.\n");
+  printf("publishes,ns_per_publish\n");
+  std::vector<PublishWindowRow> publish_rows = RunPublishSweep();
+  for (const PublishWindowRow& r : publish_rows) {
+    printf("%" PRIu64 ",%.0f\n", r.upto, r.ns_per_op);
+  }
+
+  // Panel 3: mixed lane.
+  printf("\n# Mixed Put/RangeDelete/Get lane: %d unpaced threads x %" PRIu64
+         " ops, rd_fraction in {0.01, 0.10}.\n",
+         kRdMixedThreads, kRdMixedOpsPerThread);
+  printf("rd_fraction,ops_per_sec,rt_fragment_builds,rt_fragments_total,"
+         "rt_cover_probes,fragments_per_build\n");
+  std::vector<RangeDelMixedRow> mixed_rows;
+  for (double rd_fraction : {0.01, 0.10}) {
+    RangeDelMixedRow row = RunRangeDelMixed(rd_fraction);
+    printf("%.2f,%.0f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.1f\n",
+           row.rd_fraction, row.ops_per_sec, row.fragment_builds,
+           row.fragments_total, row.cover_probes, row.fragments_avg);
+    mixed_rows.push_back(row);
+  }
+
+  // Machine-readable copy for the CI artifact.
+  FILE* json = fopen("bench_rangedel.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n  \"density_sweep\": [\n");
+    for (size_t i = 0; i < density_rows.size(); i++) {
+      const RangeDelDensityRow& r = density_rows[i];
+      fprintf(json,
+              "    {\"density\": %" PRIu64 ", \"frag_gets_per_sec\": %.0f, "
+              "\"naive_gets_per_sec\": %.0f, \"speedup\": %.3f, "
+              "\"fragments\": %" PRIu64 "}%s\n",
+              r.density, r.frag_gets_per_sec, r.naive_gets_per_sec,
+              r.frag_gets_per_sec / r.naive_gets_per_sec, r.fragments,
+              i + 1 < density_rows.size() ? "," : "");
+    }
+    fprintf(json, "  ],\n  \"publish_sweep\": [\n");
+    for (size_t i = 0; i < publish_rows.size(); i++) {
+      fprintf(json,
+              "    {\"publishes\": %" PRIu64 ", \"ns_per_publish\": "
+              "%.1f}%s\n",
+              publish_rows[i].upto, publish_rows[i].ns_per_op,
+              i + 1 < publish_rows.size() ? "," : "");
+    }
+    fprintf(json, "  ],\n  \"mixed_lane\": [\n");
+    for (size_t i = 0; i < mixed_rows.size(); i++) {
+      const RangeDelMixedRow& r = mixed_rows[i];
+      fprintf(json,
+              "    {\"rd_fraction\": %.2f, \"ops_per_sec\": %.0f, "
+              "\"rt_fragment_builds\": %" PRIu64 ", \"rt_fragments_total\": "
+              "%" PRIu64 ", \"rt_cover_probes\": %" PRIu64 "}%s\n",
+              r.rd_fraction, r.ops_per_sec, r.fragment_builds,
+              r.fragments_total, r.cover_probes,
+              i + 1 < mixed_rows.size() ? "," : "");
+    }
+    fprintf(json, "  ]\n}\n");
+    fclose(json);
+  }
+}
+
 void Run() {
   printf("# Multi-threaded writers (%d threads x %" PRIu64
          " ops, one Put per %" PRIu64
@@ -451,6 +777,7 @@ void Run() {
   RunSweep();
   RunSingleLevelSweep();
   RunShardedSweep();
+  RunRangeDelSweep();
 }
 
 }  // namespace
@@ -462,6 +789,12 @@ int main(int argc, char** argv) {
   // for CI jobs that only need the sharding datapoint.
   if (argc > 1 && std::string(argv[1]) == "--shards-only") {
     lethe::bench::RunShardedSweep();
+    return 0;
+  }
+  // --rangedel-only: just the range-delete sweeps (and bench_rangedel.json),
+  // for CI jobs that only need the tombstone-scaling datapoints.
+  if (argc > 1 && std::string(argv[1]) == "--rangedel-only") {
+    lethe::bench::RunRangeDelSweep();
     return 0;
   }
   lethe::bench::Run();

@@ -125,6 +125,17 @@ struct Options {
   /// definitely absent. Default: false.
   bool filter_blind_deletes = false;
 
+  /// Serve range-tombstone cover queries from a fragmented index (disjoint
+  /// key fragments, each holding the sorted seqs of the tombstones covering
+  /// it) instead of a linear walk of the raw list: O(log F) per probe
+  /// however many tombstones overlap. Per-table fragmented indexes build
+  /// lazily on the first RT-consulting read and live in the block cache
+  /// (when one is configured) under the shared budget. Answers are
+  /// bit-identical to the naive scan — this knob trades a small build cost
+  /// for probe speed; false restores the linear paths (the A/B baseline for
+  /// bench_rangedel). Default: true.
+  bool fragmented_range_tombstones = true;
+
   /// Memory budget (bytes) for the engine-wide decoded-page cache, an LRU
   /// over decoded disk pages keyed by (file number, page index) and shared
   /// by every read scenario: point lookups, filter-guard probes, iterators,

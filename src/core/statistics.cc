@@ -35,6 +35,16 @@ Histogram Statistics::SubcompactionSkewHistogram() const {
   return subcompaction_skew_hist_;
 }
 
+void Statistics::RecordRtFragmentCount(uint64_t fragments) {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  rt_fragment_hist_.Add(fragments);
+}
+
+Histogram Statistics::RtFragmentHistogram() const {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  return rt_fragment_hist_;
+}
+
 void Statistics::CopyFrom(const Statistics& other) {
   Copy(user_puts, other.user_puts);
   Copy(user_bytes_written, other.user_bytes_written);
@@ -47,6 +57,8 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(group_commit_entries, other.group_commit_entries);
   Copy(wal_appends, other.wal_appends);
   Copy(wal_syncs, other.wal_syncs);
+  Copy(txn_commits, other.txn_commits);
+  Copy(txn_conflicts, other.txn_conflicts);
   Copy(bg_jobs_dispatched, other.bg_jobs_dispatched);
   Copy(bg_jobs_deferred_overlap, other.bg_jobs_deferred_overlap);
   for (size_t i = 0; i < bg_jobs_active.size(); i++) {
@@ -59,6 +71,7 @@ void Statistics::CopyFrom(const Statistics& other) {
     std::scoped_lock lock(stall_hist_mu_, other.stall_hist_mu_);
     stall_hist_ = other.stall_hist_;
     subcompaction_skew_hist_ = other.subcompaction_skew_hist_;
+    rt_fragment_hist_ = other.rt_fragment_hist_;
   }
   Copy(compactions, other.compactions);
   Copy(compactions_saturation_triggered,
@@ -94,6 +107,12 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(filter_block_cache_misses, other.filter_block_cache_misses);
   Copy(filter_block_reads, other.filter_block_reads);
   Copy(filter_block_charge_bytes, other.filter_block_charge_bytes);
+  Copy(rt_fragment_builds, other.rt_fragment_builds);
+  Copy(rt_fragments_total, other.rt_fragments_total);
+  Copy(rt_cover_probes, other.rt_cover_probes);
+  Copy(rt_block_cache_hits, other.rt_block_cache_hits);
+  Copy(rt_block_cache_misses, other.rt_block_cache_misses);
+  Copy(rt_block_charge_bytes, other.rt_block_charge_bytes);
   Copy(block_cache_strict_rejections, other.block_cache_strict_rejections);
   Copy(cache_reservation_bytes, other.cache_reservation_bytes);
   for (size_t i = 0; i < bg_errors_by_class.size(); i++) {
@@ -138,6 +157,7 @@ void Statistics::AddFrom(const Statistics& other) {
     std::scoped_lock lock(stall_hist_mu_, other.stall_hist_mu_);
     stall_hist_.Merge(other.stall_hist_);
     subcompaction_skew_hist_.Merge(other.subcompaction_skew_hist_);
+    rt_fragment_hist_.Merge(other.rt_fragment_hist_);
   }
   Add(compactions, other.compactions);
   Add(compactions_saturation_triggered,
@@ -173,6 +193,12 @@ void Statistics::AddFrom(const Statistics& other) {
   Add(filter_block_cache_misses, other.filter_block_cache_misses);
   Add(filter_block_reads, other.filter_block_reads);
   Add(filter_block_charge_bytes, other.filter_block_charge_bytes);
+  Add(rt_fragment_builds, other.rt_fragment_builds);
+  Add(rt_fragments_total, other.rt_fragments_total);
+  Add(rt_cover_probes, other.rt_cover_probes);
+  Add(rt_block_cache_hits, other.rt_block_cache_hits);
+  Add(rt_block_cache_misses, other.rt_block_cache_misses);
+  Add(rt_block_charge_bytes, other.rt_block_charge_bytes);
   Add(block_cache_strict_rejections, other.block_cache_strict_rejections);
   Add(cache_reservation_bytes, other.cache_reservation_bytes);
   for (size_t i = 0; i < bg_errors_by_class.size(); i++) {
@@ -209,6 +235,11 @@ std::string Statistics::ToString() const {
       << " filter_block_misses=" << filter_block_cache_misses.load()
       << " index_block_hits=" << index_block_cache_hits.load()
       << " index_block_misses=" << index_block_cache_misses.load()
+      << " rt_fragment_builds=" << rt_fragment_builds.load()
+      << " rt_fragments_total=" << rt_fragments_total.load()
+      << " rt_cover_probes=" << rt_cover_probes.load()
+      << " rt_block_hits=" << rt_block_cache_hits.load()
+      << " rt_block_misses=" << rt_block_cache_misses.load()
       << " strict_rejections=" << block_cache_strict_rejections.load()
       << " reservation_bytes=" << cache_reservation_bytes.load()
       << " bloom_probes=" << bloom_probes.load()

@@ -120,6 +120,21 @@ struct Statistics {
   std::atomic<uint64_t> filter_block_reads{0};
   std::atomic<uint64_t> filter_block_charge_bytes{0};  // gauge
 
+  // Fragmented range-tombstone index (Options::fragmented_range_tombstones).
+  // A *build* converts one table's raw tombstone list into its fragmented
+  // form (lazily, on the first RT-consulting read of that table);
+  // rt_fragments_total sums the fragment counts of those builds. A *cover
+  // probe* is one fragmented Covers/MaxCoverSeq lookup on the read path
+  // (compaction's MinCoverSeqAbove probes are deliberately not counted —
+  // one compaction would swamp the read-path signal). The cache pair and
+  // charge gauge mirror the index/filter blocks above.
+  std::atomic<uint64_t> rt_fragment_builds{0};
+  std::atomic<uint64_t> rt_fragments_total{0};
+  std::atomic<uint64_t> rt_cover_probes{0};
+  std::atomic<uint64_t> rt_block_cache_hits{0};
+  std::atomic<uint64_t> rt_block_cache_misses{0};
+  std::atomic<uint64_t> rt_block_charge_bytes{0};  // gauge
+
   // Unified memory budget (Options::memory_budget_bytes). A strict
   // rejection is an insert that did not fit the remaining budget
   // (Options::strict_cache_capacity) — the caller fell back to an unpooled
@@ -170,6 +185,13 @@ struct Statistics {
   /// merge).
   Histogram SubcompactionSkewHistogram() const;
 
+  /// Records one fragmented-index build's fragment count. Thread-safe.
+  void RecordRtFragmentCount(uint64_t fragments);
+
+  /// Snapshot of the per-table fragment-count histogram (one sample per
+  /// fragmented-index build).
+  Histogram RtFragmentHistogram() const;
+
   void Reset() {
     *this = Statistics();
   }
@@ -196,6 +218,7 @@ struct Statistics {
   mutable std::mutex stall_hist_mu_;
   Histogram stall_hist_;
   Histogram subcompaction_skew_hist_;  // guarded by stall_hist_mu_
+  Histogram rt_fragment_hist_;         // guarded by stall_hist_mu_
 };
 
 }  // namespace lethe

@@ -17,6 +17,7 @@ enum BlockType : char {
   kDataPage = 0,
   kIndexBlock = 1,
   kFilterBlock = 2,
+  kFragmentedRtBlock = 3,
 };
 
 void EncodeBlockKey(uint64_t file_number, uint32_t generation, BlockType type,
@@ -143,6 +144,20 @@ bool PageCache::InsertIndex(uint64_t file_number,
   return FinishInsert(InsertBlock(
       cache_.get(), file_number, kIndexBlock, 0, index,
       stats_ ? &stats_->index_block_charge_bytes : nullptr));
+}
+
+bool PageCache::LookupFragmentedRt(uint64_t file_number,
+                                   FragmentedRtHandle* rt) {
+  return LookupBlock(cache_.get(), file_number, kFragmentedRtBlock, 0,
+                     stats_ ? &stats_->rt_block_cache_hits : nullptr,
+                     stats_ ? &stats_->rt_block_cache_misses : nullptr, rt);
+}
+
+bool PageCache::InsertFragmentedRt(uint64_t file_number,
+                                   const FragmentedRtHandle& rt) {
+  return FinishInsert(InsertBlock(
+      cache_.get(), file_number, kFragmentedRtBlock, 0, rt,
+      stats_ ? &stats_->rt_block_charge_bytes : nullptr));
 }
 
 bool PageCache::LookupFilter(uint64_t file_number, uint32_t tile_index,

@@ -18,7 +18,7 @@ namespace lethe {
 using PageHandle = std::shared_ptr<const PageContents>;
 
 /// Engine-wide cache of decoded table blocks, layered on the sharded
-/// two-priority LRU. Three block types share one charge-accounted budget,
+/// two-priority LRU. Four block types share one charge-accounted budget,
 /// distinguished by a type tag in the cache key:
 ///
 ///   - data pages, keyed (file_number, generation, page_index) — admitted
@@ -31,6 +31,11 @@ using PageHandle = std::shared_ptr<const PageContents>;
 ///     delete tile, admitted at high priority: data-page churn evicts
 ///     the filters the lookup cost model assumes resident only once no
 ///     evictable page remains to give up.
+///   - fragmented range-tombstone blocks, keyed (file_number) — one per
+///     table, admitted at high priority. Not an on-disk block: the
+///     fragmented index is derived CPU-side from the decoded table index,
+///     and cached so the O(N log N) fragmentation runs once per table, not
+///     once per read.
 ///
 /// SSTable files are immutable except for KiWi's secondary range deletes,
 /// which rewrite or drop pages in place. Those are fenced by `generation`
@@ -74,6 +79,14 @@ class PageCache {
 
   bool LookupIndex(uint64_t file_number, TableIndexHandle* index);
   bool InsertIndex(uint64_t file_number, const TableIndexHandle& index);
+
+  // ---- fragmented range-tombstone blocks ----------------------------------
+
+  /// One per table (keyed like the index block; a table's tombstone list is
+  /// immutable, so no generation). Built CPU-side from the decoded index —
+  /// caching it avoids re-fragmenting on every RT-consulting read.
+  bool LookupFragmentedRt(uint64_t file_number, FragmentedRtHandle* rt);
+  bool InsertFragmentedRt(uint64_t file_number, const FragmentedRtHandle& rt);
 
   // ---- Bloom filter blocks ------------------------------------------------
 

@@ -50,9 +50,18 @@ void RangeTombstoneSet::Add(const RangeTombstone& tombstone) {
 }
 
 void RangeTombstoneSet::AddAll(const std::vector<RangeTombstone>& tombstones) {
-  for (const RangeTombstone& t : tombstones) {
-    Add(t);
+  if (tombstones.empty()) {
+    return;
   }
+  // Bulk append + one stable sort instead of a per-element sorted insert
+  // (which is O(N^2) in vector moves). Queries aggregate over every
+  // tombstone containing the key, so the relative order of equal begin
+  // keys — the only thing that differs from repeated Add — is immaterial.
+  tombstones_.insert(tombstones_.end(), tombstones.begin(), tombstones.end());
+  std::stable_sort(tombstones_.begin(), tombstones_.end(),
+                   [](const RangeTombstone& a, const RangeTombstone& b) {
+                     return Slice(a.begin_key).compare(Slice(b.begin_key)) < 0;
+                   });
 }
 
 bool RangeTombstoneSet::Covers(const Slice& user_key, SequenceNumber seq,
@@ -95,6 +104,121 @@ SequenceNumber RangeTombstoneSet::MinCoverSeqAbove(const Slice& user_key,
     }
   }
   return cover;
+}
+
+FragmentedRangeTombstoneList::FragmentedRangeTombstoneList(
+    const std::vector<RangeTombstone>& tombstones) {
+  if (tombstones.empty()) {
+    return;
+  }
+  // Boundary sweep: every begin/end key is a fragment boundary, so within
+  // one fragment the set of covering tombstones is constant.
+  keys_.reserve(tombstones.size() * 2);
+  for (const RangeTombstone& t : tombstones) {
+    if (Slice(t.begin_key).compare(Slice(t.end_key)) >= 0) {
+      continue;  // empty range: covers nothing (Contains is always false)
+    }
+    keys_.push_back(t.begin_key);
+    keys_.push_back(t.end_key);
+  }
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  if (keys_.size() < 2) {
+    keys_.clear();
+    return;
+  }
+
+  // Scatter each tombstone's seq into the fragments it spans. Both bounds
+  // are boundary keys, so the lower_bounds land exactly.
+  const size_t num_frags = keys_.size() - 1;
+  std::vector<std::vector<SequenceNumber>> frag_seqs(num_frags);
+  for (const RangeTombstone& t : tombstones) {
+    if (Slice(t.begin_key).compare(Slice(t.end_key)) >= 0) {
+      continue;
+    }
+    const size_t lo =
+        std::lower_bound(keys_.begin(), keys_.end(), t.begin_key) -
+        keys_.begin();
+    const size_t hi =
+        std::lower_bound(keys_.begin(), keys_.end(), t.end_key) -
+        keys_.begin();
+    for (size_t i = lo; i < hi; i++) {
+      frag_seqs[i].push_back(t.seq);
+    }
+  }
+
+  seq_offset_.reserve(keys_.size());
+  for (std::vector<SequenceNumber>& seqs : frag_seqs) {
+    // Ascending + deduplicated: every query is an aggregate (max below a
+    // bound, existence in a window, min above), so duplicates are inert.
+    std::sort(seqs.begin(), seqs.end());
+    seqs.erase(std::unique(seqs.begin(), seqs.end()), seqs.end());
+    seq_offset_.push_back(static_cast<uint32_t>(seqs_.size()));
+    seqs_.insert(seqs_.end(), seqs.begin(), seqs.end());
+  }
+  seq_offset_.push_back(static_cast<uint32_t>(seqs_.size()));
+}
+
+bool FragmentedRangeTombstoneList::FragmentSeqs(
+    const Slice& user_key, const SequenceNumber** begin,
+    const SequenceNumber** end) const {
+  if (keys_.empty()) {
+    return false;
+  }
+  // Largest boundary <= user_key owns the fragment; keys before the first
+  // boundary or at/after the last are outside every tombstone.
+  auto it = std::upper_bound(
+      keys_.begin(), keys_.end(), user_key,
+      [](const Slice& key, const std::string& boundary) {
+        return key.compare(Slice(boundary)) < 0;
+      });
+  if (it == keys_.begin() || it == keys_.end()) {
+    return false;
+  }
+  const size_t idx = static_cast<size_t>(it - keys_.begin()) - 1;
+  *begin = seqs_.data() + seq_offset_[idx];
+  *end = seqs_.data() + seq_offset_[idx + 1];
+  return *begin != *end;
+}
+
+bool FragmentedRangeTombstoneList::Covers(const Slice& user_key,
+                                          SequenceNumber seq,
+                                          SequenceNumber max_seq) const {
+  const SequenceNumber *begin, *end;
+  if (!FragmentSeqs(user_key, &begin, &end)) {
+    return false;
+  }
+  const SequenceNumber* it = std::upper_bound(begin, end, seq);
+  return it != end && *it <= max_seq;
+}
+
+SequenceNumber FragmentedRangeTombstoneList::MaxCoverSeq(
+    const Slice& user_key, SequenceNumber max_seq) const {
+  const SequenceNumber *begin, *end;
+  if (!FragmentSeqs(user_key, &begin, &end)) {
+    return 0;
+  }
+  const SequenceNumber* it = std::upper_bound(begin, end, max_seq);
+  return it == begin ? 0 : *(it - 1);
+}
+
+SequenceNumber FragmentedRangeTombstoneList::MinCoverSeqAbove(
+    const Slice& user_key, SequenceNumber seq) const {
+  const SequenceNumber *begin, *end;
+  if (!FragmentSeqs(user_key, &begin, &end)) {
+    return 0;
+  }
+  const SequenceNumber* it = std::upper_bound(begin, end, seq);
+  return it == end ? 0 : *it;
+}
+
+size_t FragmentedRangeTombstoneList::ApproximateMemoryUsage() const {
+  size_t total = sizeof(*this) + seq_offset_.size() * sizeof(uint32_t) +
+                 seqs_.size() * sizeof(SequenceNumber);
+  for (const std::string& key : keys_) {
+    total += sizeof(std::string) + key.size();
+  }
+  return total;
 }
 
 }  // namespace lethe

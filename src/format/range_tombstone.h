@@ -69,6 +69,65 @@ class RangeTombstoneSet {
   std::vector<RangeTombstone> tombstones_;  // sorted by begin_key
 };
 
+/// RocksDB-style fragmented form of a tombstone set: the key space is split
+/// at every tombstone boundary into disjoint fragments, each carrying the
+/// ascending (deduplicated) list of seqs of the tombstones covering it.
+/// Cover queries become one binary search over the fragment boundaries plus
+/// one binary search in that fragment's seq list — O(log F + log S) however
+/// many tombstones pile up on a key, where the naive set degrades to a
+/// linear walk. Immutable once built, so one instance can be shared lock-
+/// free across readers (per-table copies are cached in the block cache, the
+/// memtable builds one per sealed chunk).
+///
+/// All three queries are answer-identical to RangeTombstoneSet's — the
+/// seq list of the fragment containing `user_key` is exactly the multiset
+/// {t.seq : t.Contains(user_key)}, so max-below-bound, exists-in-window,
+/// and min-above reduce to probes of one sorted array. Bit-exactness of
+/// MinCoverSeqAbove in particular is what compaction's snapshot-stripe drop
+/// rule relies on (see docs/architecture.md "Range tombstones").
+class FragmentedRangeTombstoneList {
+ public:
+  FragmentedRangeTombstoneList() = default;
+  explicit FragmentedRangeTombstoneList(
+      const std::vector<RangeTombstone>& tombstones);
+
+  bool empty() const { return keys_.empty(); }
+
+  /// Number of disjoint fragments (including coverage gaps between
+  /// non-overlapping tombstones, which carry an empty seq list).
+  size_t num_fragments() const {
+    return keys_.empty() ? 0 : keys_.size() - 1;
+  }
+
+  /// Same contract as RangeTombstoneSet::Covers.
+  bool Covers(const Slice& user_key, SequenceNumber seq,
+              SequenceNumber max_seq = kMaxSequenceNumber) const;
+
+  /// Same contract as RangeTombstoneSet::MaxCoverSeq.
+  SequenceNumber MaxCoverSeq(
+      const Slice& user_key,
+      SequenceNumber max_seq = kMaxSequenceNumber) const;
+
+  /// Same contract as RangeTombstoneSet::MinCoverSeqAbove.
+  SequenceNumber MinCoverSeqAbove(const Slice& user_key,
+                                  SequenceNumber seq) const;
+
+  /// Charge against the block-cache budget when cached per table.
+  size_t ApproximateMemoryUsage() const;
+
+ private:
+  /// Seq list of the fragment containing `user_key` as [*begin, *end), or
+  /// false when no fragment contains it.
+  bool FragmentSeqs(const Slice& user_key, const SequenceNumber** begin,
+                    const SequenceNumber** end) const;
+
+  // Fragment i spans [keys_[i], keys_[i+1]); its covering seqs are
+  // seqs_[seq_offset_[i] .. seq_offset_[i+1]), ascending and deduplicated.
+  std::vector<std::string> keys_;       // sorted distinct boundary keys
+  std::vector<uint32_t> seq_offset_;    // size keys_.size(); last == total
+  std::vector<SequenceNumber> seqs_;
+};
+
 }  // namespace lethe
 
 #endif  // LETHE_FORMAT_RANGE_TOMBSTONE_H_

@@ -275,6 +275,43 @@ Status SSTableReader::GetIndex(TableIndexHandle* index) const {
   return Status::OK();
 }
 
+Status SSTableReader::GetFragmentedRangeTombstones(
+    Statistics* stats, FragmentedRtHandle* out) const {
+  if (page_cache_ != nullptr &&
+      page_cache_->LookupFragmentedRt(file_number_, out)) {
+    return Status::OK();
+  }
+  if (page_cache_ == nullptr) {
+    std::lock_guard<std::mutex> lock(frt_mu_);
+    if (frt_memo_ != nullptr) {
+      *out = frt_memo_;
+      return Status::OK();
+    }
+  }
+  TableIndexHandle index;
+  LETHE_RETURN_IF_ERROR(GetIndex(&index));
+  auto frt = std::make_shared<const FragmentedRangeTombstoneList>(
+      index->range_tombstones);
+  if (stats != nullptr) {
+    stats->rt_fragment_builds.fetch_add(1, std::memory_order_relaxed);
+    stats->rt_fragments_total.fetch_add(frt->num_fragments(),
+                                        std::memory_order_relaxed);
+    stats->RecordRtFragmentCount(frt->num_fragments());
+  }
+  if (page_cache_ != nullptr) {
+    // Strict-budget rejection is fine: the caller serves from its own
+    // handle and the next reader rebuilds.
+    page_cache_->InsertFragmentedRt(file_number_, frt);
+  } else {
+    std::lock_guard<std::mutex> lock(frt_mu_);
+    if (frt_memo_ == nullptr) {
+      frt_memo_ = frt;
+    }
+  }
+  *out = std::move(frt);
+  return Status::OK();
+}
+
 Status SSTableReader::GetTileFilter(const TableIndex& index,
                                     uint32_t tile_index,
                                     FilterBlockHandle* filter) const {

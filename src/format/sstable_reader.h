@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,15 @@ class SSTableReader {
   /// Unused in pinned mode (filters live in the index buffer there).
   Status GetTileFilter(const TableIndex& index, uint32_t tile_index,
                        FilterBlockHandle* filter) const;
+
+  /// The table's fragmented range-tombstone index, built lazily from the
+  /// TableIndex on first use (Options::fragmented_range_tombstones). With a
+  /// page cache the handle lives there under the shared budget (rebuilt on
+  /// eviction); without one it is memoized on the reader — the tombstone
+  /// list is immutable, so the memo can never go stale. `stats` (may be
+  /// nullptr) gets the build counters and fragment-count histogram sample.
+  Status GetFragmentedRangeTombstones(Statistics* stats,
+                                      FragmentedRtHandle* out) const;
 
   // Pinned-mode conveniences (used by format tests and tools); invalid when
   // the reader was opened with cache_metadata = true — use GetIndex there.
@@ -214,6 +224,12 @@ class SSTableReader {
   uint32_t meta_crc_ = 0;
 
   TableIndexHandle pinned_index_;  // set iff !cache_metadata_
+
+  // Fragmented-RT memo for cacheless readers (page_cache_ == nullptr);
+  // with a cache the fragmented block lives there instead so its footprint
+  // stays under the charge-accounted budget.
+  mutable std::mutex frt_mu_;
+  mutable FragmentedRtHandle frt_memo_;
 
   friend class SSTableIterator;
 };

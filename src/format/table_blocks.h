@@ -88,6 +88,11 @@ struct TableIndex {
 /// Shared, immutable ownership of one decoded table index.
 using TableIndexHandle = std::shared_ptr<const TableIndex>;
 
+/// Shared, immutable ownership of one table's fragmented range-tombstone
+/// index (built lazily from TableIndex::range_tombstones on the first
+/// RT-consulting read; cached in the block cache alongside the index).
+using FragmentedRtHandle = std::shared_ptr<const FragmentedRangeTombstoneList>;
+
 /// One delete tile's Bloom filter block: the concatenated per-page filters,
 /// located per page via PageInfo::filter_offset/filter_len.
 struct FilterBlock {

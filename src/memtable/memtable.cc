@@ -82,21 +82,93 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
   }
 }
 
+void BufferedRangeTombstones::AppendTo(
+    std::vector<RangeTombstone>* out) const {
+  out->reserve(out->size() + size());
+  // The chain links newest-first; flush order is insertion order, so walk
+  // it once to collect and emit oldest-first.
+  std::vector<const RtChunk*> chunks;
+  for (const RtChunk* c = sealed.get(); c != nullptr; c = c->prev.get()) {
+    chunks.push_back(c);
+  }
+  for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+    out->insert(out->end(), (*it)->list.begin(), (*it)->list.end());
+  }
+  out->insert(out->end(), active.begin(), active.end());
+}
+
+std::vector<RangeTombstone> BufferedRangeTombstones::ToVector() const {
+  std::vector<RangeTombstone> out;
+  AppendTo(&out);
+  return out;
+}
+
+bool BufferedRangeTombstones::Covers(const Slice& user_key,
+                                     SequenceNumber seq,
+                                     SequenceNumber max_seq) const {
+  for (const RtChunk* c = sealed.get(); c != nullptr; c = c->prev.get()) {
+    if (c->fragmented.Covers(user_key, seq, max_seq)) {
+      return true;
+    }
+  }
+  for (const RangeTombstone& t : active) {
+    if (t.Contains(user_key) && t.seq > seq && t.seq <= max_seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SequenceNumber BufferedRangeTombstones::MaxCoverSeq(
+    const Slice& user_key, SequenceNumber max_seq) const {
+  SequenceNumber cover = 0;
+  for (const RtChunk* c = sealed.get(); c != nullptr; c = c->prev.get()) {
+    cover = std::max(cover, c->fragmented.MaxCoverSeq(user_key, max_seq));
+  }
+  for (const RangeTombstone& t : active) {
+    if (t.Contains(user_key) && t.seq <= max_seq) {
+      cover = std::max(cover, t.seq);
+    }
+  }
+  return cover;
+}
+
 void MemTable::AddRangeTombstone(const RangeTombstone& tombstone) {
-  // Copy-on-write: the token holder is the only writer, but readers hold
-  // snapshots of the previous state, which must stay intact.
-  auto next = std::make_shared<BufferedRangeTombstones>(*range_tombstones());
-  next->list.push_back(tombstone);
-  next->set.Add(tombstone);
+  // Copy-on-write publish: the token holder is the only writer, but readers
+  // hold snapshots of the previous state, which must stay intact. Only the
+  // active chunk (< kRtChunkSize entries) is copied; sealed chunks travel
+  // by shared pointer, so the publish cost no longer grows with the number
+  // of buffered tombstones.
+  auto cur = range_tombstones();
+  auto next = std::make_shared<BufferedRangeTombstones>();
+  next->sealed = cur->sealed;
+  next->sealed_count = cur->sealed_count;
+  next->active = cur->active;
+  next->active.push_back(tombstone);
+  size_t sealed_charge = 0;
+  if (next->active.size() >= BufferedRangeTombstones::kRtChunkSize) {
+    // Seal: fragment the chunk once, then share it forever. The new chunk
+    // is prepended to the immutable chain with one pointer link, so the
+    // seal itself is O(1) regardless of how many chunks exist.
+    auto chunk = std::make_shared<RtChunk>();
+    chunk->list = std::move(next->active);
+    chunk->fragmented = FragmentedRangeTombstoneList(chunk->list);
+    chunk->prev = std::move(next->sealed);
+    sealed_charge = chunk->fragmented.ApproximateMemoryUsage();
+    next->sealed_count += BufferedRangeTombstones::kRtChunkSize;
+    next->sealed = std::move(chunk);
+    next->active.clear();
+  }
   {
     std::lock_guard<std::mutex> lock(rts_mu_);
     rts_ = std::move(next);
   }
   num_range_tombstones_.fetch_add(1, std::memory_order_release);
-  // Logical charge (keys + fixed fields), not the transient COW-clone cost:
-  // it is what the buffered state actually retains until the flush.
+  // Logical charge (keys + fixed fields, plus each sealed chunk's
+  // fragmented index), not the transient publish-copy cost: it is what the
+  // buffered state actually retains until the flush.
   rts_bytes_.fetch_add(tombstone.begin_key.size() + tombstone.end_key.size() +
-                           sizeof(RangeTombstone),
+                           sizeof(RangeTombstone) + sealed_charge,
                        std::memory_order_release);
   AtomicMin(&oldest_tombstone_time_, tombstone.time);
 }

@@ -16,13 +16,70 @@
 
 namespace lethe {
 
-/// Immutable snapshot of a memtable's buffered range tombstones: the
-/// insertion-order list plus the coverage-search structure. Readers hold one
-/// via shared_ptr while the writer publishes copy-on-write successors, so
-/// lock-free reads never observe a vector mid-reallocation.
+/// One sealed chunk of buffered range tombstones: a fixed slice of the
+/// insertion-order list plus a fragmented cover index built once at seal
+/// time. Immutable after construction, shared by reference across every
+/// later snapshot. Sealed chunks form an immutable chain through `prev`
+/// (newest chunk at the head), so sealing never copies the chunk list.
+struct RtChunk {
+  std::vector<RangeTombstone> list;         // insertion order
+  FragmentedRangeTombstoneList fragmented;  // built at seal
+  std::shared_ptr<const RtChunk> prev;      // next-older chunk, or null
+
+  RtChunk() = default;
+  ~RtChunk() {
+    // Unlink the chain iteratively: dropping the last reference to a long
+    // chain would otherwise destroy chunks recursively, one stack frame
+    // per chunk.
+    std::shared_ptr<const RtChunk> p = std::move(prev);
+    while (p != nullptr && p.use_count() == 1) {
+      // We hold the only reference, so mutating through const is safe;
+      // stealing `prev` first makes p's reassignment destroy a chain-free
+      // node.
+      std::shared_ptr<const RtChunk> older =
+          std::move(const_cast<RtChunk&>(*p).prev);
+      p = std::move(older);
+    }
+  }
+};
+
+/// Immutable snapshot of a memtable's buffered range tombstones, structured
+/// so that publishing a new one is O(1) amortized instead of a full-list
+/// clone: tombstones accumulate in a small `active` vector (at most
+/// kRtChunkSize entries) that each publish copies, and every kRtChunkSize-th
+/// insert seals it into an RtChunk prepended to the immutable chunk chain —
+/// an O(1) pointer link, so no publish step grows with the buffered
+/// tombstone count. Readers hold a snapshot via shared_ptr while the writer
+/// publishes successors, so lock-free reads never observe a vector
+/// mid-reallocation — exactly the old copy-on-write semantics, minus the
+/// O(N) clone.
+///
+/// Cover queries probe each sealed chunk's fragmented index (binary search)
+/// and walk the short active vector; tombstones partition exactly across
+/// chunks, so the chunk-wise max/OR equals the whole-list answer.
 struct BufferedRangeTombstones {
-  std::vector<RangeTombstone> list;
-  RangeTombstoneSet set;
+  /// Active-chunk capacity: small enough that the per-publish copy is
+  /// trivially cheap, large enough that sealed-chunk count stays low.
+  static constexpr size_t kRtChunkSize = 32;
+
+  std::shared_ptr<const RtChunk> sealed;  // newest sealed chunk, or null
+  std::vector<RangeTombstone> active;     // < kRtChunkSize entries
+  size_t sealed_count = 0;                // tombstones across all chunks
+
+  size_t size() const { return sealed_count + active.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Appends every tombstone in insertion order (sealed chunks first, then
+  /// active) — byte-identical to the flat list the flush used to snapshot.
+  void AppendTo(std::vector<RangeTombstone>* out) const;
+  std::vector<RangeTombstone> ToVector() const;
+
+  /// Same contracts as RangeTombstoneSet.
+  bool Covers(const Slice& user_key, SequenceNumber seq,
+              SequenceNumber max_seq = kMaxSequenceNumber) const;
+  SequenceNumber MaxCoverSeq(
+      const Slice& user_key,
+      SequenceNumber max_seq = kMaxSequenceNumber) const;
 };
 
 /// In-memory write buffer (Level 0 in the paper's numbering): an arena-backed
@@ -67,6 +124,8 @@ class MemTable {
   /// writers; readers take this snapshot concurrently, so publication is
   /// copy-on-write — mutating the live structures in place would race the
   /// lock-free read path (a reader could walk a vector mid-reallocation).
+  /// Sealed chunks are shared by pointer across snapshots; only the small
+  /// active chunk is copied per publish (O(1) amortized).
   std::shared_ptr<const BufferedRangeTombstones> range_tombstones() const {
     std::lock_guard<std::mutex> lock(rts_mu_);
     return rts_;
@@ -82,7 +141,7 @@ class MemTable {
     if (num_range_tombstones_.load(std::memory_order_acquire) == 0) {
       return 0;
     }
-    return range_tombstones()->set.MaxCoverSeq(key, max_seq);
+    return range_tombstones()->MaxCoverSeq(key, max_seq);
   }
 
   /// Marks every live entry with delete key in [lo, hi) dead. Returns the

@@ -15,6 +15,7 @@
 #include "src/format/range_tombstone.h"
 #include "src/format/sstable_builder.h"
 #include "src/format/sstable_reader.h"
+#include "src/util/random.h"
 #include "src/workload/generator.h"
 
 namespace lethe {
@@ -238,6 +239,133 @@ TEST(RangeTombstoneTest, MaxCoverSeqOverlapping) {
   EXPECT_EQ(set.MaxCoverSeq(Slice("e")), 30u);
   EXPECT_EQ(set.MaxCoverSeq(Slice("g")), 20u);
   EXPECT_EQ(set.MaxCoverSeq(Slice("zz")), 0u);
+}
+
+TEST(RangeTombstoneTest, AddAllMatchesRepeatedAdd) {
+  // The bulk-append + stable-sort AddAll must leave the set answering
+  // identically to per-element Add (including duplicate begin keys).
+  std::vector<RangeTombstone> tombstones = {
+      {"m", "q", 5, 0}, {"a", "c", 9, 0},  {"a", "f", 2, 0},
+      {"m", "n", 7, 0}, {"b", "zz", 4, 0}, {"a", "c", 1, 0},
+  };
+  RangeTombstoneSet bulk;
+  bulk.AddAll(tombstones);
+  RangeTombstoneSet incremental;
+  for (const RangeTombstone& t : tombstones) {
+    incremental.Add(t);
+  }
+  ASSERT_EQ(bulk.size(), incremental.size());
+  for (char c = 'a'; c <= 'z'; c++) {
+    const std::string key(1, c);
+    for (SequenceNumber seq = 0; seq <= 10; seq++) {
+      EXPECT_EQ(bulk.Covers(key, seq), incremental.Covers(key, seq));
+      EXPECT_EQ(bulk.MaxCoverSeq(key, seq), incremental.MaxCoverSeq(key, seq));
+      EXPECT_EQ(bulk.MinCoverSeqAbove(key, seq),
+                incremental.MinCoverSeqAbove(key, seq));
+    }
+  }
+}
+
+// Every fragmented query must be bit-identical to the naive linear walk;
+// checks all three queries over the full (key, seq, max_seq) grid.
+void CheckFragmentedMatchesNaive(const std::vector<RangeTombstone>& tombstones,
+                                 const std::vector<std::string>& probe_keys,
+                                 SequenceNumber max_probe_seq) {
+  RangeTombstoneSet naive;
+  naive.AddAll(tombstones);
+  FragmentedRangeTombstoneList frag(tombstones);
+  for (const std::string& key : probe_keys) {
+    for (SequenceNumber seq = 0; seq <= max_probe_seq; seq++) {
+      EXPECT_EQ(frag.MaxCoverSeq(key, seq), naive.MaxCoverSeq(key, seq))
+          << "MaxCoverSeq key=" << key << " max_seq=" << seq;
+      EXPECT_EQ(frag.MinCoverSeqAbove(key, seq),
+                naive.MinCoverSeqAbove(key, seq))
+          << "MinCoverSeqAbove key=" << key << " seq=" << seq;
+      for (SequenceNumber bound = seq; bound <= max_probe_seq; bound++) {
+        ASSERT_EQ(frag.Covers(key, seq, bound), naive.Covers(key, seq, bound))
+            << "Covers key=" << key << " seq=" << seq << " bound=" << bound;
+      }
+    }
+  }
+}
+
+std::vector<std::string> ProbeAlphabet() {
+  // Probes land on boundaries, between them, before the first, and past the
+  // last — plus multi-char keys that sort inside single-char gaps.
+  std::vector<std::string> keys;
+  for (char c = 'a'; c <= 'z'; c++) {
+    keys.emplace_back(1, c);
+    keys.push_back(std::string(1, c) + "m");
+  }
+  return keys;
+}
+
+TEST(FragmentedRangeTombstoneTest, AdversarialShapes) {
+  // Nested: each tombstone strictly inside the previous.
+  CheckFragmentedMatchesNaive(
+      {{"a", "z", 1, 0}, {"b", "y", 2, 0}, {"c", "x", 3, 0}, {"d", "w", 4, 0}},
+      ProbeAlphabet(), 6);
+  // Staircase: overlapping shingles.
+  CheckFragmentedMatchesNaive(
+      {{"a", "e", 4, 0}, {"c", "g", 3, 0}, {"e", "i", 2, 0}, {"g", "k", 1, 0}},
+      ProbeAlphabet(), 6);
+  // Duplicate boundaries, duplicate seqs, identical ranges.
+  CheckFragmentedMatchesNaive(
+      {{"b", "f", 5, 0}, {"b", "f", 3, 0}, {"b", "d", 5, 0}, {"d", "f", 2, 0}},
+      ProbeAlphabet(), 7);
+  // Point-width ([k, k+suffix)) and empty/inverted ranges (cover nothing).
+  CheckFragmentedMatchesNaive(
+      {{"c", std::string("c") + '\0', 4, 0},
+       {"e", "e", 9, 0},
+       {"g", "b", 8, 0},
+       {"a", "d", 2, 0}},
+      ProbeAlphabet(), 10);
+  // Disjoint with gaps: probes in the gaps must miss.
+  CheckFragmentedMatchesNaive({{"a", "b", 1, 0}, {"e", "f", 2, 0}},
+                              ProbeAlphabet(), 4);
+}
+
+TEST(FragmentedRangeTombstoneTest, EmptyAndSingle) {
+  FragmentedRangeTombstoneList empty_frag{std::vector<RangeTombstone>{}};
+  EXPECT_TRUE(empty_frag.empty());
+  EXPECT_EQ(empty_frag.num_fragments(), 0u);
+  EXPECT_FALSE(empty_frag.Covers("a", 0));
+  EXPECT_EQ(empty_frag.MaxCoverSeq("a"), 0u);
+  EXPECT_EQ(empty_frag.MinCoverSeqAbove("a", 0), 0u);
+
+  FragmentedRangeTombstoneList one({{"b", "d", 10, 0}});
+  EXPECT_EQ(one.num_fragments(), 1u);
+  EXPECT_TRUE(one.Covers("b", 5));
+  EXPECT_FALSE(one.Covers("d", 5));  // exclusive end
+  EXPECT_GT(one.ApproximateMemoryUsage(), 0u);
+}
+
+TEST(FragmentedRangeTombstoneTest, RandomizedDifferential) {
+  // Adversarial random piles: many tombstones over a tiny keyspace so
+  // overlap is dense, with random widths including point-width and
+  // occasional inverted (empty) ranges.
+  for (uint64_t seed = 1; seed <= 8; seed++) {
+    Random rnd(seed * 7919);
+    std::vector<RangeTombstone> tombstones;
+    const size_t n = 20 + rnd.Uniform(80);
+    for (size_t i = 0; i < n; i++) {
+      const char b = static_cast<char>('a' + rnd.Uniform(24));
+      char e = static_cast<char>('a' + rnd.Uniform(26));
+      if (rnd.Bernoulli(0.15)) {
+        e = b;  // point/empty width after the exclusive end
+      }
+      RangeTombstone t;
+      t.begin_key = std::string(1, b);
+      t.end_key = std::string(1, e);
+      if (rnd.Bernoulli(0.3)) {
+        t.end_key += "m";  // boundary between single-char probe keys
+      }
+      t.seq = 1 + rnd.Uniform(12);  // dense seq collisions
+      tombstones.push_back(std::move(t));
+    }
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    CheckFragmentedMatchesNaive(tombstones, ProbeAlphabet(), 14);
+  }
 }
 
 TEST(FileMetaTest, EncodeDecodeRoundTrip) {

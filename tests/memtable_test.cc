@@ -170,9 +170,77 @@ TEST(MemTableTest, RangeTombstoneSetQueries) {
   MemTable mem;
   RangeTombstone rt{"b", "d", 10, 5};
   mem.AddRangeTombstone(rt);
-  EXPECT_TRUE(mem.range_tombstones()->set.Covers("c", 5));
-  EXPECT_FALSE(mem.range_tombstones()->set.Covers("c", 15));
-  EXPECT_EQ(mem.range_tombstones()->list.size(), 1u);
+  EXPECT_TRUE(mem.range_tombstones()->Covers("c", 5));
+  EXPECT_FALSE(mem.range_tombstones()->Covers("c", 15));
+  EXPECT_EQ(mem.range_tombstones()->size(), 1u);
+}
+
+TEST(MemTableTest, ChunkedRangeTombstonePublish) {
+  // Cross several chunk seals and verify the snapshot structure: queries
+  // and the insertion-order flattening must match a flat reference list.
+  MemTable mem;
+  std::vector<RangeTombstone> reference;
+  const size_t n = BufferedRangeTombstones::kRtChunkSize * 3 + 7;
+  for (size_t i = 0; i < n; i++) {
+    std::string begin(1, static_cast<char>('a' + (i % 20)));
+    RangeTombstone rt{begin, begin + "z", SequenceNumber(i + 1), i};
+    mem.AddRangeTombstone(rt);
+    reference.push_back(rt);
+  }
+  auto snap = mem.range_tombstones();
+  EXPECT_EQ(snap->size(), n);
+  size_t chain_len = 0;
+  for (const RtChunk* c = snap->sealed.get(); c != nullptr;
+       c = c->prev.get()) {
+    chain_len++;
+  }
+  EXPECT_EQ(chain_len, 3u);
+  EXPECT_EQ(snap->active.size(), 7u);
+
+  // Flattening preserves insertion order exactly (flush depends on it).
+  std::vector<RangeTombstone> flat = snap->ToVector();
+  ASSERT_EQ(flat.size(), reference.size());
+  for (size_t i = 0; i < flat.size(); i++) {
+    EXPECT_EQ(flat[i].begin_key, reference[i].begin_key);
+    EXPECT_EQ(flat[i].end_key, reference[i].end_key);
+    EXPECT_EQ(flat[i].seq, reference[i].seq);
+    EXPECT_EQ(flat[i].time, reference[i].time);
+  }
+
+  // Chunked queries agree with the naive set over the same tombstones.
+  RangeTombstoneSet naive;
+  naive.AddAll(reference);
+  for (char c = 'a'; c <= 'z'; c++) {
+    std::string key(1, c);
+    for (SequenceNumber seq : {SequenceNumber(0), SequenceNumber(5),
+                               SequenceNumber(n / 2), SequenceNumber(n + 1)}) {
+      EXPECT_EQ(snap->Covers(key, seq), naive.Covers(key, seq))
+          << key << " seq=" << seq;
+      EXPECT_EQ(snap->MaxCoverSeq(key, seq), naive.MaxCoverSeq(key, seq))
+          << key << " max_seq=" << seq;
+    }
+  }
+}
+
+TEST(MemTableTest, ChunkedPublishSharesSealedChunks) {
+  // Old snapshots stay intact and share sealed chunks with newer ones —
+  // the O(1)-amortized-publish property.
+  MemTable mem;
+  const size_t chunk = BufferedRangeTombstones::kRtChunkSize;
+  for (size_t i = 0; i < chunk; i++) {
+    mem.AddRangeTombstone({"a", "b", SequenceNumber(i + 1), 0});
+  }
+  auto before = mem.range_tombstones();
+  ASSERT_NE(before->sealed, nullptr);
+  ASSERT_EQ(before->sealed->prev, nullptr);
+  mem.AddRangeTombstone({"c", "d", SequenceNumber(chunk + 1), 0});
+  auto after = mem.range_tombstones();
+  // Same sealed chunk object, shared by pointer across the publish.
+  EXPECT_EQ(before->sealed.get(), after->sealed.get());
+  // The old snapshot does not see the new tombstone.
+  EXPECT_EQ(before->size(), chunk);
+  EXPECT_FALSE(before->Covers("c", 0));
+  EXPECT_TRUE(after->Covers("c", 0));
 }
 
 TEST(MemTableTest, MemoryUsageGrows) {

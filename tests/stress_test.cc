@@ -39,6 +39,7 @@
 #include "src/core/lethe.h"
 #include "src/lsm/db_impl.h"
 #include "src/lsm/txn.h"
+#include "src/memtable/memtable.h"
 #include "src/workload/generator.h"
 
 namespace lethe {
@@ -53,6 +54,12 @@ int EnvInt(const char* name, int fallback) {
 
 int NumSeeds() { return EnvInt("LETHE_STRESS_SEEDS", 10); }
 int OpsPerThread() { return EnvInt("LETHE_STRESS_OPS", 400); }
+
+// CI's range-delete-heavy lane (LETHE_STRESS_RT_HEAVY=1): widens the
+// range-delete band from 5% to ~25% of ops so tombstones pile up densely —
+// the fragmented cover index, chunked memtable publishes, and compaction's
+// snapshot-stripe drop rule all churn on every seed.
+bool RtHeavy() { return EnvInt("LETHE_STRESS_RT_HEAVY", 0) > 0; }
 
 constexpr int kThreads = 3;
 constexpr uint64_t kKeysPerThread = 256;
@@ -89,13 +96,19 @@ void RunWorker(StressState* state, int seed, int thread_id, Model* model) {
     state->failed.store(true, std::memory_order_relaxed);
   };
 
+  // Op mix: the rt-heavy lane trades puts and point deletes for range
+  // deletes (5% → 25% of ops); every band past the range-delete one keeps
+  // its usual width.
+  const double put_band = RtHeavy() ? 0.30 : 0.42;
+  const double point_delete_band = RtHeavy() ? 0.37 : 0.57;
+
   for (int i = 0; i < ops && !state->failed.load(std::memory_order_relaxed);
        i++) {
     state->clock->AdvanceMicros(7);
     const double roll = rnd.NextDouble();
     const uint64_t k = key_lo + rnd.Uniform(kKeysPerThread);
 
-    if (roll < 0.42) {  // put (sometimes as a small atomic batch)
+    if (roll < put_band) {  // put (sometimes as a small atomic batch)
       if (rnd.Bernoulli(0.1)) {
         WriteBatch batch;
         const int batch_ops = 2 + static_cast<int>(rnd.Uniform(3));
@@ -138,7 +151,7 @@ void RunWorker(StressState* state, int seed, int thread_id, Model* model) {
         }
         (*model)[k] = {value, dk};
       }
-    } else if (roll < 0.57) {  // point delete (blind ones included)
+    } else if (roll < point_delete_band) {  // point delete (blind included)
       Status s = db->Delete(WriteOptions(), EncodeKey(k));
       if (!s.ok()) {
         fail("delete failed: " + s.ToString());
@@ -264,6 +277,9 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
   options.background_threads = kPools[config_rnd.Uniform(3)];
   options.max_imm_memtables = 2 + static_cast<int>(config_rnd.Uniform(2));
   options.filter_blind_deletes = config_rnd.Bernoulli(0.3);
+  // Mostly the fragmented cover index, sometimes the naive linear walk —
+  // both must agree with the model under identical workloads.
+  options.fragmented_range_tombstones = config_rnd.Bernoulli(0.75);
   if (config_rnd.Bernoulli(0.4)) {
     options.delete_persistence_threshold_micros = 300000;
     options.file_picking = FilePickingPolicy::kMaxTombstones;
@@ -311,7 +327,10 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
                " budget=" + std::to_string(options.memory_budget_bytes) +
                " cachemeta=" +
                std::to_string(options.cache_index_and_filter_blocks) +
-               " strict=" + std::to_string(options.strict_cache_capacity));
+               " strict=" + std::to_string(options.strict_cache_capacity) +
+               " fragrt=" +
+               std::to_string(options.fragmented_range_tombstones) +
+               " rtheavy=" + std::to_string(RtHeavy()));
 
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(options, "stressdb", &db).ok())
@@ -374,6 +393,84 @@ TEST_P(StressTest, ModelCheckedConcurrentWorkload) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
                          ::testing::Range(1, NumSeeds() + 1));
+
+// Chunked-publish concurrency regression (runs under TSan in CI's stress
+// lane): one writer publishes range tombstones — crossing many chunk seals
+// — while readers continuously take snapshots, probe covers, and flatten
+// old snapshots they keep pinned. A data race in the publish path (shared
+// sealed-chunk chain, swapped snapshots) is exactly what TSan flags here; the
+// asserts check snapshot immutability and monotonic growth.
+TEST(RangeTombstonePublishStress, ConcurrentPublishAndRead) {
+  MemTable mem;
+  constexpr uint64_t kPublishes =
+      BufferedRangeTombstones::kRtChunkSize * 20 + 5;
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; r++) {
+    readers.emplace_back([&, r] {
+      Random rnd(1000 + r);
+      std::shared_ptr<const BufferedRangeTombstones> pinned;
+      size_t pinned_size = 0;
+      while (!done.load(std::memory_order_acquire) &&
+             !failed.load(std::memory_order_relaxed)) {
+        auto snap = mem.range_tombstones();
+        const size_t n = snap->size();
+        // Snapshots only grow, and a snapshot's contents never change:
+        // the flattened list must always be the seq-ordered prefix
+        // 1..size (tombstones are published with ascending seqs).
+        if (n < pinned_size) {
+          ADD_FAILURE() << "snapshot shrank: " << n << " < " << pinned_size;
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::vector<RangeTombstone> flat = snap->ToVector();
+        for (size_t i = 0; i < flat.size(); i++) {
+          if (flat[i].seq != i + 1) {
+            ADD_FAILURE() << "snapshot order broken at " << i << ": seq "
+                          << flat[i].seq;
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        // Cover probes on both the fresh and a long-pinned snapshot.
+        const std::string key(1, static_cast<char>('a' + rnd.Uniform(26)));
+        (void)snap->MaxCoverSeq(key);
+        (void)mem.MaxRangeTombstoneCoverSeq(key);
+        if (pinned != nullptr) {
+          (void)pinned->Covers(key, 0);
+          if (pinned->size() != pinned_size) {
+            ADD_FAILURE() << "pinned snapshot mutated";
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        if (rnd.Bernoulli(0.1)) {
+          pinned = snap;  // hold an old view across future publishes
+          pinned_size = n;
+        }
+      }
+    });
+  }
+
+  for (uint64_t i = 1; i <= kPublishes; i++) {
+    const char b = static_cast<char>('a' + (i % 24));
+    RangeTombstone rt;
+    rt.begin_key = std::string(1, b);
+    rt.end_key = std::string(1, b + 2);
+    rt.seq = i;
+    rt.time = i;
+    mem.AddRangeTombstone(rt);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(mem.range_tombstones()->size(), kPublishes);
+}
 
 // ---- crash-point injection --------------------------------------------------
 //
