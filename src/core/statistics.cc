@@ -45,6 +45,26 @@ Histogram Statistics::RtFragmentHistogram() const {
   return rt_fragment_hist_;
 }
 
+void Statistics::RecordNetPipelineDepth(uint64_t commands) {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  net_pipeline_hist_.Add(commands);
+}
+
+Histogram Statistics::NetPipelineDepthHistogram() const {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  return net_pipeline_hist_;
+}
+
+void Statistics::RecordNetBatchSize(uint64_t ops) {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  net_batch_size_hist_.Add(ops);
+}
+
+Histogram Statistics::NetBatchSizeHistogram() const {
+  std::lock_guard<std::mutex> lock(stall_hist_mu_);
+  return net_batch_size_hist_;
+}
+
 void Statistics::CopyFrom(const Statistics& other) {
   Copy(user_puts, other.user_puts);
   Copy(user_bytes_written, other.user_bytes_written);
@@ -72,6 +92,8 @@ void Statistics::CopyFrom(const Statistics& other) {
     stall_hist_ = other.stall_hist_;
     subcompaction_skew_hist_ = other.subcompaction_skew_hist_;
     rt_fragment_hist_ = other.rt_fragment_hist_;
+    net_pipeline_hist_ = other.net_pipeline_hist_;
+    net_batch_size_hist_ = other.net_batch_size_hist_;
   }
   Copy(compactions, other.compactions);
   Copy(compactions_saturation_triggered,
@@ -124,6 +146,18 @@ void Statistics::CopyFrom(const Statistics& other) {
   Copy(wal_records_skipped_corrupt, other.wal_records_skipped_corrupt);
   Copy(wal_bytes_skipped_corrupt, other.wal_bytes_skipped_corrupt);
   Copy(manifest_fallbacks, other.manifest_fallbacks);
+  Copy(net_connections_accepted, other.net_connections_accepted);
+  Copy(net_connections_closed, other.net_connections_closed);
+  Copy(net_connections_rejected, other.net_connections_rejected);
+  Copy(net_slow_client_disconnects, other.net_slow_client_disconnects);
+  Copy(net_commands, other.net_commands);
+  Copy(net_protocol_errors, other.net_protocol_errors);
+  Copy(net_bytes_in, other.net_bytes_in);
+  Copy(net_bytes_out, other.net_bytes_out);
+  Copy(net_batches_coalesced, other.net_batches_coalesced);
+  Copy(net_batch_ops_coalesced, other.net_batch_ops_coalesced);
+  Copy(net_expired_lazy, other.net_expired_lazy);
+  Copy(net_keys_expired_active, other.net_keys_expired_active);
   Copy(secondary_range_deletes, other.secondary_range_deletes);
   Copy(full_page_drops, other.full_page_drops);
   Copy(partial_page_drops, other.partial_page_drops);
@@ -158,6 +192,8 @@ void Statistics::AddFrom(const Statistics& other) {
     stall_hist_.Merge(other.stall_hist_);
     subcompaction_skew_hist_.Merge(other.subcompaction_skew_hist_);
     rt_fragment_hist_.Merge(other.rt_fragment_hist_);
+    net_pipeline_hist_.Merge(other.net_pipeline_hist_);
+    net_batch_size_hist_.Merge(other.net_batch_size_hist_);
   }
   Add(compactions, other.compactions);
   Add(compactions_saturation_triggered,
@@ -210,6 +246,18 @@ void Statistics::AddFrom(const Statistics& other) {
   Add(wal_records_skipped_corrupt, other.wal_records_skipped_corrupt);
   Add(wal_bytes_skipped_corrupt, other.wal_bytes_skipped_corrupt);
   Add(manifest_fallbacks, other.manifest_fallbacks);
+  Add(net_connections_accepted, other.net_connections_accepted);
+  Add(net_connections_closed, other.net_connections_closed);
+  Add(net_connections_rejected, other.net_connections_rejected);
+  Add(net_slow_client_disconnects, other.net_slow_client_disconnects);
+  Add(net_commands, other.net_commands);
+  Add(net_protocol_errors, other.net_protocol_errors);
+  Add(net_bytes_in, other.net_bytes_in);
+  Add(net_bytes_out, other.net_bytes_out);
+  Add(net_batches_coalesced, other.net_batches_coalesced);
+  Add(net_batch_ops_coalesced, other.net_batch_ops_coalesced);
+  Add(net_expired_lazy, other.net_expired_lazy);
+  Add(net_keys_expired_active, other.net_keys_expired_active);
   Add(secondary_range_deletes, other.secondary_range_deletes);
   Add(full_page_drops, other.full_page_drops);
   Add(partial_page_drops, other.partial_page_drops);
@@ -263,7 +311,16 @@ std::string Statistics::ToString() const {
       << " auto_recovery_successes=" << auto_recovery_successes.load()
       << " time_in_degraded_micros=" << time_in_degraded_micros.load()
       << " wal_records_skipped_corrupt=" << wal_records_skipped_corrupt.load()
-      << " manifest_fallbacks=" << manifest_fallbacks.load();
+      << " manifest_fallbacks=" << manifest_fallbacks.load()
+      << " net_connections_accepted=" << net_connections_accepted.load()
+      << " net_commands=" << net_commands.load()
+      << " net_bytes_in=" << net_bytes_in.load()
+      << " net_bytes_out=" << net_bytes_out.load()
+      << " net_batches_coalesced=" << net_batches_coalesced.load()
+      << " net_batch_ops_coalesced=" << net_batch_ops_coalesced.load()
+      << " net_protocol_errors=" << net_protocol_errors.load()
+      << " net_expired_lazy=" << net_expired_lazy.load()
+      << " net_keys_expired_active=" << net_keys_expired_active.load();
   return out.str();
 }
 

@@ -162,6 +162,27 @@ struct Statistics {
   std::atomic<uint64_t> wal_bytes_skipped_corrupt{0};
   std::atomic<uint64_t> manifest_fallbacks{0};
 
+  // RESP serving layer (src/server). RespServer records these into its own
+  // Statistics instance (the engine never touches them); INFO and
+  // RespServer::StatsSnapshot() merge that instance with the engine's view
+  // via AddFrom. net_commands counts commands executed (one per parsed
+  // frame); net_batches_coalesced / net_batch_ops_coalesced count the
+  // per-event-loop-turn WriteBatches fed to group commit and the operations
+  // they carried (ops / batches = average network-side coalescing, the
+  // multiplier that compounds with group_commit_entries/batches).
+  std::atomic<uint64_t> net_connections_accepted{0};
+  std::atomic<uint64_t> net_connections_closed{0};
+  std::atomic<uint64_t> net_connections_rejected{0};  // max-connections admission
+  std::atomic<uint64_t> net_slow_client_disconnects{0};
+  std::atomic<uint64_t> net_commands{0};
+  std::atomic<uint64_t> net_protocol_errors{0};
+  std::atomic<uint64_t> net_bytes_in{0};
+  std::atomic<uint64_t> net_bytes_out{0};
+  std::atomic<uint64_t> net_batches_coalesced{0};
+  std::atomic<uint64_t> net_batch_ops_coalesced{0};
+  std::atomic<uint64_t> net_expired_lazy{0};        // expired entries filtered on read
+  std::atomic<uint64_t> net_keys_expired_active{0}; // deletes committed by the expire cycle
+
   // Secondary range deletes (KiWi).
   std::atomic<uint64_t> secondary_range_deletes{0};
   std::atomic<uint64_t> full_page_drops{0};
@@ -192,6 +213,20 @@ struct Statistics {
   /// fragmented-index build).
   Histogram RtFragmentHistogram() const;
 
+  /// Records how many complete commands one event-loop drain pulled off a
+  /// single connection (the observed pipeline depth). Thread-safe.
+  void RecordNetPipelineDepth(uint64_t commands);
+
+  /// Snapshot of the per-drain pipeline-depth histogram.
+  Histogram NetPipelineDepthHistogram() const;
+
+  /// Records the operation count of one coalesced per-turn WriteBatch
+  /// handed to DB::Write. Thread-safe.
+  void RecordNetBatchSize(uint64_t ops);
+
+  /// Snapshot of the coalesced batch-size histogram.
+  Histogram NetBatchSizeHistogram() const;
+
   void Reset() {
     *this = Statistics();
   }
@@ -219,6 +254,8 @@ struct Statistics {
   Histogram stall_hist_;
   Histogram subcompaction_skew_hist_;  // guarded by stall_hist_mu_
   Histogram rt_fragment_hist_;         // guarded by stall_hist_mu_
+  Histogram net_pipeline_hist_;        // guarded by stall_hist_mu_
+  Histogram net_batch_size_hist_;      // guarded by stall_hist_mu_
 };
 
 }  // namespace lethe

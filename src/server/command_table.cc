@@ -1,0 +1,54 @@
+#include "src/server/command_table.h"
+
+#include <cctype>
+#include <string_view>
+#include <unordered_map>
+
+namespace lethe {
+namespace server {
+
+namespace {
+
+const std::unordered_map<std::string_view, CommandInfo>& Table() {
+  static const auto* table = new std::unordered_map<std::string_view,
+                                                    CommandInfo>{
+      // name            cmd              min  max  write
+      {"GET", {Cmd::kGet, 2, 2, false}},
+      {"SET", {Cmd::kSet, 3, 6, true}},
+      {"DEL", {Cmd::kDel, 2, -1, true}},
+      {"EXISTS", {Cmd::kExists, 2, -1, false}},
+      {"MGET", {Cmd::kMGet, 2, -1, false}},
+      {"MSET", {Cmd::kMSet, 3, -1, true}},
+      {"SCAN", {Cmd::kScan, 2, 6, false}},
+      {"EXPIRE", {Cmd::kExpire, 3, 3, true}},
+      {"TTL", {Cmd::kTtl, 2, 2, false}},
+      {"PERSIST", {Cmd::kPersist, 2, 2, true}},
+      {"PING", {Cmd::kPing, 1, 2, false}},
+      {"ECHO", {Cmd::kEcho, 2, 2, false}},
+      {"QUIT", {Cmd::kQuit, 1, 1, false}},
+      {"SELECT", {Cmd::kSelect, 2, 2, false}},
+      {"COMMAND", {Cmd::kCommand, 1, -1, false}},
+      {"INFO", {Cmd::kInfo, 1, 2, false}},
+      {"DBSIZE", {Cmd::kDbSize, 1, 1, false}},
+      {"SHUTDOWN", {Cmd::kShutdown, 1, 2, false}},
+      {"LETHE.PURGE", {Cmd::kLethePurge, 3, 3, false}},
+  };
+  return *table;
+}
+
+}  // namespace
+
+const CommandInfo* LookupCommand(const Slice& name, std::string* scratch) {
+  if (name.size() > 32) return nullptr;  // longest real name is far shorter
+  scratch->clear();
+  for (size_t i = 0; i < name.size(); i++) {
+    scratch->push_back(
+        static_cast<char>(toupper(static_cast<unsigned char>(name[i]))));
+  }
+  const auto& table = Table();
+  auto it = table.find(std::string_view(*scratch));
+  return it == table.end() ? nullptr : &it->second;
+}
+
+}  // namespace server
+}  // namespace lethe

@@ -1,0 +1,58 @@
+#ifndef LETHE_SERVER_COMMAND_TABLE_H_
+#define LETHE_SERVER_COMMAND_TABLE_H_
+
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace lethe {
+namespace server {
+
+/// The command set the RESP front-end maps onto the engine. Three classes:
+///   - pure reads (GET/MGET/EXISTS/SCAN/TTL/...) execute immediately
+///     against the connection's pinned snapshot;
+///   - pure writes (SET/MSET/DEL/...) coalesce into the event-loop turn's
+///     shared WriteBatch and are acknowledged when it group-commits;
+///   - admin/connection commands (PING/INFO/SHUTDOWN/...) execute inline.
+enum class Cmd {
+  kGet,
+  kSet,
+  kDel,
+  kExists,
+  kMGet,
+  kMSet,
+  kScan,
+  kExpire,
+  kTtl,
+  kPersist,
+  kPing,
+  kEcho,
+  kQuit,
+  kSelect,
+  kCommand,
+  kInfo,
+  kDbSize,
+  kShutdown,
+  kLethePurge,  // LETHE.PURGE <begin> <end>: SecondaryRangeDelete by
+                // delete key — the KiWi retention purge over RESP.
+};
+
+struct CommandInfo {
+  Cmd cmd;
+  /// Required argc including the command name; -1 max means unbounded.
+  int min_args;
+  int max_args;
+  /// True if the command stages operations into the turn's WriteBatch (its
+  /// reply is withheld from the socket until that batch commits).
+  bool is_write;
+};
+
+/// Case-insensitive lookup. `scratch` is a caller-owned reusable buffer for
+/// the uppercased name (no allocation once warm). Returns nullptr for
+/// unknown commands.
+const CommandInfo* LookupCommand(const Slice& name, std::string* scratch);
+
+}  // namespace server
+}  // namespace lethe
+
+#endif  // LETHE_SERVER_COMMAND_TABLE_H_

@@ -1,0 +1,92 @@
+#include "src/server/event_loop.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lethe {
+namespace server {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wakeup_fd_ >= 0) {
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr tag = the wakeup fd
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+      close(wakeup_fd_);
+      wakeup_fd_ = -1;
+    }
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) close(wakeup_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, void* tag) {
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IOError(strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events, void* tag) {
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.ptr = tag;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::IOError(strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Del(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::Poll(int timeout_ms, std::vector<struct epoll_event>* events) {
+  events->resize(kMaxEventsPerPoll);
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, events->data(), kMaxEventsPerPoll, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    events->clear();
+    return -1;
+  }
+  // Filter out the wakeup fd (drain it so it does not retrigger).
+  int out = 0;
+  for (int i = 0; i < n; i++) {
+    if ((*events)[i].data.ptr == nullptr) {
+      uint64_t junk;
+      while (read(wakeup_fd_, &junk, sizeof(junk)) > 0) {
+      }
+      continue;
+    }
+    (*events)[out++] = (*events)[i];
+  }
+  events->resize(out);
+  return out;
+}
+
+void EventLoop::Wakeup() {
+  uint64_t one = 1;
+  // write(2) on an eventfd is async-signal-safe; a full counter (EAGAIN)
+  // already guarantees the poller will wake.
+  ssize_t r = write(wakeup_fd_, &one, sizeof(one));
+  (void)r;
+}
+
+}  // namespace server
+}  // namespace lethe

@@ -1,0 +1,54 @@
+#ifndef LETHE_SERVER_EVENT_LOOP_H_
+#define LETHE_SERVER_EVENT_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lethe {
+namespace server {
+
+/// Thin epoll wrapper owned by one event-loop worker thread. Carries an
+/// eventfd so other threads (shutdown, SIGTERM, the SHUTDOWN command) can
+/// interrupt a blocking Poll; the wakeup write is async-signal-safe.
+///
+/// Callers register fds with an opaque tag pointer (the Connection, or
+/// nullptr-distinguishable markers for the listen socket); Poll returns the
+/// raw epoll events with tags intact. Only the owning thread may call
+/// Add/Mod/Del/Poll; Wakeup is thread-safe.
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool ok() const { return epoll_fd_ >= 0 && wakeup_fd_ >= 0; }
+
+  Status Add(int fd, uint32_t events, void* tag);
+  Status Mod(int fd, uint32_t events, void* tag);
+  void Del(int fd);
+
+  /// Waits up to timeout_ms (-1 = forever) and fills `events`. The wakeup
+  /// eventfd is drained internally and never surfaces as an event. Returns
+  /// the number of events, 0 on timeout or wakeup, -1 on error.
+  int Poll(int timeout_ms, std::vector<struct epoll_event>* events);
+
+  /// Interrupts a concurrent or future Poll. Thread- and signal-safe.
+  void Wakeup();
+
+ private:
+  static constexpr int kMaxEventsPerPoll = 256;
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace lethe
+
+#endif  // LETHE_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,225 @@
+#include "src/server/resp.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace lethe {
+namespace server {
+
+namespace {
+
+// Parses the integer of a "*123" / "$123" header body (no sign besides an
+// optional leading '-', digits only). Returns false on malformed input.
+bool ParseHeaderInt(const char* p, size_t len, long long* out) {
+  if (len == 0 || len > 19) return false;
+  bool neg = false;
+  size_t i = 0;
+  if (p[0] == '-') {
+    neg = true;
+    i = 1;
+    if (len == 1) return false;
+  }
+  long long v = 0;
+  for (; i < len; i++) {
+    if (p[i] < '0' || p[i] > '9') return false;
+    v = v * 10 + (p[i] - '0');
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+}  // namespace
+
+RespParser::Result RespParser::Parse(const RingBuffer& buf,
+                                     size_t* frame_bytes) {
+  const char* data = buf.data();
+  const size_t size = buf.size();
+
+  // Array header: "*<argc>\r\n".
+  if (args_expected_ < 0) {
+    if (size == 0) return Result::kNeedMore;
+    if (data[0] != '*') {
+      // An inline command (e.g. "PING\r\n" typed into netcat) or stray
+      // bytes. We serve the framed protocol only: error and close.
+      return Fail("inline commands are not supported");
+    }
+    const char* nl = static_cast<const char*>(
+        memchr(data + 1, '\n', std::min(size, kMaxHeaderBytes) - 1));
+    if (nl == nullptr) {
+      if (size >= kMaxHeaderBytes) return Fail("invalid multibulk length");
+      return Result::kNeedMore;
+    }
+    size_t line_end = static_cast<size_t>(nl - data);  // index of '\n'
+    long long argc = 0;
+    if (line_end < 2 || data[line_end - 1] != '\r' ||
+        !ParseHeaderInt(data + 1, line_end - 2, &argc) || argc <= 0 ||
+        static_cast<size_t>(argc) > limits_.max_args) {
+      return Fail("invalid multibulk length");
+    }
+    args_expected_ = argc;
+    pos_ = line_end + 1;
+    spans_.clear();
+  }
+
+  // Bulk arguments: "$<len>\r\n<bytes>\r\n" x argc.
+  while (static_cast<long long>(spans_.size()) < args_expected_) {
+    if (bulk_len_ < 0) {
+      if (pos_ >= size) return Result::kNeedMore;
+      if (data[pos_] != '$') return Fail("expected '$', got garbage");
+      size_t avail = std::min(size - pos_, kMaxHeaderBytes);
+      const char* nl = static_cast<const char*>(
+          memchr(data + pos_ + 1, '\n', avail - 1));
+      if (nl == nullptr) {
+        if (avail >= kMaxHeaderBytes) return Fail("invalid bulk length");
+        return Result::kNeedMore;
+      }
+      size_t line_end = static_cast<size_t>(nl - data);
+      long long len = 0;
+      if (line_end < pos_ + 2 || data[line_end - 1] != '\r' ||
+          !ParseHeaderInt(data + pos_ + 1, line_end - pos_ - 2, &len) ||
+          len < 0 || static_cast<size_t>(len) > limits_.max_bulk_bytes) {
+        return Fail("invalid bulk length");
+      }
+      bulk_len_ = len;
+      pos_ = line_end + 1;
+    }
+    // Payload + trailing CRLF.
+    size_t need = static_cast<size_t>(bulk_len_) + 2;
+    if (size - pos_ < need) return Result::kNeedMore;
+    if (data[pos_ + bulk_len_] != '\r' || data[pos_ + bulk_len_ + 1] != '\n') {
+      return Fail("bulk string missing trailing CRLF");
+    }
+    spans_.emplace_back(pos_, static_cast<size_t>(bulk_len_));
+    pos_ += need;
+    bulk_len_ = -1;
+  }
+
+  argv_.clear();
+  for (const auto& [off, len] : spans_) {
+    argv_.emplace_back(data + off, len);
+  }
+  *frame_bytes = pos_;
+  return Result::kCommand;
+}
+
+void AppendSimpleString(std::string* out, const Slice& s) {
+  out->push_back('+');
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendError(std::string* out, const Slice& msg) {
+  out->push_back('-');
+  // CR/LF inside an error message would desync the protocol.
+  for (size_t i = 0; i < msg.size(); i++) {
+    char c = msg[i];
+    out->push_back((c == '\r' || c == '\n') ? ' ' : c);
+  }
+  out->append("\r\n");
+}
+
+void AppendInteger(std::string* out, long long v) {
+  char tmp[32];
+  int n = snprintf(tmp, sizeof(tmp), ":%lld\r\n", v);
+  out->append(tmp, static_cast<size_t>(n));
+}
+
+void AppendBulkString(std::string* out, const Slice& s) {
+  char tmp[32];
+  int n = snprintf(tmp, sizeof(tmp), "$%zu\r\n", s.size());
+  out->append(tmp, static_cast<size_t>(n));
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendNullBulkString(std::string* out) { out->append("$-1\r\n"); }
+
+void AppendArrayHeader(std::string* out, size_t n) {
+  char tmp[32];
+  int len = snprintf(tmp, sizeof(tmp), "*%zu\r\n", n);
+  out->append(tmp, static_cast<size_t>(len));
+}
+
+int RespReplyScanner::FinishValue() {
+  int completed = 0;
+  // The finished scalar closes enclosing arrays as their last element.
+  for (;;) {
+    if (array_stack_.empty()) {
+      replies_seen_++;
+      completed++;
+      return completed;
+    }
+    if (--array_stack_.back() > 0) return completed;
+    array_stack_.pop_back();  // this array is itself a finished value
+  }
+}
+
+int RespReplyScanner::Feed(const char* data, size_t len) {
+  int completed = 0;
+  size_t i = 0;
+  while (i < len) {
+    switch (state_) {
+      case State::kType: {
+        char t = data[i];
+        if (t != '+' && t != '-' && t != ':' && t != '$' && t != '*') {
+          return -1;
+        }
+        line_type_ = t;
+        line_.clear();
+        state_ = State::kLine;
+        i++;
+        break;
+      }
+      case State::kLine: {
+        const char* nl =
+            static_cast<const char*>(memchr(data + i, '\n', len - i));
+        size_t take = (nl == nullptr) ? len - i : (nl - data) - i + 1;
+        line_.append(data + i, take);
+        i += take;
+        if (nl == nullptr) break;  // line still incomplete
+        // Full line (excluding trailing CRLF) is in line_.
+        if (line_.size() < 2 || line_[line_.size() - 2] != '\r') return -1;
+        line_.resize(line_.size() - 2);
+        if (line_type_ == '+' || line_type_ == '-' || line_type_ == ':') {
+          state_ = State::kType;
+          completed += FinishValue();
+        } else {
+          long long n = 0;
+          if (!ParseHeaderInt(line_.data(), line_.size(), &n)) return -1;
+          if (line_type_ == '$') {
+            if (n < 0) {  // null bulk
+              state_ = State::kType;
+              completed += FinishValue();
+            } else {
+              bulk_remaining_ = n + 2;  // payload + CRLF
+              state_ = State::kBulkBody;
+            }
+          } else {  // '*'
+            state_ = State::kType;
+            if (n <= 0) {  // empty or null array is a complete value
+              completed += FinishValue();
+            } else {
+              array_stack_.push_back(n);
+            }
+          }
+        }
+        break;
+      }
+      case State::kBulkBody: {
+        size_t take = std::min(static_cast<size_t>(bulk_remaining_), len - i);
+        bulk_remaining_ -= static_cast<long long>(take);
+        i += take;
+        if (bulk_remaining_ == 0) {
+          state_ = State::kType;
+          completed += FinishValue();
+        }
+        break;
+      }
+    }
+  }
+  return completed;
+}
+
+}  // namespace server
+}  // namespace lethe

@@ -1,0 +1,132 @@
+#ifndef LETHE_SERVER_RESP_H_
+#define LETHE_SERVER_RESP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/server/ring_buffer.h"
+#include "src/util/slice.h"
+
+namespace lethe {
+namespace server {
+
+/// Incremental zero-copy parser for RESP command frames (the multi-bulk
+/// request form every Redis client sends: `*N\r\n` followed by N bulk
+/// strings `$len\r\n<bytes>\r\n`).
+///
+/// The parser is resumable: feed it the connection's RingBuffer whenever
+/// bytes arrive; kNeedMore means the frame is incomplete and the scan
+/// position is retained, so a frame split at any byte boundary costs no
+/// re-scanning beyond the (length-capped) header line it stopped inside.
+/// On kCommand the argv() Slices point straight into the buffer — no
+/// per-command allocation; the argv vector and span list are reused across
+/// frames. The caller must finish with the Slices before Consume()ing the
+/// frame and Reset()ing the parser.
+///
+/// Protocol errors (inline commands, bad length headers, limit violations)
+/// return kError with a message for the client; RESP has no way to resync
+/// after a malformed frame, so the connection must be closed once the error
+/// is written out — exactly what Redis does.
+class RespParser {
+ public:
+  struct Limits {
+    /// Maximum arguments in one command frame.
+    size_t max_args = 128 * 1024;
+    /// Maximum bytes in one bulk-string argument.
+    size_t max_bulk_bytes = 16ull << 20;
+  };
+
+  enum class Result {
+    kCommand,   // one complete frame parsed; argv() valid
+    kNeedMore,  // incomplete frame; call again after more bytes arrive
+    kError,     // protocol error; error() valid, close after replying
+  };
+
+  RespParser() = default;
+  explicit RespParser(const Limits& limits) : limits_(limits) {}
+
+  /// Attempts to parse one complete command frame starting at buf.data().
+  /// On kCommand, *frame_bytes is the encoded frame length: process argv(),
+  /// then buf.Consume(*frame_bytes) and Reset().
+  Result Parse(const RingBuffer& buf, size_t* frame_bytes);
+
+  /// Arguments of the last kCommand result (views into the buffer).
+  const std::vector<Slice>& argv() const { return argv_; }
+
+  /// Human-readable message for the last kError result (no "ERR " prefix).
+  const std::string& error() const { return error_; }
+
+  /// Forgets all frame state. Call after consuming a parsed frame.
+  void Reset() {
+    pos_ = 0;
+    args_expected_ = -1;
+    bulk_len_ = -1;
+    spans_.clear();
+  }
+
+ private:
+  Result Fail(const char* msg) {
+    error_ = msg;
+    return Result::kError;
+  }
+
+  // A RESP length header ("*123\r\n" / "$123\r\n") is tiny; anything longer
+  // is garbage and refusing it also bounds the resume re-scan.
+  static constexpr size_t kMaxHeaderBytes = 32;
+
+  Limits limits_;
+  size_t pos_ = 0;            // scan offset relative to buf.data()
+  long long args_expected_ = -1;  // -1: array header not yet parsed
+  long long bulk_len_ = -1;       // -1: current bulk header not yet parsed
+  std::vector<std::pair<size_t, size_t>> spans_;  // parsed arg offsets/lens
+  std::vector<Slice> argv_;
+  std::string error_;
+};
+
+/// Reply serialization: appends RESP-encoded replies to a reusable output
+/// string (the connection's write buffer).
+void AppendSimpleString(std::string* out, const Slice& s);
+void AppendError(std::string* out, const Slice& msg);  // adds the leading '-'
+void AppendInteger(std::string* out, long long v);
+void AppendBulkString(std::string* out, const Slice& s);
+void AppendNullBulkString(std::string* out);
+void AppendArrayHeader(std::string* out, size_t n);
+
+/// Counts complete RESP replies in a byte stream — the client half of the
+/// protocol, used by the pipelined bench/example clients to know when a
+/// window of in-flight commands has fully returned, and by tests to frame
+/// server output. Handles all five reply types including nested arrays;
+/// resumable across arbitrary split points.
+class RespReplyScanner {
+ public:
+  /// Scans `data`, returning the number of top-level replies that completed.
+  /// Bytes may carry a reply across calls. Returns -1 on malformed input.
+  int Feed(const char* data, size_t len);
+
+  uint64_t replies_seen() const { return replies_seen_; }
+
+ private:
+  // State of the innermost value being scanned.
+  enum class State {
+    kType,      // expecting a type byte
+    kLine,      // consuming a line up to '\n' (+ - : and length headers)
+    kBulkBody,  // consuming bulk payload + trailing CRLF
+  };
+
+  State state_ = State::kType;
+  char line_type_ = 0;
+  std::string line_;           // accumulated header/line bytes (small)
+  long long bulk_remaining_ = 0;
+  std::vector<long long> array_stack_;  // elements still owed per open array
+  uint64_t replies_seen_ = 0;
+
+  // Closes the just-finished value, popping completed arrays; returns how
+  // many *top-level* replies that completed.
+  int FinishValue();
+};
+
+}  // namespace server
+}  // namespace lethe
+
+#endif  // LETHE_SERVER_RESP_H_

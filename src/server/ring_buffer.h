@@ -1,0 +1,89 @@
+#ifndef LETHE_SERVER_RING_BUFFER_H_
+#define LETHE_SERVER_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace lethe {
+namespace server {
+
+/// Per-connection byte FIFO feeding the RESP parser. Readable bytes are
+/// always one contiguous span, so the parser can hand out zero-copy Slices
+/// into the buffer; the head slot freed by Consume is reclaimed by sliding
+/// the live bytes down (amortized O(1): a byte is memmoved at most once per
+/// half-buffer of consumption) instead of by wrapping, which would split
+/// command frames across the seam.
+///
+/// Append protocol (sized for readv-style use):
+///   char* p = buf.Reserve(n);   // >= n contiguous writable bytes
+///   ssize_t r = read(fd, p, n);
+///   if (r > 0) buf.Commit(r);
+///
+/// Not thread-safe; each connection belongs to one event-loop worker.
+class RingBuffer {
+ public:
+  /// Start of the readable span (valid while size() > 0, and stable across
+  /// Consume — only Reserve may move it).
+  const char* data() const { return buf_.data() + read_; }
+
+  /// Readable bytes.
+  size_t size() const { return write_ - read_; }
+
+  bool empty() const { return read_ == write_; }
+
+  /// Total heap footprint (for overload accounting).
+  size_t capacity() const { return buf_.size(); }
+
+  /// Drops `n` bytes from the front (a fully processed frame).
+  void Consume(size_t n) {
+    read_ += n;
+    if (read_ == write_) {
+      read_ = write_ = 0;  // free compaction on an empty buffer
+    }
+  }
+
+  /// Returns a writable span of at least `n` contiguous bytes at the tail,
+  /// compacting or growing as needed. Pointers previously returned by
+  /// data()/Reserve are invalidated.
+  char* Reserve(size_t n) {
+    if (buf_.size() - write_ < n) {
+      // Reclaim the consumed head first; grow only if that is not enough.
+      if (read_ > 0) {
+        memmove(buf_.data(), buf_.data() + read_, size());
+        write_ -= read_;
+        read_ = 0;
+      }
+      if (buf_.size() - write_ < n) {
+        size_t want = write_ + n;
+        size_t cap = buf_.empty() ? kInitialCapacity : buf_.size();
+        while (cap < want) cap *= 2;
+        buf_.resize(cap);
+      }
+    }
+    return buf_.data() + write_;
+  }
+
+  /// Publishes `n` bytes written into the last Reserve span.
+  void Commit(size_t n) { write_ += n; }
+
+  /// Releases the heap allocation (used when parking idle connections).
+  void ShrinkToFit() {
+    if (empty() && buf_.size() > kInitialCapacity) {
+      buf_.clear();
+      buf_.shrink_to_fit();
+    }
+  }
+
+ private:
+  static constexpr size_t kInitialCapacity = 16 * 1024;
+
+  std::vector<char> buf_;
+  size_t read_ = 0;   // first readable byte
+  size_t write_ = 0;  // first writable byte
+};
+
+}  // namespace server
+}  // namespace lethe
+
+#endif  // LETHE_SERVER_RING_BUFFER_H_

@@ -1,0 +1,1459 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/lsm/txn.h"
+#include "src/server/event_loop.h"
+
+namespace lethe {
+namespace server {
+
+namespace {
+
+constexpr size_t kReadChunk = 16 * 1024;
+
+// Reply buffers above this capacity are released (not just cleared) once
+// drained, so one burst of fat replies does not park memory on an idle
+// connection forever.
+constexpr size_t kOutputShrinkThreshold = 1 << 20;
+
+void ToUpper(const Slice& in, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < in.size(); i++) {
+    out->push_back(
+        static_cast<char>(toupper(static_cast<unsigned char>(in[i]))));
+  }
+}
+
+// Strict base-10 integer: optional '-', digits only, no overflow.
+bool ParseInt(const Slice& s, long long* value) {
+  if (s.empty() || s.size() > 20) return false;
+  size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  unsigned long long v = 0;
+  for (; i < s.size(); i++) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    unsigned long long next = v * 10 + static_cast<unsigned>(s[i] - '0');
+    if (next < v) return false;
+    v = next;
+  }
+  if (!neg && v > 9223372036854775807ull) return false;
+  if (neg && v > 9223372036854775808ull) return false;
+  *value = neg ? -static_cast<long long>(v) : static_cast<long long>(v);
+  return true;
+}
+
+uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+  return a * b;
+}
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return (UINT64_MAX - a < b) ? UINT64_MAX : a + b;
+}
+
+// Redis-style glob for SCAN MATCH: '*', '?', '\' escape, '[...]' classes
+// (with leading '^' negation and 'a-z' ranges).
+bool GlobMatch(const char* p, size_t plen, const char* s, size_t slen) {
+  while (plen > 0) {
+    switch (p[0]) {
+      case '*':
+        while (plen > 1 && p[1] == '*') {
+          p++;
+          plen--;
+        }
+        if (plen == 1) return true;
+        for (size_t i = 0; i <= slen; i++) {
+          if (GlobMatch(p + 1, plen - 1, s + i, slen - i)) return true;
+        }
+        return false;
+      case '?':
+        if (slen == 0) return false;
+        s++;
+        slen--;
+        break;
+      case '[': {
+        if (slen == 0) return false;
+        p++;
+        plen--;
+        bool negate = plen > 0 && p[0] == '^';
+        if (negate) {
+          p++;
+          plen--;
+        }
+        bool match = false;
+        while (plen > 0 && p[0] != ']') {
+          if (p[0] == '\\' && plen >= 2) {
+            if (p[1] == s[0]) match = true;
+            p += 2;
+            plen -= 2;
+          } else if (plen >= 3 && p[1] == '-' && p[2] != ']') {
+            char lo = p[0], hi = p[2];
+            if (lo > hi) std::swap(lo, hi);
+            if (s[0] >= lo && s[0] <= hi) match = true;
+            p += 3;
+            plen -= 3;
+          } else {
+            if (p[0] == s[0]) match = true;
+            p++;
+            plen--;
+          }
+        }
+        if (plen == 0) return false;  // unterminated class
+        if (negate) match = !match;
+        if (!match) return false;
+        s++;
+        slen--;
+        break;
+      }
+      case '\\':
+        if (plen >= 2) {
+          p++;
+          plen--;
+        }
+        [[fallthrough]];
+      default:
+        if (slen == 0 || p[0] != s[0]) return false;
+        s++;
+        slen--;
+        break;
+    }
+    p++;
+    plen--;
+  }
+  return slen == 0;
+}
+
+bool GlobMatch(const Slice& pattern, const Slice& str) {
+  return GlobMatch(pattern.data(), pattern.size(), str.data(), str.size());
+}
+
+// SCAN cursors are the hex-encoded next sort key (opaque to clients, safe
+// to print, and stable: the engine orders by raw bytes, hex preserves it).
+std::string HexEncode(const Slice& s) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (size_t i = 0; i < s.size(); i++) {
+    unsigned char b = static_cast<unsigned char>(s[i]);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool HexDecode(const Slice& s, std::string* out) {
+  if (s.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(s.size() / 2);
+  for (size_t i = 0; i < s.size(); i += 2) {
+    int hi = HexNibble(s[i]);
+    int lo = HexNibble(s[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+}  // namespace
+
+struct RespServer::Connection {
+  int fd = -1;
+  RingBuffer in;
+  RespParser parser;
+
+  // Reply buffer. Bytes below `acked` are final; bytes above it are
+  // optimistic acknowledgements of writes staged in the turn batch, held
+  // back from the socket until the batch commits (and replaced by errors
+  // if it does not).
+  std::string out;
+  size_t out_sent = 0;
+  size_t acked = 0;
+  uint32_t pending_writes = 0;  // write replies between acked and out.size()
+
+  // Read-your-writes overlay: the connection's writes staged in the turn
+  // batch but not yet committed. Cleared whenever the batch commits.
+  std::unordered_map<std::string, RespServer::StagedWrite> overlay;
+
+  // End offset and kind of every reply appended above `acked` (writes are
+  // optimistic, reads are final but withheld to keep FIFO order). If the
+  // batch fails, the tail is rebuilt from these marks: write replies become
+  // errors, interleaved read replies are preserved verbatim.
+  std::vector<std::pair<size_t, bool>> reply_marks;  // (end, is_write)
+
+  uint64_t drain_parsed = 0;  // commands decoded in the current drain
+
+  const Snapshot* snap = nullptr;  // pinned for the rest of this turn
+
+  bool in_dirty_list = false;
+  bool in_snap_list = false;
+  bool in_touched_list = false;
+  bool want_write = false;   // EPOLLOUT currently armed
+  bool should_close = false; // close once the reply buffer drains
+  bool closed = false;       // fd gone; object lingers until turn end
+};
+
+struct RespServer::Worker {
+  RespServer* server = nullptr;
+  int index = 0;
+  EventLoop loop;
+  int listen_fd = -1;
+  char listen_tag = 0;  // address used as the listen socket's epoll tag
+  std::thread thread;
+  std::vector<struct epoll_event> events;
+  std::unordered_set<Connection*> conns;      // owned
+  std::vector<Connection*> graveyard;         // closed this turn, reap at end
+
+  // The turn's coalesced write batch and the bookkeeping lists (membership
+  // flags live on the Connection so pushes stay O(1) and duplicate-free).
+  WriteBatch batch;
+  std::vector<Connection*> dirty;    // hold optimistic acks for `batch`
+  std::vector<Connection*> snaps;    // pinned a snapshot this turn
+  std::vector<Connection*> touched;  // may have output to flush
+
+  // Reused scratch to keep the command hot path allocation-free.
+  std::string scratch_upper;
+  std::string value;
+
+  uint64_t last_expire_micros = 0;
+};
+
+RespServer::RespServer(DB* db, const ServerOptions& options)
+    : db_(db), opts_(options) {
+  clock_ = opts_.clock != nullptr ? opts_.clock : SystemClock::Default();
+  parser_limits_.max_args = opts_.max_args_per_command;
+  parser_limits_.max_bulk_bytes = opts_.max_request_bytes;
+}
+
+RespServer::~RespServer() {
+  Stop();
+}
+
+Status RespServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  if (!db_) return Status::InvalidArgument("null DB");
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + opts_.host);
+  }
+
+  const int num_workers = std::max(1, opts_.num_workers);
+  uint16_t bound_port = opts_.port;
+  auto fail = [this](const Status& s) {
+    for (auto& w : workers_) {
+      if (w->listen_fd >= 0) ::close(w->listen_fd);
+    }
+    workers_.clear();
+    return s;
+  };
+
+  for (int i = 0; i < num_workers; i++) {
+    auto w = std::make_unique<Worker>();
+    w->server = this;
+    w->index = i;
+    if (!w->loop.ok()) return fail(Status::IOError("epoll setup failed"));
+
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) return fail(Status::IOError(strerror(errno)));
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0 &&
+        num_workers > 1) {
+      ::close(fd);
+      return fail(Status::IOError("SO_REUSEPORT unavailable"));
+    }
+    addr.sin_port = htons(bound_port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status s = Status::IOError(std::string("bind: ") + strerror(errno));
+      ::close(fd);
+      return fail(s);
+    }
+    if (i == 0 && opts_.port == 0) {
+      // Kernel-assigned port: discover it so the remaining workers can
+      // share it via SO_REUSEPORT.
+      struct sockaddr_in got;
+      socklen_t len = sizeof(got);
+      if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&got), &len) !=
+          0) {
+        ::close(fd);
+        return fail(Status::IOError(strerror(errno)));
+      }
+      bound_port = ntohs(got.sin_port);
+    }
+    if (::listen(fd, opts_.listen_backlog) != 0) {
+      Status s = Status::IOError(std::string("listen: ") + strerror(errno));
+      ::close(fd);
+      return fail(s);
+    }
+    w->listen_fd = fd;
+    Status s = w->loop.Add(fd, EPOLLIN, &w->listen_tag);  // level-triggered
+    if (!s.ok()) return fail(s);
+    workers_.push_back(std::move(w));
+  }
+  port_ = bound_port;
+
+  // Detect whether the engine supports optimistic transactions (DBImpl
+  // does; ShardedDB does not) — decides how the active expiry cycle
+  // validates its deletes.
+  {
+    OptimisticTransaction probe(db_);
+    std::string unused;
+    Status ps = probe.Get(ReadOptions(), Slice("\x01lethe.txn.probe"),
+                          &unused);
+    txn_supported_ = !ps.IsInvalidArgument();
+    (void)probe.Rollback();
+  }
+
+  start_micros_ = NowMicros();
+  stopping_.store(false, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->thread = std::thread(&RespServer::WorkerMain, this, w.get());
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void RespServer::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->loop.Wakeup();
+  }
+}
+
+void RespServer::Join() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void RespServer::Stop() {
+  if (!started_) return;
+  RequestStop();
+  Join();
+  workers_.clear();
+  started_ = false;
+}
+
+Statistics RespServer::StatsSnapshot() const {
+  Statistics merged(net_stats_);
+  merged.AddFrom(db_->stats());
+  return merged;
+}
+
+void RespServer::WorkerMain(Worker* w) {
+  const int timeout_ms =
+      (w->index == 0 && opts_.active_expire_interval_ms > 0)
+          ? static_cast<int>(
+                std::min<uint64_t>(opts_.active_expire_interval_ms, 1000))
+          : -1;
+  while (!stopping()) {
+    w->loop.Poll(timeout_ms, &w->events);
+    for (const struct epoll_event& ev : w->events) {
+      if (ev.data.ptr == &w->listen_tag) {
+        AcceptReady(w);
+        continue;
+      }
+      Connection* c = static_cast<Connection*>(ev.data.ptr);
+      if (c->closed) continue;
+      if (ev.events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(w, c);
+        continue;
+      }
+      if (ev.events & EPOLLIN) ReadAndProcess(w, c);
+      if (!c->closed && (ev.events & EPOLLOUT)) FlushOutput(w, c);
+    }
+    EndTurn(w);
+  }
+  DrainOnStop(w);
+}
+
+void RespServer::AcceptReady(Worker* w) {
+  for (;;) {
+    int fd = ::accept4(w->listen_fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or a transient error: the next event retries
+    }
+    net_stats_.net_connections_accepted.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    if (conn_count_.fetch_add(1, std::memory_order_relaxed) + 1 >
+        opts_.max_connections) {
+      conn_count_.fetch_sub(1, std::memory_order_relaxed);
+      net_stats_.net_connections_rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      static const char kReject[] = "-ERR max number of clients reached\r\n";
+      ssize_t r = ::write(fd, kReject, sizeof(kReject) - 1);
+      (void)r;
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto* c = new Connection();
+    c->fd = fd;
+    c->parser = RespParser(parser_limits_);
+    Status s = w->loop.Add(fd, EPOLLIN | EPOLLET, c);
+    if (!s.ok()) {
+      ::close(fd);
+      delete c;
+      conn_count_.fetch_sub(1, std::memory_order_relaxed);
+      net_stats_.net_connections_closed.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      continue;
+    }
+    w->conns.insert(c);
+  }
+}
+
+void RespServer::ReadAndProcess(Worker* w, Connection* c) {
+  Touch(w, c);
+  c->drain_parsed = 0;
+  bool peer_closed = false;
+  while (!c->closed && !c->should_close) {
+    char* p = c->in.Reserve(kReadChunk);
+    ssize_t r = ::read(c->fd, p, kReadChunk);
+    if (r > 0) {
+      c->in.Commit(static_cast<size_t>(r));
+      net_stats_.net_bytes_in.fetch_add(static_cast<uint64_t>(r),
+                                        std::memory_order_relaxed);
+      // Parse and execute per chunk so the input buffer never holds more
+      // than one partial frame plus one read — memory stays bounded no
+      // matter how deep the client pipelines.
+      ProcessInput(w, c);
+      continue;  // edge-triggered: must drain until EAGAIN
+    }
+    if (r == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(w, c);
+    break;
+  }
+  if (!c->closed && c->drain_parsed > 0) {
+    net_stats_.net_commands.fetch_add(c->drain_parsed,
+                                      std::memory_order_relaxed);
+    net_stats_.RecordNetPipelineDepth(c->drain_parsed);
+  }
+  if (!c->closed && peer_closed) {
+    c->should_close = true;  // flush owed replies, then close
+  }
+}
+
+void RespServer::ProcessInput(Worker* w, Connection* c) {
+  while (!c->closed && !c->should_close) {
+    size_t frame_bytes = 0;
+    RespParser::Result res = c->parser.Parse(c->in, &frame_bytes);
+    if (res == RespParser::Result::kNeedMore) {
+      if (c->in.size() > opts_.max_request_bytes) {
+        ProtocolError(w, c, "request exceeds maximum allowed size");
+      }
+      return;
+    }
+    if (res == RespParser::Result::kError) {
+      ProtocolError(w, c, c->parser.error());
+      return;
+    }
+    c->drain_parsed++;
+    ExecuteCommand(w, c, c->parser.argv());
+    if (c->closed) return;
+    c->in.Consume(frame_bytes);
+    c->parser.Reset();
+    if (c->out.size() - c->out_sent > opts_.max_output_buffer_bytes) {
+      // The client is not reading its socket; staged writes still commit
+      // (they were accepted), but the replies are moot.
+      net_stats_.net_slow_client_disconnects.fetch_add(
+          1, std::memory_order_relaxed);
+      CloseConnection(w, c);
+      return;
+    }
+  }
+}
+
+void RespServer::ProtocolError(Worker* w, Connection* c,
+                               const std::string& msg) {
+  net_stats_.net_protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  EnsureConnCommitted(w, c);  // resolve optimistic acks before the error
+  AppendError(&c->out, "ERR Protocol error: " + msg);
+  FinishImmediateReply(c);
+  c->should_close = true;  // RESP cannot resync after a framing error
+}
+
+void RespServer::ExecuteCommand(Worker* w, Connection* c,
+                                const std::vector<Slice>& argv) {
+  const CommandInfo* info = LookupCommand(argv[0], &w->scratch_upper);
+  if (info == nullptr) {
+    std::string name(argv[0].data(),
+                     std::min<size_t>(argv[0].size(), 64));
+    AppendError(&c->out, "ERR unknown command '" + name + "'");
+    FinishImmediateReply(c);
+    return;
+  }
+  const int argc = static_cast<int>(argv.size());
+  if (argc < info->min_args ||
+      (info->max_args != -1 && argc > info->max_args)) {
+    AppendError(&c->out, "ERR wrong number of arguments for '" +
+                             w->scratch_upper + "' command");
+    FinishImmediateReply(c);
+    return;
+  }
+  // Point reads see the connection's own staged writes through its
+  // overlay, so they never force a mid-turn commit; only iterator-shaped
+  // commands (SCAN, DBSIZE) and LETHE.PURGE call EnsureConnCommitted
+  // themselves. Reply FIFO order is kept by the acked/pending machinery.
+  switch (info->cmd) {
+    case Cmd::kGet:
+      CmdGet(w, c, argv);
+      break;
+    case Cmd::kSet:
+      CmdSet(w, c, argv);
+      break;
+    case Cmd::kDel:
+      CmdDelOrExists(w, c, argv, /*is_del=*/true);
+      break;
+    case Cmd::kExists:
+      CmdDelOrExists(w, c, argv, /*is_del=*/false);
+      break;
+    case Cmd::kMGet:
+      CmdMGet(w, c, argv);
+      break;
+    case Cmd::kMSet:
+      CmdMSet(w, c, argv);
+      break;
+    case Cmd::kScan:
+      CmdScan(w, c, argv);
+      break;
+    case Cmd::kExpire:
+      CmdExpire(w, c, argv);
+      break;
+    case Cmd::kTtl:
+      CmdTtl(w, c, argv);
+      break;
+    case Cmd::kPersist:
+      CmdPersist(w, c, argv);
+      break;
+    case Cmd::kPing:
+      if (argc == 2) {
+        AppendBulkString(&c->out, argv[1]);
+      } else {
+        AppendSimpleString(&c->out, "PONG");
+      }
+      FinishImmediateReply(c);
+      break;
+    case Cmd::kEcho:
+      AppendBulkString(&c->out, argv[1]);
+      FinishImmediateReply(c);
+      break;
+    case Cmd::kQuit:
+      AppendSimpleString(&c->out, "OK");
+      FinishImmediateReply(c);
+      c->should_close = true;
+      break;
+    case Cmd::kSelect:
+      if (argv[1] == Slice("0")) {
+        AppendSimpleString(&c->out, "OK");
+      } else {
+        AppendError(&c->out, "ERR DB index is out of range");
+      }
+      FinishImmediateReply(c);
+      break;
+    case Cmd::kCommand:
+      AppendArrayHeader(&c->out, 0);
+      FinishImmediateReply(c);
+      break;
+    case Cmd::kInfo:
+      CmdInfo(w, c, argv);
+      break;
+    case Cmd::kDbSize: {
+      // Exact count, like Redis: scan the live keyspace under a snapshot so
+      // overwrites, tombstones, and expired-but-unpurged entries are not
+      // miscounted. O(n) — INFO's Keyspace section carries the O(1)
+      // approximate figure for monitoring.
+      EnsureConnCommitted(w, c);
+      EnsureSnapshot(w, c);
+      ReadOptions ro;
+      ro.snapshot = c->snap;
+      ro.fill_page_cache = false;
+      const uint64_t now = NowMicros();
+      long long n = 0;
+      std::unique_ptr<Iterator> it = db_->NewIterator(ro);
+      for (it->SeekToFirst(); it->Valid(); it->Next()) {
+        if (!IsExpired(it->delete_key(), now)) n++;
+      }
+      AppendInteger(&c->out, n);
+      FinishImmediateReply(c);
+      break;
+    }
+    case Cmd::kShutdown:
+      c->should_close = true;  // like Redis: no reply on success
+      RequestStop();
+      break;
+    case Cmd::kLethePurge:
+      CmdLethePurge(w, c, argv);
+      break;
+  }
+}
+
+void RespServer::EndTurn(Worker* w) {
+  CommitTurnBatch(w);
+  for (Connection* c : w->touched) {
+    c->in_touched_list = false;
+    if (!c->closed) FlushOutput(w, c);
+  }
+  w->touched.clear();
+  // Per-connection snapshots live for one turn: pinned lazily at the first
+  // read, dropped here so compaction is never held back by idle clients.
+  for (Connection* c : w->snaps) {
+    c->in_snap_list = false;
+    ReleaseConnSnapshot(c);
+  }
+  w->snaps.clear();
+  for (Connection* c : w->graveyard) {
+    w->conns.erase(c);
+    delete c;
+  }
+  w->graveyard.clear();
+  if (w->index == 0) MaybeActiveExpire(w);
+}
+
+void RespServer::CommitTurnBatch(Worker* w) {
+  Status s;
+  const size_t ops = w->batch.Count();
+  if (ops > 0) {
+    WriteOptions wo;
+    wo.sync = opts_.sync_writes;
+    s = db_->Write(wo, &w->batch);
+    w->batch.Clear();
+    net_stats_.net_batches_coalesced.fetch_add(1, std::memory_order_relaxed);
+    net_stats_.net_batch_ops_coalesced.fetch_add(ops,
+                                                 std::memory_order_relaxed);
+    net_stats_.RecordNetBatchSize(ops);
+  }
+  for (Connection* c : w->dirty) {
+    c->in_dirty_list = false;
+    if (c->closed) {
+      c->pending_writes = 0;
+      c->overlay.clear();
+      c->reply_marks.clear();
+      continue;
+    }
+    if (s.ok()) {
+      c->acked = c->out.size();
+    } else {
+      // Rebuild the withheld tail: every optimistic write ack becomes an
+      // error, while read replies interleaved among them (answered from
+      // the overlay) are kept verbatim — the client still sees exactly
+      // one reply per command, in order.
+      const std::string err = "ERR write failed: " + s.ToString();
+      std::string rebuilt;
+      size_t prev = c->acked;
+      for (const auto& [end, is_write] : c->reply_marks) {
+        if (is_write) {
+          AppendError(&rebuilt, err);
+        } else {
+          rebuilt.append(c->out, prev, end - prev);
+        }
+        prev = end;
+      }
+      c->out.resize(c->acked);
+      c->out += rebuilt;
+      c->acked = c->out.size();
+    }
+    c->pending_writes = 0;
+    c->overlay.clear();
+    c->reply_marks.clear();
+    // The connection's writes are now committed: drop its pinned snapshot
+    // so the next read in this turn observes them.
+    ReleaseConnSnapshot(c);
+  }
+  w->dirty.clear();
+}
+
+void RespServer::MaybeCommitEagerly(Worker* w) {
+  if (w->batch.Count() >= opts_.max_batch_ops ||
+      w->batch.ApproximateBytes() >= opts_.max_batch_bytes) {
+    CommitTurnBatch(w);
+  }
+}
+
+void RespServer::FlushOutput(Worker* w, Connection* c) {
+  const size_t sendable =
+      (c->pending_writes == 0) ? c->out.size() : c->acked;
+  while (c->out_sent < sendable) {
+    ssize_t n = ::write(c->fd, c->out.data() + c->out_sent,
+                        sendable - c->out_sent);
+    if (n > 0) {
+      c->out_sent += static_cast<size_t>(n);
+      net_stats_.net_bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                         std::memory_order_relaxed);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!c->want_write) {
+        c->want_write = true;
+        (void)w->loop.Mod(c->fd, EPOLLIN | EPOLLET | EPOLLOUT, c);
+      }
+      return;
+    }
+    CloseConnection(w, c);
+    return;
+  }
+  if (c->out_sent == c->out.size()) {
+    if (c->out.capacity() > kOutputShrinkThreshold) {
+      std::string().swap(c->out);
+    } else {
+      c->out.clear();
+    }
+    c->out_sent = 0;
+    c->acked = 0;
+    if (c->should_close) {
+      CloseConnection(w, c);
+      return;
+    }
+  }
+  if (c->want_write) {
+    c->want_write = false;
+    (void)w->loop.Mod(c->fd, EPOLLIN | EPOLLET, c);
+  }
+}
+
+void RespServer::CloseConnection(Worker* w, Connection* c) {
+  if (c->closed) return;
+  c->closed = true;
+  c->should_close = true;
+  ReleaseConnSnapshot(c);
+  w->loop.Del(c->fd);
+  ::close(c->fd);
+  c->fd = -1;
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+  net_stats_.net_connections_closed.fetch_add(1, std::memory_order_relaxed);
+  w->graveyard.push_back(c);  // freed at turn end; lists may still point here
+}
+
+void RespServer::DrainOnStop(Worker* w) {
+  // Stop accepting first.
+  w->loop.Del(w->listen_fd);
+  ::close(w->listen_fd);
+  w->listen_fd = -1;
+
+  // Commit anything staged (resolving optimistic acks), release snapshots,
+  // then spend the drain budget flushing reply buffers. Clients that do not
+  // drain their socket in time are cut off.
+  CommitTurnBatch(w);
+  for (Connection* c : w->snaps) {
+    c->in_snap_list = false;
+    ReleaseConnSnapshot(c);
+  }
+  w->snaps.clear();
+  for (Connection* c : w->touched) c->in_touched_list = false;
+  w->touched.clear();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(opts_.drain_timeout_ms);
+  for (;;) {
+    bool pending = false;
+    for (Connection* c : w->conns) {
+      if (c->closed) continue;
+      if (c->out_sent < c->out.size()) FlushOutput(w, c);
+      if (!c->closed && c->out_sent < c->out.size()) pending = true;
+    }
+    if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+    w->loop.Poll(10, &w->events);  // wait for sockets to become writable
+  }
+
+  for (Connection* c : w->conns) {
+    if (!c->closed) {
+      c->closed = true;
+      ReleaseConnSnapshot(c);
+      ::close(c->fd);
+      c->fd = -1;
+      conn_count_.fetch_sub(1, std::memory_order_relaxed);
+      net_stats_.net_connections_closed.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+    delete c;
+  }
+  w->conns.clear();
+  w->graveyard.clear();
+}
+
+void RespServer::EnsureConnCommitted(Worker* w, Connection* c) {
+  if (c->pending_writes > 0) CommitTurnBatch(w);
+}
+
+void RespServer::EnsureSnapshot(Worker* w, Connection* c) {
+  if (!opts_.snapshot_reads || c->snap != nullptr) return;
+  c->snap = db_->GetSnapshot();
+  if (!c->in_snap_list) {
+    c->in_snap_list = true;
+    w->snaps.push_back(c);
+  }
+}
+
+void RespServer::ReleaseConnSnapshot(Connection* c) {
+  if (c->snap != nullptr) {
+    db_->ReleaseSnapshot(c->snap);
+    c->snap = nullptr;
+  }
+}
+
+void RespServer::StageWriteReply(Worker* w, Connection* c) {
+  if (c->pending_writes == 0) c->acked = c->out.size();
+  c->pending_writes++;
+  if (!c->in_dirty_list) {
+    c->in_dirty_list = true;
+    w->dirty.push_back(c);
+  }
+}
+
+void RespServer::FinishImmediateReply(Connection* c) {
+  if (c->pending_writes == 0) {
+    c->acked = c->out.size();
+  } else {
+    // A read (or error) reply interleaved among unacked write replies:
+    // final bytes, but withheld behind the batch to keep FIFO order, and
+    // marked so a failed commit can rebuild around them.
+    c->reply_marks.emplace_back(c->out.size(), false);
+  }
+}
+
+void RespServer::FinishWriteReply(Connection* c) {
+  c->reply_marks.emplace_back(c->out.size(), true);
+}
+
+const RespServer::StagedWrite* RespServer::OverlayFind(
+    Connection* c, const Slice& key) const {
+  if (c->overlay.empty()) return nullptr;
+  auto it = c->overlay.find(std::string(key.data(), key.size()));
+  return it == c->overlay.end() ? nullptr : &it->second;
+}
+
+void RespServer::OverlayPut(Connection* c, const Slice& key,
+                            uint64_t delete_key, const Slice& value) {
+  StagedWrite& sw = c->overlay[std::string(key.data(), key.size())];
+  sw.deleted = false;
+  sw.delete_key = delete_key;
+  // EXPIRE/PERSIST re-stage the value they just read from this very
+  // entry; skip the self-aliasing copy.
+  if (value.data() != sw.value.data() || value.size() != sw.value.size()) {
+    sw.value.assign(value.data(), value.size());
+  }
+}
+
+void RespServer::OverlayDelete(Connection* c, const Slice& key) {
+  StagedWrite& sw = c->overlay[std::string(key.data(), key.size())];
+  sw.deleted = true;
+  sw.delete_key = 0;
+  sw.value.clear();
+}
+
+void RespServer::Touch(Worker* w, Connection* c) {
+  if (!c->in_touched_list) {
+    c->in_touched_list = true;
+    w->touched.push_back(c);
+  }
+}
+
+void RespServer::CmdGet(Worker* w, Connection* c,
+                        const std::vector<Slice>& argv) {
+  if (const StagedWrite* sw = OverlayFind(c, argv[1])) {
+    if (sw->deleted) {
+      AppendNullBulkString(&c->out);
+    } else if (IsExpired(sw->delete_key, NowMicros())) {
+      net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      AppendNullBulkString(&c->out);
+    } else {
+      AppendBulkString(&c->out, sw->value);
+    }
+    FinishImmediateReply(c);
+    return;
+  }
+  EnsureSnapshot(w, c);
+  ReadOptions ro;
+  ro.snapshot = c->snap;
+  uint64_t dk = 0;
+  Status s = db_->GetWithDeleteKey(ro, argv[1], &w->value, &dk);
+  if (s.ok()) {
+    if (IsExpired(dk, NowMicros())) {
+      net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      AppendNullBulkString(&c->out);
+    } else {
+      AppendBulkString(&c->out, w->value);
+    }
+  } else if (s.IsNotFound()) {
+    AppendNullBulkString(&c->out);
+  } else {
+    AppendError(&c->out, "ERR " + s.ToString());
+  }
+  FinishImmediateReply(c);
+}
+
+void RespServer::CmdSet(Worker* w, Connection* c,
+                        const std::vector<Slice>& argv) {
+  uint64_t delete_key = 0;
+  for (size_t i = 3; i < argv.size();) {
+    ToUpper(argv[i], &w->scratch_upper);
+    long long amount = 0;
+    if ((w->scratch_upper == "EX" || w->scratch_upper == "PX") &&
+        i + 1 < argv.size() && ParseInt(argv[i + 1], &amount) &&
+        amount > 0) {
+      const uint64_t unit = w->scratch_upper == "EX" ? 1000000ull : 1000ull;
+      delete_key = SaturatingAdd(
+          NowMicros(), SaturatingMul(static_cast<uint64_t>(amount), unit));
+      if (delete_key == 0) delete_key = 1;  // 0 means "no expiry"
+      ttl_seen_.store(true, std::memory_order_relaxed);
+      i += 2;
+    } else {
+      AppendError(&c->out, "ERR syntax error");
+      FinishImmediateReply(c);
+      return;
+    }
+  }
+  StageWriteReply(w, c);
+  w->batch.Put(argv[1], delete_key, argv[2]);
+  OverlayPut(c, argv[1], delete_key, argv[2]);
+  AppendSimpleString(&c->out, "OK");
+  FinishWriteReply(c);
+  MaybeCommitEagerly(w);
+}
+
+void RespServer::CmdDelOrExists(Worker* w, Connection* c,
+                                const std::vector<Slice>& argv,
+                                bool is_del) {
+  // The existence check must see the connection's own pipelined writes:
+  // overlay first, then the engine (latest for DEL's read-modify-write,
+  // snapshot for EXISTS).
+  ReadOptions ro;
+  const uint64_t now = NowMicros();
+  long long found = 0;
+  uint64_t dk = 0;
+  std::vector<size_t> hit_idx;
+  for (size_t i = 1; i < argv.size(); i++) {
+    if (const StagedWrite* sw = OverlayFind(c, argv[i])) {
+      if (sw->deleted) continue;
+      if (IsExpired(sw->delete_key, now)) {
+        net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      found++;
+      if (is_del) hit_idx.push_back(i);
+      continue;
+    }
+    if (!is_del && ro.snapshot == nullptr) {
+      EnsureSnapshot(w, c);
+      ro.snapshot = c->snap;
+    }
+    Status s = db_->GetWithDeleteKey(ro, argv[i], &w->value, &dk);
+    if (!s.ok()) continue;
+    if (IsExpired(dk, now)) {
+      net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    found++;
+    if (is_del) hit_idx.push_back(i);
+  }
+  if (is_del && !hit_idx.empty()) {
+    StageWriteReply(w, c);
+    for (size_t i : hit_idx) {
+      w->batch.Delete(argv[i]);
+      OverlayDelete(c, argv[i]);
+    }
+    AppendInteger(&c->out, found);
+    FinishWriteReply(c);
+    MaybeCommitEagerly(w);
+  } else {
+    AppendInteger(&c->out, found);
+    FinishImmediateReply(c);
+  }
+}
+
+void RespServer::CmdMGet(Worker* w, Connection* c,
+                         const std::vector<Slice>& argv) {
+  EnsureSnapshot(w, c);
+  ReadOptions ro;
+  ro.snapshot = c->snap;
+  const uint64_t now = NowMicros();
+  AppendArrayHeader(&c->out, argv.size() - 1);
+  for (size_t i = 1; i < argv.size(); i++) {
+    if (const StagedWrite* sw = OverlayFind(c, argv[i])) {
+      if (sw->deleted) {
+        AppendNullBulkString(&c->out);
+      } else if (IsExpired(sw->delete_key, now)) {
+        net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+        AppendNullBulkString(&c->out);
+      } else {
+        AppendBulkString(&c->out, sw->value);
+      }
+      continue;
+    }
+    uint64_t dk = 0;
+    Status s = db_->GetWithDeleteKey(ro, argv[i], &w->value, &dk);
+    if (s.ok() && !IsExpired(dk, now)) {
+      AppendBulkString(&c->out, w->value);
+    } else {
+      if (s.ok()) {
+        net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendNullBulkString(&c->out);
+    }
+  }
+  FinishImmediateReply(c);
+}
+
+void RespServer::CmdMSet(Worker* w, Connection* c,
+                         const std::vector<Slice>& argv) {
+  if ((argv.size() - 1) % 2 != 0) {
+    AppendError(&c->out, "ERR wrong number of arguments for MSET");
+    FinishImmediateReply(c);
+    return;
+  }
+  StageWriteReply(w, c);
+  for (size_t i = 1; i + 1 < argv.size(); i += 2) {
+    w->batch.Put(argv[i], 0, argv[i + 1]);
+    OverlayPut(c, argv[i], 0, argv[i + 1]);
+  }
+  AppendSimpleString(&c->out, "OK");
+  FinishWriteReply(c);
+  MaybeCommitEagerly(w);
+}
+
+void RespServer::CmdScan(Worker* w, Connection* c,
+                         const std::vector<Slice>& argv) {
+  // The cursor is the hex-encoded next sort key ("0" = start/done) —
+  // stateless on the server, stable across restarts, O(log n) to resume.
+  std::string start;
+  if (!(argv[1] == Slice("0")) && !HexDecode(argv[1], &start)) {
+    AppendError(&c->out, "ERR invalid cursor");
+    FinishImmediateReply(c);
+    return;
+  }
+  long long count = 10;
+  Slice pattern;
+  bool have_pattern = false;
+  for (size_t i = 2; i < argv.size();) {
+    ToUpper(argv[i], &w->scratch_upper);
+    long long parsed = 0;
+    if (w->scratch_upper == "COUNT" && i + 1 < argv.size() &&
+        ParseInt(argv[i + 1], &parsed) && parsed > 0) {
+      count = std::min<long long>(parsed, 10000);
+      i += 2;
+    } else if (w->scratch_upper == "MATCH" && i + 1 < argv.size()) {
+      pattern = argv[i + 1];
+      have_pattern = true;
+      i += 2;
+    } else {
+      AppendError(&c->out, "ERR syntax error");
+      FinishImmediateReply(c);
+      return;
+    }
+  }
+  // Iterators cannot consult the overlay: commit the staged batch so the
+  // scan observes this connection's own pipelined writes.
+  EnsureConnCommitted(w, c);
+  EnsureSnapshot(w, c);
+  ReadOptions ro;
+  ro.snapshot = c->snap;
+  std::unique_ptr<Iterator> it = db_->NewIterator(ro);
+  if (start.empty()) {
+    it->SeekToFirst();
+  } else {
+    it->Seek(start);
+  }
+  const uint64_t now = NowMicros();
+  std::vector<std::string> keys;
+  long long examined = 0;
+  while (it->Valid() && examined < count) {
+    if (IsExpired(it->delete_key(), now)) {
+      net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+    } else if (!have_pattern || GlobMatch(pattern, it->key())) {
+      keys.emplace_back(it->key().data(), it->key().size());
+    }
+    examined++;
+    it->Next();
+  }
+  if (!it->status().ok()) {
+    AppendError(&c->out, "ERR " + it->status().ToString());
+    FinishImmediateReply(c);
+    return;
+  }
+  const std::string cursor = it->Valid() ? HexEncode(it->key()) : "0";
+  AppendArrayHeader(&c->out, 2);
+  AppendBulkString(&c->out, cursor);
+  AppendArrayHeader(&c->out, keys.size());
+  for (const std::string& k : keys) AppendBulkString(&c->out, k);
+  FinishImmediateReply(c);
+}
+
+void RespServer::CmdExpire(Worker* w, Connection* c,
+                           const std::vector<Slice>& argv) {
+  // Read-modify-write: the overlay supplies this connection's own
+  // pipelined SETs, the engine's latest-committed state covers the rest.
+  // The RMW is not atomic against writers on other connections — a racing
+  // SET between the read and this turn's commit wins wholesale, which
+  // matches EXPIRE-then-SET semantics.
+  long long secs = 0;
+  if (!ParseInt(argv[2], &secs)) {
+    AppendError(&c->out, "ERR value is not an integer or out of range");
+    FinishImmediateReply(c);
+    return;
+  }
+  const uint64_t now = NowMicros();
+  uint64_t dk = 0;
+  const std::string* cur_value = nullptr;
+  if (const StagedWrite* sw = OverlayFind(c, argv[1])) {
+    if (sw->deleted || IsExpired(sw->delete_key, now)) {
+      if (!sw->deleted) {
+        net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendInteger(&c->out, 0);
+      FinishImmediateReply(c);
+      return;
+    }
+    dk = sw->delete_key;
+    cur_value = &sw->value;
+  } else {
+    Status s =
+        db_->GetWithDeleteKey(ReadOptions(), argv[1], &w->value, &dk);
+    if (!s.ok() || IsExpired(dk, now)) {
+      if (s.ok()) {
+        net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendInteger(&c->out, 0);
+      FinishImmediateReply(c);
+      return;
+    }
+    cur_value = &w->value;
+  }
+  StageWriteReply(w, c);
+  if (secs <= 0) {
+    w->batch.Delete(argv[1]);  // non-positive TTL deletes, like Redis
+    OverlayDelete(c, argv[1]);
+  } else {
+    uint64_t ndk = SaturatingAdd(
+        now, SaturatingMul(static_cast<uint64_t>(secs), 1000000ull));
+    if (ndk == 0) ndk = 1;
+    ttl_seen_.store(true, std::memory_order_relaxed);
+    w->batch.Put(argv[1], ndk, *cur_value);
+    OverlayPut(c, argv[1], ndk, *cur_value);
+  }
+  AppendInteger(&c->out, 1);
+  FinishWriteReply(c);
+  MaybeCommitEagerly(w);
+}
+
+void RespServer::CmdTtl(Worker* w, Connection* c,
+                        const std::vector<Slice>& argv) {
+  const uint64_t now = NowMicros();
+  if (const StagedWrite* sw = OverlayFind(c, argv[1])) {
+    long long reply;
+    if (sw->deleted) {
+      reply = -2;
+    } else if (IsExpired(sw->delete_key, now)) {
+      net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      reply = -2;
+    } else if (sw->delete_key == 0) {
+      reply = -1;
+    } else {
+      reply = static_cast<long long>((sw->delete_key - now + 999999) /
+                                     1000000);
+    }
+    AppendInteger(&c->out, reply);
+    FinishImmediateReply(c);
+    return;
+  }
+  EnsureSnapshot(w, c);
+  ReadOptions ro;
+  ro.snapshot = c->snap;
+  uint64_t dk = 0;
+  Status s = db_->GetWithDeleteKey(ro, argv[1], &w->value, &dk);
+  long long reply;
+  if (!s.ok()) {
+    reply = -2;
+  } else if (IsExpired(dk, now)) {
+    net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+    reply = -2;
+  } else if (dk == 0) {
+    reply = -1;
+  } else {
+    reply = static_cast<long long>((dk - now + 999999) / 1000000);
+  }
+  AppendInteger(&c->out, reply);
+  FinishImmediateReply(c);
+}
+
+void RespServer::CmdPersist(Worker* w, Connection* c,
+                            const std::vector<Slice>& argv) {
+  // RMW, same overlay-first shape and caveats as CmdExpire.
+  const uint64_t now = NowMicros();
+  const std::string* cur_value = nullptr;
+  if (const StagedWrite* sw = OverlayFind(c, argv[1])) {
+    if (sw->deleted || sw->delete_key == 0 ||
+        IsExpired(sw->delete_key, now)) {
+      if (!sw->deleted && IsExpired(sw->delete_key, now)) {
+        net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendInteger(&c->out, 0);
+      FinishImmediateReply(c);
+      return;
+    }
+    cur_value = &sw->value;
+  } else {
+    uint64_t dk = 0;
+    Status s =
+        db_->GetWithDeleteKey(ReadOptions(), argv[1], &w->value, &dk);
+    if (!s.ok() || dk == 0 || IsExpired(dk, now)) {
+      if (s.ok() && IsExpired(dk, now)) {
+        net_stats_.net_expired_lazy.fetch_add(1, std::memory_order_relaxed);
+      }
+      AppendInteger(&c->out, 0);
+      FinishImmediateReply(c);
+      return;
+    }
+    cur_value = &w->value;
+  }
+  StageWriteReply(w, c);
+  w->batch.Put(argv[1], 0, *cur_value);
+  OverlayPut(c, argv[1], 0, *cur_value);
+  AppendInteger(&c->out, 1);
+  FinishWriteReply(c);
+  MaybeCommitEagerly(w);
+}
+
+void RespServer::CmdInfo(Worker* w, Connection* c,
+                         const std::vector<Slice>& argv) {
+  (void)w;
+  AppendBulkString(&c->out,
+                   BuildInfo(argv.size() == 2 ? argv[1] : Slice()));
+  FinishImmediateReply(c);
+}
+
+void RespServer::CmdLethePurge(Worker* w, Connection* c,
+                               const std::vector<Slice>& argv) {
+  // SecondaryRangeDelete bypasses the batch path entirely, so the staged
+  // batch must commit first to keep this ordered after the connection's
+  // own pipelined writes.
+  EnsureConnCommitted(w, c);
+  long long begin = 0, end = 0;
+  if (!ParseInt(argv[1], &begin) || !ParseInt(argv[2], &end) || begin < 0 ||
+      end < begin) {
+    AppendError(&c->out, "ERR invalid delete-key range");
+    FinishImmediateReply(c);
+    return;
+  }
+  Status s = db_->SecondaryRangeDelete(WriteOptions(),
+                                       static_cast<uint64_t>(begin),
+                                       static_cast<uint64_t>(end));
+  if (s.ok()) {
+    AppendSimpleString(&c->out, "OK");
+  } else {
+    AppendError(&c->out, "ERR " + s.ToString());
+  }
+  FinishImmediateReply(c);
+}
+
+std::string RespServer::BuildInfo(const Slice& section) {
+  std::string sec;
+  ToUpper(section, &sec);
+  const bool all = sec.empty() || sec == "ALL" || sec == "DEFAULT" ||
+                   sec == "EVERYTHING";
+  std::string out;
+  auto add = [&out](const char* k, uint64_t v) {
+    out += k;
+    out += ':';
+    out += std::to_string(v);
+    out += "\r\n";
+  };
+  const Statistics& es = db_->stats();
+  if (all || sec == "SERVER") {
+    out += "# Server\r\n";
+    out += "engine:lethe\r\n";
+    add("tcp_port", port_);
+    add("io_threads_active", workers_.size());
+    add("uptime_in_seconds", (NowMicros() - start_micros_) / 1000000);
+    out += "\r\n";
+  }
+  if (all || sec == "CLIENTS") {
+    out += "# Clients\r\n";
+    add("connected_clients", static_cast<uint64_t>(std::max(
+                                 0, connection_count())));
+    add("maxclients", static_cast<uint64_t>(opts_.max_connections));
+    add("rejected_connections", net_stats_.net_connections_rejected);
+    add("slow_client_disconnects", net_stats_.net_slow_client_disconnects);
+    out += "\r\n";
+  }
+  if (all || sec == "STATS") {
+    out += "# Stats\r\n";
+    add("total_connections_received", net_stats_.net_connections_accepted);
+    add("total_commands_processed", net_stats_.net_commands);
+    add("total_net_input_bytes", net_stats_.net_bytes_in);
+    add("total_net_output_bytes", net_stats_.net_bytes_out);
+    add("protocol_errors", net_stats_.net_protocol_errors);
+    add("coalesced_batches", net_stats_.net_batches_coalesced);
+    add("coalesced_batch_ops", net_stats_.net_batch_ops_coalesced);
+    const Histogram pipe = net_stats_.NetPipelineDepthHistogram();
+    const Histogram batch = net_stats_.NetBatchSizeHistogram();
+    add("pipeline_depth_p50", static_cast<uint64_t>(pipe.Percentile(50)));
+    add("pipeline_depth_p99", static_cast<uint64_t>(pipe.Percentile(99)));
+    add("net_batch_size_p50", static_cast<uint64_t>(batch.Percentile(50)));
+    add("net_batch_size_p99", static_cast<uint64_t>(batch.Percentile(99)));
+    add("expired_lazy", net_stats_.net_expired_lazy);
+    add("expired_active", net_stats_.net_keys_expired_active);
+    out += "\r\n";
+  }
+  if (all || sec == "ENGINE") {
+    out += "# Engine\r\n";
+    add("group_commit_batches", es.group_commit_batches);
+    add("group_commit_entries", es.group_commit_entries);
+    add("wal_appends", es.wal_appends);
+    add("wal_syncs", es.wal_syncs);
+    add("flushes", es.flushes);
+    add("compactions", es.compactions);
+    add("write_stalls", es.write_stalls);
+    add("stall_micros", es.stall_micros);
+    add("point_lookups", es.point_lookups);
+    add("page_cache_hits", es.page_cache_hits);
+    add("page_cache_misses", es.page_cache_misses);
+    out += "\r\n";
+  }
+  if (all || sec == "KEYSPACE") {
+    out += "# Keyspace\r\n";
+    out += "db0:keys_approx=" + std::to_string(db_->ApproximateEntryCount()) +
+           ",expire_horizon_micros=" +
+           std::to_string(expire_horizon_.load(std::memory_order_relaxed)) +
+           "\r\n";
+  }
+  return out;
+}
+
+void RespServer::MaybeActiveExpire(Worker* w) {
+  if (opts_.active_expire_interval_ms == 0) return;
+  const uint64_t now = NowMicros();
+  const uint64_t interval_us = opts_.active_expire_interval_ms * 1000;
+  if (w->last_expire_micros != 0 &&
+      now < w->last_expire_micros + interval_us) {
+    return;
+  }
+  w->last_expire_micros = now;
+  // Cheap gate for TTL-free workloads: after the startup probe, skip the
+  // cycle entirely until some connection writes a TTL. (A database carrying
+  // only not-yet-expired TTLs from a previous run is rediscovered the first
+  // time any TTL command runs; until then those keys expire lazily.)
+  if (expire_probe_done_ && !ttl_seen_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const uint64_t begin =
+      std::max<uint64_t>(expire_horizon_.load(std::memory_order_relaxed), 1);
+  if (begin >= now) return;
+  std::vector<SecondaryHit> hits;
+  ReadOptions ro;
+  ro.fill_page_cache = false;
+  Status s = db_->SecondaryRangeLookup(ro, begin, now, &hits);
+  const bool first_probe = !expire_probe_done_;
+  expire_probe_done_ = true;
+  if (!s.ok()) return;  // degraded engine: retry next cycle
+  if (first_probe && !hits.empty()) {
+    ttl_seen_.store(true, std::memory_order_relaxed);
+  }
+  if (hits.empty()) {
+    expire_horizon_.store(now, std::memory_order_relaxed);
+    return;
+  }
+  bool all_ok = true;
+  uint64_t deleted = 0;
+  const size_t chunk = std::max<size_t>(1, opts_.active_expire_chunk);
+  for (size_t base = 0; base < hits.size(); base += chunk) {
+    const size_t limit = std::min(hits.size(), base + chunk);
+    if (txn_supported_) {
+      // Validated path: txn.Get puts each key in the read set, so a SET
+      // racing between the lookup and the commit aborts the chunk (Busy)
+      // and the window is retried next cycle — an expired key can never
+      // clobber a concurrent refresh.
+      OptimisticTransaction txn(db_);
+      ReadOptions tro;
+      std::unique_ptr<Iterator> it = txn.NewIterator(tro);
+      size_t staged = 0;
+      std::string val;
+      for (size_t i = base; i < limit; i++) {
+        const std::string& key = hits[i].key;
+        if (!txn.Get(tro, key, &val).ok()) continue;  // already gone
+        it->Seek(key);  // txn.Get has no delete_key out-param; re-read it
+        if (!it->Valid() || !(it->key() == Slice(key))) continue;
+        const uint64_t dk = it->delete_key();
+        if (dk == 0 || dk > now) continue;  // refreshed with a later expiry
+        (void)txn.Delete(key);
+        staged++;
+      }
+      if (staged > 0) {
+        if (txn.Commit().ok()) {
+          deleted += staged;
+        } else {
+          all_ok = false;  // conflict: leave the window for a retry
+        }
+      } else {
+        (void)txn.Rollback();
+      }
+    } else {
+      // ShardedDB has no transactions: re-verify against latest and delete
+      // in one batch. A SET racing into the microseconds between re-check
+      // and commit can be lost, but only for a key already past its
+      // deadline — the refreshed value was racing its own expiration.
+      WriteBatch batch;
+      size_t staged = 0;
+      uint64_t dk = 0;
+      std::string val;
+      for (size_t i = base; i < limit; i++) {
+        const std::string& key = hits[i].key;
+        Status g = db_->GetWithDeleteKey(ReadOptions(), key, &val, &dk);
+        if (!g.ok() || dk == 0 || dk > now) continue;
+        batch.Delete(key);
+        staged++;
+      }
+      if (staged > 0) {
+        if (db_->Write(WriteOptions(), &batch).ok()) {
+          deleted += staged;
+        } else {
+          all_ok = false;
+        }
+      }
+    }
+  }
+  net_stats_.net_keys_expired_active.fetch_add(deleted,
+                                               std::memory_order_relaxed);
+  // Advance only when every chunk landed, so failures are retried.
+  if (all_ok) expire_horizon_.store(now, std::memory_order_relaxed);
+}
+
+}  // namespace server
+}  // namespace lethe

@@ -1,0 +1,368 @@
+// Torture tests for the RESP wire layer: the ring buffer, the incremental
+// zero-copy command parser (split at every byte boundary, malformed input,
+// limit violations — must error, never crash or hang), the reply writers,
+// and the client-side reply scanner.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/server/resp.h"
+#include "src/server/ring_buffer.h"
+#include "src/util/random.h"
+
+namespace lethe {
+namespace server {
+namespace {
+
+std::string EncodeCommand(const std::vector<std::string>& argv) {
+  std::string out = "*" + std::to_string(argv.size()) + "\r\n";
+  for (const std::string& a : argv) {
+    out += "$" + std::to_string(a.size()) + "\r\n" + a + "\r\n";
+  }
+  return out;
+}
+
+std::vector<std::string> ArgvStrings(const RespParser& parser) {
+  std::vector<std::string> out;
+  for (const Slice& s : parser.argv()) out.push_back(s.ToString());
+  return out;
+}
+
+TEST(RingBufferTest, AppendConsumeCompactGrow) {
+  RingBuffer buf;
+  EXPECT_TRUE(buf.empty());
+
+  char* p = buf.Reserve(5);
+  memcpy(p, "hello", 5);
+  buf.Commit(5);
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(std::string(buf.data(), buf.size()), "hello");
+
+  buf.Consume(2);
+  EXPECT_EQ(std::string(buf.data(), buf.size()), "llo");
+
+  // Force growth past the initial capacity; the readable span must stay
+  // contiguous and ordered.
+  std::string big(100 * 1024, 'x');
+  p = buf.Reserve(big.size());
+  memcpy(p, big.data(), big.size());
+  buf.Commit(big.size());
+  ASSERT_EQ(buf.size(), 3 + big.size());
+  EXPECT_EQ(std::string(buf.data(), 3), "llo");
+  EXPECT_EQ(buf.data()[3], 'x');
+
+  buf.Consume(buf.size());
+  EXPECT_TRUE(buf.empty());
+  buf.ShrinkToFit();
+  EXPECT_EQ(buf.capacity(), 0u);
+
+  // Interleaved consume/reserve cycles exercise the memmove compaction.
+  std::string seen;
+  std::string expect;
+  for (int round = 0; round < 200; round++) {
+    std::string chunk(1 + (round * 7) % 23, static_cast<char>('a' + round % 26));
+    expect += chunk;
+    p = buf.Reserve(chunk.size());
+    memcpy(p, chunk.data(), chunk.size());
+    buf.Commit(chunk.size());
+    size_t eat = buf.size() / 2;
+    seen.append(buf.data(), eat);
+    buf.Consume(eat);
+  }
+  seen.append(buf.data(), buf.size());
+  buf.Consume(buf.size());
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(RespParserTest, ParsesWholeFrame) {
+  RingBuffer buf;
+  std::string frame = EncodeCommand({"SET", "key", "value"});
+  memcpy(buf.Reserve(frame.size()), frame.data(), frame.size());
+  buf.Commit(frame.size());
+
+  RespParser parser;
+  size_t frame_bytes = 0;
+  ASSERT_EQ(parser.Parse(buf, &frame_bytes), RespParser::Result::kCommand);
+  EXPECT_EQ(frame_bytes, frame.size());
+  EXPECT_EQ(ArgvStrings(parser),
+            (std::vector<std::string>{"SET", "key", "value"}));
+}
+
+TEST(RespParserTest, EveryByteBoundarySplit) {
+  // A frame split at every possible byte position must yield kNeedMore for
+  // every proper prefix and exactly the same argv once completed.
+  const std::string frame =
+      EncodeCommand({"SET", "key\r\nwith\r\ncrlf", std::string(300, 'v'), "",
+                     "PX", "1500"});
+  for (size_t split = 0; split <= frame.size(); split++) {
+    RingBuffer buf;
+    RespParser parser;
+    size_t frame_bytes = 0;
+    if (split > 0) {
+      memcpy(buf.Reserve(split), frame.data(), split);
+      buf.Commit(split);
+    }
+    RespParser::Result r = parser.Parse(buf, &frame_bytes);
+    if (split < frame.size()) {
+      ASSERT_EQ(r, RespParser::Result::kNeedMore) << "split=" << split;
+      memcpy(buf.Reserve(frame.size() - split), frame.data() + split,
+             frame.size() - split);
+      buf.Commit(frame.size() - split);
+      r = parser.Parse(buf, &frame_bytes);
+    }
+    ASSERT_EQ(r, RespParser::Result::kCommand) << "split=" << split;
+    ASSERT_EQ(frame_bytes, frame.size());
+    ASSERT_EQ(parser.argv().size(), 6u);
+    EXPECT_EQ(parser.argv()[1].ToString(), "key\r\nwith\r\ncrlf");
+    EXPECT_EQ(parser.argv()[2].size(), 300u);
+    EXPECT_EQ(parser.argv()[3].ToString(), "");
+  }
+}
+
+TEST(RespParserTest, DribbleOneByteAtATimeAcrossPipeline) {
+  // Several pipelined frames delivered one byte at a time: the parser must
+  // produce each frame exactly once, in order.
+  std::vector<std::vector<std::string>> cmds = {
+      {"PING"},
+      {"SET", "a", "1"},
+      {"GET", "a"},
+      {"MSET", "k1", std::string(100, 'x'), "k2", ""},
+      {"DEL", "a", "k1", "k2"},
+  };
+  std::string stream;
+  for (const auto& c : cmds) stream += EncodeCommand(c);
+
+  RingBuffer buf;
+  RespParser parser;
+  std::vector<std::vector<std::string>> seen;
+  for (char ch : stream) {
+    memcpy(buf.Reserve(1), &ch, 1);
+    buf.Commit(1);
+    size_t frame_bytes = 0;
+    RespParser::Result r = parser.Parse(buf, &frame_bytes);
+    ASSERT_NE(r, RespParser::Result::kError);
+    if (r == RespParser::Result::kCommand) {
+      seen.push_back(ArgvStrings(parser));
+      buf.Consume(frame_bytes);
+      parser.Reset();
+    }
+  }
+  ASSERT_EQ(seen.size(), cmds.size());
+  for (size_t i = 0; i < cmds.size(); i++) EXPECT_EQ(seen[i], cmds[i]);
+}
+
+TEST(RespParserTest, RandomizedSplitPipelines) {
+  Random rnd(301);
+  for (int iter = 0; iter < 200; iter++) {
+    std::vector<std::vector<std::string>> cmds;
+    std::string stream;
+    int n = 1 + rnd.Uniform(8);
+    for (int i = 0; i < n; i++) {
+      std::vector<std::string> argv;
+      int argc = 1 + rnd.Uniform(5);
+      for (int a = 0; a < argc; a++) {
+        std::string arg;
+        int len = rnd.Uniform(64);
+        for (int b = 0; b < len; b++) {
+          arg.push_back(static_cast<char>(rnd.Uniform(256)));
+        }
+        argv.push_back(arg);
+      }
+      cmds.push_back(argv);
+      stream += EncodeCommand(argv);
+    }
+    RingBuffer buf;
+    RespParser parser;
+    std::vector<std::vector<std::string>> seen;
+    size_t fed = 0;
+    while (fed < stream.size()) {
+      size_t chunk = 1 + rnd.Uniform(23);
+      chunk = std::min(chunk, stream.size() - fed);
+      memcpy(buf.Reserve(chunk), stream.data() + fed, chunk);
+      buf.Commit(chunk);
+      fed += chunk;
+      for (;;) {
+        size_t frame_bytes = 0;
+        RespParser::Result r = parser.Parse(buf, &frame_bytes);
+        ASSERT_NE(r, RespParser::Result::kError);
+        if (r != RespParser::Result::kCommand) break;
+        seen.push_back(ArgvStrings(parser));
+        buf.Consume(frame_bytes);
+        parser.Reset();
+      }
+    }
+    ASSERT_EQ(seen, cmds) << "iter=" << iter;
+  }
+}
+
+void ExpectError(const std::string& input, int at_most_feeds = 1) {
+  RingBuffer buf;
+  RespParser parser;
+  memcpy(buf.Reserve(input.size()), input.data(), input.size());
+  buf.Commit(input.size());
+  size_t frame_bytes = 0;
+  RespParser::Result r = RespParser::Result::kNeedMore;
+  for (int i = 0; i < at_most_feeds && r == RespParser::Result::kNeedMore;
+       i++) {
+    r = parser.Parse(buf, &frame_bytes);
+  }
+  EXPECT_EQ(r, RespParser::Result::kError) << "input: " << input;
+  EXPECT_FALSE(parser.error().empty());
+}
+
+TEST(RespParserTest, MalformedInputErrorsWithoutCrashing) {
+  ExpectError("PING\r\n");                      // inline commands rejected
+  ExpectError("GET key\r\n");                   // inline with args
+  ExpectError(" *1\r\n$4\r\nPING\r\n");         // leading junk
+  ExpectError("*abc\r\n");                      // non-numeric argc
+  ExpectError("*-1\r\n");                       // negative argc
+  ExpectError("*0\r\n");                        // empty command
+  ExpectError("*1x\r\n$4\r\nPING\r\n");         // trailing junk in argc
+  ExpectError("*1\n$4\r\nPING\r\n");            // LF without CR
+  ExpectError("*1\r\nPING\r\n");                // missing '$' header
+  ExpectError("*1\r\n$abc\r\n");                // non-numeric bulk length
+  ExpectError("*1\r\n$-1\r\n");                 // negative bulk length
+  ExpectError("*1\r\n$4\r\nPINGxx");            // payload without CRLF
+  ExpectError("*1\r\n$3\r\nPIN\rx");            // corrupt trailing CRLF
+  ExpectError("*99999999999999999999\r\n");     // argc overflow (>19 digits)
+  ExpectError("*1\r\n$99999999999999999999\r\n");  // bulk length overflow
+  // Unterminated headers longer than the header cap must fail rather than
+  // buffer forever.
+  ExpectError("*123456789012345678901234567890123456");
+  ExpectError(std::string("*1\r\n$") + std::string(40, '1'));
+}
+
+TEST(RespParserTest, LimitsEnforced) {
+  RespParser::Limits limits;
+  limits.max_args = 3;
+  limits.max_bulk_bytes = 10;
+  {
+    RingBuffer buf;
+    RespParser parser(limits);
+    std::string frame = EncodeCommand({"MSET", "a", "1", "b"});  // 4 args
+    memcpy(buf.Reserve(frame.size()), frame.data(), frame.size());
+    buf.Commit(frame.size());
+    size_t fb = 0;
+    EXPECT_EQ(parser.Parse(buf, &fb), RespParser::Result::kError);
+  }
+  {
+    RingBuffer buf;
+    RespParser parser(limits);
+    std::string frame = EncodeCommand({"SET", "k", std::string(11, 'v')});
+    memcpy(buf.Reserve(frame.size()), frame.data(), frame.size());
+    buf.Commit(frame.size());
+    size_t fb = 0;
+    EXPECT_EQ(parser.Parse(buf, &fb), RespParser::Result::kError);
+  }
+  {
+    // At the limits everything still parses.
+    RingBuffer buf;
+    RespParser parser(limits);
+    std::string frame = EncodeCommand({"SET", "k", std::string(10, 'v')});
+    memcpy(buf.Reserve(frame.size()), frame.data(), frame.size());
+    buf.Commit(frame.size());
+    size_t fb = 0;
+    EXPECT_EQ(parser.Parse(buf, &fb), RespParser::Result::kCommand);
+  }
+}
+
+TEST(RespParserTest, ZeroCopyArgvPointsIntoBuffer) {
+  RingBuffer buf;
+  std::string frame = EncodeCommand({"GET", "somekey"});
+  memcpy(buf.Reserve(frame.size()), frame.data(), frame.size());
+  buf.Commit(frame.size());
+  RespParser parser;
+  size_t fb = 0;
+  ASSERT_EQ(parser.Parse(buf, &fb), RespParser::Result::kCommand);
+  for (const Slice& arg : parser.argv()) {
+    EXPECT_GE(arg.data(), buf.data());
+    EXPECT_LE(arg.data() + arg.size(), buf.data() + buf.size());
+  }
+}
+
+TEST(RespReplyWritersTest, EncodeAllTypes) {
+  std::string out;
+  AppendSimpleString(&out, "OK");
+  EXPECT_EQ(out, "+OK\r\n");
+  out.clear();
+  AppendError(&out, "ERR boom");
+  EXPECT_EQ(out, "-ERR boom\r\n");
+  out.clear();
+  AppendError(&out, "ERR line\r\nbreak");  // CRLF must be sanitized
+  EXPECT_EQ(out, "-ERR line  break\r\n");
+  out.clear();
+  AppendInteger(&out, -42);
+  EXPECT_EQ(out, ":-42\r\n");
+  out.clear();
+  AppendBulkString(&out, "hi");
+  EXPECT_EQ(out, "$2\r\nhi\r\n");
+  out.clear();
+  AppendNullBulkString(&out);
+  EXPECT_EQ(out, "$-1\r\n");
+  out.clear();
+  AppendArrayHeader(&out, 3);
+  EXPECT_EQ(out, "*3\r\n");
+}
+
+TEST(RespReplyScannerTest, CountsRepliesAcrossSplits) {
+  std::string stream;
+  stream += "+OK\r\n";
+  stream += ":123\r\n";
+  stream += "-ERR nope\r\n";
+  stream += "$5\r\nhello\r\n";
+  stream += "$-1\r\n";
+  stream += "*2\r\n$1\r\na\r\n*2\r\n:1\r\n:2\r\n";  // nested array
+  stream += "*0\r\n";
+  stream += "*-1\r\n";
+  const int kExpected = 8;
+
+  // Whole stream at once.
+  {
+    RespReplyScanner scanner;
+    EXPECT_EQ(scanner.Feed(stream.data(), stream.size()), kExpected);
+    EXPECT_EQ(scanner.replies_seen(), static_cast<uint64_t>(kExpected));
+  }
+  // One byte at a time.
+  {
+    RespReplyScanner scanner;
+    int total = 0;
+    for (char c : stream) {
+      int r = scanner.Feed(&c, 1);
+      ASSERT_GE(r, 0);
+      total += r;
+    }
+    EXPECT_EQ(total, kExpected);
+  }
+  // Every split point.
+  for (size_t split = 0; split <= stream.size(); split++) {
+    RespReplyScanner scanner;
+    int a = scanner.Feed(stream.data(), split);
+    ASSERT_GE(a, 0);
+    int b = scanner.Feed(stream.data() + split, stream.size() - split);
+    ASSERT_GE(b, 0);
+    EXPECT_EQ(a + b, kExpected) << "split=" << split;
+  }
+}
+
+TEST(RespReplyScannerTest, MalformedRepliesRejected) {
+  {
+    RespReplyScanner scanner;
+    EXPECT_EQ(scanner.Feed("x", 1), -1);  // unknown type byte
+  }
+  {
+    RespReplyScanner scanner;
+    std::string s = "+OK\n";  // LF without CR
+    EXPECT_EQ(scanner.Feed(s.data(), s.size()), -1);
+  }
+  {
+    RespReplyScanner scanner;
+    std::string s = "$zz\r\n";
+    EXPECT_EQ(scanner.Feed(s.data(), s.size()), -1);
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace lethe
